@@ -1,0 +1,188 @@
+//! DBSCAN (Ester et al. 1996) — the density-based comparator.
+//!
+//! The paper configures DBSCAN with `eps = d_c` and `min_pts = 1` for the
+//! Figure 8 comparison. Neighbor search is the straightforward O(N²) scan;
+//! the baseline only runs on the small shaped data sets.
+
+use dp_core::decision::Clustering;
+use dp_core::Dataset;
+
+/// DBSCAN configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Dbscan {
+    /// Neighborhood radius.
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+/// DBSCAN output: cluster per point, or `None` for noise.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// `Some(cluster)` or `None` (noise).
+    pub labels: Vec<Option<u32>>,
+    /// Number of clusters found.
+    pub n_clusters: u32,
+}
+
+impl DbscanResult {
+    /// Number of noise points.
+    pub fn n_noise(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Converts to a hard [`Clustering`] by giving every noise point its
+    /// own singleton cluster (so quality metrics penalize noise
+    /// mislabeling rather than crashing).
+    pub fn to_clustering(&self) -> Clustering {
+        let mut next = self.n_clusters;
+        let labels: Vec<u32> = self
+            .labels
+            .iter()
+            .map(|l| match l {
+                Some(c) => *c,
+                None => {
+                    let c = next;
+                    next += 1;
+                    c
+                }
+            })
+            .collect();
+        Clustering::from_labels(labels, next.max(1))
+    }
+}
+
+impl Dbscan {
+    /// A DBSCAN instance; the paper's Figure 8 configuration is
+    /// `Dbscan::new(d_c, 1)`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        Dbscan { eps, min_pts }
+    }
+
+    /// Runs DBSCAN.
+    pub fn fit(&self, ds: &Dataset) -> DbscanResult {
+        let n = ds.len();
+        // Precompute neighborhoods (O(N²), including self).
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let pi = ds.point(i as u32);
+            for j in (i + 1)..n {
+                if dp_core::distance::euclidean(pi, ds.point(j as u32)) <= self.eps {
+                    neighbors[i].push(j as u32);
+                    neighbors[j].push(i as u32);
+                }
+            }
+        }
+        let core: Vec<bool> =
+            neighbors.iter().map(|nb| nb.len() + 1 >= self.min_pts).collect();
+
+        const UNVISITED: u32 = u32::MAX;
+        const NOISE: u32 = u32::MAX - 1;
+        let mut labels = vec![UNVISITED; n];
+        let mut cluster = 0u32;
+        let mut stack = Vec::new();
+        for i in 0..n {
+            if labels[i] != UNVISITED {
+                continue;
+            }
+            if !core[i] {
+                labels[i] = NOISE;
+                continue;
+            }
+            // Grow a new cluster from core point i.
+            labels[i] = cluster;
+            stack.push(i as u32);
+            while let Some(p) = stack.pop() {
+                for &q in &neighbors[p as usize] {
+                    let ql = &mut labels[q as usize];
+                    if *ql == UNVISITED || *ql == NOISE {
+                        *ql = cluster;
+                        // Only core points expand the cluster further.
+                        if core[q as usize] {
+                            stack.push(q);
+                        }
+                    }
+                }
+            }
+            cluster += 1;
+        }
+
+        DbscanResult {
+            labels: labels
+                .into_iter()
+                .map(|l| if l == NOISE { None } else { Some(l) })
+                .collect(),
+            n_clusters: cluster,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs_with_outlier() -> Dataset {
+        let mut ds = Dataset::new(1);
+        for i in 0..10 {
+            ds.push(&[i as f64 * 0.1]);
+        }
+        for i in 0..10 {
+            ds.push(&[100.0 + i as f64 * 0.1]);
+        }
+        ds.push(&[50.0]); // isolated outlier
+        ds
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let r = Dbscan::new(0.15, 2).fit(&two_blobs_with_outlier());
+        assert_eq!(r.n_clusters, 2);
+        assert_eq!(r.n_noise(), 1);
+        assert_eq!(r.labels[20], None, "outlier must be noise");
+        assert_eq!(r.labels[0], r.labels[9]);
+        assert_eq!(r.labels[10], r.labels[19]);
+        assert_ne!(r.labels[0], r.labels[10]);
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let r = Dbscan::new(0.15, 1).fit(&two_blobs_with_outlier());
+        assert_eq!(r.n_noise(), 0);
+        assert_eq!(r.n_clusters, 3, "the outlier becomes a singleton cluster");
+    }
+
+    #[test]
+    fn eps_radius_is_inclusive() {
+        let ds = Dataset::from_flat(1, vec![0.0, 1.0]);
+        let r = Dbscan::new(1.0, 2).fit(&ds);
+        assert_eq!(r.n_clusters, 1, "points at exactly eps are neighbors");
+    }
+
+    #[test]
+    fn to_clustering_gives_noise_singletons() {
+        let r = Dbscan::new(0.15, 2).fit(&two_blobs_with_outlier());
+        let c = r.to_clustering();
+        assert_eq!(c.n_clusters(), 3);
+        assert_eq!(c.label(20), 2);
+    }
+
+    #[test]
+    fn chain_stays_one_cluster() {
+        // A chain of points each within eps of the next must form ONE
+        // cluster (density connectivity), even though the ends are far
+        // apart.
+        let ds = Dataset::from_flat(1, (0..50).map(|i| i as f64 * 0.9).collect());
+        let r = Dbscan::new(1.0, 2).fit(&ds);
+        assert_eq!(r.n_clusters, 1);
+        assert_eq!(r.n_noise(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_bad_eps() {
+        let _ = Dbscan::new(0.0, 1);
+    }
+}

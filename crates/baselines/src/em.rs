@@ -1,0 +1,237 @@
+//! EM clustering: expectation–maximization for Gaussian mixtures with
+//! diagonal covariance — the distribution-based comparator (Table III).
+
+use crate::kmeans::kmeans_plus_plus;
+use dp_core::decision::Clustering;
+use dp_core::Dataset;
+
+/// EM-GMM configuration.
+#[derive(Debug, Clone)]
+pub struct EmGmm {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on log-likelihood improvement.
+    pub tol: f64,
+    /// Variance floor, preventing degenerate components.
+    pub var_floor: f64,
+    /// Seed (initial means come from k-means++).
+    pub seed: u64,
+}
+
+impl EmGmm {
+    /// Standard configuration.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        EmGmm { k, max_iters: 100, tol: 1e-7, var_floor: 1e-6, seed }
+    }
+}
+
+/// Output of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// Hard assignment (argmax responsibility).
+    pub clustering: Clustering,
+    /// Component means (`k × dim`).
+    pub means: Vec<Vec<f64>>,
+    /// Component diagonal variances (`k × dim`).
+    pub variances: Vec<Vec<f64>>,
+    /// Mixing weights.
+    pub weights: Vec<f64>,
+    /// Final mean log-likelihood per point.
+    pub log_likelihood: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+/// `log(sum(exp(x)))` with the max-shift trick.
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+impl EmGmm {
+    /// Runs EM to convergence (or the iteration cap).
+    pub fn fit(&self, ds: &Dataset) -> EmResult {
+        assert!(!ds.is_empty(), "cannot cluster an empty dataset");
+        assert!(self.k <= ds.len(), "k = {} exceeds N = {}", self.k, ds.len());
+        let n = ds.len();
+        let dim = ds.dim();
+
+        // Initialize: k-means++ means, global variance, uniform weights.
+        let mut means = kmeans_plus_plus(ds, self.k, self.seed);
+        let (lo, hi) = ds.bounds().expect("non-empty");
+        let global_var: Vec<f64> = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(l, h)| (((h - l) / 4.0).powi(2)).max(self.var_floor))
+            .collect();
+        let mut variances = vec![global_var; self.k];
+        let mut weights = vec![1.0 / self.k as f64; self.k];
+
+        let mut resp = vec![0.0f64; n * self.k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut ll = prev_ll;
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // E step: responsibilities via log densities.
+            let mut total_ll = 0.0;
+            let mut logp = vec![0.0f64; self.k];
+            for (i, (_, p)) in ds.iter().enumerate() {
+                for c in 0..self.k {
+                    let mut acc = weights[c].max(1e-300).ln();
+                    for d in 0..dim {
+                        let v = variances[c][d];
+                        let diff = p[d] - means[c][d];
+                        acc += -0.5
+                            * ((2.0 * std::f64::consts::PI * v).ln() + diff * diff / v);
+                    }
+                    logp[c] = acc;
+                }
+                let lse = log_sum_exp(&logp);
+                total_ll += lse;
+                for c in 0..self.k {
+                    resp[i * self.k + c] = (logp[c] - lse).exp();
+                }
+            }
+            ll = total_ll / n as f64;
+
+            // M step.
+            for c in 0..self.k {
+                let nk: f64 = (0..n).map(|i| resp[i * self.k + c]).sum();
+                weights[c] = (nk / n as f64).max(1e-12);
+                if nk < 1e-12 {
+                    continue; // dead component: keep parameters
+                }
+                let mut mean = vec![0.0f64; dim];
+                for (i, (_, p)) in ds.iter().enumerate() {
+                    let r = resp[i * self.k + c];
+                    for d in 0..dim {
+                        mean[d] += r * p[d];
+                    }
+                }
+                for m in mean.iter_mut() {
+                    *m /= nk;
+                }
+                let mut var = vec![0.0f64; dim];
+                for (i, (_, p)) in ds.iter().enumerate() {
+                    let r = resp[i * self.k + c];
+                    for d in 0..dim {
+                        let diff = p[d] - mean[d];
+                        var[d] += r * diff * diff;
+                    }
+                }
+                for v in var.iter_mut() {
+                    *v = (*v / nk).max(self.var_floor);
+                }
+                means[c] = mean;
+                variances[c] = var;
+            }
+
+            if (ll - prev_ll).abs() < self.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        // Hard assignment.
+        let labels: Vec<u32> = (0..n)
+            .map(|i| {
+                (0..self.k)
+                    .max_by(|&a, &b| {
+                        resp[i * self.k + a]
+                            .partial_cmp(&resp[i * self.k + b])
+                            .expect("finite responsibilities")
+                    })
+                    .expect("k >= 1") as u32
+            })
+            .collect();
+
+        EmResult {
+            clustering: Clustering::from_labels(labels, self.k as u32),
+            means,
+            variances,
+            weights,
+            log_likelihood: ll,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for i in 0..40 {
+            let t = (i % 7) as f64 * 0.05;
+            ds.push(&[t, (i % 5) as f64 * 0.05]);
+        }
+        for i in 0..40 {
+            let t = (i % 7) as f64 * 0.05;
+            ds.push(&[20.0 + t, 20.0 + (i % 5) as f64 * 0.05]);
+        }
+        ds
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = EmGmm::new(2, 1).fit(&blobs());
+        let c = &r.clustering;
+        for i in 1..40 {
+            assert_eq!(c.label(i), c.label(0));
+        }
+        for i in 41..80 {
+            assert_eq!(c.label(i), c.label(40));
+        }
+        assert_ne!(c.label(0), c.label(40));
+    }
+
+    #[test]
+    fn log_likelihood_is_nondecreasing_endpoint() {
+        // EM guarantees monotone likelihood; check final > initial-ish by
+        // comparing k=1 (underfit) vs k=2 (correct) models.
+        let ds = blobs();
+        let l1 = EmGmm::new(1, 3).fit(&ds).log_likelihood;
+        let l2 = EmGmm::new(2, 3).fit(&ds).log_likelihood;
+        assert!(l2 > l1, "k=2 must fit two blobs better: {l2} vs {l1}");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let r = EmGmm::new(3, 5).fit(&blobs());
+        let s: f64 = r.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6, "weights sum {s}");
+        assert!(r.variances.iter().flatten().all(|&v| v >= 1e-6));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ds = blobs();
+        let a = EmGmm::new(2, 9).fit(&ds);
+        let b = EmGmm::new(2, 9).fit(&ds);
+        assert_eq!(a.clustering.labels(), b.clustering.labels());
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
+        // Huge magnitudes must not overflow.
+        let v = log_sum_exp(&[-1e9, -1e9 + 1.0]);
+        assert!(v.is_finite());
+        assert!((v - (-1e9 + 1.0 + (1.0 + (-1.0f64).exp()).ln())).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let _ = EmGmm::new(0, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Agglomerative hierarchical clustering — the connectivity-based
+//! comparator (Table III, `O(n³)` family).
+//!
+//! Uses the Lance–Williams update over an explicit distance matrix:
+//! repeatedly merge the two closest clusters and update their distances to
+//! everyone else under the chosen [`Linkage`], stopping at `k` clusters.
+
+use dp_core::decision::Clustering;
+use dp_core::Dataset;
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains through touching clusters).
+    Single,
+    /// Maximum pairwise distance (compact, spherical bias).
+    Complete,
+    /// Size-weighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// Agglomerative clustering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Hierarchical {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Linkage criterion.
+    pub linkage: Linkage,
+}
+
+impl Hierarchical {
+    /// A clusterer cutting the dendrogram at `k` clusters.
+    pub fn new(k: usize, linkage: Linkage) -> Self {
+        assert!(k > 0, "k must be positive");
+        Hierarchical { k, linkage }
+    }
+
+    /// Runs the agglomeration. O(N²) memory, O(N³) worst-case time —
+    /// intended for the small shaped benchmark sets.
+    pub fn fit(&self, ds: &Dataset) -> Clustering {
+        let n = ds.len();
+        assert!(n > 0, "cannot cluster an empty dataset");
+        assert!(self.k <= n, "k = {} exceeds N = {n}", self.k);
+
+        // Distance matrix, row-major; dist[i][j] valid for active i != j.
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            let pi = ds.point(i as u32);
+            for j in (i + 1)..n {
+                let d = dp_core::distance::euclidean(pi, ds.point(j as u32));
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+
+        let mut active: Vec<bool> = vec![true; n];
+        let mut size: Vec<usize> = vec![1; n];
+        // Union-find-ish: members of each active cluster.
+        let mut members: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+        let mut n_active = n;
+
+        while n_active > self.k {
+            // Find the closest active pair.
+            let mut best = (0usize, 0usize, f64::INFINITY);
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if active[j] && dist[i * n + j] < best.2 {
+                        best = (i, j, dist[i * n + j]);
+                    }
+                }
+            }
+            let (a, b, _) = best;
+
+            // Lance–Williams update of cluster a's distances.
+            for x in 0..n {
+                if !active[x] || x == a || x == b {
+                    continue;
+                }
+                let dax = dist[a * n + x];
+                let dbx = dist[b * n + x];
+                let new_d = match self.linkage {
+                    Linkage::Single => dax.min(dbx),
+                    Linkage::Complete => dax.max(dbx),
+                    Linkage::Average => {
+                        let (sa, sb) = (size[a] as f64, size[b] as f64);
+                        (sa * dax + sb * dbx) / (sa + sb)
+                    }
+                };
+                dist[a * n + x] = new_d;
+                dist[x * n + a] = new_d;
+            }
+            size[a] += size[b];
+            active[b] = false;
+            let moved = std::mem::take(&mut members[b]);
+            members[a].extend(moved);
+            n_active -= 1;
+        }
+
+        // Emit labels in cluster discovery order.
+        let mut labels = vec![0u32; n];
+        let mut next = 0u32;
+        for i in 0..n {
+            if active[i] {
+                for &m in &members[i] {
+                    labels[m as usize] = next;
+                }
+                next += 1;
+            }
+        }
+        Clustering::from_labels(labels, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(1);
+        for i in 0..8 {
+            ds.push(&[i as f64 * 0.1]);
+        }
+        for i in 0..8 {
+            ds.push(&[10.0 + i as f64 * 0.1]);
+        }
+        ds
+    }
+
+    #[test]
+    fn all_linkages_separate_two_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = Hierarchical::new(2, linkage).fit(&blobs());
+            assert_eq!(c.n_clusters(), 2, "{linkage:?}");
+            for i in 1..8 {
+                assert_eq!(c.label(i), c.label(0), "{linkage:?}");
+            }
+            for i in 9..16 {
+                assert_eq!(c.label(i), c.label(8), "{linkage:?}");
+            }
+            assert_ne!(c.label(0), c.label(8), "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn single_linkage_follows_chains() {
+        // A chain plus a distant point: single linkage keeps the chain
+        // together, complete linkage splits the chain in half.
+        let mut ds = Dataset::new(1);
+        for i in 0..20 {
+            ds.push(&[i as f64]);
+        }
+        ds.push(&[100.0]);
+        let single = Hierarchical::new(2, Linkage::Single).fit(&ds);
+        assert_eq!(single.label(0), single.label(19), "chain must stay whole");
+        assert_ne!(single.label(0), single.label(20));
+        let complete = Hierarchical::new(2, Linkage::Complete).fit(&ds);
+        // Complete linkage prefers compact halves; the far point merges
+        // with one of them rather than staying alone only if k forces it.
+        assert_eq!(complete.n_clusters(), 2);
+    }
+
+    #[test]
+    fn k_equals_n_is_identity() {
+        let ds = blobs();
+        let c = Hierarchical::new(16, Linkage::Average).fit(&ds);
+        assert_eq!(c.n_clusters(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for &l in c.labels() {
+            assert!(seen.insert(l), "every point its own cluster");
+        }
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let c = Hierarchical::new(1, Linkage::Complete).fit(&blobs());
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N")]
+    fn rejects_k_above_n() {
+        let mut ds = Dataset::new(1);
+        ds.push(&[0.0]);
+        let _ = Hierarchical::new(2, Linkage::Single).fit(&ds);
+    }
+}

@@ -1,0 +1,307 @@
+//! k-means‖ ("k-means parallel", Bahmani et al., VLDB 2012) — the
+//! MapReduce-native initialization that Hadoop-era K-means deployments
+//! (the paper's Figure 11 baseline family) actually use.
+//!
+//! Sequential k-means++ is inherently serial: each new centroid depends
+//! on all previous draws. k-means‖ replaces the `k` sequential rounds
+//! with `O(log N)`-ish rounds that each *oversample* `ℓ` candidates in
+//! parallel (one MapReduce job per round: mappers score points against
+//! the current candidate set and sample independently), then reduces the
+//! oversampled candidate set to `k` centroids by weighted clustering.
+//!
+//! Each round is a real [`mapreduce`] job here, with the usual metrics.
+
+use crate::kmeans::KMeans;
+use dp_core::{Dataset, DistanceTracker};
+use mapreduce::{Emitter, JobBuilder, JobConfig, JobMetrics, Mapper, Reducer};
+use std::sync::Arc;
+
+/// k-means‖ configuration.
+#[derive(Debug, Clone)]
+pub struct KMeansParallel {
+    /// Number of final centroids.
+    pub k: usize,
+    /// Oversampling factor `ℓ` per round (the paper recommends `2k`).
+    pub oversample: usize,
+    /// Number of sampling rounds (≈5 suffices in practice).
+    pub rounds: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Engine parallelism.
+    pub job_config: JobConfig,
+}
+
+impl KMeansParallel {
+    /// The recommended configuration: `ℓ = 2k`, 5 rounds.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        KMeansParallel {
+            k,
+            oversample: 2 * k,
+            rounds: 5,
+            seed,
+            job_config: JobConfig::default(),
+        }
+    }
+}
+
+/// Result of the initialization.
+#[derive(Debug)]
+pub struct KMeansParallelResult {
+    /// The `k` chosen initial centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-round job metrics.
+    pub rounds: Vec<JobMetrics>,
+    /// Distance evaluations performed.
+    pub distances: u64,
+}
+
+/// One round's sampling mapper: emits candidates with probability
+/// `ℓ · d²(x, C) / Σ d²`, plus this task's partial cost.
+struct SampleMapper {
+    candidates: Arc<Vec<Vec<f64>>>,
+    /// Total cost `Σ d²(x, C)` from the previous round (drives the
+    /// sampling probability).
+    total_cost: f64,
+    oversample: f64,
+    seed: u64,
+    tracker: DistanceTracker,
+}
+
+/// Output: key 0 = sampled candidate (coords), key 1 = partial cost sum.
+type SampleOut = (Vec<f64>, f64);
+
+impl Mapper for SampleMapper {
+    type InKey = u32;
+    type InValue = Vec<f64>;
+    type OutKey = u8;
+    type OutValue = SampleOut;
+
+    fn map(&self, id: u32, coords: Vec<f64>, out: &mut Emitter<u8, SampleOut>) {
+        let mut best = f64::INFINITY;
+        for c in self.candidates.iter() {
+            let d = dp_core::distance::squared_euclidean(&coords, c);
+            if d < best {
+                best = d;
+            }
+        }
+        self.tracker.add(self.candidates.len() as u64);
+        // Deterministic per-point uniform draw in [0, 1).
+        let u = (hash2(id, self.seed) >> 11) as f64 / (1u64 << 53) as f64;
+        let p = (self.oversample * best / self.total_cost).min(1.0);
+        if u < p {
+            out.emit(0, (coords, 0.0));
+        }
+        out.emit(1, (Vec::new(), best));
+    }
+}
+
+struct CollectReducer;
+impl Reducer for CollectReducer {
+    type InKey = u8;
+    type InValue = SampleOut;
+    type OutKey = u8;
+    type OutValue = SampleOut;
+    fn reduce(&self, k: &u8, vs: Vec<SampleOut>, out: &mut Emitter<u8, SampleOut>) {
+        if *k == 0 {
+            for v in vs {
+                out.emit(0, v);
+            }
+        } else {
+            let total: f64 = vs.iter().map(|(_, c)| c).sum();
+            out.emit(1, (Vec::new(), total));
+        }
+    }
+}
+
+fn hash2(id: u32, seed: u64) -> u64 {
+    let mut z = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KMeansParallel {
+    /// Runs the initialization: `rounds` sampling jobs, then a weighted
+    /// reduction of the candidates to `k` centroids (via sequential
+    /// K-means over the small candidate set, as Bahmani et al. do).
+    pub fn init(&self, ds: &Dataset) -> KMeansParallelResult {
+        assert!(!ds.is_empty(), "cannot initialize on an empty dataset");
+        assert!(self.k <= ds.len(), "k = {} exceeds N = {}", self.k, ds.len());
+        let tracker = DistanceTracker::new();
+        let input: Vec<(u32, Vec<f64>)> = ds.iter().map(|(i, p)| (i, p.to_vec())).collect();
+
+        // Seed candidate: a deterministic pseudo-random point.
+        let first = (hash2(0, self.seed) % ds.len() as u64) as u32;
+        let mut candidates: Vec<Vec<f64>> = vec![ds.point(first).to_vec()];
+        let mut total_cost = {
+            // Initial cost pass (counted; a real deployment folds it into
+            // round 0).
+            let c0 = &candidates[0];
+            tracker.add(ds.len() as u64);
+            ds.iter()
+                .map(|(_, p)| dp_core::distance::squared_euclidean(p, c0))
+                .sum::<f64>()
+        };
+
+        let mut rounds = Vec::with_capacity(self.rounds);
+        for round in 0..self.rounds {
+            if total_cost <= 0.0 {
+                break; // every point coincides with a candidate
+            }
+            let (out, metrics) = JobBuilder::new(
+                format!("kmeans-par/round-{round}"),
+                SampleMapper {
+                    candidates: Arc::new(candidates.clone()),
+                    total_cost,
+                    oversample: self.oversample as f64,
+                    seed: self.seed.wrapping_add(round as u64 + 1),
+                    tracker: tracker.clone(),
+                },
+                CollectReducer,
+            )
+            .config(self.job_config)
+            .run(input.clone());
+            rounds.push(metrics);
+            for (key, (coords, cost)) in out {
+                if key == 0 {
+                    candidates.push(coords);
+                } else {
+                    total_cost = cost;
+                }
+            }
+        }
+
+        // Weighted reduction: cluster the candidate set down to k.
+        // (Candidates ≈ O(ℓ log N) points — tiny, so a sequential pass.)
+        let centroids = if candidates.len() <= self.k {
+            // Rare underflow: pad with k-means++ over the data.
+            crate::kmeans::kmeans_plus_plus(ds, self.k, self.seed)
+        } else {
+            let mut cds = Dataset::new(ds.dim());
+            for c in &candidates {
+                cds.push(c);
+            }
+            KMeans::new(self.k, self.seed).fit(&cds).centroids
+        };
+
+        KMeansParallelResult { centroids, rounds, distances: tracker.total() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeans;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for (cx, cy) in [(0.0, 0.0), (50.0, 0.0), (25.0, 40.0)] {
+            for i in 0..60 {
+                ds.push(&[cx + (i % 8) as f64 * 0.1, cy + (i / 8) as f64 * 0.1]);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn produces_k_centroids_spanning_the_blobs() {
+        let ds = blobs();
+        let r = KMeansParallel::new(3, 7).init(&ds);
+        assert_eq!(r.centroids.len(), 3);
+        assert!(!r.rounds.is_empty());
+        assert!(r.distances > 0);
+        // One centroid near each blob center.
+        for (cx, cy) in [(0.0, 0.0), (50.0, 0.0), (25.0, 40.0)] {
+            let nearest = r
+                .centroids
+                .iter()
+                .map(|c| dp_core::distance::euclidean(c, &[cx, cy]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 5.0, "no centroid near ({cx},{cy}): {nearest}");
+        }
+    }
+
+    #[test]
+    fn init_quality_matches_kmeanspp() {
+        // Lloyd's from a k-means|| init must converge to an inertia
+        // comparable to the k-means++ init.
+        let ds = blobs();
+        let par = KMeansParallel::new(3, 11).init(&ds);
+        let mut km = KMeans::new(3, 11);
+        km.max_iters = 50;
+        let seq = km.fit(&ds);
+        // Run Lloyd's from the parallel init by seeding a KMeans whose
+        // first assignment uses those centroids: reuse the public fit by
+        // measuring the final inertia of assignments to par centroids
+        // after a few refinement steps done inline.
+        let mut centroids = par.centroids.clone();
+        for _ in 0..50 {
+            let mut sums = vec![vec![0.0; ds.dim()]; 3];
+            let mut counts = [0usize; 3];
+            for (_, p) in ds.iter() {
+                let c = (0..3)
+                    .min_by(|&a, &b| {
+                        dp_core::distance::squared_euclidean(p, &centroids[a])
+                            .partial_cmp(&dp_core::distance::squared_euclidean(
+                                p,
+                                &centroids[b],
+                            ))
+                            .unwrap()
+                    })
+                    .unwrap();
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for c in 0..3 {
+                if counts[c] > 0 {
+                    for s in sums[c].iter_mut() {
+                        *s /= counts[c] as f64;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+            }
+        }
+        let inertia: f64 = ds
+            .iter()
+            .map(|(_, p)| {
+                centroids
+                    .iter()
+                    .map(|c| dp_core::distance::squared_euclidean(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        assert!(
+            inertia <= seq.inertia * 1.5 + 1e-9,
+            "parallel-init inertia {inertia} vs sequential {}",
+            seq.inertia
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ds = blobs();
+        let a = KMeansParallel::new(3, 5).init(&ds);
+        let b = KMeansParallel::new(3, 5).init(&ds);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn degenerate_all_identical_points() {
+        let mut ds = Dataset::new(1);
+        for _ in 0..20 {
+            ds.push(&[3.0]);
+        }
+        let r = KMeansParallel::new(2, 1).init(&ds);
+        assert_eq!(r.centroids.len(), 2);
+        assert!(r.centroids.iter().all(|c| c[0] == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let _ = KMeansParallel::new(0, 1);
+    }
+}

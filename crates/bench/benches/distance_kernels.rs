@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the distance kernels that dominate every pipeline
+//! (the paper's cost model counts these as the computational cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn gen_points(dim: usize, n: usize) -> Vec<Vec<f64>> {
+    // Deterministic pseudo-data; values don't matter for throughput.
+    (0..n)
+        .map(|i| (0..dim).map(|d| ((i * 31 + d * 17) % 97) as f64 * 0.013).collect())
+        .collect()
+}
+
+fn bench_euclidean(c: &mut Criterion) {
+    let mut g = c.benchmark_group("euclidean");
+    // The paper's dimensionalities: 2 (S2), 4 (3Dspatial), 57 (BigCross),
+    // 74 (KDD), 300 (Facial).
+    for dim in [2usize, 4, 57, 74, 300] {
+        let pts = gen_points(dim, 64);
+        g.throughput(Throughput::Elements((64 * 64) as u64));
+        g.bench_with_input(BenchmarkId::new("full", dim), &pts, |b, pts| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for a in pts {
+                    for q in pts {
+                        acc += dp_core::distance::euclidean(a, q);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("squared_threshold", dim), &pts, |b, pts| {
+            b.iter(|| {
+                let mut count = 0u32;
+                for a in pts {
+                    for q in pts {
+                        if dp_core::DistanceKind::Euclidean.within(a, q, 0.5) {
+                            count += 1;
+                        }
+                    }
+                }
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tracker_overhead(c: &mut Criterion) {
+    let pts = gen_points(57, 64);
+    let tracker = dp_core::DistanceTracker::new();
+    let mut g = c.benchmark_group("tracker_overhead");
+    g.throughput(Throughput::Elements((64 * 64) as u64));
+    g.bench_function("untracked", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in &pts {
+                for q in &pts {
+                    acc += dp_core::distance::euclidean(a, q);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("tracked", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in &pts {
+                for q in &pts {
+                    acc += tracker.distance(a, q);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_euclidean, bench_tracker_overhead);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the LSH machinery: single hashes, group
+//! signatures, M-layout signatures, and the closed-form width solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsh::{LshParams, MultiLsh};
+use std::hint::black_box;
+
+fn point(dim: usize) -> Vec<f64> {
+    (0..dim).map(|d| (d % 13) as f64 * 0.21).collect()
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signatures");
+    for dim in [2usize, 57, 300] {
+        let params = LshParams { m: 10, pi: 3, w: 1.0 };
+        let multi = MultiLsh::new(dim, &params, 42);
+        let p = point(dim);
+        g.throughput(Throughput::Elements(10 * 3));
+        g.bench_with_input(BenchmarkId::new("m10_pi3", dim), &p, |b, p| {
+            b.iter(|| black_box(multi.signatures(p)))
+        });
+    }
+    for (m, pi) in [(5usize, 3usize), (10, 10), (20, 20)] {
+        let params = LshParams { m, pi, w: 1.0 };
+        let multi = MultiLsh::new(57, &params, 42);
+        let p = point(57);
+        g.throughput(Throughput::Elements((m * pi) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("dim57", format!("m{m}_pi{pi}")),
+            &p,
+            |b, p| b.iter(|| black_box(multi.signatures(p))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solve_width", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in [0.5, 0.9, 0.99, 0.999] {
+                acc += lsh::tuning::solve_width(black_box(a), 10, 3, 0.05).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("p_delta_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100 {
+                acc += lsh::prob::p_delta(i as f64 * 0.1, 2.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_signatures, bench_solver);
+criterion_main!(benches);

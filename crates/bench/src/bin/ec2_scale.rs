@@ -1,0 +1,148 @@
+//! §VI-D "Clustering Large Data Set on EC2" — the 70× headline.
+//!
+//! The paper runs BigCross (11.6M × 57) on 64 m1.medium instances:
+//! Basic-DDP takes 91.2 hours, LSH-DDP 1.3 hours (70×). Reproducing that
+//! on one machine requires extrapolation, done honestly in three steps:
+//!
+//! 1. run both pipelines at two measured sizes (`--scale` and half of it);
+//! 2. fit a power law `counter ∝ N^e` per (algorithm × counter) from the
+//!    two measurements — Basic-DDP's distance/shuffle exponents come out
+//!    ≈ 2, LSH-DDP's shuffle ≈ 1 and distances between 1 and 2 (partition
+//!    populations grow with N at fixed slot width);
+//! 3. extrapolate each counter to the full 11.6M points and price the
+//!    result with the 64-worker m1.medium cost model. Basic-DDP's
+//!    measured block size (10) is rescaled to the paper's 500 (copies per
+//!    point scale as `1/block`).
+
+use datasets::PaperDataset;
+use ddp::prelude::*;
+use lshddp_bench::{fmt_secs, print_table, ExpArgs};
+use mapreduce::ClusterSpec;
+use serde::Serialize;
+
+/// Aggregate counters of one pipeline run.
+struct Measured {
+    n: f64,
+    dist: f64,
+    shuffle: f64,
+    records: f64,
+    jobs: usize,
+}
+
+fn measure(report: &RunReport, n: usize) -> Measured {
+    Measured {
+        n: n as f64,
+        dist: report.distances as f64,
+        shuffle: report.shuffle_bytes() as f64,
+        records: report
+            .jobs
+            .iter()
+            .map(|j| (j.map_input_records + j.shuffle_records + j.reduce_output_records) as f64)
+            .sum(),
+        jobs: report.jobs.len(),
+    }
+}
+
+/// Fits `c = a * N^e` through two measurements and evaluates at `n_full`.
+fn extrapolate(big: f64, small: f64, n_big: f64, n_small: f64, n_full: f64) -> (f64, f64) {
+    let e = (big / small).ln() / (n_big / n_small).ln();
+    (big * (n_full / n_big).powf(e), e)
+}
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: &'static str,
+    dist_exponent: f64,
+    shuffle_exponent: f64,
+    extrapolated_hours: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse(0.002);
+    let spec = ClusterSpec::ec2_m1_medium(64);
+    let n_full = PaperDataset::BigCross.full_size() as f64;
+    let measured_block = 10usize;
+
+    let run_at = |scale: f64| -> (Measured, Measured) {
+        let ld = PaperDataset::BigCross.generate(scale, args.seed);
+        let mut ds = ld.data;
+        ds.normalize_min_max();
+        // d_c at the 0.2% distance quantile. The 1–2% rule of thumb is
+        // stated for small data sets; at 11.6M points a 2% neighborhood
+        // is 232K points and a single local all-pairs partition would be
+        // infeasible — the paper's own EC2 runtimes imply a much smaller
+        // effective d_c (see EXPERIMENTS.md).
+        let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.002, 400_000, args.seed);
+        let basic = BasicDdp::new(BasicConfig {
+            block_size: measured_block,
+            ..Default::default()
+        })
+        .run(&ds, dc);
+        let lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, args.seed)
+            .expect("valid accuracy")
+            .run(&ds, dc);
+        (measure(&basic, ds.len()), measure(&lsh, ds.len()))
+    };
+
+    println!(
+        "EC2 extrapolation — BigCross ({} points, 57 dims) on 64 simulated m1.medium \
+         workers;\nmeasured at scales {} and {} with power-law fits per counter\n",
+        n_full as usize,
+        args.scale,
+        args.scale / 2.0
+    );
+    let (basic_big, lsh_big) = run_at(args.scale);
+    let (basic_small, lsh_small) = run_at(args.scale / 2.0);
+
+    let dims_factor = 57.0 / 4.0;
+    let price = |m_big: &Measured, m_small: &Measured, shuffle_const: f64| -> (f64, f64, f64) {
+        let (dist_full, e_dist) =
+            extrapolate(m_big.dist, m_small.dist, m_big.n, m_small.n, n_full);
+        let (shuffle_full, e_shuffle) =
+            extrapolate(m_big.shuffle, m_small.shuffle, m_big.n, m_small.n, n_full);
+        let (records_full, _) =
+            extrapolate(m_big.records, m_small.records, m_big.n, m_small.n, n_full);
+        let w = spec.workers as f64;
+        let secs = dist_full * dims_factor / (spec.distances_per_sec * w)
+            + shuffle_full * shuffle_const / (spec.shuffle_bytes_per_sec * w)
+            + records_full * shuffle_const * spec.per_record_secs / w
+            + m_big.jobs as f64 * spec.job_startup_secs;
+        (secs / 3600.0, e_dist, e_shuffle)
+    };
+
+    // Basic-DDP was measured with block = 10 but the paper runs block =
+    // 500; shuffle copies per point scale as 1/block.
+    let basic_shuffle_const = measured_block as f64 / 500.0;
+    let (basic_h, basic_ed, basic_es) = price(&basic_big, &basic_small, basic_shuffle_const);
+    let (lsh_h, lsh_ed, lsh_es) = price(&lsh_big, &lsh_small, 1.0);
+
+    let mut rows = Vec::new();
+    for (alg, h, ed, es) in
+        [("Basic-DDP", basic_h, basic_ed, basic_es), ("LSH-DDP", lsh_h, lsh_ed, lsh_es)]
+    {
+        args.emit_json(&Row {
+            algorithm: alg,
+            dist_exponent: ed,
+            shuffle_exponent: es,
+            extrapolated_hours: h,
+        });
+        rows.push(vec![
+            alg.to_string(),
+            format!("{ed:.2}"),
+            format!("{es:.2}"),
+            fmt_secs(h * 3600.0),
+        ]);
+    }
+    print_table(
+        &["algorithm", "dist exponent", "shuffle exponent", "extrapolated runtime"],
+        &rows,
+    );
+    println!(
+        "\nSpeedup at full BigCross scale: {:.0}x (paper: 91.2 h vs 1.3 h = 70x).",
+        basic_h / lsh_h
+    );
+    println!(
+        "Expected exponents: Basic ~2.0/2.0 (all-pairs work, copies grow with the \
+         block count); LSH shuffle ~1.0 (M copies per point, independent of N)."
+    );
+}

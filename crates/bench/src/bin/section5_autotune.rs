@@ -1,0 +1,68 @@
+//! §V in action — the parameter optimization problem (Eq. 9), solved
+//! empirically over the recommended grid, then validated by running the
+//! winning and losing configurations for real.
+
+use datasets::PaperDataset;
+use ddp::prelude::*;
+use lshddp_bench::{fmt_bytes, fmt_count, fmt_secs, print_table, ExpArgs};
+use mapreduce::ClusterSpec;
+
+fn main() {
+    let args = ExpArgs::parse(0.01);
+    let ld = PaperDataset::BigCross500k.generate(args.scale, args.seed);
+    let mut ds = ld.data;
+    ds.normalize_min_max();
+    let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 200_000, args.seed);
+    let spec = ClusterSpec::local_cluster();
+    println!(
+        "Section V — cost-based (M, pi, w) selection at A = 0.99 on BigCross500K analog \
+         (N = {}, d_c = {dc:.4})\n",
+        ds.len()
+    );
+
+    let report = autotune(&ds, dc, 0.99, &spec, &RECOMMENDED_GRID, 1000, args.seed)
+        .expect("valid tuning domain");
+
+    let mut rows = Vec::new();
+    for c in &report.candidates {
+        let is_best = c.params == report.best.params;
+        rows.push(vec![
+            format!("{}{}", if is_best { "-> " } else { "   " }, c.params.m),
+            c.params.pi.to_string(),
+            format!("{:.3}", c.params.w),
+            fmt_count(c.predicted_distances),
+            fmt_bytes(c.predicted_shuffle_bytes),
+            fmt_secs(c.predicted_cost_secs),
+        ]);
+    }
+    print_table(
+        &["M", "pi", "w (Thm 1)", "predicted #dist", "predicted shuffle", "predicted cost"],
+        &rows,
+    );
+
+    // Validate: run the best and the worst candidate for real.
+    let worst = report
+        .candidates
+        .iter()
+        .max_by(|a, b| a.predicted_cost_secs.partial_cmp(&b.predicted_cost_secs).unwrap())
+        .expect("non-empty grid");
+    println!("\nvalidation runs (measured):");
+    for (tag, cand) in [("best", &report.best), ("worst", worst)] {
+        let run = LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
+            params: cand.params,
+            seed: args.seed,
+            pipeline: Default::default(),
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        })
+        .run(&ds, dc);
+        println!(
+            "  {tag:<5} M={:<2} pi={:<2}: measured {} dists, {} shuffled, sim {}",
+            cand.params.m,
+            cand.params.pi,
+            fmt_count(run.distances),
+            fmt_bytes(run.shuffle_bytes()),
+            fmt_secs(run.simulate(&spec, ds.dim() as f64 / 4.0)),
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! # lshddp-bench — the experiment harness
+//!
+//! One runnable binary per table/figure of the paper's evaluation
+//! (`cargo run -p lshddp-bench --release --bin <target>`):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table2_datasets`     | Table II — data set inventory |
+//! | `table3_features`     | Table III — algorithm feature matrix |
+//! | `fig7_decision_graph` | Figure 7 — Basic-DDP vs LSH-DDP decision graphs on S2 |
+//! | `fig8_quality`        | Figure 8 — DP vs hierarchical/K-means/EM/DBSCAN on Aggregation, and Basic-DDP vs LSH-DDP agreement |
+//! | `fig9_accuracy`       | Figure 9 — tau1/tau2 vs expected accuracy A |
+//! | `fig10_performance`   | Figure 10 — runtime / shuffle / #dist, Basic vs LSH on four data sets |
+//! | `table4_eddpc`        | Table IV — LSH-DDP vs EDDPC on BigCross500K |
+//! | `fig11_kmeans`        | Figure 11 — K-means per-iteration runtime vs LSH-DDP |
+//! | `fig12_parameters`    | Figure 12 — effect of M and pi on runtime and tau2 |
+//! | `ec2_scale`           | §VI-D — the 70× Basic-vs-LSH gap on 64 simulated workers |
+//!
+//! Binaries accept `--scale <f>` (fraction of the paper's instance count;
+//! Basic-DDP is O(N²), so default scales keep the exact baseline within
+//! minutes), `--seed <u64>`, and `--json <path>` to also write
+//! machine-readable rows.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Common experiment CLI arguments.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Fraction of the paper's instance counts to generate.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// When set, experiments append JSON rows here.
+    pub json: Option<PathBuf>,
+}
+
+impl ExpArgs {
+    /// Parses `--scale`, `--seed`, `--json` from `std::env::args`,
+    /// with the given default scale.
+    pub fn parse(default_scale: f64) -> ExpArgs {
+        let mut args = ExpArgs { scale: default_scale, seed: 42, json: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    args.scale = v.parse().expect("--scale must be a float");
+                    assert!(
+                        args.scale > 0.0 && args.scale <= 1.0,
+                        "--scale must be in (0, 1]"
+                    );
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    args.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--json" => {
+                    args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+                }
+                other => panic!("unknown flag {other}; supported: --scale --seed --json"),
+            }
+        }
+        args
+    }
+
+    /// Appends one JSON line to the `--json` file, if configured.
+    pub fn emit_json<T: Serialize>(&self, row: &T) {
+        if let Some(path) = &self.json {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("open json output");
+            writeln!(f, "{}", serde_json::to_string(row).expect("serializable row"))
+                .expect("write json row");
+        }
+    }
+}
+
+/// Basic-DDP block size scaled to preserve the paper's blocks-per-dataset
+/// ratio: the paper runs block = 500 at full N, so a `scale`-sized analog
+/// uses `max(10, 500 * scale)` — keeping copies-per-point (`⌈(n+1)/2⌉`,
+/// §III-B) at full-scale values instead of collapsing to one block.
+pub fn scaled_block(scale: f64) -> usize {
+    ((500.0 * scale).round() as usize).max(10)
+}
+
+/// Prints a fixed-width table: header row, separator, then rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            out.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Human-readable byte count.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1_000_000_000 {
+        format!("{:.2} GB", b as f64 / 1e9)
+    } else if b >= 1_000_000 {
+        format!("{:.2} MB", b as f64 / 1e6)
+    } else if b >= 1_000 {
+        format!("{:.2} KB", b as f64 / 1e3)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Human-readable count (millions/billions).
+pub fn fmt_count(c: u64) -> String {
+    if c >= 1_000_000_000 {
+        format!("{:.2} G", c as f64 / 1e9)
+    } else if c >= 1_000_000 {
+        format!("{:.2} M", c as f64 / 1e6)
+    } else if c >= 1_000 {
+        format!("{:.1} K", c as f64 / 1e3)
+    } else {
+        format!("{c}")
+    }
+}
+
+/// Human-readable seconds (s / min / h).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.2} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bytes(10), "10 B");
+        assert_eq!(fmt_bytes(2_500), "2.50 KB");
+        assert_eq!(fmt_bytes(3_000_000), "3.00 MB");
+        assert_eq!(fmt_bytes(4_200_000_000), "4.20 GB");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(12_000), "12.0 K");
+        assert_eq!(fmt_count(3_400_000), "3.40 M");
+        assert_eq!(fmt_secs(5.0), "5.00 s");
+        assert_eq!(fmt_secs(90.0), "1.5 min");
+        assert_eq!(fmt_secs(7200.0), "2.00 h");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Shared plumbing for the three pipelines: configuration, input-record
+//! construction, and the sampled `d_c` preprocessing job (paper §III-A).
+
+use dp_core::dp::NO_UPSLOPE;
+use dp_core::{Dataset, DistanceTracker, PointId};
+use mapreduce::task::{MrKey, MrValue};
+use mapreduce::{Combiner, Emitter, JobBuilder, JobConfig, JobMetrics, Mapper, Reducer};
+use serde::{Deserialize, Serialize};
+
+/// A shuffled point record: `(id, coordinates)`. Its shuffle size is
+/// `4 + 4 + 8·dim` bytes, matching the paper's accounting.
+pub type PointRecord = (PointId, Vec<f64>);
+
+/// Engine-level knobs shared by all pipelines.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Map tasks per job (0 = one per hardware thread).
+    pub map_tasks: usize,
+    /// Reduce tasks per job (0 = one per hardware thread).
+    pub reduce_tasks: usize,
+    /// Optional task-failure injection applied to every job of the
+    /// pipeline — end-to-end fault-tolerance testing (retried attempts
+    /// are invisible in results and counted in
+    /// [`mapreduce::JobMetrics::task_retries`]).
+    #[serde(default)]
+    pub fault: Option<mapreduce::FaultPlan>,
+}
+
+impl PipelineConfig {
+    /// Resolves to a concrete [`JobConfig`].
+    pub fn job_config(&self) -> JobConfig {
+        let d = JobConfig::default();
+        JobConfig {
+            map_tasks: if self.map_tasks == 0 { d.map_tasks } else { self.map_tasks },
+            reduce_tasks: if self.reduce_tasks == 0 { d.reduce_tasks } else { self.reduce_tasks },
+            fault: self.fault,
+        }
+    }
+}
+
+/// Builds the job input `(id, coords)` records from a dataset — the
+/// equivalent of reading the point file from HDFS at the start of each job.
+pub fn point_records(ds: &Dataset) -> Vec<(PointId, Vec<f64>)> {
+    ds.iter().map(|(id, p)| (id, p.to_vec())).collect()
+}
+
+/// Deterministic per-point coin flip used by sampling mappers: keeps point
+/// `id` with probability `keep_per_4096 / 4096`, independent of point order.
+#[inline]
+pub fn sample_hash(id: PointId, seed: u64) -> u64 {
+    let mut z = (id as u64).wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A partial `delta` record produced by a distance-covering reducer:
+/// `(delta, upslope, max distance seen)`. `delta = +∞` with
+/// `upslope = NO_UPSLOPE` when the reducer met no denser point; the max
+/// distance feeds the absolute density peak's `delta = max_j d_ij`.
+pub type DeltaPartial = (f64, PointId, f64);
+
+/// Merges delta partials: smallest finite delta wins (ties by smaller
+/// upslope id, matching the sequential reference), max distances combine
+/// by max.
+pub fn merge_delta_partials(vs: impl IntoIterator<Item = DeltaPartial>) -> DeltaPartial {
+    let mut best = (f64::INFINITY, NO_UPSLOPE, 0.0f64);
+    for (d, u, maxd) in vs {
+        best.2 = best.2.max(maxd);
+        if d < best.0 || (d == best.0 && u < best.1) {
+            best.0 = d;
+            best.1 = u;
+        }
+    }
+    best
+}
+
+/// Map-side combiner over [`DeltaPartial`]s.
+pub struct MinDeltaCombiner;
+impl Combiner for MinDeltaCombiner {
+    type Key = PointId;
+    type Value = DeltaPartial;
+    fn combine(&self, _k: &PointId, vs: Vec<DeltaPartial>) -> Vec<DeltaPartial> {
+        vec![merge_delta_partials(vs)]
+    }
+}
+
+/// Reducer of the delta-aggregation jobs.
+pub struct MinDeltaReducer;
+impl Reducer for MinDeltaReducer {
+    type InKey = PointId;
+    type InValue = DeltaPartial;
+    type OutKey = PointId;
+    type OutValue = DeltaPartial;
+    fn reduce(
+        &self,
+        k: &PointId,
+        vs: Vec<DeltaPartial>,
+        out: &mut Emitter<PointId, DeltaPartial>,
+    ) {
+        out.emit(*k, merge_delta_partials(vs));
+    }
+}
+
+/// Pass-through mapper for aggregation jobs whose inputs are already
+/// keyed intermediate records.
+pub struct IdentityMapper<K, V>(std::marker::PhantomData<fn(K, V)>);
+
+impl<K, V> IdentityMapper<K, V> {
+    /// A fresh identity mapper.
+    pub fn new() -> Self {
+        IdentityMapper(std::marker::PhantomData)
+    }
+}
+
+impl<K, V> Default for IdentityMapper<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: MrKey, V: MrValue> Mapper for IdentityMapper<K, V> {
+    type InKey = K;
+    type InValue = V;
+    type OutKey = K;
+    type OutValue = V;
+    fn map(&self, k: K, v: V, out: &mut Emitter<K, V>) {
+        out.emit(k, v);
+    }
+}
+
+/// Assembles `(delta, upslope)` vectors from aggregated [`DeltaPartial`]s:
+/// points whose merged delta stayed infinite are absolute-peak candidates
+/// and receive `delta = max distance seen` when `rectify_to_maxd` (exact
+/// pipelines) or keep `+∞` (LSH-DDP's peak candidates).
+pub fn assemble_delta(
+    n: usize,
+    merged: impl IntoIterator<Item = (PointId, DeltaPartial)>,
+    rectify_to_maxd: bool,
+) -> (Vec<f64>, Vec<PointId>) {
+    let mut delta = vec![f64::INFINITY; n];
+    let mut upslope = vec![NO_UPSLOPE; n];
+    for (id, (d, u, maxd)) in merged {
+        let idx = id as usize;
+        if u == NO_UPSLOPE {
+            delta[idx] = if rectify_to_maxd { maxd } else { f64::INFINITY };
+            upslope[idx] = NO_UPSLOPE;
+        } else {
+            delta[idx] = d;
+            upslope[idx] = u;
+        }
+    }
+    (delta, upslope)
+}
+
+/// The preprocessing MapReduce job that estimates `d_c` (paper §III-A):
+/// mappers sample points toward a single reducer, which computes all
+/// pairwise distances of the sample and takes the `percentile`-quantile.
+///
+/// Returns `(d_c, job metrics)`.
+pub fn dc_sampling_job(
+    ds: &Dataset,
+    percentile: f64,
+    sample_target: usize,
+    seed: u64,
+    cfg: &PipelineConfig,
+    tracker: &DistanceTracker,
+) -> (f64, JobMetrics) {
+    assert!(ds.len() >= 2, "need at least two points to estimate d_c");
+    assert!(sample_target >= 2, "need at least two sampled points");
+
+    struct SampleMapper {
+        keep_per_4096: u64,
+        seed: u64,
+    }
+    impl Mapper for SampleMapper {
+        type InKey = PointId;
+        type InValue = Vec<f64>;
+        type OutKey = u8;
+        type OutValue = PointRecord;
+        fn map(&self, id: PointId, coords: Vec<f64>, out: &mut Emitter<u8, PointRecord>) {
+            if sample_hash(id, self.seed) % 4096 < self.keep_per_4096 {
+                out.emit(0, (id, coords));
+            }
+        }
+    }
+
+    struct QuantileReducer {
+        percentile: f64,
+        tracker: DistanceTracker,
+    }
+    impl Reducer for QuantileReducer {
+        type InKey = u8;
+        type InValue = PointRecord;
+        type OutKey = u8;
+        type OutValue = f64;
+        fn reduce(&self, _k: &u8, points: Vec<PointRecord>, out: &mut Emitter<u8, f64>) {
+            let mut dists = Vec::with_capacity(points.len() * (points.len() - 1) / 2);
+            for (i, (_, a)) in points.iter().enumerate() {
+                for (_, b) in points.iter().skip(i + 1) {
+                    dists.push(self.tracker.distance(a, b));
+                }
+            }
+            assert!(!dists.is_empty(), "d_c sample produced no distances — increase sample");
+            out.emit(0, dp_core::cutoff::quantile_in_place(&mut dists, self.percentile));
+        }
+    }
+
+    // Keep probability targeting `sample_target` sampled points, capped at
+    // keeping everything.
+    let keep = ((sample_target as f64 / ds.len() as f64) * 4096.0).ceil() as u64;
+    let mapper = SampleMapper { keep_per_4096: keep.min(4096), seed };
+    let reducer = QuantileReducer { percentile, tracker: tracker.clone() };
+
+    let (out, metrics) = JobBuilder::new("dc-sampling", mapper, reducer)
+        .config(cfg.job_config())
+        .run(point_records(ds));
+    let dc = out
+        .first()
+        .map(|(_, d)| *d)
+        .expect("sampling kept at least two points");
+    (dc, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Dataset {
+        Dataset::from_flat(1, (0..n).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn point_records_cover_dataset() {
+        let ds = line(5);
+        let recs = point_records(&ds);
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[3], (3, vec![3.0]));
+    }
+
+    #[test]
+    fn pipeline_config_resolves_zeros() {
+        let cfg = PipelineConfig::default();
+        let jc = cfg.job_config();
+        assert!(jc.map_tasks > 0 && jc.reduce_tasks > 0);
+        let cfg = PipelineConfig { map_tasks: 3, reduce_tasks: 5, fault: None };
+        let jc = cfg.job_config();
+        assert_eq!((jc.map_tasks, jc.reduce_tasks), (3, 5));
+    }
+
+    #[test]
+    fn sample_hash_is_deterministic_and_spread() {
+        let a = sample_hash(1, 42);
+        assert_eq!(a, sample_hash(1, 42));
+        assert_ne!(a, sample_hash(2, 42));
+        assert_ne!(a, sample_hash(1, 43));
+        // Roughly half of ids pass a 50% filter.
+        let kept = (0..10_000).filter(|&i| sample_hash(i, 7) % 4096 < 2048).count();
+        assert!((4000..6000).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn dc_job_approximates_exact_quantile() {
+        let ds = line(300);
+        let tracker = DistanceTracker::new();
+        let (dc, metrics) =
+            dc_sampling_job(&ds, 0.05, 150, 1, &PipelineConfig::default(), &tracker);
+        let exact = dp_core::cutoff::estimate_dc_exact(&ds, 0.05);
+        let rel = (dc - exact).abs() / exact;
+        assert!(rel < 0.25, "sampled dc {dc} vs exact {exact}");
+        assert!(metrics.shuffle_records > 0);
+        assert!(tracker.total() > 0);
+    }
+
+    #[test]
+    fn dc_job_with_full_sampling_is_exact() {
+        let ds = line(60);
+        let tracker = DistanceTracker::new();
+        let (dc, _) =
+            dc_sampling_job(&ds, 0.1, 60, 1, &PipelineConfig::default(), &tracker);
+        let exact = dp_core::cutoff::estimate_dc_exact(&ds, 0.1);
+        assert_eq!(dc, exact, "keeping every point must reproduce the exact quantile");
+    }
+}

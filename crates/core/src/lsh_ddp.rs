@@ -1,0 +1,593 @@
+//! LSH-DDP (paper §IV): the approximate multi-layout pipeline.
+//!
+//! Four MapReduce jobs:
+//!
+//! 1. **LSH partition + local `rho`** — the mapper hashes each point with
+//!    all `M` hash groups and emits `((m, G_m(p)), point)`; each reducer
+//!    owns one partition `S_k^m` and computes `rho_hat_i^m` by local
+//!    all-pairs counting.
+//! 2. **`rho` aggregation** — `rho_hat_i = max_m rho_hat_i^m`
+//!    (local densities are never over-counted, so `max` is the tightest
+//!    choice; Theorem 1 gives its accuracy).
+//! 3. **LSH partition + local `delta`** — same partitioning (same seeded
+//!    hash groups); each reducer finds the nearest locally-denser point
+//!    under the aggregated `rho_hat` (broadcast like a distributed-cache
+//!    file). The locally densest point gets `delta = ∞`.
+//! 4. **`delta` aggregation** — `delta_hat_i = min_m delta_hat_i^m`;
+//!    points that were the densest in *every* partition they visited stay
+//!    at `∞` and become *peak candidates* — the paper's resolution of the
+//!    non-local `delta` (§IV-C). The centralized step rectifies `∞` to the
+//!    max finite `delta` before drawing the decision graph.
+
+use crate::common::{
+    dc_sampling_job, point_records, IdentityMapper, PipelineConfig, PointRecord,
+};
+use crate::stats::RunReport;
+use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
+use dp_core::{Dataset, DistanceTracker, PointId};
+use lsh::tuning::TuningError;
+use lsh::{LshParams, MultiLsh, Signature};
+use mapreduce::{Combiner, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// LSH-DDP configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshDdpConfig {
+    /// The LSH parameters `(M, pi, w)`.
+    pub params: LshParams,
+    /// Seed for the hash-group draws (layouts are deterministic in it).
+    pub seed: u64,
+    /// Engine parallelism.
+    pub pipeline: PipelineConfig,
+    /// How per-layout density estimates are aggregated (job 2).
+    #[serde(default)]
+    pub rho_aggregation: RhoAggregation,
+    /// Reducer memory bound: partitions larger than this are processed in
+    /// chunks of this many points (local all-pairs within each chunk
+    /// only), the way a memory-bounded Hadoop reducer would spill.
+    ///
+    /// `None` = unbounded. Small `M` with the Theorem-1 width can blow a
+    /// partition up to the whole data set (`M = 1, A = 0.99` solves to
+    /// `w ≈ 478·d_c`); a cap is what real deployments do, and it
+    /// reproduces the paper's Figure 12(b) observation that `tau2` is
+    /// *degraded* for `M < 5` instead of trivially perfect.
+    #[serde(default)]
+    pub partition_cap: Option<usize>,
+}
+
+/// Aggregation rule for the per-layout density estimates
+/// `rho_hat_i^1 … rho_hat_i^M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RhoAggregation {
+    /// `rho_hat = max_m rho_hat^m` — the paper's choice. Local counting
+    /// can only *undercount* (a partition misses some of the true
+    /// neighbors, never invents one), so the largest estimate is always
+    /// the closest; Theorem 1 quantifies how often it is exact.
+    #[default]
+    Max,
+    /// `rho_hat = round(mean_m rho_hat^m)` — the ablation alternative.
+    /// Mixes good layouts with bad ones and systematically
+    /// underestimates; kept to demonstrate empirically why `max` is
+    /// right (see `benches/parameter_ablation.rs`).
+    Mean,
+}
+
+/// The approximate multi-layout pipeline.
+#[derive(Debug, Clone)]
+pub struct LshDdp {
+    config: LshDdpConfig,
+}
+
+/// Partition key: `(layout index m, group signature G_m(p))`.
+type PartitionKey = (u16, Signature);
+
+/// Mapper of jobs 1 and 3: emit each point under all `M` layouts.
+struct LshPartitionMapper {
+    multi: Arc<MultiLsh>,
+}
+
+impl Mapper for LshPartitionMapper {
+    type InKey = PointId;
+    type InValue = Vec<f64>;
+    type OutKey = PartitionKey;
+    type OutValue = PointRecord;
+
+    fn map(&self, id: PointId, coords: Vec<f64>, out: &mut Emitter<PartitionKey, PointRecord>) {
+        for (m, sig) in self.multi.signatures(&coords).into_iter().enumerate() {
+            out.emit((m as u16, sig), (id, coords.clone()));
+        }
+    }
+}
+
+/// Reducer of job 1: local all-pairs density within one partition,
+/// processed in memory-bounded chunks when a `partition_cap` is set.
+struct LocalRhoReducer {
+    dc: f64,
+    cap: usize,
+    tracker: DistanceTracker,
+}
+
+impl Reducer for LocalRhoReducer {
+    type InKey = PartitionKey;
+    type InValue = PointRecord;
+    type OutKey = PointId;
+    type OutValue = u32;
+
+    fn reduce(
+        &self,
+        _k: &PartitionKey,
+        points: Vec<PointRecord>,
+        out: &mut Emitter<PointId, u32>,
+    ) {
+        for chunk in points.chunks(self.cap) {
+            let mut rho = vec![0u32; chunk.len()];
+            for i in 0..chunk.len() {
+                for j in (i + 1)..chunk.len() {
+                    if self.tracker.within(&chunk[i].1, &chunk[j].1, self.dc) {
+                        rho[i] += 1;
+                        rho[j] += 1;
+                    }
+                }
+            }
+            for ((id, _), r) in chunk.iter().zip(rho) {
+                out.emit(*id, r);
+            }
+        }
+    }
+}
+
+/// Max combiner/reducer for job 2 (`rho_hat = max_m rho_hat^m`).
+struct MaxCombiner;
+impl Combiner for MaxCombiner {
+    type Key = PointId;
+    type Value = u32;
+    fn combine(&self, _k: &PointId, vs: Vec<u32>) -> Vec<u32> {
+        vec![vs.into_iter().max().unwrap_or(0)]
+    }
+}
+
+struct MaxReducer;
+impl Reducer for MaxReducer {
+    type InKey = PointId;
+    type InValue = u32;
+    type OutKey = PointId;
+    type OutValue = u32;
+    fn reduce(&self, k: &PointId, vs: Vec<u32>, out: &mut Emitter<PointId, u32>) {
+        out.emit(*k, vs.into_iter().max().unwrap_or(0));
+    }
+}
+
+/// Mean aggregation for the [`RhoAggregation::Mean`] ablation. No
+/// combiner: the mean needs every layout's estimate at one reducer.
+struct MeanReducer;
+impl Reducer for MeanReducer {
+    type InKey = PointId;
+    type InValue = u32;
+    type OutKey = PointId;
+    type OutValue = u32;
+    fn reduce(&self, k: &PointId, vs: Vec<u32>, out: &mut Emitter<PointId, u32>) {
+        let n = vs.len().max(1) as u64;
+        let sum: u64 = vs.into_iter().map(u64::from).sum();
+        out.emit(*k, ((sum + n / 2) / n) as u32);
+    }
+}
+
+/// Local delta record: `(delta_hat, upslope)`; `(∞, NO_UPSLOPE)` for the
+/// locally densest point.
+type LocalDelta = (f64, PointId);
+
+/// Reducer of job 3: nearest locally-denser point under the broadcast
+/// `rho_hat`, processed in memory-bounded chunks when a cap is set.
+struct LocalDeltaReducer {
+    rho: Arc<Vec<u32>>,
+    cap: usize,
+    tracker: DistanceTracker,
+}
+
+impl Reducer for LocalDeltaReducer {
+    type InKey = PartitionKey;
+    type InValue = PointRecord;
+    type OutKey = PointId;
+    type OutValue = LocalDelta;
+
+    fn reduce(
+        &self,
+        _k: &PartitionKey,
+        points: Vec<PointRecord>,
+        out: &mut Emitter<PointId, LocalDelta>,
+    ) {
+        for chunk in points.chunks(self.cap) {
+            let mut best: Vec<LocalDelta> = vec![(f64::INFINITY, NO_UPSLOPE); chunk.len()];
+            for i in 0..chunk.len() {
+                for j in (i + 1)..chunk.len() {
+                    let d = self.tracker.distance(&chunk[i].1, &chunk[j].1);
+                    let (pi, pj) = (chunk[i].0, chunk[j].0);
+                    let i_denser =
+                        denser(self.rho[pi as usize], pi, self.rho[pj as usize], pj);
+                    let (slot, cand) = if i_denser { (j, pi) } else { (i, pj) };
+                    let b = &mut best[slot];
+                    if d < b.0 || (d == b.0 && cand < b.1) {
+                        *b = (d, cand);
+                    }
+                }
+            }
+            for ((id, _), b) in chunk.iter().zip(best) {
+                out.emit(*id, b);
+            }
+        }
+    }
+}
+
+/// Min combiner/reducer for job 4 (`delta_hat = min_m delta_hat^m`).
+fn merge_local_deltas(vs: Vec<LocalDelta>) -> LocalDelta {
+    let mut best = (f64::INFINITY, NO_UPSLOPE);
+    for (d, u) in vs {
+        if d < best.0 || (d == best.0 && u < best.1) {
+            best = (d, u);
+        }
+    }
+    best
+}
+
+struct MinCombiner;
+impl Combiner for MinCombiner {
+    type Key = PointId;
+    type Value = LocalDelta;
+    fn combine(&self, _k: &PointId, vs: Vec<LocalDelta>) -> Vec<LocalDelta> {
+        vec![merge_local_deltas(vs)]
+    }
+}
+
+struct MinReducer;
+impl Reducer for MinReducer {
+    type InKey = PointId;
+    type InValue = LocalDelta;
+    type OutKey = PointId;
+    type OutValue = LocalDelta;
+    fn reduce(&self, k: &PointId, vs: Vec<LocalDelta>, out: &mut Emitter<PointId, LocalDelta>) {
+        out.emit(*k, merge_local_deltas(vs));
+    }
+}
+
+impl LshDdp {
+    /// A pipeline with explicit parameters.
+    pub fn new(config: LshDdpConfig) -> Self {
+        assert!(config.params.m > 0 && config.params.pi > 0, "M and pi must be positive");
+        assert!(config.params.w > 0.0, "slot width must be positive");
+        LshDdp { config }
+    }
+
+    /// Derives `w` from a target expected accuracy `a` (Theorem 1) with
+    /// `m` layouts and `pi` functions per group at cutoff `dc` —
+    /// the paper's §V user interface.
+    pub fn with_accuracy(
+        a: f64,
+        m: usize,
+        pi: usize,
+        dc: f64,
+        seed: u64,
+    ) -> Result<Self, TuningError> {
+        Ok(LshDdp::new(LshDdpConfig {
+            params: LshParams::for_accuracy(a, m, pi, dc)?,
+            seed,
+            pipeline: PipelineConfig::default(),
+            partition_cap: None,
+            rho_aggregation: RhoAggregation::default(),
+        }))
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &LshDdpConfig {
+        &self.config
+    }
+
+    /// Runs the sampled `d_c` job first, derives `w` for `accuracy`, then
+    /// runs the pipeline.
+    pub fn run_auto_dc(
+        ds: &Dataset,
+        accuracy: f64,
+        m: usize,
+        pi: usize,
+        percentile: f64,
+        sample_target: usize,
+        seed: u64,
+    ) -> Result<RunReport, TuningError> {
+        let pipeline = PipelineConfig::default();
+        let tracker = DistanceTracker::new();
+        let start = Instant::now();
+        let (dc, mut metrics) =
+            dc_sampling_job(ds, percentile, sample_target, seed, &pipeline, &tracker);
+        metrics.user.insert("distances".into(), tracker.total());
+        let this = LshDdp::new(LshDdpConfig {
+            params: LshParams::for_accuracy(accuracy, m, pi, dc)?,
+            seed,
+            pipeline,
+            partition_cap: None,
+            rho_aggregation: RhoAggregation::default(),
+        });
+        let mut report = this.run_tracked(ds, dc, tracker, start);
+        report.jobs.insert(0, metrics);
+        Ok(report)
+    }
+
+    /// Runs the four-job pipeline with a known `d_c`.
+    pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
+        self.run_tracked(ds, dc, DistanceTracker::new(), Instant::now())
+    }
+
+    fn run_tracked(
+        &self,
+        ds: &Dataset,
+        dc: f64,
+        tracker: DistanceTracker,
+        start: Instant,
+    ) -> RunReport {
+        assert!(!ds.is_empty(), "cannot cluster an empty dataset");
+        assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
+        let n = ds.len();
+        let job_cfg = self.config.pipeline.job_config();
+        let multi = Arc::new(MultiLsh::new(ds.dim(), &self.config.params, self.config.seed));
+        let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
+        let mut jobs: Vec<JobMetrics> = Vec::with_capacity(4);
+        let snap = |m: &mut JobMetrics, t: &DistanceTracker| {
+            m.user.insert("distances".into(), t.total());
+        };
+
+        // ---- Job 1: LSH partition + local rho --------------------------
+        let (rho_partials, mut m1) = JobBuilder::new(
+            "lsh/rho-local",
+            LshPartitionMapper { multi: multi.clone() },
+            LocalRhoReducer { dc, cap, tracker: tracker.clone() },
+        )
+        .config(job_cfg)
+        .run(point_records(ds));
+        snap(&mut m1, &tracker);
+        jobs.push(m1);
+
+        // ---- Job 2: aggregate rho over layouts -------------------------
+        let (rho_out, mut m2) = match self.config.rho_aggregation {
+            RhoAggregation::Max => JobBuilder::new(
+                "lsh/rho-aggregate",
+                IdentityMapper::<PointId, u32>::new(),
+                MaxReducer,
+            )
+            .combiner(MaxCombiner)
+            .config(job_cfg)
+            .run(rho_partials),
+            RhoAggregation::Mean => JobBuilder::new(
+                "lsh/rho-aggregate-mean",
+                IdentityMapper::<PointId, u32>::new(),
+                MeanReducer,
+            )
+            .config(job_cfg)
+            .run(rho_partials),
+        };
+        snap(&mut m2, &tracker);
+        jobs.push(m2);
+
+        let mut rho = vec![0u32; n];
+        for (id, r) in rho_out {
+            rho[id as usize] = r;
+        }
+        let rho = Arc::new(rho);
+
+        // ---- Job 3: LSH partition + local delta -------------------------
+        let (delta_partials, mut m3) = JobBuilder::new(
+            "lsh/delta-local",
+            LshPartitionMapper { multi },
+            LocalDeltaReducer { rho: rho.clone(), cap, tracker: tracker.clone() },
+        )
+        .config(job_cfg)
+        .run(point_records(ds));
+        snap(&mut m3, &tracker);
+        jobs.push(m3);
+
+        // ---- Job 4: delta_hat = min over layouts ------------------------
+        let (delta_out, mut m4) = JobBuilder::new(
+            "lsh/delta-aggregate",
+            IdentityMapper::<PointId, LocalDelta>::new(),
+            MinReducer,
+        )
+        .combiner(MinCombiner)
+        .config(job_cfg)
+        .run(delta_partials);
+        snap(&mut m4, &tracker);
+        jobs.push(m4);
+
+        // ---- Assemble: infinite deltas stay infinite; the centralized
+        // step rectifies them (the paper draws them at the top of the
+        // decision graph and treats them as peak candidates).
+        let mut delta = vec![f64::INFINITY; n];
+        let mut upslope = vec![NO_UPSLOPE; n];
+        for (id, (d, u)) in delta_out {
+            delta[id as usize] = d;
+            upslope[id as usize] = u;
+        }
+
+        let rho = Arc::try_unwrap(rho).unwrap_or_else(|arc| (*arc).clone());
+        RunReport {
+            algorithm: "lsh-ddp".into(),
+            jobs,
+            distances: tracker.total(),
+            wall: start.elapsed(),
+            result: DpResult { dc, rho, delta, upslope },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::quality::{tau1, tau2};
+    use dp_core::{compute_exact, Dataset};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Three well-separated Gaussian blobs in 2-D.
+    fn blobs(n_per: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(2);
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 9.0)] {
+            for _ in 0..n_per {
+                let dx: f64 = rng.random_range(-1.0..1.0);
+                let dy: f64 = rng.random_range(-1.0..1.0);
+                ds.push(&[cx + dx, cy + dy]);
+            }
+        }
+        ds
+    }
+
+    fn accurate_config(dc: f64) -> LshDdpConfig {
+        LshDdpConfig {
+            params: LshParams::for_accuracy(0.99, 10, 3, dc).unwrap(),
+            seed: 7,
+            pipeline: PipelineConfig::default(),
+            partition_cap: None,
+            rho_aggregation: RhoAggregation::default(),
+        }
+    }
+
+    #[test]
+    fn rho_is_never_overestimated() {
+        let ds = blobs(60, 1);
+        let dc = 0.5;
+        let exact = compute_exact(&ds, dc);
+        let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        for (a, e) in report.result.rho.iter().zip(exact.rho.iter()) {
+            assert!(a <= e, "local rho can only undercount: {a} > {e}");
+        }
+    }
+
+    #[test]
+    fn high_accuracy_config_recovers_most_densities() {
+        let ds = blobs(80, 2);
+        let dc = 0.5;
+        let exact = compute_exact(&ds, dc);
+        let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        let t1 = tau1(&exact.rho, &report.result.rho);
+        let t2 = tau2(&exact.rho, &report.result.rho);
+        assert!(t1 > 0.9, "tau1 = {t1}");
+        assert!(t2 > 0.95, "tau2 = {t2}");
+    }
+
+    #[test]
+    fn does_far_fewer_distance_computations_than_exact() {
+        // LSH-DDP wins when partitions are much smaller than N, i.e. when
+        // the data has many localized groups — a 6×5 grid of 20-point
+        // blobs. (On tiny data with few coarse clusters the local
+        // all-pairs across M layouts can exceed N²; the paper's speedups
+        // are measured at N >= 28k.)
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ds = Dataset::new(2);
+        for gx in 0..6 {
+            for gy in 0..5 {
+                for _ in 0..20 {
+                    let dx: f64 = rng.random_range(-0.5..0.5);
+                    let dy: f64 = rng.random_range(-0.5..0.5);
+                    ds.push(&[gx as f64 * 20.0 + dx, gy as f64 * 20.0 + dy]);
+                }
+            }
+        }
+        let n = ds.len() as u64;
+        let dc = 0.3;
+        let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        let basic_dist = 2 * n * (n - 1) / 2;
+        assert!(
+            report.distances < basic_dist / 2,
+            "lsh {} vs basic {basic_dist}",
+            report.distances
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ds = blobs(40, 4);
+        let dc = 0.5;
+        let a = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        let b = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        assert_eq!(a.result.rho, b.result.rho);
+        assert_eq!(a.result.upslope, b.result.upslope);
+    }
+
+    #[test]
+    fn peak_candidates_carry_infinite_delta() {
+        let ds = blobs(50, 5);
+        let dc = 0.5;
+        let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        let n_inf = report.result.delta.iter().filter(|d| d.is_infinite()).count();
+        // At least the global densest point is a candidate; typically the
+        // three blob centers are.
+        assert!(n_inf >= 1, "at least one peak candidate expected");
+        assert!(n_inf <= 10, "candidates must be rare, got {n_inf}");
+        for (d, u) in report.result.delta.iter().zip(report.result.upslope.iter()) {
+            assert_eq!(d.is_infinite(), *u == NO_UPSLOPE);
+        }
+    }
+
+    #[test]
+    fn clustering_matches_exact_dp() {
+        use crate::centralized::{CentralizedStep, PeakSelection};
+        use dp_core::quality::adjusted_rand_index;
+
+        let ds = blobs(70, 6);
+        let dc = 0.5;
+        let exact = compute_exact(&ds, dc);
+        let exact_out = CentralizedStep::new(PeakSelection::TopK(3)).run(&exact);
+        let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
+        let approx_out = CentralizedStep::new(PeakSelection::TopK(3)).run(&report.result);
+        let ari = adjusted_rand_index(exact_out.clustering.labels(), approx_out.clustering.labels());
+        assert!(ari > 0.95, "ARI = {ari}");
+    }
+
+    #[test]
+    fn shuffles_m_copies_of_each_point() {
+        let ds = blobs(20, 7);
+        let dc = 0.5;
+        let cfg = accurate_config(dc);
+        let m = cfg.params.m as u64;
+        let report = LshDdp::new(cfg).run(&ds, dc);
+        assert_eq!(report.jobs[0].map_output_records, ds.len() as u64 * m);
+        assert_eq!(report.jobs[2].map_output_records, ds.len() as u64 * m);
+    }
+
+    #[test]
+    fn with_accuracy_constructor_round_trips() {
+        let p = LshDdp::with_accuracy(0.95, 12, 4, 0.3, 1).unwrap();
+        assert_eq!(p.config().params.m, 12);
+        assert_eq!(p.config().params.pi, 4);
+        assert!((p.config().params.accuracy(0.3) - 0.95).abs() < 1e-9);
+        assert!(LshDdp::with_accuracy(1.5, 10, 3, 0.3, 1).is_err());
+    }
+
+    #[test]
+    fn max_aggregation_dominates_mean() {
+        // The ablation behind RhoAggregation: max is closer to the truth
+        // because local counts only undercount.
+        let ds = blobs(60, 10);
+        let dc = 0.5;
+        let exact = compute_exact(&ds, dc);
+        let run_with = |agg| {
+            let cfg = LshDdpConfig { rho_aggregation: agg, ..accurate_config(dc) };
+            LshDdp::new(cfg).run(&ds, dc)
+        };
+        let max_r = run_with(RhoAggregation::Max);
+        let mean_r = run_with(RhoAggregation::Mean);
+        let t_max = tau2(&exact.rho, &max_r.result.rho);
+        let t_mean = tau2(&exact.rho, &mean_r.result.rho);
+        assert!(t_max > t_mean, "max tau2 {t_max} must beat mean {t_mean}");
+        // And mean still never overestimates.
+        for (a, e) in mean_r.result.rho.iter().zip(&exact.rho) {
+            assert!(a <= e);
+        }
+    }
+
+    #[test]
+    fn run_auto_dc_pipeline() {
+        let ds = blobs(50, 8);
+        let report = LshDdp::run_auto_dc(&ds, 0.9, 8, 3, 0.02, 100, 11).unwrap();
+        assert_eq!(report.jobs.len(), 5, "dc job + 4 pipeline jobs");
+        assert!(report.result.dc > 0.0);
+    }
+}

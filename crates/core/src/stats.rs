@@ -1,0 +1,135 @@
+//! Pipeline run reports: everything the paper's evaluation measures.
+
+use dp_core::DpResult;
+use mapreduce::{ClusterSpec, JobMetrics};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The outcome of one full pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Algorithm name (`"basic-ddp"`, `"lsh-ddp"`, `"eddpc"`).
+    pub algorithm: String,
+    /// Per-job engine metrics, in execution order. Each job's `user` map
+    /// contains a cumulative `"distances"` snapshot taken at job
+    /// completion.
+    pub jobs: Vec<JobMetrics>,
+    /// Total distance computations across the pipeline — the paper's
+    /// Figure 10(c) / Table IV `#dist.` column.
+    pub distances: u64,
+    /// Host wall-clock time of the whole pipeline.
+    #[serde(with = "duration_secs")]
+    pub wall: Duration,
+    /// The assembled `(rho, delta, upslope)` result.
+    pub result: DpResult,
+}
+
+mod duration_secs {
+    use serde::{Deserialize, Deserializer, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+    }
+}
+
+impl RunReport {
+    /// Total bytes crossing shuffle boundaries — Figure 10(b).
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Total records shuffled.
+    pub fn shuffle_records(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_records).sum()
+    }
+
+    /// Simulated runtime of the pipeline on a modeled cluster.
+    /// `dims_factor` scales per-distance CPU cost with dimensionality
+    /// (`dim / 4`, at least 1).
+    pub fn simulate(&self, spec: &ClusterSpec, dims_factor: f64) -> f64 {
+        let mut prev = 0u64;
+        let mut total = 0.0;
+        for job in &self.jobs {
+            let snap = job.user.get("distances").copied().unwrap_or(prev);
+            let delta = snap.saturating_sub(prev);
+            prev = prev.max(snap);
+            total += spec.simulate_job(job, delta, dims_factor);
+        }
+        total
+    }
+
+    /// One summary line for table output:
+    /// `algorithm  jobs  wall_s  shuffle_MB  Mdist`.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<10} {:>2} jobs  {:>9.3} s  {:>10.2} MB shuffled  {:>10.2} M dists",
+            self.algorithm,
+            self.jobs.len(),
+            self.wall.as_secs_f64(),
+            self.shuffle_bytes() as f64 / 1e6,
+            self.distances as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn report() -> RunReport {
+        let mut j1 = JobMetrics { name: "a".into(), shuffle_bytes: 100, ..Default::default() };
+        j1.user.insert("distances".into(), 10);
+        let mut j2 = JobMetrics { name: "b".into(), shuffle_bytes: 50, ..Default::default() };
+        j2.user = BTreeMap::from([("distances".to_string(), 30u64)]);
+        RunReport {
+            algorithm: "test".into(),
+            jobs: vec![j1, j2],
+            distances: 30,
+            wall: Duration::from_millis(12),
+            result: DpResult { dc: 1.0, rho: vec![0], delta: vec![0.0], upslope: vec![0] },
+        }
+    }
+
+    #[test]
+    fn shuffle_totals() {
+        let r = report();
+        assert_eq!(r.shuffle_bytes(), 150);
+    }
+
+    #[test]
+    fn simulate_differences_cumulative_distance_snapshots() {
+        let r = report();
+        let spec = ClusterSpec {
+            workers: 1,
+            distances_per_sec: 1.0,
+            shuffle_bytes_per_sec: f64::INFINITY,
+            per_record_secs: 0.0,
+            job_startup_secs: 0.0,
+        };
+        // job a: 10 distances; job b: 20 more.
+        let t = r.simulate(&spec, 1.0);
+        assert!((t - 30.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn summary_row_mentions_algorithm() {
+        assert!(report().summary_row().contains("test"));
+    }
+
+    #[test]
+    fn simulate_handles_missing_distance_counter() {
+        let mut r = report();
+        r.jobs[0].user.clear();
+        r.jobs[1].user.clear();
+        let spec = ClusterSpec::local_cluster();
+        // Only per-job startup remains.
+        let t = r.simulate(&spec, 1.0);
+        assert!(t >= 2.0 * spec.job_startup_secs);
+    }
+}

@@ -1,0 +1,224 @@
+//! The §V optimization problem, solved empirically: pick `(M, pi, w)`
+//! minimizing predicted cost subject to the accuracy constraint (Eq. 9).
+//!
+//! The paper formulates LSH-DDP parameter choice as
+//!
+//! ```text
+//! min   mu * M * (|S| + sum_k N_k^2 * e)  +  M * sum_k N_k^2
+//! s.t.  1 - (1 - P_rho(w, d_c)^pi)^M  >=  A
+//! ```
+//!
+//! and observes that `sum_k N_k^2` "depends on the data distribution"
+//! (§V-B) — so it cannot be solved analytically. This module solves it
+//! the way a practitioner would: for each candidate `(M, pi)` on the
+//! paper's recommended grid, derive the minimal feasible `w` from
+//! Theorem 1, hash a *sample* of the data to estimate the partition-size
+//! distribution, scale `sum N_k^2` to the full data set, and price
+//! shuffle + distance work with the cluster cost model. The cheapest
+//! feasible candidate wins.
+
+use dp_core::Dataset;
+use lsh::tuning::TuningError;
+use lsh::{LshParams, MultiLsh};
+use mapreduce::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One evaluated grid candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningCandidate {
+    /// The parameter set (with the Theorem-1 width).
+    pub params: LshParams,
+    /// Predicted distance computations for the full pipeline
+    /// (`2 * M * sum_k C(N_k, 2)`, both local jobs).
+    pub predicted_distances: u64,
+    /// Predicted shuffled bytes (point copies of both partition jobs plus
+    /// the aggregation jobs' records).
+    pub predicted_shuffle_bytes: u64,
+    /// Predicted runtime on the given cluster model, seconds.
+    pub predicted_cost_secs: f64,
+}
+
+/// Result of a grid auto-tune.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningReport {
+    /// The winning candidate.
+    pub best: TuningCandidate,
+    /// Every evaluated candidate, grid order.
+    pub candidates: Vec<TuningCandidate>,
+}
+
+/// The paper's recommended grid: `M ∈ [10, 20]`, `pi ∈ [3, 10]` (§VI-E).
+pub const RECOMMENDED_GRID: [(usize, usize); 6] =
+    [(10, 3), (10, 5), (10, 10), (15, 3), (20, 3), (20, 5)];
+
+/// Auto-tunes `(M, pi, w)` for expected accuracy `a` at cutoff `dc`, by
+/// estimating each grid candidate's partition-size distribution on a
+/// deterministic sample of `sample_size` points and pricing it with
+/// `spec`.
+///
+/// Returns an error when `a`/`dc` are out of domain. Sample hashing uses
+/// `seed`; the chosen `w` values come from the closed-form Theorem 1
+/// solver, so the accuracy constraint holds for every candidate by
+/// construction.
+pub fn autotune(
+    ds: &Dataset,
+    dc: f64,
+    a: f64,
+    spec: &ClusterSpec,
+    grid: &[(usize, usize)],
+    sample_size: usize,
+    seed: u64,
+) -> Result<TuningReport, TuningError> {
+    assert!(!ds.is_empty(), "cannot tune on an empty dataset");
+    assert!(!grid.is_empty(), "grid must be non-empty");
+    assert!(sample_size >= 2, "need at least two sampled points");
+
+    let n = ds.len();
+    let stride = (n / sample_size.min(n)).max(1);
+    let sample: Vec<&[f64]> = (0..n).step_by(stride).map(|i| ds.point(i as u32)).collect();
+    let s = sample.len() as f64;
+    let scale = n as f64 / s;
+    let record_bytes = (4 + 8 * ds.dim()) as u64;
+    let dims_factor = (ds.dim() as f64 / 4.0).max(1.0);
+
+    let mut candidates = Vec::with_capacity(grid.len());
+    for &(m, pi) in grid {
+        let params = LshParams::for_accuracy(a, m, pi, dc)?;
+        let multi = MultiLsh::new(ds.dim(), &params, seed);
+        // Sample partition populations per layout.
+        let mut sum_nk2 = 0.0f64;
+        for layout in 0..m {
+            let mut buckets: HashMap<lsh::Signature, u64> = HashMap::new();
+            for p in &sample {
+                *buckets.entry(multi.signature(layout, p)).or_insert(0) += 1;
+            }
+            for count in buckets.values() {
+                // Scale the sampled population to the full data set.
+                let nk = *count as f64 * scale;
+                sum_nk2 += nk * nk;
+            }
+        }
+        // Two local jobs (rho + delta), each doing C(N_k, 2) per bucket.
+        let predicted_distances = (sum_nk2 / 2.0 * 2.0) as u64;
+        // Shuffle: 2 partition jobs × M copies of each point, plus the two
+        // aggregation jobs (~12 bytes per point per layout each).
+        let predicted_shuffle_bytes =
+            2 * (m as u64) * (n as u64) * record_bytes + 2 * (m as u64) * (n as u64) * 12;
+        let w = spec.workers as f64;
+        let predicted_cost_secs = predicted_distances as f64 * dims_factor
+            / (spec.distances_per_sec * w)
+            + predicted_shuffle_bytes as f64 / (spec.shuffle_bytes_per_sec * w)
+            + 4.0 * spec.job_startup_secs;
+        candidates.push(TuningCandidate {
+            params,
+            predicted_distances,
+            predicted_shuffle_bytes,
+            predicted_cost_secs,
+        });
+    }
+
+    let best = candidates
+        .iter()
+        .min_by(|x, y| {
+            x.predicted_cost_secs
+                .partial_cmp(&y.predicted_cost_secs)
+                .expect("finite costs")
+        })
+        .expect("non-empty grid")
+        .clone();
+    Ok(TuningReport { best, candidates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::{LshDdp, LshDdpConfig};
+    use datasets::generators::blob_grid;
+
+    fn workload() -> Dataset {
+        blob_grid(6, 6, 40, 25.0, 0.7, 5).data
+    }
+
+    #[test]
+    fn autotune_predictions_track_measurements() {
+        let ds = workload();
+        let dc = 0.9;
+        let spec = ClusterSpec::local_cluster();
+        let report =
+            autotune(&ds, dc, 0.95, &spec, &RECOMMENDED_GRID, 400, 7).expect("tunes");
+        assert_eq!(report.candidates.len(), RECOMMENDED_GRID.len());
+
+        // Run the winning config for real and compare predicted vs
+        // measured distance counts (same order of magnitude: the sample
+        // estimator is coarse but must not be wild).
+        let lsh = LshDdp::new(LshDdpConfig {
+            params: report.best.params,
+            seed: 7,
+            pipeline: Default::default(),
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        });
+        let run = lsh.run(&ds, dc);
+        let predicted = report.best.predicted_distances as f64;
+        let measured = run.distances as f64;
+        let ratio = predicted / measured;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "predicted {predicted} vs measured {measured} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn accuracy_constraint_holds_for_every_candidate() {
+        let ds = workload();
+        let dc = 0.9;
+        let report = autotune(
+            &ds,
+            dc,
+            0.99,
+            &ClusterSpec::local_cluster(),
+            &RECOMMENDED_GRID,
+            200,
+            3,
+        )
+        .expect("tunes");
+        for c in &report.candidates {
+            let achieved = c.params.accuracy(dc);
+            assert!((achieved - 0.99).abs() < 1e-9, "candidate {:?}", c.params);
+        }
+    }
+
+    #[test]
+    fn best_is_the_cheapest_candidate() {
+        let ds = workload();
+        let report = autotune(
+            &ds,
+            0.9,
+            0.9,
+            &ClusterSpec::local_cluster(),
+            &RECOMMENDED_GRID,
+            200,
+            3,
+        )
+        .expect("tunes");
+        for c in &report.candidates {
+            assert!(report.best.predicted_cost_secs <= c.predicted_cost_secs + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_accuracy() {
+        let ds = workload();
+        let r = autotune(
+            &ds,
+            0.9,
+            1.5,
+            &ClusterSpec::local_cluster(),
+            &RECOMMENDED_GRID,
+            100,
+            1,
+        );
+        assert!(r.is_err());
+    }
+}

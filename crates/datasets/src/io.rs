@@ -1,0 +1,276 @@
+//! CSV read/write for point data, with an optional trailing integer label
+//! column — the format the original DP code and the UCI data sets use.
+
+use crate::generators::LabeledDataset;
+use dp_core::Dataset;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// IO errors.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A malformed row: `(line number, message)`.
+    Parse(usize, String),
+    /// Rows disagreed on column count.
+    RaggedRows {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Columns expected (from the first row).
+        expected: usize,
+        /// Columns found.
+        got: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            IoError::RaggedRows { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} columns, got {got}")
+            }
+            IoError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses CSV text into a dataset; when `labeled`, the last column is an
+/// integer ground-truth label. Blank lines and `#` comments are skipped.
+pub fn parse_csv<R: Read>(reader: R, labeled: bool) -> Result<LabeledDataset, IoError> {
+    let reader = BufReader::new(reader);
+    let mut data: Option<Dataset> = None;
+    let mut labels = Vec::new();
+    let mut row = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        row.clear();
+        for field in line.split(',') {
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|e| IoError::Parse(lineno, format!("bad number {field:?}: {e}")))?;
+            row.push(v);
+        }
+        let (coords, label) = if labeled {
+            if row.len() < 2 {
+                return Err(IoError::Parse(lineno, "labeled row needs >= 2 columns".into()));
+            }
+            let l = *row.last().expect("non-empty row");
+            if l < 0.0 || l.fract() != 0.0 {
+                return Err(IoError::Parse(lineno, format!("bad label {l}")));
+            }
+            (&row[..row.len() - 1], l as u32)
+        } else {
+            (&row[..], 0)
+        };
+        let ds = data.get_or_insert_with(|| Dataset::new(coords.len()));
+        if ds.dim() != coords.len() {
+            return Err(IoError::RaggedRows {
+                line: lineno,
+                expected: ds.dim() + usize::from(labeled),
+                got: row.len(),
+            });
+        }
+        ds.push(coords);
+        labels.push(label);
+    }
+    let data = data.ok_or(IoError::Empty)?;
+    Ok(LabeledDataset { data, labels })
+}
+
+/// Reads a CSV file; see [`parse_csv`].
+pub fn read_csv(path: impl AsRef<Path>, labeled: bool) -> Result<LabeledDataset, IoError> {
+    parse_csv(std::fs::File::open(path)?, labeled)
+}
+
+/// Parses UCI/libsvm-style sparse rows: `label idx:val idx:val ...` with
+/// 1-based feature indices. `dim` fixes the dense width (features beyond
+/// it are an error; absent features are 0). Labels must be non-negative
+/// integers (remap classes beforehand).
+pub fn parse_libsvm<R: Read>(reader: R, dim: usize) -> Result<LabeledDataset, IoError> {
+    assert!(dim > 0, "dim must be positive");
+    let reader = BufReader::new(reader);
+    let mut data = Dataset::new(dim);
+    let mut labels = Vec::new();
+    let mut row = vec![0.0f64; dim];
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let label_s = fields.next().expect("non-empty line has a first field");
+        let label: f64 = label_s
+            .parse()
+            .map_err(|e| IoError::Parse(lineno, format!("bad label {label_s:?}: {e}")))?;
+        if label < 0.0 || label.fract() != 0.0 {
+            return Err(IoError::Parse(lineno, format!("bad label {label}")));
+        }
+        row.fill(0.0);
+        for f in fields {
+            let (idx_s, val_s) = f
+                .split_once(':')
+                .ok_or_else(|| IoError::Parse(lineno, format!("bad feature {f:?}")))?;
+            let idx: usize = idx_s
+                .parse()
+                .map_err(|e| IoError::Parse(lineno, format!("bad index {idx_s:?}: {e}")))?;
+            if idx == 0 || idx > dim {
+                return Err(IoError::Parse(
+                    lineno,
+                    format!("feature index {idx} outside 1..={dim}"),
+                ));
+            }
+            let val: f64 = val_s
+                .parse()
+                .map_err(|e| IoError::Parse(lineno, format!("bad value {val_s:?}: {e}")))?;
+            row[idx - 1] = val;
+        }
+        data.push(&row);
+        labels.push(label as u32);
+    }
+    if data.is_empty() {
+        return Err(IoError::Empty);
+    }
+    Ok(LabeledDataset { data, labels })
+}
+
+/// Reads a libsvm-format file; see [`parse_libsvm`].
+pub fn read_libsvm(path: impl AsRef<Path>, dim: usize) -> Result<LabeledDataset, IoError> {
+    parse_libsvm(std::fs::File::open(path)?, dim)
+}
+
+/// Writes a dataset as CSV; when `labels` is given, appended as the last
+/// column.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    ds: &Dataset,
+    labels: Option<&[u32]>,
+) -> Result<(), IoError> {
+    if let Some(l) = labels {
+        assert_eq!(l.len(), ds.len(), "labels must cover every point");
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for (id, p) in ds.iter() {
+        let mut first = true;
+        for x in p {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{x}")?;
+            first = false;
+        }
+        if let Some(l) = labels {
+            write!(w, ",{}", l[id as usize])?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_unlabeled() {
+        let text = "1.0,2.0\n# comment\n\n3.5,-4.0\n";
+        let ld = parse_csv(text.as_bytes(), false).unwrap();
+        assert_eq!(ld.len(), 2);
+        assert_eq!(ld.data.point(1), &[3.5, -4.0]);
+    }
+
+    #[test]
+    fn parse_labeled() {
+        let text = "1.0,2.0,0\n3.0,4.0,1\n";
+        let ld = parse_csv(text.as_bytes(), true).unwrap();
+        assert_eq!(ld.data.dim(), 2);
+        assert_eq!(ld.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_csv("".as_bytes(), false), Err(IoError::Empty)));
+        assert!(matches!(
+            parse_csv("1.0,abc\n".as_bytes(), false),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            parse_csv("1.0,2.0\n1.0\n".as_bytes(), false),
+            Err(IoError::RaggedRows { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("1.0,2.0,0.5\n".as_bytes(), true),
+            Err(IoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn parse_libsvm_sparse_rows() {
+        let text = "1 1:0.5 3:-2.0\n0 2:7\n# comment\n2 1:1 2:1 3:1\n";
+        let ld = parse_libsvm(text.as_bytes(), 3).unwrap();
+        assert_eq!(ld.len(), 3);
+        assert_eq!(ld.labels, vec![1, 0, 2]);
+        assert_eq!(ld.data.point(0), &[0.5, 0.0, -2.0]);
+        assert_eq!(ld.data.point(1), &[0.0, 7.0, 0.0]);
+        assert_eq!(ld.data.point(2), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn parse_libsvm_errors() {
+        assert!(matches!(parse_libsvm("".as_bytes(), 2), Err(IoError::Empty)));
+        assert!(matches!(
+            parse_libsvm("1 5:1.0\n".as_bytes(), 2),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            parse_libsvm("1 0:1.0\n".as_bytes(), 2),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            parse_libsvm("-1 1:1.0\n".as_bytes(), 2),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            parse_libsvm("1 1-2\n".as_bytes(), 2),
+            Err(IoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("lshddp-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.csv");
+        let ld = crate::generators::gaussian_mixture(3, 2, 10, 10.0, 0.5, 1);
+        write_csv(&path, &ld.data, Some(&ld.labels)).unwrap();
+        let back = read_csv(&path, true).unwrap();
+        assert_eq!(back.labels, ld.labels);
+        assert_eq!(back.data.dim(), 3);
+        assert_eq!(back.len(), ld.len());
+        for (a, b) in back.data.as_flat().iter().zip(ld.data.as_flat()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # datasets — workloads for the LSH-DDP reproduction
+//!
+//! The paper evaluates on seven real data sets (Table II). Those files are
+//! not redistributable here, so this crate provides **seeded synthetic
+//! analogs** with the same dimensionality and cluster structure —
+//! DP and LSH behaviour depend on the local density structure of the data,
+//! not on the identity of the points, so the analogs exercise the same code
+//! paths and preserve the relative-cost shapes the paper reports (see
+//! DESIGN.md §4 for the substitution argument).
+//!
+//! * [`generators`] — Gaussian mixtures and labeled blob fields;
+//! * [`shapes`] — non-convex 2-D shapes (spirals, moons, rings,
+//!   and the Aggregation-like layout) for DP's arbitrary-shape claims;
+//! * [`paper`] — one constructor per Table II data set, with a scale knob;
+//! * [`io`] — CSV read/write with optional trailing label column.
+//!
+//! Every generator is deterministic in its `seed`.
+
+pub mod generators;
+pub mod io;
+pub mod paper;
+pub mod shapes;
+
+pub use generators::{gaussian_mixture, GaussianMixture, LabeledDataset};
+pub use paper::PaperDataset;

@@ -1,0 +1,192 @@
+//! Non-convex 2-D shape generators.
+//!
+//! DP's headline qualitative claim is that it handles arbitrarily shaped
+//! clusters where centroid methods fail (paper Figure 8 / Table III).
+//! These generators produce the classic adversarial shapes plus an analog
+//! of the *Aggregation* benchmark (788 points, 7 clusters of varied size
+//! and shape; Gionis et al. 2007).
+
+use crate::generators::LabeledDataset;
+use dp_core::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::StandardNormal;
+
+/// Two interleaved half-moons with Gaussian jitter.
+pub fn two_moons(n_per: usize, noise: f64, seed: u64) -> LabeledDataset {
+    assert!(n_per > 0, "need at least one point per moon");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::with_capacity(2, 2 * n_per);
+    let mut labels = Vec::with_capacity(2 * n_per);
+    for i in 0..n_per {
+        let t = std::f64::consts::PI * i as f64 / (n_per - 1).max(1) as f64;
+        let jx: f64 = rng.sample(StandardNormal);
+        let jy: f64 = rng.sample(StandardNormal);
+        data.push(&[t.cos() + noise * jx, t.sin() + noise * jy]);
+        labels.push(0);
+    }
+    for i in 0..n_per {
+        let t = std::f64::consts::PI * i as f64 / (n_per - 1).max(1) as f64;
+        let jx: f64 = rng.sample(StandardNormal);
+        let jy: f64 = rng.sample(StandardNormal);
+        data.push(&[1.0 - t.cos() + noise * jx, 0.5 - t.sin() + noise * jy]);
+        labels.push(1);
+    }
+    LabeledDataset { data, labels }
+}
+
+/// `k` interleaved Archimedean spiral arms.
+pub fn spirals(k: usize, n_per: usize, noise: f64, seed: u64) -> LabeledDataset {
+    assert!(k > 0 && n_per > 0, "need at least one arm and one point");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::with_capacity(2, k * n_per);
+    let mut labels = Vec::with_capacity(k * n_per);
+    for arm in 0..k {
+        let phase = std::f64::consts::TAU * arm as f64 / k as f64;
+        for i in 0..n_per {
+            let t = 0.5 + 3.0 * i as f64 / n_per as f64; // radians along the arm
+            let r = t;
+            let jx: f64 = rng.sample(StandardNormal);
+            let jy: f64 = rng.sample(StandardNormal);
+            data.push(&[
+                r * (t + phase).cos() + noise * jx,
+                r * (t + phase).sin() + noise * jy,
+            ]);
+            labels.push(arm as u32);
+        }
+    }
+    LabeledDataset { data, labels }
+}
+
+/// Concentric rings (annuli) around the origin.
+pub fn rings(radii: &[f64], n_per: usize, noise: f64, seed: u64) -> LabeledDataset {
+    assert!(!radii.is_empty() && n_per > 0, "need at least one ring and one point");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::with_capacity(2, radii.len() * n_per);
+    let mut labels = Vec::with_capacity(radii.len() * n_per);
+    for (ri, &r) in radii.iter().enumerate() {
+        for _ in 0..n_per {
+            let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            let jr: f64 = rng.sample(StandardNormal);
+            let rr = r + noise * jr;
+            data.push(&[rr * theta.cos(), rr * theta.sin()]);
+            labels.push(ri as u32);
+        }
+    }
+    LabeledDataset { data, labels }
+}
+
+/// An analog of the *Aggregation* benchmark: 788 points, 7 clusters of the
+/// original sizes `[45, 170, 102, 273, 34, 130, 34]`, reproducing the
+/// classic figure's adversarial structure:
+///
+/// * two pairs of clusters are connected by thin *bridges* (breaking
+///   connectivity- and density-based methods, which merge them);
+/// * the big cluster is a rotated ellipse (breaking centroid methods,
+///   which split it to cover the elongation).
+pub fn aggregation_like(seed: u64) -> LabeledDataset {
+    // (center x, center y, rx, ry, rotation, n) on the original's
+    // [0, 36] × [0, 30] canvas.
+    const SPEC: [(f64, f64, f64, f64, f64, usize); 7] = [
+        (6.0, 12.0, 1.6, 1.6, 0.0, 45),
+        (10.0, 23.0, 3.2, 2.6, 0.3, 164),
+        (32.0, 22.0, 2.6, 2.2, 0.0, 102),
+        (22.0, 8.5, 5.5, 2.5, 0.5, 273),
+        (34.0, 14.0, 1.3, 1.3, 0.0, 34),
+        (13.5, 7.0, 2.6, 2.2, 0.0, 124),
+        (31.0, 5.0, 1.4, 1.4, 0.0, 34),
+    ];
+    // Thin bridges: (from-cluster index, x0, y0, x1, y1, n). Bridge points
+    // carry the source cluster's label, like the original's touching
+    // clusters. Spacing ~0.9 keeps them within a 2%-quantile d_c, so
+    // DBSCAN(eps = d_c) and single-linkage chain across them.
+    const BRIDGES: [(usize, f64, f64, f64, f64, usize); 2] = [
+        (5, 16.0, 7.3, 18.0, 7.8, 6),  // cluster 6 -> big ellipse
+        (1, 10.8, 20.5, 9.0, 15.5, 6), // top cluster -> left small
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::with_capacity(2, 788);
+    let mut labels = Vec::with_capacity(788);
+    for (ci, (cx, cy, rx, ry, rot, n)) in SPEC.iter().enumerate() {
+        let (sin, cos) = rot.sin_cos();
+        for _ in 0..*n {
+            // Uniform ellipse: sqrt-radius times random angle, then rotate.
+            let u: f64 = rng.random_range(0.0f64..1.0);
+            let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            let ex = rx * u.sqrt() * theta.cos();
+            let ey = ry * u.sqrt() * theta.sin();
+            data.push(&[cx + ex * cos - ey * sin, cy + ex * sin + ey * cos]);
+            labels.push(ci as u32);
+        }
+    }
+    for (ci, x0, y0, x1, y1, n) in BRIDGES {
+        for i in 0..n {
+            let t = (i as f64 + 0.5) / n as f64;
+            let jx: f64 = rng.sample::<f64, _>(StandardNormal) * 0.08;
+            let jy: f64 = rng.sample::<f64, _>(StandardNormal) * 0.08;
+            data.push(&[x0 + t * (x1 - x0) + jx, y0 + t * (y1 - y0) + jy]);
+            labels.push(ci as u32);
+        }
+    }
+    LabeledDataset { data, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moons_shape() {
+        let ld = two_moons(100, 0.05, 1);
+        assert_eq!(ld.len(), 200);
+        assert_eq!(ld.n_clusters(), 2);
+        // Moons interleave: bounding boxes overlap in x.
+        let (lo, hi) = ld.data.bounds().unwrap();
+        assert!(lo[0] < 0.0 && hi[0] > 1.0);
+    }
+
+    #[test]
+    fn spirals_have_increasing_radius() {
+        let ld = spirals(2, 100, 0.0, 2);
+        assert_eq!(ld.len(), 200);
+        // Along one arm, radius grows monotonically (no noise).
+        let radii: Vec<f64> = (0..100)
+            .map(|i| {
+                let p = ld.data.point(i);
+                (p[0] * p[0] + p[1] * p[1]).sqrt()
+            })
+            .collect();
+        assert!(radii.windows(2).all(|w| w[1] > w[0] - 1e-9));
+    }
+
+    #[test]
+    fn rings_stay_near_their_radius() {
+        let ld = rings(&[1.0, 5.0], 200, 0.05, 3);
+        for (i, (_, p)) in ld.data.iter().enumerate() {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let target = if ld.labels[i] == 0 { 1.0 } else { 5.0 };
+            assert!((r - target).abs() < 0.5, "point {i}: r = {r}");
+        }
+    }
+
+    #[test]
+    fn aggregation_matches_table_ii() {
+        let ld = aggregation_like(4);
+        assert_eq!(ld.len(), 788, "Table II: 788 instances");
+        assert_eq!(ld.data.dim(), 2, "Table II: 2 dimensions");
+        assert_eq!(ld.n_clusters(), 7, "ground truth has 7 clusters");
+        let mut sizes = vec![0usize; 7];
+        for &l in &ld.labels {
+            sizes[l as usize] += 1;
+        }
+        assert_eq!(sizes, vec![45, 164 + 6, 102, 273, 34, 124 + 6, 34]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(two_moons(50, 0.1, 9).data, two_moons(50, 0.1, 9).data);
+        assert_eq!(spirals(3, 40, 0.1, 9).data, spirals(3, 40, 0.1, 9).data);
+        assert_eq!(rings(&[2.0], 30, 0.1, 9).data, rings(&[2.0], 30, 0.1, 9).data);
+        assert_eq!(aggregation_like(9).data, aggregation_like(9).data);
+    }
+}

@@ -1,0 +1,468 @@
+//! Decision graph, density-peak selection, and cluster assignment.
+//!
+//! The paper deliberately keeps peak selection interactive: the `(rho,
+//! delta)` decision graph is a 2-D summary of an arbitrarily
+//! high-dimensional data set, and the user picks the outliers in its
+//! top-right region (§III-A, Step 3). This module supports that workflow
+//! ([`DecisionGraph`] + [`select_by_threshold`]) and also the common
+//! automatic criterion ([`select_top_k`] by the normalized product
+//! `gamma = rho * delta`).
+
+use crate::dp::{denser, DpResult, NO_UPSLOPE};
+use crate::point::PointId;
+use serde::{Deserialize, Serialize};
+
+/// One point of the decision graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionPoint {
+    /// Point id.
+    pub id: PointId,
+    /// Local density.
+    pub rho: u32,
+    /// Separation (already rectified: always finite).
+    pub delta: f64,
+    /// Whether this delta was rectified from an infinite local value —
+    /// i.e. no denser point was found; such points are peak candidates.
+    pub rectified: bool,
+}
+
+/// The `(rho, delta)` scatter the user inspects to pick cluster centers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionGraph {
+    points: Vec<DecisionPoint>,
+}
+
+impl DecisionGraph {
+    /// Builds the graph from a DP result, rectifying infinite deltas to the
+    /// maximum finite delta as the paper prescribes.
+    pub fn from_result(result: &DpResult) -> Self {
+        let mut r = result.clone();
+        let rectified = r.rectify_infinite_delta();
+        let points = r
+            .rho
+            .iter()
+            .zip(r.delta.iter())
+            .zip(rectified.iter())
+            .enumerate()
+            .map(|(i, ((&rho, &delta), &rect))| DecisionPoint {
+                id: i as PointId,
+                rho,
+                delta,
+                rectified: rect,
+            })
+            .collect();
+        DecisionGraph { points }
+    }
+
+    /// All decision points, in id order.
+    pub fn points(&self) -> &[DecisionPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Serializes the graph as `id,rho,delta,rectified` CSV rows — the
+    /// format the figure binaries print so the paper's Figure 7 can be
+    /// re-plotted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("id,rho,delta,rectified\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{},{},{}\n", p.id, p.rho, p.delta, p.rectified as u8));
+        }
+        out
+    }
+
+    /// Suggests `(rho_min, delta_min)` thresholds as a starting point for
+    /// interactive refinement (not an oracle).
+    ///
+    /// `delta_min` is the midpoint of the largest gap in the sorted `delta`
+    /// values — decision graphs of clusterable data show a wide empty band
+    /// between the peaks' deltas and everyone else's. `rho_min` is zero so
+    /// that low-density but well-separated peaks are not discarded.
+    pub fn suggest_thresholds(&self) -> (u32, f64) {
+        assert!(!self.points.is_empty(), "empty decision graph");
+        let mut deltas: Vec<f64> = self.points.iter().map(|p| p.delta).collect();
+        deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite deltas"));
+        let mut best_gap = 0.0;
+        let mut cut = *deltas.last().expect("non-empty");
+        for w in deltas.windows(2) {
+            let gap = w[1] - w[0];
+            if gap >= best_gap {
+                best_gap = gap;
+                cut = (w[0] + w[1]) / 2.0;
+            }
+        }
+        (0, cut)
+    }
+}
+
+/// Selects every point with `rho > rho_min` and `delta > delta_min` as a
+/// density peak — the manual rectangle the user draws on the decision graph.
+pub fn select_by_threshold(result: &DpResult, rho_min: u32, delta_min: f64) -> Vec<PointId> {
+    let graph = DecisionGraph::from_result(result);
+    graph
+        .points()
+        .iter()
+        .filter(|p| p.rho > rho_min && p.delta > delta_min)
+        .map(|p| p.id)
+        .collect()
+}
+
+/// Selects the `k` points with the largest `gamma = rho_norm * delta_norm`
+/// as density peaks. Deterministic: ties broken by id.
+pub fn select_top_k(result: &DpResult, k: usize) -> Vec<PointId> {
+    let gamma = result.gamma();
+    let mut ids: Vec<PointId> = (0..result.len() as PointId).collect();
+    ids.sort_by(|&a, &b| {
+        gamma[b as usize]
+            .partial_cmp(&gamma[a as usize])
+            .expect("gamma is finite")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids.sort_unstable();
+    ids
+}
+
+/// A hard clustering: one label per point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    labels: Vec<u32>,
+    n_clusters: u32,
+}
+
+impl Clustering {
+    /// Builds a clustering from raw labels in `0..n_clusters`.
+    ///
+    /// # Panics
+    /// Panics if any label is out of range.
+    pub fn from_labels(labels: Vec<u32>, n_clusters: u32) -> Self {
+        assert!(
+            labels.iter().all(|&l| l < n_clusters),
+            "label out of range (n_clusters = {n_clusters})"
+        );
+        Clustering { labels, n_clusters }
+    }
+
+    /// Cluster label of point `i`.
+    pub fn label(&self, i: PointId) -> u32 {
+        self.labels[i as usize]
+    }
+
+    /// All labels, indexed by point id.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> u32 {
+        self.n_clusters
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-cluster sizes, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_clusters as usize];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Assigns every point to a cluster by following the upslope chain from the
+/// selected `peaks` (paper §III-A Step 3, Figure 1d).
+///
+/// Points are visited in descending density order (the canonical
+/// [`denser`] order), so each point's upslope has already been labeled.
+/// A point whose upslope is [`NO_UPSLOPE`] (the absolute peak, or an
+/// approximate result's stranded candidates) that was *not* selected as a
+/// peak is attached to the nearest-by-id selected peak's cluster via the
+/// first peak — in exact DP this situation only arises when the user
+/// excludes the absolute peak from the selection.
+///
+/// # Panics
+/// Panics if `peaks` is empty or contains duplicate/out-of-range ids.
+pub fn assign(result: &DpResult, peaks: &[PointId]) -> Clustering {
+    assert!(!peaks.is_empty(), "at least one density peak is required");
+    let n = result.len();
+    let mut peak_cluster = vec![u32::MAX; n];
+    for (c, &p) in peaks.iter().enumerate() {
+        let slot = &mut peak_cluster[p as usize];
+        assert!(*slot == u32::MAX, "duplicate peak id {p}");
+        *slot = c as u32;
+    }
+
+    // Descending canonical density order.
+    let mut order: Vec<PointId> = (0..n as PointId).collect();
+    order.sort_by(|&a, &b| {
+        if denser(result.rho[a as usize], a, result.rho[b as usize], b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+
+    let mut labels = vec![u32::MAX; n];
+    for &i in &order {
+        let idx = i as usize;
+        labels[idx] = if peak_cluster[idx] != u32::MAX {
+            peak_cluster[idx]
+        } else {
+            match result.upslope[idx] {
+                NO_UPSLOPE => 0, // stranded candidate not chosen as a peak
+                u => {
+                    let lbl = labels[u as usize];
+                    debug_assert!(
+                        lbl != u32::MAX,
+                        "upslope point {u} of {i} not yet labeled — denser order violated"
+                    );
+                    lbl
+                }
+            }
+        };
+    }
+
+    Clustering::from_labels(labels, peaks.len() as u32)
+}
+
+/// Cluster-halo detection from the original DP paper (Rodriguez & Laio
+/// 2014): within each cluster, the *border region* is the set of points
+/// within `d_c` of a point assigned to a different cluster; the cluster's
+/// halo is every member whose density does not exceed the maximum
+/// border-region density. Halo points are reliable cluster cores'
+/// complement — noise and boundary points — and are reported as `true`.
+///
+/// The original formulation compares continuous (Gaussian-kernel)
+/// densities strictly; with Eq. 1's integer densities the border points
+/// themselves tie the bound, so the comparison here is inclusive
+/// (`rho <= border_rho`), which keeps the border points in the halo.
+///
+/// O(N²) distance work; intended for the centralized step, where the
+/// paper also computes it.
+pub fn compute_halo(
+    ds: &crate::point::Dataset,
+    result: &DpResult,
+    clustering: &Clustering,
+) -> Vec<bool> {
+    assert_eq!(ds.len(), result.len(), "result must cover the dataset");
+    assert_eq!(ds.len(), clustering.len(), "clustering must cover the dataset");
+    let n = ds.len();
+    let k = clustering.n_clusters() as usize;
+    // Max density seen in each cluster's border region.
+    let mut border_rho = vec![0u32; k];
+    for i in 0..n {
+        let pi = ds.point(i as PointId);
+        let ci = clustering.label(i as PointId) as usize;
+        for j in (i + 1)..n {
+            let cj = clustering.label(j as PointId) as usize;
+            if ci == cj {
+                continue;
+            }
+            if crate::distance::euclidean(pi, ds.point(j as PointId)) < result.dc {
+                // The ORIGINAL DP code uses the average density of the
+                // cross-boundary pair as the bound candidate.
+                let avg = (result.rho[i] + result.rho[j]) / 2;
+                border_rho[ci] = border_rho[ci].max(avg);
+                border_rho[cj] = border_rho[cj].max(avg);
+            }
+        }
+    }
+    (0..n)
+        .map(|i| {
+            let b = border_rho[clustering.label(i as PointId) as usize];
+            b > 0 && result.rho[i] <= b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::compute_exact;
+    use crate::point::Dataset;
+
+    fn two_blobs() -> Dataset {
+        // Blob A around 0, blob B around 100 (1-D).
+        Dataset::from_flat(
+            1,
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 100.0, 100.1, 100.2, 100.3],
+        )
+    }
+
+    #[test]
+    fn top_k_finds_both_blob_centers() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let peaks = select_top_k(&r, 2);
+        assert_eq!(peaks.len(), 2);
+        // One peak per blob.
+        let in_a = peaks.iter().filter(|&&p| p < 5).count();
+        let in_b = peaks.iter().filter(|&&p| p >= 5).count();
+        assert_eq!((in_a, in_b), (1, 1));
+    }
+
+    #[test]
+    fn assignment_separates_blobs() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let peaks = select_top_k(&r, 2);
+        let c = assign(&r, &peaks);
+        assert_eq!(c.n_clusters(), 2);
+        for i in 0..5 {
+            assert_eq!(c.label(i), c.label(0), "blob A must be one cluster");
+        }
+        for i in 5..9 {
+            assert_eq!(c.label(i), c.label(5), "blob B must be one cluster");
+        }
+        assert_ne!(c.label(0), c.label(5));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 5]);
+    }
+
+    #[test]
+    fn threshold_selection_matches_rectangle() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let g = DecisionGraph::from_result(&r);
+        // The two blob centers have delta ~100 (cross-blob); everyone else
+        // has delta <= 0.4.
+        let peaks = select_by_threshold(&r, 0, 1.0);
+        assert_eq!(peaks.len(), 2);
+        // Exact DP assigns the absolute peak a finite max-distance delta,
+        // so nothing needed rectification.
+        assert!(g.points().iter().all(|p| !p.rectified));
+    }
+
+    #[test]
+    fn decision_graph_is_finite_and_csv_exports() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let g = DecisionGraph::from_result(&r);
+        assert_eq!(g.len(), ds.len());
+        assert!(g.points().iter().all(|p| p.delta.is_finite()));
+        let csv = g.to_csv();
+        assert!(csv.starts_with("id,rho,delta,rectified\n"));
+        assert_eq!(csv.lines().count(), ds.len() + 1);
+    }
+
+    #[test]
+    fn suggest_thresholds_flags_outlier_deltas() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let g = DecisionGraph::from_result(&r);
+        let (_rho_min, delta_min) = g.suggest_thresholds();
+        let peaks = select_by_threshold(&r, 0, delta_min);
+        assert_eq!(peaks.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_assignment() {
+        let ds = Dataset::from_flat(1, vec![0.0, 0.1, 0.2]);
+        let r = compute_exact(&ds, 0.15);
+        let peaks = select_top_k(&r, 1);
+        let c = assign(&r, &peaks);
+        assert_eq!(c.n_clusters(), 1);
+        assert!(c.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one density peak")]
+    fn assign_rejects_empty_peaks() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let _ = assign(&r, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate peak")]
+    fn assign_rejects_duplicate_peaks() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let _ = assign(&r, &[1, 1]);
+    }
+
+    #[test]
+    fn stranded_candidate_defaults_to_first_peak_cluster() {
+        // Hand-build an approximate result where point 2 has NO_UPSLOPE but
+        // is not selected as a peak.
+        let r = DpResult {
+            dc: 1.0,
+            rho: vec![5, 3, 4],
+            delta: vec![10.0, 1.0, f64::INFINITY],
+            upslope: vec![NO_UPSLOPE, 0, NO_UPSLOPE],
+        };
+        let c = assign(&r, &[0]);
+        assert_eq!(c.labels(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn halo_is_empty_for_well_separated_blobs() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let peaks = select_top_k(&r, 2);
+        let c = assign(&r, &peaks);
+        let halo = compute_halo(&ds, &r, &c);
+        // No cross-cluster pair is within dc, so no border region at all.
+        assert!(halo.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn halo_flags_bridge_points_between_touching_blobs() {
+        // Two blobs connected by a sparse bridge; the bridge points (low
+        // rho, within dc of the other cluster) must be halo.
+        let mut ds = Dataset::new(1);
+        for i in 0..20 {
+            ds.push(&[i as f64 * 0.05]); // dense blob A: 0.00..0.95
+        }
+        ds.push(&[1.5]); // bridge point
+        for i in 0..20 {
+            ds.push(&[2.0 + i as f64 * 0.05]); // dense blob B
+        }
+        let r = compute_exact(&ds, 0.6);
+        let peaks = select_top_k(&r, 2);
+        let c = assign(&r, &peaks);
+        let halo = compute_halo(&ds, &r, &c);
+        assert!(halo[20], "the bridge point must be halo");
+        // Blob cores (interior points) stay core.
+        assert!(!halo[5], "blob A interior must be core");
+        assert!(!halo[30], "blob B interior must be core");
+    }
+
+    #[test]
+    #[should_panic(expected = "clustering must cover")]
+    fn halo_rejects_mismatched_clustering() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let c = Clustering::from_labels(vec![0], 1);
+        let _ = compute_halo(&ds, &r, &c);
+    }
+
+    #[test]
+    fn select_top_k_is_deterministic_and_sorted() {
+        let ds = two_blobs();
+        let r = compute_exact(&ds, 0.25);
+        let a = select_top_k(&r, 3);
+        let b = select_top_k(&r, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+}

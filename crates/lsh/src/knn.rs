@@ -1,0 +1,196 @@
+//! An approximate k-nearest-neighbor index on the multi-layout hashing —
+//! the classic E2LSH application (the paper's §VII cites LSH kNN join as
+//! the family LSH-DDP borrows from).
+//!
+//! Build once over a point set; queries collect the candidate union of
+//! the query's bucket under every layout and rank candidates by true
+//! distance. Recall grows with `M` exactly as LSH-DDP's accuracy does.
+
+use crate::hash::{MultiLsh, Signature};
+use crate::tuning::LshParams;
+use std::collections::HashMap;
+
+/// An immutable LSH index over a set of points.
+///
+/// ```
+/// use lsh::{LshIndex, LshParams};
+/// let points = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![50.0, 50.0]];
+/// let idx = LshIndex::build(points, &LshParams { m: 8, pi: 2, w: 4.0 }, 7);
+/// let nn = idx.knn(&[0.1, 0.0], 1);
+/// assert_eq!(nn[0].0, 0);
+/// ```
+pub struct LshIndex {
+    multi: MultiLsh,
+    /// One bucket table per layout.
+    tables: Vec<HashMap<Signature, Vec<u32>>>,
+    points: Vec<Vec<f64>>,
+}
+
+impl LshIndex {
+    /// Builds the index over `points` with the given parameters and seed.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or rows have inconsistent dimensions.
+    pub fn build(points: Vec<Vec<f64>>, params: &LshParams, seed: u64) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty point set");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "all points must share one dimensionality"
+        );
+        let multi = MultiLsh::new(dim, params, seed);
+        let mut tables: Vec<HashMap<Signature, Vec<u32>>> =
+            (0..params.m).map(|_| HashMap::new()).collect();
+        for (i, p) in points.iter().enumerate() {
+            for (m, sig) in multi.signatures(p).into_iter().enumerate() {
+                tables[m].entry(sig).or_default().push(i as u32);
+            }
+        }
+        LshIndex { multi, tables, points }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The candidate set for `query`: ids sharing a bucket under any
+    /// layout (deduplicated, unordered).
+    pub fn candidates(&self, query: &[f64]) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        for (m, sig) in self.multi.signatures(query).into_iter().enumerate() {
+            if let Some(bucket) = self.tables[m].get(&sig) {
+                seen.extend(bucket.iter().copied());
+            }
+        }
+        let mut v: Vec<u32> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Approximate k nearest neighbors of `query`: the `k` closest
+    /// candidates by true Euclidean distance, ascending, ties by id.
+    /// May return fewer than `k` when the candidate set is small — that
+    /// is the approximation; raise `M` (or widen `w`) for recall.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<(u32, f64)> {
+        let mut scored: Vec<(u32, f64)> = self
+            .candidates(query)
+            .into_iter()
+            .map(|id| {
+                let d = euclid(query, &self.points[id as usize]);
+                (id, d)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        // A 10x10 grid, spacing 1.0.
+        let mut pts = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                pts.push(vec![x as f64, y as f64]);
+            }
+        }
+        pts
+    }
+
+    fn params() -> LshParams {
+        LshParams { m: 12, pi: 2, w: 4.0 }
+    }
+
+    #[test]
+    fn nearest_neighbor_of_an_indexed_point_is_itself() {
+        let pts = grid_points();
+        let idx = LshIndex::build(pts.clone(), &params(), 1);
+        for (i, p) in pts.iter().enumerate().step_by(17) {
+            let nn = idx.knn(p, 1);
+            assert_eq!(nn[0].0, i as u32, "self must be its own NN");
+            assert_eq!(nn[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn knn_recall_on_grid() {
+        let pts = grid_points();
+        let idx = LshIndex::build(pts.clone(), &params(), 2);
+        // Query near the middle: true 4-NN of (4.5, 4.5) are the 4 cell
+        // corners at distance sqrt(0.5).
+        let got = idx.knn(&[4.5, 4.5], 4);
+        assert_eq!(got.len(), 4);
+        for (_, d) in &got {
+            assert!((d - 0.5f64.sqrt()).abs() < 1e-9, "corner distance, got {d}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_deduplicated() {
+        let pts = grid_points();
+        let idx = LshIndex::build(pts, &params(), 3);
+        let got = idx.knn(&[3.2, 7.7], 10);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        let ids: std::collections::HashSet<u32> = got.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids.len(), got.len());
+    }
+
+    #[test]
+    fn recall_improves_with_more_layouts() {
+        let pts = grid_points();
+        let query = vec![5.1, 5.1];
+        // True 8-NN by brute force.
+        let mut truth: Vec<(u32, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, euclid(&query, p)))
+            .collect();
+        truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let truth_ids: std::collections::HashSet<u32> =
+            truth[..8].iter().map(|(i, _)| *i).collect();
+
+        let recall = |m: usize| {
+            let idx = LshIndex::build(
+                pts.clone(),
+                &LshParams { m, pi: 3, w: 2.0 },
+                7,
+            );
+            let got = idx.knn(&query, 8);
+            got.iter().filter(|(i, _)| truth_ids.contains(i)).count()
+        };
+        let r1 = recall(1);
+        let r16 = recall(16);
+        assert!(r16 >= r1, "recall must not fall with more layouts: {r1} vs {r16}");
+        assert!(r16 >= 6, "16 layouts should recover most true neighbors, got {r16}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn rejects_empty() {
+        let _ = LshIndex::build(vec![], &params(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimensionality")]
+    fn rejects_ragged() {
+        let _ = LshIndex::build(vec![vec![1.0], vec![1.0, 2.0]], &params(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's probability analysis (§IV, Lemmas 1–4, Theorems 1–2).
+
+use crate::statmath::norm_cdf;
+
+const SQRT_2PI: f64 = 2.5066282746310002; // sqrt(2*pi)
+
+/// Lemma 1: lower bound on the probability that *all* points within `dc`
+/// of a point land in its hash slot, for one hash function of width `w`:
+///
+/// ```text
+/// P_rho(w, dc) >= 1 - 4*dc / (sqrt(2*pi) * w)
+/// ```
+///
+/// Clamped to `[0, 1]`: for `w <= 4*dc/sqrt(2*pi)` the bound is vacuous.
+pub fn p_rho(w: f64, dc: f64) -> f64 {
+    assert!(w > 0.0 && dc >= 0.0, "invalid p_rho parameters: w={w}, dc={dc}");
+    (1.0 - 4.0 * dc / (SQRT_2PI * w)).clamp(0.0, 1.0)
+}
+
+/// Lemma 3 / Datar et al.: exact collision probability of two points at
+/// distance `d` under one hash function of width `w`:
+///
+/// ```text
+/// p(d, w) = 2*norm(w/d) - 1 - (2d / (sqrt(2*pi) w)) * (1 - exp(-w²/(2d²)))
+/// ```
+///
+/// `d = 0` collides with probability 1.
+pub fn p_delta(d: f64, w: f64) -> f64 {
+    assert!(w > 0.0 && d >= 0.0, "invalid p_delta parameters: d={d}, w={w}");
+    if d == 0.0 {
+        return 1.0;
+    }
+    let s = w / d;
+    let p = 2.0 * norm_cdf(s) - 1.0 - (2.0 / (SQRT_2PI * s)) * (1.0 - (-s * s / 2.0).exp());
+    p.clamp(0.0, 1.0)
+}
+
+/// Lemma 2: probability that one layout of `pi` functions captures all of
+/// a point's `dc`-neighbors: `P_rho(w, dc)^pi`.
+pub fn p_rho_layout(w: f64, dc: f64, pi: usize) -> f64 {
+    assert!(pi > 0, "pi must be positive");
+    p_rho(w, dc).powi(pi as i32)
+}
+
+/// Theorem 1: the expected `rho` accuracy with `M` layouts of `pi`
+/// functions:
+///
+/// ```text
+/// A(w, pi, M) = 1 - (1 - P_rho(w, dc)^pi)^M
+/// ```
+pub fn expected_accuracy(w: f64, dc: f64, pi: usize, m: usize) -> f64 {
+    assert!(m > 0, "M must be positive");
+    1.0 - (1.0 - p_rho_layout(w, dc, pi)).powi(m as i32)
+}
+
+/// Lemma 4: probability that one layout recovers a point's exact `delta`,
+/// given its true upslope distance `d_u`: `P_delta(d_u, w)^pi`.
+pub fn p_delta_layout(d_u: f64, w: f64, pi: usize) -> f64 {
+    assert!(pi > 0, "pi must be positive");
+    p_delta(d_u, w).powi(pi as i32)
+}
+
+/// Theorem 2: probability that the `min` aggregation over `M` layouts
+/// recovers the exact `delta`:
+///
+/// ```text
+/// Pr[delta_hat = delta] = 1 - (1 - P_delta(d_u, w)^pi)^M
+/// ```
+pub fn p_delta_recovered(d_u: f64, w: f64, pi: usize, m: usize) -> f64 {
+    assert!(m > 0, "M must be positive");
+    1.0 - (1.0 - p_delta_layout(d_u, w, pi)).powi(m as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_rho_monotone_in_w() {
+        let dc = 0.1;
+        let mut prev = 0.0;
+        for w in [0.1, 0.5, 1.0, 5.0, 50.0] {
+            let p = p_rho(w, dc);
+            assert!(p >= prev, "p_rho must grow with w");
+            prev = p;
+        }
+        assert!(prev > 0.99, "wide slots almost surely keep neighbors together");
+    }
+
+    #[test]
+    fn p_rho_clamps_to_zero_for_narrow_slots() {
+        assert_eq!(p_rho(0.01, 1.0), 0.0);
+    }
+
+    #[test]
+    fn p_rho_is_one_for_zero_dc() {
+        assert_eq!(p_rho(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn p_delta_limits() {
+        assert_eq!(p_delta(0.0, 1.0), 1.0);
+        // Distance >> w: nearly never collide.
+        assert!(p_delta(1000.0, 1.0) < 0.01);
+        // Distance << w: nearly always collide.
+        assert!(p_delta(0.001, 1.0) > 0.99);
+    }
+
+    #[test]
+    fn p_delta_monotone_decreasing_in_distance() {
+        let w = 2.0;
+        let mut prev = 1.0;
+        for d in [0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
+            let p = p_delta(d, w);
+            assert!(p <= prev + 1e-12, "p_delta must fall with distance");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn p_delta_scale_invariance() {
+        // p depends only on w/d.
+        let a = p_delta(1.0, 3.0);
+        let b = p_delta(10.0, 30.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_delta_known_value() {
+        // For w/d = 1: p = 2*norm(1) - 1 - 2/sqrt(2*pi)*(1 - e^{-1/2})
+        //            = 0.682689 - 0.797885 * 0.393469 ≈ 0.36866
+        let p = p_delta(1.0, 1.0);
+        assert!((p - 0.36866).abs() < 1e-3, "p(1,1) = {p}");
+    }
+
+    #[test]
+    fn layout_probability_is_power() {
+        let w = 1.0;
+        let dc = 0.05;
+        let p1 = p_rho(w, dc);
+        assert!((p_rho_layout(w, dc, 3) - p1.powi(3)).abs() < 1e-15);
+        let pd = p_delta(0.3, w);
+        assert!((p_delta_layout(0.3, w, 4) - pd.powi(4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accuracy_increases_with_m_and_decreases_with_pi() {
+        let w = 1.0;
+        let dc = 0.1;
+        let a5 = expected_accuracy(w, dc, 3, 5);
+        let a10 = expected_accuracy(w, dc, 3, 10);
+        assert!(a10 > a5, "more layouts, higher accuracy");
+        let pi3 = expected_accuracy(w, dc, 3, 10);
+        let pi10 = expected_accuracy(w, dc, 10, 10);
+        assert!(pi10 < pi3, "more functions per group, lower accuracy");
+    }
+
+    #[test]
+    fn theorem2_increases_with_m() {
+        let a = p_delta_recovered(0.5, 1.0, 3, 1);
+        let b = p_delta_recovered(0.5, 1.0, 3, 10);
+        assert!(b > a);
+        assert!(b <= 1.0);
+    }
+
+    #[test]
+    fn theorem2_small_for_distant_upslope() {
+        // The paper's key observation: delta recovery probability is tiny
+        // when the upslope point is far away (density peaks), which is why
+        // those points are treated as peak *candidates* instead.
+        let near = p_delta_recovered(0.01, 1.0, 3, 10);
+        let far = p_delta_recovered(100.0, 1.0, 3, 10);
+        assert!(near > 0.99);
+        assert!(far < 0.01);
+    }
+}

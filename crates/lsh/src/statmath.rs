@@ -1,0 +1,120 @@
+//! Scalar statistics kernels: `erf`, Gaussian pdf/cdf.
+//!
+//! The standard library does not expose `erf`, and the paper's Lemma 3
+//! needs the Gaussian cdf (`norm(·)`), so we implement `erf` with the
+//! Abramowitz & Stegun 7.1.26 rational approximation (|error| ≤ 1.5e-7 —
+//! far below anything visible in the collision-probability curves) and
+//! derive the rest.
+
+/// Error function, |absolute error| ≤ 1.5e-7 (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    // erf(-x) = -erf(x)
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal probability density function.
+#[inline]
+pub fn norm_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function — the paper's
+/// `norm(·)`.
+#[inline]
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Density of |Z| for standard normal Z — `f_p(x)` in Lemma 1:
+/// `2/sqrt(2*pi) * exp(-x²/2)` on `[0, ∞)`, 0 for negative `x`.
+#[inline]
+pub fn half_normal_pdf(x: f64) -> f64 {
+    if x < 0.0 {
+        0.0
+    } else {
+        2.0 * norm_pdf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+        ];
+        for (x, expect) in cases {
+            assert!((erf(x) - expect).abs() < 2e-7, "erf({x}) = {} != {expect}", erf(x));
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.7, 1.3, 2.9] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn erf_saturates() {
+        assert!((erf(6.0) - 1.0).abs() < 1e-12);
+        assert!((erf(-6.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_cdf_symmetry_and_known_values() {
+        // The A&S rational approximation carries ~1.5e-7 absolute error,
+        // including a tiny residue at x = 0.
+        assert!((norm_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-4);
+        // Symmetry is exact by construction (erf is forced odd).
+        for x in [0.3, 1.1, 2.2] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_pdf_peak_and_symmetry() {
+        assert!((norm_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((norm_pdf(1.5) - norm_pdf(-1.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn half_normal_integrates_to_one() {
+        // Trapezoid rule over [0, 8].
+        let n = 100_000;
+        let h = 8.0 / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x0 = i as f64 * h;
+            acc += (half_normal_pdf(x0) + half_normal_pdf(x0 + h)) / 2.0 * h;
+        }
+        assert!((acc - 1.0).abs() < 1e-6, "integral = {acc}");
+    }
+
+    #[test]
+    fn half_normal_boundary() {
+        assert!((half_normal_pdf(0.0) - 2.0 * norm_pdf(0.0)).abs() < 1e-15);
+        assert_eq!(half_normal_pdf(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parameter tuning (§V): choosing `(M, pi, w)` for a target accuracy.
+//!
+//! The paper lets the user pick the integers `M` (layouts) and `pi`
+//! (functions per group) — recommending `M ∈ [10, 20]`, `pi ∈ [3, 10]`
+//! (§VI-E) — and derives the minimal feasible slot width `w` from the
+//! expected-accuracy constraint of Theorem 1:
+//!
+//! ```text
+//! A = 1 - (1 - P_rho(w, dc)^pi)^M          where P_rho = 1 - 4 dc / (sqrt(2π) w)
+//! ```
+//!
+//! Inverting in closed form:
+//!
+//! ```text
+//! p_req = (1 - (1-A)^(1/M))^(1/pi)
+//! w     = 4 dc / (sqrt(2π) (1 - p_req))
+//! ```
+//!
+//! Smaller `w` means finer partitions — smaller `sum N_k²`, hence lower
+//! shuffle and distance cost (§V-B) — so the minimal `w` satisfying the
+//! accuracy requirement is the cost-optimal one.
+
+use crate::prob::expected_accuracy;
+use serde::{Deserialize, Serialize};
+
+const SQRT_2PI: f64 = 2.5066282746310002;
+
+/// The recommended defaults from §VI-E.
+pub const RECOMMENDED_M: usize = 10;
+/// The recommended defaults from §VI-E.
+pub const RECOMMENDED_PI: usize = 3;
+
+/// A complete LSH-DDP parameter set.
+///
+/// ```
+/// use lsh::LshParams;
+/// let p = LshParams::recommended(0.99, 0.05).unwrap();
+/// assert_eq!((p.m, p.pi), (10, 3));
+/// assert!((p.accuracy(0.05) - 0.99).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LshParams {
+    /// Number of hash groups / partition layouts (`M`).
+    pub m: usize,
+    /// Number of hash functions per group (`pi`).
+    pub pi: usize,
+    /// Slot width of every hash function (`w`).
+    pub w: f64,
+}
+
+/// Errors from parameter derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuningError {
+    /// The accuracy target must lie in `(0, 1)`.
+    AccuracyOutOfRange(f64),
+    /// `M` and `pi` must be positive.
+    InvalidCounts { m: usize, pi: usize },
+    /// `d_c` must be positive and finite.
+    InvalidCutoff(f64),
+}
+
+impl std::fmt::Display for TuningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuningError::AccuracyOutOfRange(a) => {
+                write!(f, "accuracy target must be in (0,1), got {a}")
+            }
+            TuningError::InvalidCounts { m, pi } => {
+                write!(f, "M and pi must be positive, got M={m}, pi={pi}")
+            }
+            TuningError::InvalidCutoff(dc) => {
+                write!(f, "d_c must be positive and finite, got {dc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuningError {}
+
+/// Solves Theorem 1 for the minimal slot width `w` achieving expected
+/// accuracy `a` with `m` layouts of `pi` functions at cutoff `dc`.
+pub fn solve_width(a: f64, m: usize, pi: usize, dc: f64) -> Result<f64, TuningError> {
+    if !(0.0 < a && a < 1.0) {
+        return Err(TuningError::AccuracyOutOfRange(a));
+    }
+    if m == 0 || pi == 0 {
+        return Err(TuningError::InvalidCounts { m, pi });
+    }
+    if !(dc.is_finite() && dc > 0.0) {
+        return Err(TuningError::InvalidCutoff(dc));
+    }
+    // Per-layout success probability required by M independent layouts.
+    let per_layout = 1.0 - (1.0 - a).powf(1.0 / m as f64);
+    // Per-function collision probability required by pi AND-ed functions.
+    let p_req = per_layout.powf(1.0 / pi as f64);
+    debug_assert!((0.0..1.0).contains(&p_req));
+    Ok(4.0 * dc / (SQRT_2PI * (1.0 - p_req)))
+}
+
+impl LshParams {
+    /// Builds a parameter set achieving expected accuracy `a` (Theorem 1)
+    /// with the given `m` and `pi` at cutoff `dc`.
+    pub fn for_accuracy(a: f64, m: usize, pi: usize, dc: f64) -> Result<Self, TuningError> {
+        Ok(LshParams { m, pi, w: solve_width(a, m, pi, dc)? })
+    }
+
+    /// The paper's recommended configuration (`M = 10`, `pi = 3`) for a
+    /// target accuracy at cutoff `dc`.
+    pub fn recommended(a: f64, dc: f64) -> Result<Self, TuningError> {
+        Self::for_accuracy(a, RECOMMENDED_M, RECOMMENDED_PI, dc)
+    }
+
+    /// The expected accuracy this parameter set achieves at cutoff `dc`
+    /// (Theorem 1) — the round-trip of [`solve_width`].
+    pub fn accuracy(&self, dc: f64) -> f64 {
+        expected_accuracy(self.w, dc, self.pi, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solved_width_achieves_target_accuracy() {
+        for a in [0.5, 0.8, 0.9, 0.95, 0.99, 0.999] {
+            for (m, pi) in [(5, 3), (10, 3), (10, 10), (20, 5), (1, 1)] {
+                let dc = 0.07;
+                let w = solve_width(a, m, pi, dc).unwrap();
+                let achieved = expected_accuracy(w, dc, pi, m);
+                assert!(
+                    (achieved - a).abs() < 1e-9,
+                    "A={a}, M={m}, pi={pi}: solved w={w} achieves {achieved}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn width_grows_with_accuracy() {
+        let dc = 0.1;
+        let w90 = solve_width(0.90, 10, 3, dc).unwrap();
+        let w99 = solve_width(0.99, 10, 3, dc).unwrap();
+        assert!(w99 > w90, "higher accuracy needs wider slots");
+    }
+
+    #[test]
+    fn width_grows_with_pi_and_shrinks_with_m() {
+        let dc = 0.1;
+        let a = 0.99;
+        let w_pi3 = solve_width(a, 10, 3, dc).unwrap();
+        let w_pi10 = solve_width(a, 10, 10, dc).unwrap();
+        assert!(w_pi10 > w_pi3, "more AND-ed functions need wider slots");
+        let w_m5 = solve_width(a, 5, 3, dc).unwrap();
+        let w_m20 = solve_width(a, 20, 3, dc).unwrap();
+        assert!(w_m20 < w_m5, "more layouts allow narrower slots");
+    }
+
+    #[test]
+    fn width_is_linear_in_dc() {
+        let w1 = solve_width(0.99, 10, 3, 0.05).unwrap();
+        let w2 = solve_width(0.99, 10, 3, 0.10).unwrap();
+        assert!((w2 / w1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let dc = 0.03;
+        let p = LshParams::recommended(0.99, dc).unwrap();
+        assert_eq!(p.m, RECOMMENDED_M);
+        assert_eq!(p.pi, RECOMMENDED_PI);
+        assert!((p.accuracy(dc) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            solve_width(1.0, 10, 3, 0.1),
+            Err(TuningError::AccuracyOutOfRange(_))
+        ));
+        assert!(matches!(
+            solve_width(0.0, 10, 3, 0.1),
+            Err(TuningError::AccuracyOutOfRange(_))
+        ));
+        assert!(matches!(
+            solve_width(0.9, 0, 3, 0.1),
+            Err(TuningError::InvalidCounts { .. })
+        ));
+        assert!(matches!(solve_width(0.9, 10, 3, 0.0), Err(TuningError::InvalidCutoff(_))));
+        assert!(matches!(
+            solve_width(0.9, 10, 3, f64::NAN),
+            Err(TuningError::InvalidCutoff(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = TuningError::AccuracyOutOfRange(1.5);
+        assert!(e.to_string().contains("accuracy"));
+        let e = TuningError::InvalidCounts { m: 0, pi: 3 };
+        assert!(e.to_string().contains("M and pi"));
+        let e = TuningError::InvalidCutoff(-1.0);
+        assert!(e.to_string().contains("d_c"));
+    }
+}

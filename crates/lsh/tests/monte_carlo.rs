@@ -1,0 +1,146 @@
+//! Monte-Carlo validation of the paper's probability analysis.
+//!
+//! These tests draw many independent hash functions and check the empirical
+//! collision frequencies against Lemma 1 (lower bound) and Lemma 3 (exact
+//! collision probability). Seeds are fixed; tolerances are several standard
+//! errors wide, so the tests are deterministic and robust.
+
+use lsh::hash::LshFunction;
+use lsh::prob::{p_delta, p_rho};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Empirical collision frequency of two fixed points over `trials`
+/// independently drawn hash functions.
+fn empirical_collision(a: &[f64], b: &[f64], w: f64, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let h = LshFunction::sample(a.len(), w, &mut rng);
+        if h.hash(a) == h.hash(b) {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[test]
+fn lemma3_collision_probability_matches_simulation() {
+    // p(d, w) depends only on w/d; test several ratios in 3 dimensions.
+    let a = [0.0, 0.0, 0.0];
+    for (d, w) in [(1.0, 0.5), (1.0, 1.0), (1.0, 2.0), (1.0, 4.0), (0.25, 1.0)] {
+        let b = [d, 0.0, 0.0];
+        let trials = 40_000;
+        let emp = empirical_collision(&a, &b, w, trials, 1234);
+        let theory = p_delta(d, w);
+        // Standard error of a Bernoulli mean at p ~ 0.5 with 40k trials is
+        // 0.0025; allow 5 sigma.
+        let tol = 5.0 * (theory * (1.0 - theory) / trials as f64).sqrt() + 0.003;
+        assert!(
+            (emp - theory).abs() < tol,
+            "d={d}, w={w}: empirical {emp} vs theory {theory} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn lemma1_is_a_valid_lower_bound_for_collinear_neighbors() {
+    // Lemma 1's proof bounds max_j |y_i - y_j| by dc * x for a SINGLE
+    // half-normal x — which is exact when all neighbor displacements are
+    // collinear (then a·diff_j = r_j * (a·u) share one Gaussian). For
+    // neighbors spread in many directions the max of several half-normals
+    // stochastically exceeds a single one and the published bound can be
+    // optimistic (we verified this empirically; see EXPERIMENTS.md). Here
+    // we validate the regime where the derivation is airtight.
+    let dc = 0.3;
+    let w = 4.0;
+    let center = [0.5, -0.2];
+    // Neighbors along one direction, at distances up to dc.
+    let u = [0.6, 0.8];
+    let mut neighbors = Vec::new();
+    for k in 1..=12 {
+        let r = dc * k as f64 / 12.0;
+        neighbors.push([center[0] + r * u[0], center[1] + r * u[1]]);
+    }
+
+    let trials = 30_000;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut all_collide = 0usize;
+    for _ in 0..trials {
+        let h = LshFunction::sample(2, w, &mut rng);
+        let hc = h.hash(&center);
+        if neighbors.iter().all(|p| h.hash(p) == hc) {
+            all_collide += 1;
+        }
+    }
+    let emp = all_collide as f64 / trials as f64;
+    let bound = p_rho(w, dc);
+    // 5-sigma slack below the empirical estimate.
+    let slack = 5.0 * (emp * (1.0 - emp) / trials as f64).sqrt() + 0.003;
+    assert!(
+        emp + slack >= bound,
+        "Lemma 1 violated: empirical {emp} (+{slack}) below bound {bound}"
+    );
+}
+
+#[test]
+fn projection_differences_are_gaussian_scaled_by_distance() {
+    // The 2-stability property underlying both lemmas: |a·p - a·q| is
+    // distributed as d(p,q) * |N(0,1)|. Check the empirical mean,
+    // E|a·p - a·q| = d * sqrt(2/pi).
+    let p = [1.0, 2.0, 3.0, 4.0];
+    let q = [2.0, 0.0, 3.5, 4.0];
+    let d: f64 = p
+        .iter()
+        .zip(q.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+
+    let trials = 50_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let h = LshFunction::sample(4, 1.0, &mut rng);
+        acc += (h.project(&p) - h.project(&q)).abs();
+    }
+    let emp_mean = acc / trials as f64;
+    let expected = d * (2.0 / std::f64::consts::PI).sqrt();
+    assert!(
+        (emp_mean - expected).abs() / expected < 0.02,
+        "E|Δprojection| = {emp_mean}, expected {expected}"
+    );
+}
+
+#[test]
+fn random_range_b_is_uniform_within_slot() {
+    // b must be uniform in [0, w); check mean and bounds over many draws.
+    let w = 3.0;
+    let mut rng = StdRng::seed_from_u64(5);
+    let trials = 20_000;
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let h = LshFunction::sample(1, w, &mut rng);
+        // Recover b by hashing the origin: h(0) = floor(b / w) = 0, and
+        // project(0) = b.
+        let b = h.project(&[0.0]);
+        assert!((0.0..w).contains(&b));
+        acc += b;
+    }
+    let mean = acc / trials as f64;
+    assert!((mean - w / 2.0).abs() < 0.05, "mean b = {mean}, expected {}", w / 2.0);
+}
+
+#[test]
+fn rng_ext_is_used_consistently() {
+    // Guard: sampling with the same seed must give identical functions
+    // (hash pipeline determinism depends on it).
+    let mut r1 = StdRng::seed_from_u64(42);
+    let mut r2 = StdRng::seed_from_u64(42);
+    let _burn: f64 = r1.random_range(0.0..1.0);
+    let _burn2: f64 = r2.random_range(0.0..1.0);
+    let h1 = LshFunction::sample(5, 1.0, &mut r1);
+    let h2 = LshFunction::sample(5, 1.0, &mut r2);
+    let p = [0.1, 0.2, 0.3, 0.4, 0.5];
+    assert_eq!(h1.hash(&p), h2.hash(&p));
+}

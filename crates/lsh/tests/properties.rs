@@ -1,0 +1,141 @@
+//! Property-based tests of the LSH machinery and probability analysis.
+
+use lsh::hash::{HashGroup, LshFunction, MultiLsh};
+use lsh::prob::{expected_accuracy, p_delta, p_rho};
+use lsh::tuning::solve_width;
+use lsh::LshParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Collision probability p(d, w) is a probability, monotone
+    /// decreasing in d and increasing in w.
+    #[test]
+    fn p_delta_is_a_monotone_probability(
+        d1 in 1e-6f64..1e3,
+        d2 in 1e-6f64..1e3,
+        w in 1e-6f64..1e3,
+    ) {
+        let p1 = p_delta(d1, w);
+        let p2 = p_delta(d2, w);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        if d1 < d2 {
+            prop_assert!(p1 >= p2 - 1e-12);
+        }
+        // Wider slot, same distance: probability rises.
+        let p_wider = p_delta(d1, w * 2.0);
+        prop_assert!(p_wider >= p1 - 1e-12);
+    }
+
+    /// The Lemma 1 bound is in [0, 1] and monotone in w.
+    #[test]
+    fn p_rho_bound_shape(dc in 0.0f64..100.0, w in 1e-6f64..1e4) {
+        let p = p_rho(w, dc);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p_rho(w * 2.0, dc) >= p);
+    }
+
+    /// Theorem 1's accuracy is a probability, monotone in M and
+    /// antitone in pi.
+    #[test]
+    fn theorem1_monotonicity(
+        w in 0.1f64..100.0,
+        dc in 0.001f64..1.0,
+        pi in 1usize..15,
+        m in 1usize..25,
+    ) {
+        let a = expected_accuracy(w, dc, pi, m);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(expected_accuracy(w, dc, pi, m + 1) >= a - 1e-12);
+        prop_assert!(expected_accuracy(w, dc, pi + 1, m) <= a + 1e-12);
+    }
+
+    /// Hashing is translation-covariant in distribution terms: shifting
+    /// both points by the same vector cannot change whether they collide
+    /// for a *fixed* function in terms of projected difference
+    /// (the floor slot can shift, but the projection difference is
+    /// invariant).
+    #[test]
+    fn projection_difference_is_translation_invariant(
+        seed in any::<u64>(),
+        p in proptest::collection::vec(-10.0f64..10.0, 3),
+        q in proptest::collection::vec(-10.0f64..10.0, 3),
+        shift in proptest::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = LshFunction::sample(3, 1.0, &mut rng);
+        let ps: Vec<f64> = p.iter().zip(&shift).map(|(a, b)| a + b).collect();
+        let qs: Vec<f64> = q.iter().zip(&shift).map(|(a, b)| a + b).collect();
+        let d1 = h.project(&p) - h.project(&q);
+        let d2 = h.project(&ps) - h.project(&qs);
+        prop_assert!((d1 - d2).abs() < 1e-6 * (1.0 + d1.abs()));
+    }
+
+    /// Identical points share every signature; signatures have the group
+    /// arity.
+    #[test]
+    fn identical_points_share_all_signatures(
+        seed in any::<u64>(),
+        coords in proptest::collection::vec(-100.0f64..100.0, 1..6),
+        pi in 1usize..6,
+        m in 1usize..6,
+    ) {
+        let params = LshParams { m, pi, w: 1.0 };
+        let multi = MultiLsh::new(coords.len(), &params, seed);
+        let a = multi.signatures(&coords);
+        let b = multi.signatures(&coords.clone());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), m);
+        prop_assert!(a.iter().all(|s| s.len() == pi));
+    }
+
+    /// The width solver is monotone: a stricter accuracy target never
+    /// yields a narrower slot.
+    #[test]
+    fn solver_monotone_in_accuracy(
+        a1 in 0.01f64..0.98,
+        bump in 0.001f64..0.019,
+        m in 1usize..30,
+        pi in 1usize..20,
+        dc in 1e-6f64..1e3,
+    ) {
+        let a2 = a1 + bump;
+        let w1 = solve_width(a1, m, pi, dc).unwrap();
+        let w2 = solve_width(a2, m, pi, dc).unwrap();
+        prop_assert!(w2 >= w1);
+    }
+
+    /// A hash group refines: adding a function can only split partitions,
+    /// never merge them (a group of pi+1 functions agreeing implies the
+    /// first pi agree).
+    #[test]
+    fn groups_refine_with_more_functions(
+        seed in any::<u64>(),
+        p in proptest::collection::vec(-5.0f64..5.0, 2),
+        q in proptest::collection::vec(-5.0f64..5.0, 2),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g_small = HashGroup::sample(2, 3, 2.0, &mut rng);
+        // Extend deterministically: same first three functions + one more
+        // drawn from the continued rng stream.
+        let extra = LshFunction::sample(2, 2.0, &mut rng);
+        let sig_p3 = g_small.signature(&p);
+        let sig_q3 = g_small.signature(&q);
+        let p4 = {
+            let mut s = sig_p3.clone();
+            s.push(extra.hash(&p));
+            s
+        };
+        let q4 = {
+            let mut s = sig_q3.clone();
+            s.push(extra.hash(&q));
+            s
+        };
+        if p4 == q4 {
+            prop_assert_eq!(sig_p3, sig_q3, "agreement on pi+1 implies agreement on pi");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Job counters and metrics, mirroring Hadoop's job counter report.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Named user counters, shareable across task threads.
+///
+/// Tasks that want to report algorithm-level statistics (e.g. candidate
+/// pairs filtered by the EDDPC triangle-inequality test) capture a clone of
+/// the job's `Counters` in their struct and call [`Counters::inc`].
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    inner: Arc<Mutex<BTreeMap<String, Arc<AtomicU64>>>>,
+}
+
+impl Counters {
+    /// A fresh, empty counter group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `name` by `n`, creating the counter on first use.
+    pub fn inc(&self, name: &str, n: u64) {
+        self.handle(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns a cheap handle to a single counter, avoiding the name lookup
+    /// in hot loops.
+    pub fn handle(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.inner.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// Current value of `name` (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters, name-ordered.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// Measured statistics of one completed MapReduce job.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub name: String,
+    /// Records fed to the map phase.
+    pub map_input_records: u64,
+    /// Records emitted by mappers (before any combiner).
+    pub map_output_records: u64,
+    /// Records after map-side combining (equals `map_output_records` when
+    /// no combiner is configured).
+    pub combine_output_records: u64,
+    /// Records crossing the shuffle boundary.
+    pub shuffle_records: u64,
+    /// Estimated serialized bytes crossing the shuffle boundary — the
+    /// paper's "shuffled data" (Figure 10(b)).
+    pub shuffle_bytes: u64,
+    /// Distinct keys seen by the reduce phase.
+    pub reduce_input_groups: u64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: u64,
+    /// Size of the largest single reduce group (values under one key) —
+    /// the skew signal behind the paper's Figure 12(a) observation that
+    /// small `M` with large `pi` degrades runtime.
+    pub max_reduce_group: u64,
+    /// Records handled by the most loaded reduce task.
+    pub max_reduce_task_records: u64,
+    /// Task attempts wasted to injected failures and retried
+    /// (see [`crate::fault::FaultPlan`]); 0 without fault injection.
+    pub task_retries: u64,
+    /// Wall-clock duration of the job on the host machine.
+    #[serde(with = "duration_secs")]
+    pub wall_time: Duration,
+    /// Wall-clock duration of the map (+ combine + partition) phase.
+    #[serde(with = "duration_secs")]
+    pub map_time: Duration,
+    /// Wall-clock duration of the sort/group + reduce phase.
+    #[serde(with = "duration_secs")]
+    pub reduce_time: Duration,
+    /// User counter snapshot at job completion.
+    pub user: BTreeMap<String, u64>,
+}
+
+mod duration_secs {
+    use serde::{Deserialize, Deserializer, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs))
+    }
+}
+
+impl JobMetrics {
+    /// Sums the cost-relevant counters of a sequence of jobs (e.g. all four
+    /// LSH-DDP jobs) into one aggregate; `wall_time`s add, names join with
+    /// `+`.
+    pub fn aggregate<'a>(jobs: impl IntoIterator<Item = &'a JobMetrics>) -> JobMetrics {
+        let mut out = JobMetrics::default();
+        let mut names = Vec::new();
+        for j in jobs {
+            names.push(j.name.clone());
+            out.map_input_records += j.map_input_records;
+            out.map_output_records += j.map_output_records;
+            out.combine_output_records += j.combine_output_records;
+            out.shuffle_records += j.shuffle_records;
+            out.shuffle_bytes += j.shuffle_bytes;
+            out.reduce_input_groups += j.reduce_input_groups;
+            out.reduce_output_records += j.reduce_output_records;
+            out.max_reduce_group = out.max_reduce_group.max(j.max_reduce_group);
+            out.max_reduce_task_records =
+                out.max_reduce_task_records.max(j.max_reduce_task_records);
+            out.task_retries += j.task_retries;
+            out.wall_time += j.wall_time;
+            out.map_time += j.map_time;
+            out.reduce_time += j.reduce_time;
+            for (k, v) in &j.user {
+                *out.user.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        out.name = names.join("+");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment_and_snapshot() {
+        let c = Counters::new();
+        c.inc("pairs", 3);
+        c.inc("pairs", 2);
+        c.inc("hits", 1);
+        assert_eq!(c.get("pairs"), 5);
+        assert_eq!(c.get("missing"), 0);
+        let snap = c.snapshot();
+        assert_eq!(snap["pairs"], 5);
+        assert_eq!(snap["hits"], 1);
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let c = Counters::new();
+        let h = c.handle("x");
+        h.fetch_add(7, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(c.get("x"), 7);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = Counters::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cc = c.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        cc.inc("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("n"), 800);
+    }
+
+    #[test]
+    fn metrics_aggregate_sums_fields() {
+        let a = JobMetrics {
+            name: "j1".into(),
+            shuffle_bytes: 100,
+            shuffle_records: 10,
+            wall_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.name = "j2".into();
+        let agg = JobMetrics::aggregate([&a, &b]);
+        assert_eq!(agg.name, "j1+j2");
+        assert_eq!(agg.shuffle_bytes, 200);
+        assert_eq!(agg.shuffle_records, 20);
+        assert_eq!(agg.wall_time, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn metrics_aggregate_merges_user_counters() {
+        let mut a = JobMetrics::default();
+        a.user.insert("dist".into(), 5);
+        let mut b = JobMetrics::default();
+        b.user.insert("dist".into(), 7);
+        b.user.insert("other".into(), 1);
+        let agg = JobMetrics::aggregate([&a, &b]);
+        assert_eq!(agg.user["dist"], 12);
+        assert_eq!(agg.user["other"], 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Task-level fault injection and retry — MapReduce's hallmark
+//! fault-tolerance behavior.
+//!
+//! Hadoop reschedules a failed task attempt on another worker, up to
+//! `mapred.map.max.attempts` (default 4) before failing the whole job.
+//! Because a task is a pure function of its input split, retries are
+//! invisible in the output; only wasted work shows up in the counters.
+//!
+//! [`FaultPlan`] injects deterministic failures: attempt `a` of task `t`
+//! in phase `p` fails iff a seeded hash lands under the configured
+//! per-mille rate. The engine re-runs the task (re-paying its cost —
+//! the wasted attempts are real work, as on a real cluster), counts the
+//! retries in [`crate::JobMetrics::task_retries`], and panics like
+//! Hadoop's job-kill if a task exhausts its attempts.
+
+use serde::{Deserialize, Serialize};
+
+/// Which phase a task belongs to (used in failure hashing so map and
+/// reduce attempts fail independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Map (+ combine + partition) tasks.
+    Map,
+    /// Sort/group + reduce tasks.
+    Reduce,
+}
+
+/// Deterministic failure-injection plan.
+///
+/// ```
+/// use mapreduce::{FaultPlan, Phase};
+/// let plan = FaultPlan::new(300, 42); // 30% of attempts fail
+/// let (value, retries) = plan.run_task(Phase::Map, 7, || 2 + 2);
+/// assert_eq!(value, 4);
+/// assert!(retries < plan.max_attempts);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Failure probability per task attempt, in per-mille (0–1000).
+    pub fail_per_mille: u32,
+    /// Attempts per task before the job is failed (Hadoop default: 4).
+    pub max_attempts: u32,
+    /// Hash seed: same plan + same job shape = same failures.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan failing roughly `fail_per_mille`/1000 of attempts, 4
+    /// attempts per task.
+    pub fn new(fail_per_mille: u32, seed: u64) -> Self {
+        assert!(fail_per_mille < 1000, "a rate of 1000 would fail every attempt");
+        FaultPlan { fail_per_mille, max_attempts: 4, seed }
+    }
+
+    /// Whether the given attempt of a task fails.
+    pub fn fails(&self, phase: Phase, task: usize, attempt: u32) -> bool {
+        if self.fail_per_mille == 0 {
+            return false;
+        }
+        let p = match phase {
+            Phase::Map => 0x6d61u64,
+            Phase::Reduce => 0x7265u64,
+        };
+        let mut z = self
+            .seed
+            .wrapping_add(p.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((task as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 1000) < self.fail_per_mille as u64
+    }
+
+    /// Number of failing attempts before the first success, or `None`
+    /// when every allowed attempt fails (job kill). The engine uses this
+    /// to account wasted attempts without needing to re-run task bodies
+    /// (tasks are deterministic, so a retry reproduces the same output).
+    pub fn attempts_before_success(&self, phase: Phase, task: usize) -> Option<u32> {
+        (0..self.max_attempts).find(|&a| !self.fails(phase, task, a))
+    }
+
+    /// Runs `work` under the plan: retries while injected attempts fail,
+    /// returns the successful result together with the number of wasted
+    /// attempts.
+    ///
+    /// # Panics
+    /// Panics (job kill) when a task exhausts `max_attempts`.
+    pub fn run_task<T>(&self, phase: Phase, task: usize, mut work: impl FnMut() -> T) -> (T, u32) {
+        let mut retries = 0;
+        for attempt in 0..self.max_attempts {
+            // The attempt's work happens whether or not it then "fails" —
+            // a real failed attempt has already burned the cycles.
+            let result = work();
+            if self.fails(phase, task, attempt) {
+                retries += 1;
+                continue;
+            }
+            return (result, retries);
+        }
+        panic!(
+            "{phase:?} task {task} failed {} consecutive attempts; job killed \
+             (like Hadoop after mapred.max.attempts)",
+            self.max_attempts
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let plan = FaultPlan::new(0, 1);
+        for t in 0..100 {
+            assert!(!plan.fails(Phase::Map, t, 0));
+        }
+        let (v, retries) = plan.run_task(Phase::Map, 0, || 42);
+        assert_eq!((v, retries), (42, 0));
+    }
+
+    #[test]
+    fn failure_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(200, 9);
+        let failures = (0..10_000)
+            .filter(|&t| plan.fails(Phase::Map, t, 0))
+            .count();
+        assert!(
+            (1500..2500).contains(&failures),
+            "expected ~2000/10000 failures, got {failures}"
+        );
+    }
+
+    #[test]
+    fn failures_are_deterministic_and_phase_dependent() {
+        let plan = FaultPlan::new(300, 7);
+        for t in 0..50 {
+            for a in 0..4 {
+                assert_eq!(plan.fails(Phase::Map, t, a), plan.fails(Phase::Map, t, a));
+            }
+        }
+        // Map and reduce schedules differ somewhere.
+        let differs = (0..200).any(|t| {
+            plan.fails(Phase::Map, t, 0) != plan.fails(Phase::Reduce, t, 0)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn run_task_counts_retries_and_succeeds() {
+        let plan = FaultPlan::new(400, 3);
+        let mut executed = 0u32;
+        let (v, retries) = plan.run_task(Phase::Map, 11, || {
+            executed += 1;
+            "done"
+        });
+        let _ = v;
+        assert_eq!(executed, retries + 1, "every attempt pays its work");
+    }
+
+    #[test]
+    #[should_panic(expected = "job killed")]
+    fn exhausted_attempts_kill_the_job() {
+        // Rate 999 with 4 attempts: find a task whose four attempts all
+        // fail under this seed, then run it.
+        let plan = FaultPlan { fail_per_mille: 999, max_attempts: 4, seed: 5 };
+        let doomed = (0..10_000)
+            .find(|&t| (0..4).all(|a| plan.fails(Phase::Map, t, a)))
+            .expect("a doomed task exists at rate 0.999");
+        let _ = plan.run_task(Phase::Map, doomed, || ());
+    }
+
+    #[test]
+    fn attempts_before_success_matches_fails_schedule() {
+        let plan = FaultPlan::new(500, 13);
+        for t in 0..500 {
+            match plan.attempts_before_success(Phase::Map, t) {
+                Some(a) => {
+                    assert!(!plan.fails(Phase::Map, t, a));
+                    for earlier in 0..a {
+                        assert!(plan.fails(Phase::Map, t, earlier));
+                    }
+                }
+                None => {
+                    for a in 0..4 {
+                        assert!(plan.fails(Phase::Map, t, a));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutable_closures_are_supported_via_cell() {
+        // run_task takes Fn; interior mutability covers counting needs.
+        let plan = FaultPlan::new(100, 2);
+        let count = std::cell::Cell::new(0u32);
+        let ((), retries) = plan.run_task(Phase::Reduce, 3, || {
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), retries + 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Serialized-size accounting for shuffled records.
+//!
+//! Hadoop measures shuffle cost in bytes of serialized intermediate data.
+//! Our engine keeps records as native Rust values, so each key/value type
+//! reports the size its natural wire encoding would have via
+//! [`ShuffleSize`]. The estimates use fixed-width encodings (no varint
+//! compression), matching the paper's own accounting (`e = 8` bytes per
+//! double, §V-A).
+
+/// Estimated serialized size of a value in bytes.
+///
+/// Implementations should return the size of a straightforward fixed-width
+/// binary encoding: numeric types their width, sequences a 4-byte length
+/// prefix plus element sizes.
+pub trait ShuffleSize {
+    /// Size of this value's serialized form in bytes.
+    fn shuffle_bytes(&self) -> u64;
+}
+
+macro_rules! impl_fixed {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(
+            impl ShuffleSize for $t {
+                #[inline]
+                fn shuffle_bytes(&self) -> u64 {
+                    $n
+                }
+            }
+        )*
+    };
+}
+
+impl_fixed!(
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    usize => 8, isize => 8,
+    bool => 1,
+    () => 0,
+);
+
+impl ShuffleSize for String {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        4 + self.len() as u64
+    }
+}
+
+impl<T: ShuffleSize> ShuffleSize for Vec<T> {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        4 + self.iter().map(ShuffleSize::shuffle_bytes).sum::<u64>()
+    }
+}
+
+impl<T: ShuffleSize> ShuffleSize for Box<[T]> {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        4 + self.iter().map(ShuffleSize::shuffle_bytes).sum::<u64>()
+    }
+}
+
+impl<T: ShuffleSize> ShuffleSize for Option<T> {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, ShuffleSize::shuffle_bytes)
+    }
+}
+
+impl<A: ShuffleSize, B: ShuffleSize> ShuffleSize for (A, B) {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        self.0.shuffle_bytes() + self.1.shuffle_bytes()
+    }
+}
+
+impl<A: ShuffleSize, B: ShuffleSize, C: ShuffleSize> ShuffleSize for (A, B, C) {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        self.0.shuffle_bytes() + self.1.shuffle_bytes() + self.2.shuffle_bytes()
+    }
+}
+
+impl<A: ShuffleSize, B: ShuffleSize, C: ShuffleSize, D: ShuffleSize> ShuffleSize
+    for (A, B, C, D)
+{
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        self.0.shuffle_bytes()
+            + self.1.shuffle_bytes()
+            + self.2.shuffle_bytes()
+            + self.3.shuffle_bytes()
+    }
+}
+
+impl<T: ShuffleSize + ?Sized> ShuffleSize for &T {
+    #[inline]
+    fn shuffle_bytes(&self) -> u64 {
+        (**self).shuffle_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(0u8.shuffle_bytes(), 1);
+        assert_eq!(0u32.shuffle_bytes(), 4);
+        assert_eq!(0.0f64.shuffle_bytes(), 8);
+        assert_eq!(true.shuffle_bytes(), 1);
+        assert_eq!(().shuffle_bytes(), 0);
+    }
+
+    #[test]
+    fn string_has_length_prefix() {
+        assert_eq!(String::new().shuffle_bytes(), 4);
+        assert_eq!("hello".to_string().shuffle_bytes(), 9);
+    }
+
+    #[test]
+    fn vec_of_f64_matches_paper_accounting() {
+        // A 57-dimensional BigCross point: 4 + 57*8 bytes.
+        let coords = vec![0.0f64; 57];
+        assert_eq!(coords.shuffle_bytes(), 4 + 57 * 8);
+    }
+
+    #[test]
+    fn nested_and_tuple_sizes() {
+        let v: Vec<Vec<u16>> = vec![vec![1, 2], vec![]];
+        assert_eq!(v.shuffle_bytes(), 4 + (4 + 4) + 4);
+        let t = (1u32, "ab".to_string(), 2.0f64);
+        assert_eq!(t.shuffle_bytes(), 4 + 6 + 8);
+    }
+
+    #[test]
+    fn option_sizes() {
+        let some: Option<u64> = Some(7);
+        let none: Option<u64> = None;
+        assert_eq!(some.shuffle_bytes(), 9);
+        assert_eq!(none.shuffle_bytes(), 1);
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let s = "xy".to_string();
+        let r: &String = &s;
+        assert_eq!(ShuffleSize::shuffle_bytes(&r), s.shuffle_bytes());
+    }
+}

@@ -1,0 +1,70 @@
+//! The full distributed workflow, with cost accounting.
+//!
+//! ```sh
+//! cargo run --release --example distributed_pipeline
+//! ```
+//!
+//! Runs all three distributed DP pipelines (Basic-DDP, LSH-DDP, EDDPC) on
+//! a KDD-like workload, prints each one's per-job metrics (shuffle bytes,
+//! records, distance computations), and prices the runs on the paper's
+//! two cluster models (5-node local, 64-node EC2).
+
+use lsh_ddp::prelude::*;
+
+fn main() {
+    let ld = PaperDataset::Kdd.generate(0.02, 11);
+    let mut ds = ld.data;
+    ds.normalize_min_max();
+    let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 200_000, 11);
+    println!(
+        "workload: KDD analog, {} points x {} dims, d_c = {dc:.4}\n",
+        ds.len(),
+        ds.dim()
+    );
+
+    let basic = BasicDdp::new(BasicConfig { block_size: 50, ..Default::default() }).run(&ds, dc);
+    let lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, 11).expect("valid params").run(&ds, dc);
+    let eddpc = Eddpc::new(EddpcConfig::for_size(ds.len(), 11)).run(&ds, dc);
+
+    for report in [&basic, &lsh, &eddpc] {
+        println!("=== {} ===", report.algorithm);
+        println!(
+            "{:<22} {:>12} {:>12} {:>14}",
+            "job", "shuffle", "records", "reduce groups"
+        );
+        for job in &report.jobs {
+            println!(
+                "{:<22} {:>9.2} MB {:>12} {:>14}",
+                job.name,
+                job.shuffle_bytes as f64 / 1e6,
+                job.shuffle_records,
+                job.reduce_input_groups
+            );
+        }
+        println!("{}", report.summary_row());
+
+        let dims_factor = ds.dim() as f64 / 4.0;
+        let local = ClusterSpec::local_cluster();
+        let ec2 = ClusterSpec::ec2_m1_medium(64);
+        println!(
+            "simulated: {:.1} s on the 5-node local cluster, {:.1} s on 64 x m1.medium\n",
+            report.simulate(&local, dims_factor),
+            report.simulate(&ec2, dims_factor)
+        );
+    }
+
+    // All three produce (almost) the same clustering when asked for the
+    // generative component count. DeltaOutliers is the rectangle the
+    // paper's interactive user would draw (high delta AND high rho).
+    let k = 24;
+    let step = CentralizedStep::new(PeakSelection::DeltaOutliers { k, rho_quantile: 0.5 });
+    let b = step.run(&basic.result);
+    let l = step.run(&lsh.result);
+    let e = step.run(&eddpc.result);
+    let ari = dp_core::quality::adjusted_rand_index;
+    println!(
+        "agreement at k = {k}: basic~lsh ARI = {:.4}, basic~eddpc ARI = {:.4}",
+        ari(b.clustering.labels(), l.clustering.labels()),
+        ari(b.clustering.labels(), e.clustering.labels()),
+    );
+}

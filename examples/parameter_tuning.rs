@@ -1,0 +1,65 @@
+//! The accuracy dial: how `(A, M, pi)` set the LSH slot width and what
+//! you actually get.
+//!
+//! ```sh
+//! cargo run --release --example parameter_tuning
+//! ```
+//!
+//! Demonstrates §V of the paper: the user picks an expected accuracy `A`
+//! and the integers `(M, pi)`; Theorem 1 is solved in closed form for the
+//! minimal slot width `w`. The example prints the predicted accuracy
+//! curve, runs the pipeline at several settings, and compares prediction
+//! with measurement.
+
+use lsh_ddp::prelude::*;
+
+fn main() {
+    let ld = datasets::generators::blob_grid(6, 6, 60, 30.0, 0.8, 3);
+    let ds = ld.data;
+    let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 100_000, 3);
+    println!("workload: 36-blob grid, {} points, d_c = {dc:.3}\n", ds.len());
+
+    // The closed-form solver (Theorem 1 inverted).
+    println!("solved slot widths at M = 10, pi = 3:");
+    for a in [0.5, 0.9, 0.99, 0.999] {
+        let p = LshParams::for_accuracy(a, 10, 3, dc).expect("valid accuracy");
+        println!(
+            "  A = {a:<6} ->  w = {:>7.3}  (round-trip expected accuracy {:.4})",
+            p.w,
+            p.accuracy(dc)
+        );
+    }
+
+    // Prediction vs measurement.
+    let exact = compute_exact(&ds, dc);
+    println!("\npredicted vs measured (M = 10, pi = 3):");
+    println!("{:>8} {:>10} {:>10} {:>12}", "A", "tau1", "tau2", "# distances");
+    for a in [0.5, 0.8, 0.95, 0.99] {
+        let report = LshDdp::with_accuracy(a, 10, 3, dc, 3)
+            .expect("valid accuracy")
+            .run(&ds, dc);
+        println!(
+            "{:>8} {:>10.4} {:>10.4} {:>12}",
+            a,
+            dp_core::quality::tau1(&exact.rho, &report.result.rho),
+            dp_core::quality::tau2(&exact.rho, &report.result.rho),
+            report.distances,
+        );
+    }
+
+    // The M / pi trade at fixed accuracy.
+    println!("\ncost at fixed A = 0.99 (more layouts = more copies shuffled):");
+    println!("{:>4} {:>4} {:>9} {:>14} {:>12}", "M", "pi", "w", "shuffle bytes", "# distances");
+    for (m, pi) in [(5, 3), (10, 3), (20, 3), (10, 10)] {
+        let report = LshDdp::with_accuracy(0.99, m, pi, dc, 3)
+            .expect("valid accuracy")
+            .run(&ds, dc);
+        let w = LshParams::for_accuracy(0.99, m, pi, dc).expect("valid").w;
+        println!(
+            "{m:>4} {pi:>4} {w:>9.3} {:>14} {:>12}",
+            report.shuffle_bytes(),
+            report.distances
+        );
+    }
+    println!("\nThe paper's recommendation: M in [10, 20], pi in [3, 10] (§VI-E).");
+}

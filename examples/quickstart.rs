@@ -1,0 +1,67 @@
+//! Quickstart: cluster a small data set with Density Peaks, end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full DP workflow the paper describes: estimate `d_c`, compute
+//! `(rho, delta)`, inspect the decision graph, pick the peaks, assign
+//! clusters — first sequentially, then with the distributed LSH-DDP
+//! pipeline, and shows that both agree.
+
+use lsh_ddp::prelude::*;
+
+fn main() {
+    // Three well-separated Gaussian blobs in the plane.
+    let ld = datasets::gaussian_mixture(2, 3, 200, 100.0, 1.5, 7);
+    let ds = ld.data;
+    println!("data: {} points, {} dims, 3 true clusters", ds.len(), ds.dim());
+
+    // Step 0 — the cutoff distance. The rule of thumb: each point's
+    // d_c-neighborhood should hold 1–2% of the data.
+    let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 100_000, 7);
+    println!("d_c (2% quantile of pairwise distances) = {dc:.3}");
+
+    // Step 1 — exact sequential DP: rho (local density) and delta
+    // (distance to the nearest denser point) for every point.
+    let exact = compute_exact(&ds, dc);
+
+    // Step 2 — the decision graph. Density peaks are the top-right
+    // outliers: simultaneously dense and far from anything denser.
+    let graph = DecisionGraph::from_result(&exact);
+    let mut by_gamma: Vec<_> = graph.points().to_vec();
+    by_gamma.sort_by(|a, b| {
+        (b.rho as f64 * b.delta).partial_cmp(&(a.rho as f64 * a.delta)).unwrap()
+    });
+    println!("\ndecision graph, top 5 by rho*delta:");
+    println!("{:>8} {:>6} {:>10}", "point", "rho", "delta");
+    for p in by_gamma.iter().take(5) {
+        println!("{:>8} {:>6} {:>10.3}", p.id, p.rho, p.delta);
+    }
+
+    // Step 3 — select peaks and assign every point by its upslope chain.
+    let out = CentralizedStep::new(PeakSelection::TopK(3)).run(&exact);
+    println!("\npeaks: {:?}", out.peaks);
+    println!("cluster sizes: {:?}", out.clustering.sizes());
+
+    let ari = dp_core::quality::adjusted_rand_index(out.clustering.labels(), &ld.labels);
+    println!("ARI vs ground truth: {ari:.4}");
+
+    // Step 4 — the same thing, distributed: the LSH-DDP pipeline at 99%
+    // expected accuracy (Theorem 1 solves the LSH slot width for us).
+    let report = LshDdp::with_accuracy(0.99, 10, 3, dc, 7)
+        .expect("valid parameters")
+        .run(&ds, dc);
+    let dist_out = CentralizedStep::new(PeakSelection::TopK(3)).run(&report.result);
+    let agree = dp_core::quality::adjusted_rand_index(
+        out.clustering.labels(),
+        dist_out.clustering.labels(),
+    );
+    println!("\nLSH-DDP: {}", report.summary_row());
+    println!("distributed vs sequential agreement (ARI): {agree:.4}");
+    println!(
+        "rho recovered exactly for {:.1}% of points (tau1); tau2 = {:.4}",
+        100.0 * dp_core::quality::tau1(&exact.rho, &report.result.rho),
+        dp_core::quality::tau2(&exact.rho, &report.result.rho),
+    );
+}

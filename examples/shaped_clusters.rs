@@ -1,0 +1,68 @@
+//! Arbitrary-shape clustering: where DP beats centroid methods — and
+//! where the cutoff kernel honestly struggles.
+//!
+//! ```sh
+//! cargo run --release --example shaped_clusters
+//! ```
+//!
+//! Runs DP, K-means, EM, DBSCAN and hierarchical clustering on shaped 2-D
+//! benchmarks with ground truth, reporting ARI — the paper's Figure 8 /
+//! Table III story. The last row is a deliberate hard case: concentric
+//! rings of *uniform* density have no density peaks, so vanilla DP (the
+//! cutoff kernel of Eq. 1) cannot anchor clusters there — a limitation
+//! the DP follow-up literature addresses with kernel densities.
+
+use lsh_ddp::prelude::*;
+
+/// DP with the decision-graph workflow: dc at quantile `t`, top-k peaks.
+fn dp_cluster(ds: &Dataset, k: usize, t: f64) -> Clustering {
+    let dc = dp_core::cutoff::estimate_dc_exact(ds, t);
+    let r = compute_exact(ds, dc);
+    CentralizedStep::new(PeakSelection::TopK(k)).run(&r).clustering
+}
+
+fn evaluate(name: &str, ld: &datasets::LabeledDataset, k: usize, t: f64) {
+    let ds = &ld.data;
+    let truth = &ld.labels;
+    let dc = dp_core::cutoff::estimate_dc_exact(ds, t);
+
+    let dp_labels = dp_cluster(ds, k, t);
+    let km = KMeans::new(k, 1).fit(ds).clustering;
+    let em = EmGmm::new(k, 1).fit(ds).clustering;
+    let db = Dbscan::new(dc, 2).fit(ds).to_clustering();
+    let hi = Hierarchical::new(k, Linkage::Single).fit(ds);
+
+    let ari = dp_core::quality::adjusted_rand_index;
+    println!(
+        "{name:<22} DP {:>6.3}   k-means {:>6.3}   EM {:>6.3}   DBSCAN {:>6.3}   single-link {:>6.3}",
+        ari(dp_labels.labels(), truth),
+        ari(km.labels(), truth),
+        ari(em.labels(), truth),
+        ari(db.labels(), truth),
+        ari(hi.labels(), truth),
+    );
+}
+
+fn main() {
+    println!("ARI against ground truth (1.0 = perfect recovery):\n");
+    // Spiral arms have a density gradient toward the center — DP's home
+    // turf (the original DP paper's headline shapes are of this kind).
+    evaluate("spirals", &datasets::shapes::spirals(2, 300, 0.02, 5), 2, 0.05);
+    // Aggregation: 7 clusters of varied size/shape with touching bridges.
+    evaluate("aggregation", &datasets::shapes::aggregation_like(5), 7, 0.02);
+    // S2-like: 15 overlapping Gaussian clusters.
+    evaluate("s2 (15 gaussians)", &datasets::paper::s2_like(2000, 5), 15, 0.02);
+    // Hard case: uniform-density rings — no density peaks to anchor on.
+    evaluate(
+        "rings (hard case)",
+        &datasets::shapes::rings(&[1.0, 4.0, 8.0], 250, 0.08, 5),
+        3,
+        0.02,
+    );
+    println!(
+        "\nDP wins when clusters have density peaks, whatever their shape \
+         (spirals, bridged blobs); uniform-density manifolds (rings) defeat \
+         the cutoff kernel — single-linkage/DBSCAN handle those, but break \
+         on the bridged Aggregation set where DP excels."
+    );
+}

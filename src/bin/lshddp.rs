@@ -1,0 +1,331 @@
+//! `lshddp` — the command-line front end.
+//!
+//! ```text
+//! lshddp generate --dataset s2 --scale 0.1 --out points.csv
+//! lshddp dc       --input points.csv --percentile 0.02
+//! lshddp cluster  --input points.csv --algorithm lsh --accuracy 0.99 --k 15 --out labels.csv
+//! lshddp graph    --input points.csv --out graph.csv
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `generate` — write a synthetic data set (Table II analogs + shaped
+//!   sets) as CSV, optionally with ground-truth labels;
+//! * `dc` — estimate the cutoff distance at a quantile;
+//! * `cluster` — run one of the clustering pipelines end to end and write
+//!   one label per input row;
+//! * `graph` — compute the decision graph (`id,rho,delta,rectified`) for
+//!   interactive peak picking.
+
+use lsh_ddp::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+lshddp — distributed Density Peaks clustering (LSH-DDP, ICDE 2017)
+
+USAGE:
+  lshddp generate --dataset <name> --out <file> [--scale f] [--seed n] [--labels]
+      names: aggregation s2 facial kdd 3dspatial bigcross500k bigcross
+             spirals moons rings
+  lshddp dc --input <file> [--labeled] [--percentile f] [--samples n] [--seed n]
+  lshddp cluster --input <file> --out <file> [--labeled]
+      [--algorithm lsh|basic|eddpc|exact|kernel|kmeans]  (default lsh)
+      [--k n | --auto]          peak/cluster count (default --auto)
+      [--dc f]                  cutoff (default: 2% quantile estimate)
+      [--accuracy f] [--m n] [--pi n] [--seed n] [--normalize] [--stats]
+  lshddp graph --input <file> --out <file> [--labeled] [--dc f] [--seed n]
+      [--algorithm exact|lsh|kernel] [--accuracy f] [--m n] [--pi n]
+  lshddp tune --input <file> [--labeled] [--accuracy f] [--dc f] [--seed n]
+      cost-optimal (M, pi, w) over the paper's recommended grid (Section V)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "dc" => estimate_dc(&opts),
+        "cluster" => cluster(&opts),
+        "graph" => graph(&opts),
+        "tune" => tune(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Flat option bag for all subcommands.
+struct Opts {
+    dataset: Option<String>,
+    input: Option<String>,
+    out: Option<String>,
+    algorithm: String,
+    scale: f64,
+    seed: u64,
+    labels: bool,
+    labeled: bool,
+    normalize: bool,
+    stats: bool,
+    auto: bool,
+    k: Option<usize>,
+    dc: Option<f64>,
+    percentile: f64,
+    samples: usize,
+    accuracy: f64,
+    m: usize,
+    pi: usize,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts {
+            dataset: None,
+            input: None,
+            out: None,
+            algorithm: "lsh".into(),
+            scale: 0.01,
+            seed: 42,
+            labels: false,
+            labeled: false,
+            normalize: false,
+            stats: false,
+            auto: false,
+            k: None,
+            dc: None,
+            percentile: 0.02,
+            samples: 100_000,
+            accuracy: 0.99,
+            m: 10,
+            pi: 3,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--dataset" => o.dataset = Some(value("--dataset")?.clone()),
+                "--input" => o.input = Some(value("--input")?.clone()),
+                "--out" => o.out = Some(value("--out")?.clone()),
+                "--algorithm" => o.algorithm = value("--algorithm")?.clone(),
+                "--scale" => o.scale = parse_num(value("--scale")?, "--scale")?,
+                "--seed" => o.seed = parse_num(value("--seed")?, "--seed")?,
+                "--labels" => o.labels = true,
+                "--labeled" => o.labeled = true,
+                "--normalize" => o.normalize = true,
+                "--stats" => o.stats = true,
+                "--auto" => o.auto = true,
+                "--k" => o.k = Some(parse_num(value("--k")?, "--k")?),
+                "--dc" => o.dc = Some(parse_num(value("--dc")?, "--dc")?),
+                "--percentile" => o.percentile = parse_num(value("--percentile")?, "--percentile")?,
+                "--samples" => o.samples = parse_num(value("--samples")?, "--samples")?,
+                "--accuracy" => o.accuracy = parse_num(value("--accuracy")?, "--accuracy")?,
+                "--m" => o.m = parse_num(value("--m")?, "--m")?,
+                "--pi" => o.pi = parse_num(value("--pi")?, "--pi")?,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn load(&self) -> Result<datasets::LabeledDataset, String> {
+        let input = self.input.as_ref().ok_or("--input is required")?;
+        let mut ld = datasets::io::read_csv(input, self.labeled)
+            .map_err(|e| format!("reading {input}: {e}"))?;
+        if self.normalize {
+            ld.data.normalize_min_max();
+        }
+        Ok(ld)
+    }
+
+    fn resolve_dc(&self, ds: &Dataset) -> f64 {
+        self.dc.unwrap_or_else(|| {
+            dp_core::cutoff::estimate_dc_sampled(ds, self.percentile, self.samples, self.seed)
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+fn generate(o: &Opts) -> Result<(), String> {
+    let name = o.dataset.as_deref().ok_or("--dataset is required")?;
+    let out = o.out.as_ref().ok_or("--out is required")?;
+    let ld = match name {
+        "aggregation" => PaperDataset::Aggregation.generate(1.0, o.seed),
+        "s2" => PaperDataset::S2.generate(o.scale.clamp(1e-9, 1.0), o.seed),
+        "facial" => PaperDataset::Facial.generate(o.scale, o.seed),
+        "kdd" => PaperDataset::Kdd.generate(o.scale, o.seed),
+        "3dspatial" => PaperDataset::Spatial3d.generate(o.scale, o.seed),
+        "bigcross500k" => PaperDataset::BigCross500k.generate(o.scale, o.seed),
+        "bigcross" => PaperDataset::BigCross.generate(o.scale, o.seed),
+        "spirals" => datasets::shapes::spirals(2, 300, 0.02, o.seed),
+        "moons" => datasets::shapes::two_moons(300, 0.04, o.seed),
+        "rings" => datasets::shapes::rings(&[1.0, 4.0, 8.0], 250, 0.08, o.seed),
+        other => return Err(format!("unknown dataset {other:?} (see `lshddp help`)")),
+    };
+    let labels = o.labels.then_some(&ld.labels[..]);
+    datasets::io::write_csv(out, &ld.data, labels).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} points x {} dims to {out}", ld.len(), ld.data.dim());
+    Ok(())
+}
+
+fn estimate_dc(o: &Opts) -> Result<(), String> {
+    let ld = o.load()?;
+    let dc = dp_core::cutoff::estimate_dc_sampled(
+        &ld.data,
+        o.percentile,
+        o.samples,
+        o.seed,
+    );
+    println!("{dc}");
+    Ok(())
+}
+
+fn cluster(o: &Opts) -> Result<(), String> {
+    let ld = o.load()?;
+    let ds = &ld.data;
+    let out = o.out.as_ref().ok_or("--out is required")?;
+    let dc = o.resolve_dc(ds);
+
+    // K-means is the odd one out (no decision graph).
+    if o.algorithm == "kmeans" {
+        let k = o.k.ok_or("--k is required for kmeans")?;
+        let fit = KMeans::new(k, o.seed).fit(ds);
+        write_labels(out, fit.clustering.labels())?;
+        println!(
+            "kmeans: k={k}, {} iterations, inertia {:.4}",
+            fit.iterations, fit.inertia
+        );
+        return Ok(());
+    }
+
+    // The DP family: compute (rho, delta), then select + assign.
+    let (result, report): (DpResult, Option<ddp::stats::RunReport>) = match o.algorithm.as_str()
+    {
+        "exact" => (compute_exact(ds, dc), None),
+        "kernel" => (dp_core::compute_gaussian(ds, dc).result, None),
+        "basic" => {
+            let r = BasicDdp::new(BasicConfig::default()).run(ds, dc);
+            (r.result.clone(), Some(r))
+        }
+        "eddpc" => {
+            let r = Eddpc::new(EddpcConfig::for_size(ds.len(), o.seed)).run(ds, dc);
+            (r.result.clone(), Some(r))
+        }
+        "lsh" => {
+            let r = LshDdp::with_accuracy(o.accuracy, o.m, o.pi, dc, o.seed)
+                .map_err(|e| e.to_string())?
+                .run(ds, dc);
+            (r.result.clone(), Some(r))
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    let selection = match (o.auto, o.k) {
+        (false, Some(k)) => PeakSelection::DeltaOutliers { k, rho_quantile: 0.25 },
+        _ => PeakSelection::Auto,
+    };
+    let outcome = CentralizedStep::new(selection).run(&result);
+    write_labels(out, outcome.clustering.labels())?;
+    println!(
+        "{}: d_c = {dc:.6}, {} peaks, {} clusters, wrote {}",
+        o.algorithm,
+        outcome.peaks.len(),
+        outcome.clustering.n_clusters(),
+        out
+    );
+    if o.labeled {
+        println!(
+            "ARI vs input labels: {:.4}",
+            dp_core::quality::adjusted_rand_index(outcome.clustering.labels(), &ld.labels)
+        );
+    }
+    if o.stats {
+        if let Some(r) = report {
+            println!("{}", r.summary_row());
+            for job in &r.jobs {
+                println!(
+                    "  {:<22} shuffle {:>12} B  records {:>10}",
+                    job.name, job.shuffle_bytes, job.shuffle_records
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn graph(o: &Opts) -> Result<(), String> {
+    let ld = o.load()?;
+    let ds = &ld.data;
+    let out = o.out.as_ref().ok_or("--out is required")?;
+    let dc = o.resolve_dc(ds);
+    let result = match o.algorithm.as_str() {
+        "lsh" => {
+            LshDdp::with_accuracy(o.accuracy, o.m, o.pi, dc, o.seed)
+                .map_err(|e| e.to_string())?
+                .run(ds, dc)
+                .result
+        }
+        "kernel" => dp_core::compute_gaussian(ds, dc).result,
+        _ => compute_exact(ds, dc),
+    };
+    let graph = DecisionGraph::from_result(&result);
+    std::fs::write(out, graph.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote decision graph ({} points, d_c = {dc:.6}) to {out}", graph.len());
+    Ok(())
+}
+
+fn tune(o: &Opts) -> Result<(), String> {
+    let ld = o.load()?;
+    let ds = &ld.data;
+    let dc = o.resolve_dc(ds);
+    let spec = mapreduce::ClusterSpec::local_cluster();
+    let report = ddp::tuning::autotune(ds, dc, o.accuracy, &spec, &RECOMMENDED_GRID, 1000, o.seed)
+        .map_err(|e| e.to_string())?;
+    println!("d_c = {dc:.6}; grid at A = {}:", o.accuracy);
+    println!("{:>4} {:>4} {:>10} {:>16} {:>18} {:>14}", "M", "pi", "w", "pred #dist", "pred shuffle B", "pred cost s");
+    for c in &report.candidates {
+        let marker = if c.params == report.best.params { "->" } else { "  " };
+        println!(
+            "{marker}{:>3} {:>4} {:>10.4} {:>16} {:>18} {:>14.2}",
+            c.params.m,
+            c.params.pi,
+            c.params.w,
+            c.predicted_distances,
+            c.predicted_shuffle_bytes,
+            c.predicted_cost_secs
+        );
+    }
+    println!(
+        "recommended: --m {} --pi {} (w = {:.4})",
+        report.best.params.m, report.best.params.pi, report.best.params.w
+    );
+    Ok(())
+}
+
+fn write_labels(path: &str, labels: &[u32]) -> Result<(), String> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+    );
+    for l in labels {
+        writeln!(f, "{l}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

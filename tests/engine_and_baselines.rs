@@ -1,0 +1,128 @@
+//! Integration of the MapReduce engine with the driver/DFS and the
+//! baseline algorithms on realistic workloads.
+
+use lsh_ddp::prelude::*;
+use mapreduce::{Driver, Emitter};
+
+#[test]
+fn driver_runs_a_two_job_pipeline_through_dfs() {
+    use mapreduce::task::{FnMapper, FnReducer};
+
+    let mut driver = Driver::new();
+    let input: Vec<(u32, u32)> = (0..1000).map(|i| (i, i % 10)).collect();
+    driver.dfs().put("input/points", input.clone()).unwrap();
+
+    // Job 1: histogram of values.
+    let read: Vec<(u32, u32)> = (*driver.dfs().get::<(u32, u32)>("input/points").unwrap()).clone();
+    let (hist, m1) = JobBuilder::new(
+        "histogram",
+        FnMapper::new(|_k: u32, v: u32, out: &mut Emitter<u32, u64>| out.emit(v, 1)),
+        FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+            out.emit(*k, vs.into_iter().sum())
+        }),
+    )
+    .config(JobConfig::uniform(4))
+    .run(read);
+    driver.record(m1);
+    driver.dfs().put("job1/hist", hist).unwrap();
+
+    // Job 2: find the max bucket.
+    let hist = (*driver.dfs().get::<(u32, u64)>("job1/hist").unwrap()).clone();
+    let (maxes, m2) = JobBuilder::new(
+        "argmax",
+        FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u8, (u32, u64)>| out.emit(0, (k, v))),
+        FnReducer::new(|_k: &u8, vs: Vec<(u32, u64)>, out: &mut Emitter<u32, u64>| {
+            let (k, v) = vs.into_iter().max_by_key(|(_, v)| *v).expect("non-empty");
+            out.emit(k, v);
+        }),
+    )
+    .config(JobConfig::uniform(2))
+    .run(hist);
+    driver.record(m2);
+
+    assert_eq!(maxes.len(), 1);
+    assert_eq!(maxes[0].1, 100, "each of 10 buckets holds 100");
+    assert_eq!(driver.history().len(), 2);
+    assert!(driver.total_shuffle_bytes() > 0);
+    assert!(driver.dfs().bytes_written() > 0);
+    assert!(driver.dfs().bytes_read() > 0);
+}
+
+#[test]
+fn mapreduce_kmeans_converges_like_sequential_on_blobs() {
+    let ld = datasets::gaussian_mixture(3, 4, 80, 120.0, 1.0, 5);
+    let seq = KMeans::new(4, 9).fit(&ld.data);
+    let mr = MapReduceKMeans::new(4, 9).run(&ld.data, 25);
+    let ari = dp_core::quality::adjusted_rand_index(
+        seq.clustering.labels(),
+        mr.clustering.labels(),
+    );
+    assert!(ari > 0.99, "sequential vs MapReduce K-means ARI = {ari}");
+    // Both recover the generating mixture.
+    let truth = dp_core::quality::adjusted_rand_index(mr.clustering.labels(), &ld.labels);
+    assert!(truth > 0.99, "ARI vs ground truth = {truth}");
+}
+
+#[test]
+fn baselines_recover_well_separated_mixtures() {
+    let ld = datasets::gaussian_mixture(2, 3, 100, 200.0, 1.0, 6);
+    let truth = &ld.labels;
+    let ari = dp_core::quality::adjusted_rand_index;
+
+    let km = KMeans::new(3, 2).fit(&ld.data);
+    assert!(ari(km.clustering.labels(), truth) > 0.99, "k-means");
+
+    let em = EmGmm::new(3, 2).fit(&ld.data);
+    assert!(ari(em.clustering.labels(), truth) > 0.99, "EM");
+
+    let hi = Hierarchical::new(3, Linkage::Average).fit(&ld.data);
+    assert!(ari(hi.labels(), truth) > 0.99, "hierarchical");
+
+    // DBSCAN's eps must exceed the typical nearest-neighbor spacing; the
+    // 2% distance quantile on a 3-blob set sits below it, so use the 10%
+    // quantile (still far below the inter-blob gap).
+    let eps = dp_core::cutoff::estimate_dc_sampled(&ld.data, 0.10, 50_000, 2);
+    let db = Dbscan::new(eps, 2).fit(&ld.data).to_clustering();
+    assert!(ari(db.labels(), truth) > 0.9, "DBSCAN");
+}
+
+#[test]
+fn csv_io_round_trips_through_pipeline() {
+    let dir = std::env::temp_dir().join("lshddp-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("workload.csv");
+
+    let ld = datasets::gaussian_mixture(2, 2, 50, 80.0, 1.0, 8);
+    datasets::io::write_csv(&path, &ld.data, Some(&ld.labels)).unwrap();
+    let back = datasets::io::read_csv(&path, true).unwrap();
+    assert_eq!(back.labels, ld.labels);
+
+    // The re-read data clusters identically.
+    let dc = 2.0;
+    let a = compute_exact(&ld.data, dc);
+    let b = compute_exact(&back.data, dc);
+    assert_eq!(a.rho, b.rho);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cluster_cost_model_orders_algorithms_like_counters() {
+    // On a workload where LSH-DDP shuffles and computes less than
+    // Basic-DDP, the cost model must rank them the same way at any
+    // cluster size.
+    let ld = datasets::generators::blob_grid(6, 5, 25, 25.0, 0.6, 3);
+    let dc = 0.8;
+    let basic = BasicDdp::new(BasicConfig { block_size: 25, ..Default::default() })
+        .run(&ld.data, dc);
+    let lshr = LshDdp::with_accuracy(0.99, 10, 3, dc, 3)
+        .expect("valid accuracy")
+        .run(&ld.data, dc);
+    assert!(lshr.distances < basic.distances);
+    for workers in [4, 16, 64] {
+        let spec = ClusterSpec { workers, job_startup_secs: 0.0, ..ClusterSpec::local_cluster() };
+        assert!(
+            lshr.simulate(&spec, 1.0) < basic.simulate(&spec, 1.0),
+            "workers = {workers}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end fault tolerance: whole DDP pipelines run under task-failure
+//! injection and produce results identical to clean runs.
+
+use lsh_ddp::prelude::*;
+use mapreduce::FaultPlan;
+
+fn workload() -> Dataset {
+    datasets::generators::blob_grid(4, 4, 25, 20.0, 0.6, 3).data
+}
+
+fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
+    PipelineConfig {
+        map_tasks: 6,
+        reduce_tasks: 6,
+        fault: Some(FaultPlan::new(rate_per_mille, 777)),
+    }
+}
+
+#[test]
+fn basic_ddp_survives_task_failures_bit_exactly() {
+    let ds = workload();
+    let dc = 0.9;
+    let clean = BasicDdp::new(BasicConfig { block_size: 40, ..Default::default() })
+        .run(&ds, dc);
+    let faulty = BasicDdp::new(BasicConfig {
+        block_size: 40,
+        pipeline: faulty_pipeline(250),
+    })
+    .run(&ds, dc);
+    assert_eq!(clean.result, faulty.result, "retries must be invisible in results");
+    let retries: u64 = faulty.jobs.iter().map(|j| j.task_retries).sum();
+    assert!(retries > 0, "25% failure rate across 4 jobs x 12 tasks must retry");
+    assert_eq!(clean.jobs.iter().map(|j| j.task_retries).sum::<u64>(), 0);
+}
+
+#[test]
+fn lsh_ddp_survives_task_failures_bit_exactly() {
+    let ds = workload();
+    let dc = 0.9;
+    let params = lsh::LshParams::for_accuracy(0.95, 8, 3, dc).expect("valid");
+    let run = |pipeline: PipelineConfig| {
+        LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
+            params,
+            seed: 5,
+            pipeline,
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        })
+        .run(&ds, dc)
+    };
+    let clean = run(PipelineConfig { map_tasks: 6, reduce_tasks: 6, fault: None });
+    let faulty = run(faulty_pipeline(250));
+    assert_eq!(clean.result, faulty.result);
+    assert!(faulty.jobs.iter().map(|j| j.task_retries).sum::<u64>() > 0);
+}
+
+#[test]
+fn eddpc_survives_task_failures_bit_exactly() {
+    let ds = workload();
+    let dc = 0.9;
+    let run = |pipeline: PipelineConfig| {
+        Eddpc::new(EddpcConfig { n_pivots: 12, seed: 2, pipeline }).run(&ds, dc)
+    };
+    let clean = run(PipelineConfig { map_tasks: 6, reduce_tasks: 6, fault: None });
+    let faulty = run(faulty_pipeline(250));
+    assert_eq!(clean.result, faulty.result);
+}
+
+#[test]
+fn retries_scale_with_the_failure_rate() {
+    let ds = workload();
+    let dc = 0.9;
+    let retries_at = |rate: u32| -> u64 {
+        BasicDdp::new(BasicConfig { block_size: 40, pipeline: faulty_pipeline(rate) })
+            .run(&ds, dc)
+            .jobs
+            .iter()
+            .map(|j| j.task_retries)
+            .sum()
+    };
+    let low = retries_at(50);
+    let high = retries_at(500);
+    assert!(
+        high > low,
+        "50% failure rate must retry more than 5% (got {low} vs {high})"
+    );
+}

@@ -1,0 +1,144 @@
+//! Property-based invariants spanning the whole stack.
+
+use lsh_ddp::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random dataset (2–60 points, 1–4 dims) with
+/// coordinates in a bounded box, plus a valid dc.
+fn dataset_strategy() -> impl Strategy<Value = (Dataset, f64)> {
+    (1usize..=4, 2usize..=60)
+        .prop_flat_map(|(dim, n)| {
+            (
+                proptest::collection::vec(-50.0f64..50.0, dim * n),
+                Just(dim),
+                0.5f64..20.0,
+            )
+        })
+        .prop_map(|(flat, dim, dc)| (Dataset::from_flat(dim, flat), dc))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked exact pipeline agrees with the sequential reference on
+    /// arbitrary inputs (not just nice clusters).
+    #[test]
+    fn basic_ddp_always_matches_sequential((ds, dc) in dataset_strategy()) {
+        let exact = compute_exact(&ds, dc);
+        let report = BasicDdp::new(BasicConfig { block_size: 7, ..Default::default() })
+            .run(&ds, dc);
+        prop_assert_eq!(&report.result.rho, &exact.rho);
+        prop_assert_eq!(&report.result.upslope, &exact.upslope);
+        for (a, b) in report.result.delta.iter().zip(&exact.delta) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// EDDPC is exact for any pivot count.
+    #[test]
+    fn eddpc_always_matches_sequential((ds, dc) in dataset_strategy(), pivots in 1usize..12) {
+        let exact = compute_exact(&ds, dc);
+        let report = Eddpc::new(EddpcConfig {
+            n_pivots: pivots,
+            seed: 1,
+            pipeline: Default::default(),
+        })
+        .run(&ds, dc);
+        prop_assert_eq!(&report.result.rho, &exact.rho);
+        prop_assert_eq!(&report.result.upslope, &exact.upslope);
+    }
+
+    /// LSH-DDP's structural invariants hold for arbitrary inputs:
+    /// rho never overestimates, deltas are positive, infinite deltas pair
+    /// with NO_UPSLOPE, and at least one peak candidate exists.
+    #[test]
+    fn lsh_ddp_structural_invariants((ds, dc) in dataset_strategy()) {
+        let exact = compute_exact(&ds, dc);
+        let report = LshDdp::with_accuracy(0.9, 4, 2, dc, 7).unwrap().run(&ds, dc);
+        let r = &report.result;
+        prop_assert_eq!(r.len(), ds.len());
+        let mut candidates = 0;
+        for i in 0..r.len() {
+            prop_assert!(r.rho[i] <= exact.rho[i], "rho overestimated at {}", i);
+            if r.delta[i].is_infinite() {
+                prop_assert_eq!(r.upslope[i], dp_core::dp::NO_UPSLOPE);
+                candidates += 1;
+            } else {
+                prop_assert!(r.delta[i] >= 0.0);
+                let u = r.upslope[i];
+                prop_assert!((u as usize) < r.len(), "upslope out of range");
+                // The upslope must really be denser under the canonical
+                // order (approximate densities included).
+                prop_assert!(dp_core::dp::denser(r.rho[u as usize], u, r.rho[i], i as u32));
+            }
+        }
+        prop_assert!(candidates >= 1, "the global densest point is always a candidate");
+    }
+
+    /// Cluster assignment is a total function onto the selected peaks:
+    /// every point labeled, every peak in its own cluster.
+    #[test]
+    fn assignment_covers_everything((ds, dc) in dataset_strategy(), k in 1usize..5) {
+        let exact = compute_exact(&ds, dc);
+        let k = k.min(ds.len());
+        let peaks = dp_core::decision::select_top_k(&exact, k);
+        let clustering = dp_core::decision::assign(&exact, &peaks);
+        prop_assert_eq!(clustering.len(), ds.len());
+        prop_assert_eq!(clustering.n_clusters() as usize, peaks.len());
+        for (c, &p) in peaks.iter().enumerate() {
+            prop_assert_eq!(clustering.label(p), c as u32);
+        }
+        let sizes = clustering.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), ds.len());
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    /// Following any point's upslope chain terminates at the absolute
+    /// density peak without revisiting a point.
+    #[test]
+    fn upslope_chains_terminate((ds, dc) in dataset_strategy()) {
+        let exact = compute_exact(&ds, dc);
+        for start in 0..ds.len() as u32 {
+            let mut seen = std::collections::HashSet::new();
+            let mut cur = start;
+            while exact.upslope[cur as usize] != dp_core::dp::NO_UPSLOPE {
+                prop_assert!(seen.insert(cur), "cycle through {}", cur);
+                cur = exact.upslope[cur as usize];
+            }
+        }
+    }
+
+    /// The MapReduce quality metrics are permutation-invariant.
+    #[test]
+    fn ari_label_permutation_invariance(labels in proptest::collection::vec(0u32..4, 4..40)) {
+        let permuted: Vec<u32> = labels.iter().map(|&l| (l + 1) % 4).collect();
+        let ari = dp_core::quality::adjusted_rand_index(&labels, &permuted);
+        prop_assert!((ari - 1.0).abs() < 1e-9, "ARI = {}", ari);
+        let nmi = dp_core::quality::normalized_mutual_information(&labels, &permuted);
+        prop_assert!(nmi > 1.0 - 1e-9);
+    }
+
+    /// Theorem 1's closed-form width solution round-trips for arbitrary
+    /// valid parameters.
+    #[test]
+    fn width_solver_round_trips(
+        a in 0.01f64..0.999,
+        m in 1usize..40,
+        pi in 1usize..25,
+        dc in 1e-6f64..1e3,
+    ) {
+        let w = lsh::tuning::solve_width(a, m, pi, dc).unwrap();
+        prop_assert!(w.is_finite() && w > 0.0);
+        let achieved = lsh::prob::expected_accuracy(w, dc, pi, m);
+        prop_assert!((achieved - a).abs() < 1e-6, "A={} achieved={}", a, achieved);
+    }
+
+    /// The shuffle-size accounting is additive.
+    #[test]
+    fn shuffle_size_additivity(xs in proptest::collection::vec(any::<u32>(), 0..50)) {
+        use mapreduce::ShuffleSize;
+        let whole = xs.clone().shuffle_bytes();
+        let parts: u64 = 4 + xs.iter().map(|x| x.shuffle_bytes()).sum::<u64>();
+        prop_assert_eq!(whole, parts);
+    }
+}
