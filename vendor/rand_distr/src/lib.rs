@@ -1,0 +1,107 @@
+//! Offline vendored subset of `rand_distr`: the normal distributions the
+//! workspace samples for p-stable LSH draws and Gaussian synthetic data.
+
+pub use rand::Distribution;
+use rand::RngCore;
+
+/// The standard normal `N(0, 1)`, via the Marsaglia polar method (one
+/// draw per sample; the rejected mate is discarded to keep the
+/// implementation stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = (rng.next_u64() >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0;
+            let v: f64 = (rng.next_u64() >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let x: f64 = StandardNormal.sample(rng);
+        x as f32
+    }
+}
+
+/// Errors constructing a parameterized distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z: f64 = StandardNormal.sample(rng);
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn parameterized_normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.sample(d)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.08, "mean = {mean}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! Implements the parallel-iterator surface this workspace uses —
+//! `into_par_iter().enumerate().map(..).collect()` and friends — over
+//! `std::thread::scope` with one chunk per hardware thread. There is no
+//! work stealing: each adaptor materializes its input, and `map`/`for_each`
+//! fan the items out across threads in contiguous, order-preserving
+//! chunks. For the coarse task-sized closures the MapReduce engine and the
+//! density kernels run, that recovers the parallel speedup that matters.
+
+use std::num::NonZeroUsize;
+
+/// Number of threads the pool would use (here: hardware parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Order-preserving parallel map of `items` through `f`, chunked across
+/// the available threads.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let outputs: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map task panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for chunk in outputs {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// An eager "parallel iterator": adaptors record the pipeline on a
+/// materialized `Vec`, and the data-parallel stages (`map`, `for_each`)
+/// execute across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index, preserving order.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Parallel map; the returned iterator holds the already-computed
+    /// results in input order.
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: par_map_vec(self.items, f) }
+    }
+
+    /// Parallel filter (predicate runs in parallel, order preserved).
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let kept = par_map_vec(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = par_map_vec(self.items, f);
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum of the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Parallel reduction with an identity element.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Builds the iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_into_par_iter_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Conversion into a [`ParIter`] over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Builds the iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<(usize, &str)> = v.into_par_iter().enumerate().map(|p| p).collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<u32> = (0u32..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn map_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        if super::current_num_threads() < 2 {
+            return;
+        }
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<u64> = (0..1000u64).collect();
+        let _: Vec<u64> = v
+            .into_par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        assert!(seen.lock().unwrap().len() >= 2, "expected work on >= 2 threads");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

@@ -1,0 +1,582 @@
+//! Offline vendored serde facade.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the serde surface the workspace uses — `Serialize`/`Deserialize` with
+//! `#[derive(..)]`, `#[serde(with = "...")]` and `#[serde(default)]` —
+//! over a simple self-describing [`Value`] data model instead of the
+//! upstream visitor architecture. `serde_json` (also vendored) prints and
+//! parses [`Value`]s. The public trait signatures match upstream closely
+//! enough that the workspace's hand-written `serialize`/`deserialize`
+//! helpers (e.g. duration-as-seconds with-modules) compile unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+use std::convert::Infallible;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree value — the intermediate data model every
+/// serializer and deserializer in this workspace speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+pub mod ser {
+    //! Serialization traits.
+
+    use super::Value;
+
+    /// Error constraint for serializers.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// An error carrying a custom message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A value that can render itself into a serializer.
+    pub trait Serialize {
+        /// Serializes `self`.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A sink for one value. All primitive entry points funnel into
+    /// [`Serializer::serialize_value`] by default.
+    pub trait Serializer: Sized {
+        /// Successful output.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes a finished [`Value`] tree.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::I64(v))
+        }
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::U64(v))
+        }
+        /// Serializes an `f32`.
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v as f64))
+        }
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v))
+        }
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Str(v.to_string()))
+        }
+        /// Serializes a unit/null.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+        /// Serializes an absent option.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+        /// Serializes a present option.
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(super::to_value(v))
+        }
+    }
+
+    impl Error for std::convert::Infallible {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            unreachable!("infallible serializer raised: {msg}")
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization traits.
+
+    use super::Value;
+
+    /// Error constraint for deserializers.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// An error carrying a custom message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A value that can reconstruct itself from a deserializer.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes one value.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A source of one [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Yields the full value.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// Owned-deserializable marker, mirroring upstream.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// A serializer producing the [`Value`] tree itself; cannot fail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Infallible;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Infallible> {
+        Ok(value)
+    }
+}
+
+/// Renders any serializable value to the [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    match v.serialize(ValueSerializer) {
+        Ok(value) => value,
+        Err(e) => match e {},
+    }
+}
+
+/// A deserializer reading back from a [`Value`] tree, generic in the error
+/// type so derived code can thread the caller's error through.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: std::marker::PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Reconstructs any deserializable type from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(v: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(v))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_none(),
+            Some(v) => s.serialize_some(v),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+/// Map keys must render as strings (JSON's constraint); numeric and string
+/// keys are supported.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key: {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let entries =
+            self.iter().map(|(k, v)| (key_string(&to_value(k)), to_value(v))).collect();
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (key_string(&to_value(k)), to_value(v))).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn as_u64<E: de::Error>(v: &Value, what: &str) -> Result<u64, E> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 => Ok(*f as u64),
+        other => Err(E::custom(format!("expected {what}, found {other:?}"))),
+    }
+}
+
+fn as_i64<E: de::Error>(v: &Value, what: &str) -> Result<i64, E> {
+    match v {
+        Value::I64(n) => Ok(*n),
+        Value::U64(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        Value::F64(f) if f.fract() == 0.0 => Ok(*f as i64),
+        other => Err(E::custom(format!("expected {what}, found {other:?}"))),
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = as_u64::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = as_i64::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(de::Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value::<T, D::Error>(v).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items.into_iter().map(from_value::<T, D::Error>).collect(),
+            other => Err(de::Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = from_value::<K, D::Error>(Value::Str(k))?;
+                    Ok((key, from_value::<V, D::Error>(v)?))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+/// Support code for derive-generated impls. Not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, from_value, to_value, Deserialize, Serialize, Value, ValueSerializer};
+    use std::convert::Infallible;
+
+    /// Runs a `with`-module serialize function against the value sink.
+    pub fn with_to_value<F>(f: F) -> Value
+    where
+        F: FnOnce(ValueSerializer) -> Result<Value, Infallible>,
+    {
+        match f(ValueSerializer) {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Serializes one struct field.
+    pub fn field_value<T: Serialize + ?Sized>(v: &T) -> Value {
+        to_value(v)
+    }
+
+    /// Unwraps a map value, or errors.
+    pub fn into_map<E: de::Error>(v: Value, ty: &str) -> Result<Vec<(String, Value)>, E> {
+        match v {
+            Value::Map(entries) => Ok(entries),
+            other => Err(E::custom(format!("expected map for {ty}, found {other:?}"))),
+        }
+    }
+
+    /// Removes and returns the entry named `name`, if present.
+    pub fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+        let idx = entries.iter().position(|(k, _)| k == name)?;
+        Some(entries.remove(idx).1)
+    }
+
+    /// Required field: missing is an error.
+    pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+        entries: &mut Vec<(String, Value)>,
+        name: &'static str,
+    ) -> Result<T, E> {
+        match take_field(entries, name) {
+            Some(v) => from_value(v),
+            None => Err(E::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// `#[serde(default)]` field: missing falls back to `Default`.
+    pub fn field_default<'de, T: Deserialize<'de> + Default, E: de::Error>(
+        entries: &mut Vec<(String, Value)>,
+        name: &'static str,
+    ) -> Result<T, E> {
+        match take_field(entries, name) {
+            Some(v) => from_value(v),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// `#[serde(with = "...")]` field: applies the module's deserialize.
+    pub fn field_with<'de, T, E: de::Error, F>(
+        entries: &mut Vec<(String, Value)>,
+        name: &'static str,
+        f: F,
+    ) -> Result<T, E>
+    where
+        F: FnOnce(super::ValueDeserializer<E>) -> Result<T, E>,
+    {
+        match take_field(entries, name) {
+            Some(v) => f(super::ValueDeserializer::new(v)),
+            None => Err(E::custom(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_to_value() {
+        assert_eq!(to_value(&3u32), Value::U64(3));
+        assert_eq!(to_value(&-2i64), Value::I64(-2));
+        assert_eq!(to_value(&1.5f64), Value::F64(1.5));
+        assert_eq!(to_value("hi"), Value::Str("hi".into()));
+        assert_eq!(to_value(&Option::<u8>::None), Value::Null);
+    }
+
+    #[test]
+    fn collections_to_value() {
+        assert_eq!(
+            to_value(&vec![1u32, 2]),
+            Value::Seq(vec![Value::U64(1), Value::U64(2)])
+        );
+        let m = BTreeMap::from([("a".to_string(), 1u64)]);
+        assert_eq!(to_value(&m), Value::Map(vec![("a".into(), Value::U64(1))]));
+    }
+
+    #[test]
+    fn round_trip_via_value() {
+        #[derive(Debug, PartialEq)]
+        struct E(String);
+        impl std::fmt::Display for E {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+        impl de::Error for E {
+            fn custom<T: std::fmt::Display>(msg: T) -> Self {
+                E(msg.to_string())
+            }
+        }
+
+        let v = to_value(&vec![(1u32, 2.5f64)]);
+        let back: Vec<(u32, f64)> = match v {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|it| match it {
+                    Value::Seq(pair) => {
+                        let mut pair = pair.into_iter();
+                        Ok((
+                            from_value::<u32, E>(pair.next().unwrap())?,
+                            from_value::<f64, E>(pair.next().unwrap())?,
+                        ))
+                    }
+                    other => Err(E::custom(format!("bad pair {other:?}"))),
+                })
+                .collect::<Result<_, E>>()
+                .unwrap(),
+            _ => panic!("expected seq"),
+        };
+        assert_eq!(back, vec![(1, 2.5)]);
+    }
+}

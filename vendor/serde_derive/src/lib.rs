@@ -1,0 +1,557 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implemented without `syn`/`quote`: the input item is parsed directly
+//! from the raw `TokenStream` (only field/variant names and the
+//! `#[serde(with = "...")]` / `#[serde(default)]` attributes matter — field
+//! *types* are never parsed because the generated code lets inference
+//! recover them at struct-literal / helper-call positions), and the impl is
+//! generated as a source string re-parsed via `TokenStream::from_str`.
+//!
+//! Supported shapes: named-field structs, tuple structs, unit structs, and
+//! enums with unit / tuple / struct variants (externally tagged, matching
+//! serde_json's representation). Generics are not supported — the
+//! workspace derives none.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Consumes a run of `#[...]` attributes starting at `i`, extracting any
+/// serde `with`/`default` settings and skipping everything else (docs,
+/// cfg, derive, ...).
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (FieldAttrs, usize) {
+    let mut attrs = FieldAttrs::default();
+    while i + 1 < tokens.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(g)) = (&tokens[i], &tokens[i + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_attr_body(g, &mut attrs);
+        i += 2;
+    }
+    (attrs, i)
+}
+
+/// Reads one `[...]` attribute body; only `serde(...)` contents are
+/// interpreted.
+fn parse_attr_body(group: &Group, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let Some(TokenTree::Ident(head)) = toks.first() else { return };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else { return };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                assert!(
+                    i + 2 < inner.len() && is_punct(&inner[i + 1], '='),
+                    "expected #[serde(with = \"path\")]"
+                );
+                let TokenTree::Literal(lit) = &inner[i + 2] else {
+                    panic!("expected string literal in #[serde(with = ...)]");
+                };
+                let s = lit.to_string();
+                attrs.with = Some(s.trim_matches('"').to_string());
+                i += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("unsupported serde attribute token: {other}"),
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type, stopping after the top-level `,` (or at end).
+/// Tracks `<...>` nesting; `->`'s `>` is not a closer.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        prev_dash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '-');
+        i += 1;
+    }
+    i
+}
+
+/// Parses the `{ name: Type, ... }` body of a struct or struct variant.
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (attrs, ni) = take_attrs(&tokens, i);
+        i = skip_visibility(&tokens, ni);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected field name, found {:?}", tokens.get(i).map(|t| t.to_string()));
+        };
+        let name = id.to_string();
+        i += 1;
+        assert!(
+            tokens.get(i).is_some_and(|t| is_punct(t, ':')),
+            "expected `:` after field `{name}`"
+        );
+        i = skip_type(&tokens, i + 1);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` tuple body.
+fn tuple_arity(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, ni) = take_attrs(&tokens, i);
+        i = skip_visibility(&tokens, ni);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        arity += 1;
+    }
+    arity
+}
+
+/// Parses the `{ Variant, Variant(T), Variant { .. } }` body of an enum.
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, ni) = take_attrs(&tokens, i);
+        i = ni;
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected variant name, found {:?}", tokens.get(i).map(|t| t.to_string()));
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if tokens.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("derive input has no struct or enum"),
+        }
+    };
+    i += 1;
+    let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+        panic!("expected type name after `{keyword}`");
+    };
+    let name = id.to_string();
+    i += 1;
+    assert!(
+        !tokens.get(i).is_some_and(|t| is_punct(t, '<')),
+        "derive on generic type `{name}` is not supported by the vendored serde"
+    );
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "enum" {
+                Item::Enum { name, variants: parse_variants(g) }
+            } else {
+                Item::NamedStruct { name, fields: parse_named_fields(g) }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: tuple_arity(g) }
+        }
+        Some(t) if is_punct(t, ';') => Item::UnitStruct { name },
+        other => panic!("unsupported item body after `{name}`: {:?}", other.map(|t| t.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (source strings re-parsed into TokenStreams)
+// ---------------------------------------------------------------------------
+
+const ERR: &str = "<__D::Error as ::serde::de::Error>";
+
+/// Expression producing the `::serde::Value` for one field read through
+/// `access` (e.g. `&self.rho` or a match binding).
+fn ser_field_expr(f: &Field, access: &str) -> String {
+    match &f.attrs.with {
+        Some(w) => format!(
+            "::serde::__private::with_to_value(|__vs| {w}::serialize({access}, __vs))"
+        ),
+        None => format!("::serde::__private::field_value({access})"),
+    }
+}
+
+/// Statements pushing each named field into `__entries`.
+fn ser_named_pushes(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let expr = ser_field_expr(f, &access(&f.name));
+            format!("__entries.push((\"{}\".to_string(), {expr}));\n", f.name)
+        })
+        .collect()
+}
+
+/// Struct-literal initializer for one named field read out of `__m`.
+fn de_field_init(f: &Field) -> String {
+    let n = &f.name;
+    match (&f.attrs.with, f.attrs.default) {
+        (Some(w), _) => format!(
+            "{n}: ::serde::__private::field_with::<_, __D::Error, _>(&mut __m, \"{n}\", \
+             |__vd| {w}::deserialize(__vd))?,\n"
+        ),
+        (None, true) => {
+            format!("{n}: ::serde::__private::field_default::<_, __D::Error>(&mut __m, \"{n}\")?,\n")
+        }
+        (None, false) => {
+            format!("{n}: ::serde::__private::field::<_, __D::Error>(&mut __m, \"{n}\")?,\n")
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes = ser_named_pushes(fields, &|n| format!("&self.{n}"));
+            impl_serialize(
+                name,
+                &format!(
+                    "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                         = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     __s.serialize_value(::serde::Value::Map(__entries))"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_serialize(
+            name,
+            "__s.serialize_value(::serde::__private::field_value(&self.0))",
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::field_value(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!(
+                    "__s.serialize_value(::serde::Value::Seq(vec![{}]))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "__s.serialize_unit()"),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => __s.serialize_value(\
+                                 ::serde::Value::Str(\"{vn}\".to_string())),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => __s.serialize_value(::serde::Value::Map(vec![\
+                                 (\"{vn}\".to_string(), ::serde::__private::field_value(__f0))])),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::__private::field_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => __s.serialize_value(::serde::Value::Map(vec![\
+                                     (\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))])),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes = ser_named_pushes(fields, &|n| n.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => {{\n\
+                                     let mut __entries: ::std::vec::Vec<(::std::string::String, \
+                                         ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                     {pushes}\
+                                     __s.serialize_value(::serde::Value::Map(vec![\
+                                         (\"{vn}\".to_string(), ::serde::Value::Map(__entries))]))\n\
+                                 }}\n",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields.iter().map(de_field_init).collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let __v = __d.take_value()?;\n\
+                     let mut __m = ::serde::__private::into_map::<__D::Error>(__v, \"{name}\")?;\n\
+                     let _ = &mut __m;\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}}})"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!(
+                "::core::result::Result::Ok({name}(\
+                     ::serde::from_value::<_, __D::Error>(__d.take_value()?)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let takes: Vec<String> = (0..*arity)
+                .map(|_| "::serde::from_value::<_, __D::Error>(__it.next().unwrap())?".to_string())
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let __items = match __d.take_value()? {{\n\
+                         ::serde::Value::Seq(__s) => __s,\n\
+                         __other => return ::core::result::Result::Err({ERR}::custom(\
+                             format!(\"expected sequence for {name}, found {{:?}}\", __other))),\n\
+                     }};\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::core::result::Result::Err({ERR}::custom(\
+                             format!(\"expected {arity} elements for {name}, found {{}}\", \
+                                 __items.len())));\n\
+                     }}\n\
+                     let mut __it = __items.into_iter();\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    takes.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("__d.take_value()?; ::core::result::Result::Ok({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::from_value::<_, __D::Error>(__inner)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let takes: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    "::serde::from_value::<_, __D::Error>(__it.next().unwrap())?"
+                                        .to_string()
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __items = match __inner {{\n\
+                                         ::serde::Value::Seq(__s) => __s,\n\
+                                         __other => return ::core::result::Result::Err(\
+                                             {ERR}::custom(format!(\
+                                                 \"expected sequence for {name}::{vn}, \
+                                                  found {{:?}}\", __other))),\n\
+                                     }};\n\
+                                     if __items.len() != {n} {{\n\
+                                         return ::core::result::Result::Err({ERR}::custom(\
+                                             format!(\"expected {n} elements for {name}::{vn}, \
+                                                 found {{}}\", __items.len())));\n\
+                                     }}\n\
+                                     let mut __it = __items.into_iter();\n\
+                                     ::core::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}\n",
+                                takes.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields.iter().map(de_field_init).collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let mut __m = ::serde::__private::into_map::<__D::Error>(\
+                                         __inner, \"{name}::{vn}\")?;\n\
+                                     let _ = &mut __m;\n\
+                                     ::core::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                                 }}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "match __d.take_value()? {{\n\
+                         ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                             {unit_arms}\
+                             __other => ::core::result::Result::Err({ERR}::custom(\
+                                 format!(\"unknown unit variant `{{}}` of {name}\", __other))),\n\
+                         }},\n\
+                         ::serde::Value::Map(__entries) => {{\n\
+                             if __entries.len() != 1 {{\n\
+                                 return ::core::result::Result::Err({ERR}::custom(\
+                                     \"expected single-entry map for enum {name}\"));\n\
+                             }}\n\
+                             let (__tag, __inner) = __entries.into_iter().next().unwrap();\n\
+                             let _ = &__inner;\n\
+                             match __tag.as_str() {{\n\
+                                 {data_arms}\
+                                 __other => ::core::result::Result::Err({ERR}::custom(\
+                                     format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => ::core::result::Result::Err({ERR}::custom(\
+                             format!(\"expected string or map for enum {name}, \
+                                 found {{:?}}\", __other))),\n\
+                     }}"
+                ),
+            )
+        }
+    }
+}
+
+fn emit(src: String) -> TokenStream {
+    src.parse().unwrap_or_else(|e| panic!("generated derive code failed to parse: {e}\n{src}"))
+}
+
+/// Derives `serde::Serialize` (vendored Value-based flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(gen_serialize(&parse_item(input)))
+}
+
+/// Derives `serde::Deserialize` (vendored Value-based flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(gen_deserialize(&parse_item(input)))
+}

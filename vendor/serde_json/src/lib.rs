@@ -1,0 +1,151 @@
+//! Offline vendored `serde_json` subset.
+//!
+//! Renders the vendored `serde::Value` data model as JSON text. Only the
+//! printing half (`to_string` / `to_string_pretty`) is provided — the
+//! workspace never parses JSON back in; binary round-trips go through the
+//! `wire` module instead.
+
+use serde::{Serialize, Value};
+
+/// Error type kept for signature compatibility; printing cannot fail.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&serde::to_value(value), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&serde::to_value(value), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_str(s, out),
+        Value::Seq(items) => {
+            write_block(out, '[', ']', items.len(), indent, level, |out, i, lvl| {
+                write_value(&items[i], out, indent, lvl);
+            });
+        }
+        Value::Map(entries) => {
+            write_block(out, '{', '}', entries.len(), indent, level, |out, i, lvl| {
+                let (k, val) = &entries[i];
+                write_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, lvl);
+            });
+        }
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        item(out, i, level + 1);
+    }
+    if len > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * level));
+        }
+    }
+    out.push(close);
+}
+
+/// JSON has no NaN/Infinity; serde_json emits `null` for them.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = if f == f.trunc() && f.abs() < 1e15 {
+            format!("{f:.1}")
+        } else {
+            format!("{f}")
+        };
+        out.push_str(&s);
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        let m = std::collections::BTreeMap::from([("k".to_string(), 1u64)]);
+        assert_eq!(to_string(&m).unwrap(), "{\"k\":1}");
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(7u8)).unwrap(), "7");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let m = std::collections::BTreeMap::from([("a".to_string(), vec![1u8, 2])]);
+        assert_eq!(to_string_pretty(&m).unwrap(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+}
