@@ -76,8 +76,10 @@ impl Dbscan {
                 }
             }
         }
-        let core: Vec<bool> =
-            neighbors.iter().map(|nb| nb.len() + 1 >= self.min_pts).collect();
+        let core: Vec<bool> = neighbors
+            .iter()
+            .map(|nb| nb.len() + 1 >= self.min_pts)
+            .collect();
 
         const UNVISITED: u32 = u32::MAX;
         const NOISE: u32 = u32::MAX - 1;

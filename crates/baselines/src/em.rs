@@ -24,7 +24,13 @@ impl EmGmm {
     /// Standard configuration.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k > 0, "k must be positive");
-        EmGmm { k, max_iters: 100, tol: 1e-7, var_floor: 1e-6, seed }
+        EmGmm {
+            k,
+            max_iters: 100,
+            tol: 1e-7,
+            var_floor: 1e-6,
+            seed,
+        }
     }
 }
 
@@ -58,7 +64,12 @@ impl EmGmm {
     /// Runs EM to convergence (or the iteration cap).
     pub fn fit(&self, ds: &Dataset) -> EmResult {
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
-        assert!(self.k <= ds.len(), "k = {} exceeds N = {}", self.k, ds.len());
+        assert!(
+            self.k <= ds.len(),
+            "k = {} exceeds N = {}",
+            self.k,
+            ds.len()
+        );
         let n = ds.len();
         let dim = ds.dim();
 
@@ -89,8 +100,7 @@ impl EmGmm {
                     for d in 0..dim {
                         let v = variances[c][d];
                         let diff = p[d] - means[c][d];
-                        acc += -0.5
-                            * ((2.0 * std::f64::consts::PI * v).ln() + diff * diff / v);
+                        acc += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + diff * diff / v);
                     }
                     logp[c] = acc;
                 }

@@ -32,7 +32,12 @@ impl KMeans {
     /// tolerance.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k > 0, "k must be positive");
-        KMeans { k, max_iters: 100, tol: 1e-9, seed }
+        KMeans {
+            k,
+            max_iters: 100,
+            tol: 1e-9,
+            seed,
+        }
     }
 }
 
@@ -103,7 +108,12 @@ impl KMeans {
     /// Runs Lloyd's algorithm to convergence (or the iteration cap).
     pub fn fit(&self, ds: &Dataset) -> KMeansResult {
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
-        assert!(self.k <= ds.len(), "k = {} exceeds N = {}", self.k, ds.len());
+        assert!(
+            self.k <= ds.len(),
+            "k = {} exceeds N = {}",
+            self.k,
+            ds.len()
+        );
         let dim = ds.dim();
         let mut centroids = kmeans_plus_plus(ds, self.k, self.seed);
         let mut labels = vec![0u32; ds.len()];
@@ -239,13 +249,22 @@ impl MapReduceKMeans {
     /// A driver with default engine parallelism.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k > 0, "k must be positive");
-        MapReduceKMeans { k, seed, job_config: JobConfig::default() }
+        MapReduceKMeans {
+            k,
+            seed,
+            job_config: JobConfig::default(),
+        }
     }
 
     /// Runs `iterations` Lloyd iterations as MapReduce jobs.
     pub fn run(&self, ds: &Dataset, iterations: usize) -> MapReduceKMeansResult {
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
-        assert!(self.k <= ds.len(), "k = {} exceeds N = {}", self.k, ds.len());
+        assert!(
+            self.k <= ds.len(),
+            "k = {} exceeds N = {}",
+            self.k,
+            ds.len()
+        );
         let tracker = DistanceTracker::new();
         let mut centroids = Arc::new(kmeans_plus_plus(ds, self.k, self.seed));
         let mut metrics = Vec::with_capacity(iterations);
@@ -253,7 +272,10 @@ impl MapReduceKMeans {
         for iter in 0..iterations {
             let (out, mut m) = JobBuilder::new(
                 format!("kmeans/iter-{iter}"),
-                AssignMapper { centroids: centroids.clone(), tracker: tracker.clone() },
+                AssignMapper {
+                    centroids: centroids.clone(),
+                    tracker: tracker.clone(),
+                },
                 CentroidReducer,
             )
             .combiner(SumCombiner)
@@ -348,10 +370,8 @@ mod tests {
         let mr = MapReduceKMeans::new(2, 1).run(&ds, 10);
         // Both converge to the same two-blob solution (same seed, same
         // init); compare assignments up to label permutation via ARI.
-        let ari = dp_core::quality::adjusted_rand_index(
-            seq.clustering.labels(),
-            mr.clustering.labels(),
-        );
+        let ari =
+            dp_core::quality::adjusted_rand_index(seq.clustering.labels(), mr.clustering.labels());
         assert!((ari - 1.0).abs() < 1e-12, "ARI = {ari}");
         assert_eq!(mr.iteration_metrics.len(), 10);
         assert!(mr.distances > 0);

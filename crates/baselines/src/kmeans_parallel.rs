@@ -115,7 +115,9 @@ impl Reducer for CollectReducer {
 }
 
 fn hash2(id: u32, seed: u64) -> u64 {
-    let mut z = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+    let mut z = (id as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seed);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -127,7 +129,12 @@ impl KMeansParallel {
     /// K-means over the small candidate set, as Bahmani et al. do).
     pub fn init(&self, ds: &Dataset) -> KMeansParallelResult {
         assert!(!ds.is_empty(), "cannot initialize on an empty dataset");
-        assert!(self.k <= ds.len(), "k = {} exceeds N = {}", self.k, ds.len());
+        assert!(
+            self.k <= ds.len(),
+            "k = {} exceeds N = {}",
+            self.k,
+            ds.len()
+        );
         let tracker = DistanceTracker::new();
         let input: Vec<(u32, Vec<f64>)> = ds.iter().map(|(i, p)| (i, p.to_vec())).collect();
 
@@ -185,7 +192,11 @@ impl KMeansParallel {
             KMeans::new(self.k, self.seed).fit(&cds).centroids
         };
 
-        KMeansParallelResult { centroids, rounds, distances: tracker.total() }
+        KMeansParallelResult {
+            centroids,
+            rounds,
+            distances: tracker.total(),
+        }
     }
 }
 
@@ -243,10 +254,7 @@ mod tests {
                 let c = (0..3)
                     .min_by(|&a, &b| {
                         dp_core::distance::squared_euclidean(p, &centroids[a])
-                            .partial_cmp(&dp_core::distance::squared_euclidean(
-                                p,
-                                &centroids[b],
-                            ))
+                            .partial_cmp(&dp_core::distance::squared_euclidean(p, &centroids[b]))
                             .unwrap()
                     })
                     .unwrap();

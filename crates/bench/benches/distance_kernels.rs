@@ -7,7 +7,11 @@ use std::hint::black_box;
 fn gen_points(dim: usize, n: usize) -> Vec<Vec<f64>> {
     // Deterministic pseudo-data; values don't matter for throughput.
     (0..n)
-        .map(|i| (0..dim).map(|d| ((i * 31 + d * 17) % 97) as f64 * 0.013).collect())
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * 31 + d * 17) % 97) as f64 * 0.013)
+                .collect()
+        })
         .collect()
 }
 
@@ -29,19 +33,23 @@ fn bench_euclidean(c: &mut Criterion) {
                 black_box(acc)
             })
         });
-        g.bench_with_input(BenchmarkId::new("squared_threshold", dim), &pts, |b, pts| {
-            b.iter(|| {
-                let mut count = 0u32;
-                for a in pts {
-                    for q in pts {
-                        if dp_core::DistanceKind::Euclidean.within(a, q, 0.5) {
-                            count += 1;
+        g.bench_with_input(
+            BenchmarkId::new("squared_threshold", dim),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let mut count = 0u32;
+                    for a in pts {
+                        for q in pts {
+                            if dp_core::DistanceKind::Euclidean.within(a, q, 0.5) {
+                                count += 1;
+                            }
                         }
                     }
-                }
-                black_box(count)
-            })
-        });
+                    black_box(count)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -12,7 +12,11 @@ fn point(dim: usize) -> Vec<f64> {
 fn bench_signatures(c: &mut Criterion) {
     let mut g = c.benchmark_group("signatures");
     for dim in [2usize, 57, 300] {
-        let params = LshParams { m: 10, pi: 3, w: 1.0 };
+        let params = LshParams {
+            m: 10,
+            pi: 3,
+            w: 1.0,
+        };
         let multi = MultiLsh::new(dim, &params, 42);
         let p = point(dim);
         g.throughput(Throughput::Elements(10 * 3));

@@ -40,7 +40,9 @@ impl Combiner for SumCombiner {
 }
 
 fn input(n: usize) -> Vec<(u32, u32)> {
-    (0..n as u32).map(|i| (i, i.wrapping_mul(2654435761))).collect()
+    (0..n as u32)
+        .map(|i| (i, i.wrapping_mul(2654435761)))
+        .collect()
 }
 
 fn bench_shuffle(c: &mut Criterion) {
@@ -57,15 +59,19 @@ fn bench_shuffle(c: &mut Criterion) {
                 black_box(out)
             })
         });
-        g.bench_with_input(BenchmarkId::new("sum_with_combiner", n), &data, |b, data| {
-            b.iter(|| {
-                let (out, _) = JobBuilder::new("bench", ModMapper { buckets: 256 }, SumReducer)
-                    .combiner(SumCombiner)
-                    .config(JobConfig::uniform(4))
-                    .run(data.clone());
-                black_box(out)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sum_with_combiner", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let (out, _) = JobBuilder::new("bench", ModMapper { buckets: 256 }, SumReducer)
+                        .combiner(SumCombiner)
+                        .config(JobConfig::uniform(4))
+                        .run(data.clone());
+                    black_box(out)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -60,16 +60,20 @@ fn bench_rho_aggregation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_rho_aggregation");
     g.sample_size(10);
     for (name, agg) in [("max", RhoAggregation::Max), ("mean", RhoAggregation::Mean)] {
-        g.bench_with_input(criterion::BenchmarkId::from_parameter(name), &ds, |b, ds| {
-            let pipe = LshDdp::new(LshDdpConfig {
-                params: lsh::LshParams::for_accuracy(0.99, 10, 3, dc).unwrap(),
-                seed: 42,
-                pipeline: Default::default(),
-                partition_cap: None,
-                rho_aggregation: agg,
-            });
-            b.iter(|| black_box(pipe.run(ds, dc)))
-        });
+        g.bench_with_input(
+            criterion::BenchmarkId::from_parameter(name),
+            &ds,
+            |b, ds| {
+                let pipe = LshDdp::new(LshDdpConfig {
+                    params: lsh::LshParams::for_accuracy(0.99, 10, 3, dc).unwrap(),
+                    seed: 42,
+                    pipeline: Default::default(),
+                    partition_cap: None,
+                    rho_aggregation: agg,
+                });
+                b.iter(|| black_box(pipe.run(ds, dc)))
+            },
+        );
     }
     g.finish();
 }

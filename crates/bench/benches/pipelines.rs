@@ -26,7 +26,10 @@ fn bench_pipelines(c: &mut Criterion) {
             b.iter(|| black_box(dp_core::compute_exact_fast(ds, dc, 8)))
         });
         g.bench_with_input(BenchmarkId::new("basic_ddp", n), &ds, |b, ds| {
-            let pipe = BasicDdp::new(BasicConfig { block_size: 100, ..Default::default() });
+            let pipe = BasicDdp::new(BasicConfig {
+                block_size: 100,
+                ..Default::default()
+            });
             b.iter(|| black_box(pipe.run(ds, dc)))
         });
         g.bench_with_input(BenchmarkId::new("lsh_ddp_a99", n), &ds, |b, ds| {

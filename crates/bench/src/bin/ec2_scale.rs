@@ -96,8 +96,7 @@ fn main() {
 
     let dims_factor = 57.0 / 4.0;
     let price = |m_big: &Measured, m_small: &Measured, shuffle_const: f64| -> (f64, f64, f64) {
-        let (dist_full, e_dist) =
-            extrapolate(m_big.dist, m_small.dist, m_big.n, m_small.n, n_full);
+        let (dist_full, e_dist) = extrapolate(m_big.dist, m_small.dist, m_big.n, m_small.n, n_full);
         let (shuffle_full, e_shuffle) =
             extrapolate(m_big.shuffle, m_small.shuffle, m_big.n, m_small.n, n_full);
         let (records_full, _) =
@@ -117,9 +116,10 @@ fn main() {
     let (lsh_h, lsh_ed, lsh_es) = price(&lsh_big, &lsh_small, 1.0);
 
     let mut rows = Vec::new();
-    for (alg, h, ed, es) in
-        [("Basic-DDP", basic_h, basic_ed, basic_es), ("LSH-DDP", lsh_h, lsh_ed, lsh_es)]
-    {
+    for (alg, h, ed, es) in [
+        ("Basic-DDP", basic_h, basic_ed, basic_es),
+        ("LSH-DDP", lsh_h, lsh_ed, lsh_es),
+    ] {
         args.emit_json(&Row {
             algorithm: alg,
             dist_exponent: ed,
@@ -134,7 +134,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["algorithm", "dist exponent", "shuffle exponent", "extrapolated runtime"],
+        &[
+            "algorithm",
+            "dist exponent",
+            "shuffle exponent",
+            "extrapolated runtime",
+        ],
         &rows,
     );
     println!(

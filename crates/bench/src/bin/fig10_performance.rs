@@ -39,7 +39,10 @@ fn main() {
     // Job-startup cost is excluded from the simulated column: at analog
     // scales the 4 x 15 s Hadoop job overhead would mask the work terms
     // the figure is about (at the paper's full N it is negligible).
-    let spec = ClusterSpec { job_startup_secs: 0.0, ..ClusterSpec::local_cluster() };
+    let spec = ClusterSpec {
+        job_startup_secs: 0.0,
+        ..ClusterSpec::local_cluster()
+    };
     println!(
         "Figure 10 — Basic-DDP vs LSH-DDP (A=0.99, M=10, pi=3; block=500; scale {})\n",
         args.scale
@@ -60,7 +63,11 @@ fn main() {
         let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 200_000, args.seed);
         let dims_factor = ds.dim() as f64 / 4.0;
 
-        let basic = BasicDdp::new(BasicConfig { block_size: scaled_block(args.scale), ..Default::default() }).run(&ds, dc);
+        let basic = BasicDdp::new(BasicConfig {
+            block_size: scaled_block(args.scale),
+            ..Default::default()
+        })
+        .run(&ds, dc);
         let lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, args.seed)
             .expect("valid accuracy")
             .run(&ds, dc);

@@ -57,7 +57,10 @@ fn main() {
         let delta = snap.saturating_sub(prev_dist);
         prev_dist = snap;
         cumulative += spec.simulate_job(m, delta, dims_factor);
-        args.emit_json(&Point { iteration: i + 1, cumulative_sim_s: cumulative });
+        args.emit_json(&Point {
+            iteration: i + 1,
+            cumulative_sim_s: cumulative,
+        });
         if crossover.is_none() && cumulative >= lsh_sim {
             crossover = Some(i + 1);
         }
@@ -65,7 +68,10 @@ fn main() {
             rows.push(vec![(i + 1).to_string(), fmt_secs(cumulative)]);
         }
     }
-    print_table(&["k-means iteration", "cumulative simulated runtime"], &rows);
+    print_table(
+        &["k-means iteration", "cumulative simulated runtime"],
+        &rows,
+    );
     println!("\nLSH-DDP total simulated runtime: {}", fmt_secs(lsh_sim));
     match crossover {
         Some(it) => println!(

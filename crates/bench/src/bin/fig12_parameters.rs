@@ -44,8 +44,7 @@ fn main() {
     let mut rows = Vec::new();
     for pi in [3usize, 10, 20] {
         for m in [1usize, 2, 5, 10, 20, 30] {
-            let params = lsh::LshParams::for_accuracy(0.99, m, pi, dc)
-                .expect("valid accuracy");
+            let params = lsh::LshParams::for_accuracy(0.99, m, pi, dc).expect("valid accuracy");
             let w = params.w;
             let lsh = LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
                 params,
@@ -76,7 +75,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["M", "pi", "w", "wall", "# dist", "shuffled", "tau2"], &rows);
+    print_table(
+        &["M", "pi", "w", "wall", "# dist", "shuffled", "tau2"],
+        &rows,
+    );
     println!(
         "\nShape to check: cost grows with M at pi = 3; tau2 is degraded for M < 5 \
          and stable near 0.99 for M >= 10 (the paper recommends M in [10,20], \

@@ -50,8 +50,11 @@ fn main() {
     println!("id,upslope,cluster");
     for i in 0..r.len() as u32 {
         let u = r.upslope[i as usize];
-        let u_str =
-            if u == dp_core::NO_UPSLOPE { "-".to_string() } else { u.to_string() };
+        let u_str = if u == dp_core::NO_UPSLOPE {
+            "-".to_string()
+        } else {
+            u.to_string()
+        };
         println!("{i},{u_str},{}", out.clustering.label(i));
     }
     eprintln!(

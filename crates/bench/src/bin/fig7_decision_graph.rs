@@ -69,7 +69,12 @@ fn main() {
     .map(|(name, graph, peaks)| {
         let rectified = graph.points().iter().filter(|p| p.rectified).count();
         let max_rho = graph.points().iter().map(|p| p.rho).max().unwrap_or(0);
-        args.emit_json(&Summary { algorithm: name, peaks: peaks.len(), rectified, max_rho });
+        args.emit_json(&Summary {
+            algorithm: name,
+            peaks: peaks.len(),
+            rectified,
+            max_rho,
+        });
         vec![
             name.to_string(),
             peaks.len().to_string(),
@@ -79,7 +84,15 @@ fn main() {
     })
     .collect();
 
-    print_table(&["algorithm", "# peaks selected", "# rectified deltas", "max rho"], &rows);
+    print_table(
+        &[
+            "algorithm",
+            "# peaks selected",
+            "# rectified deltas",
+            "max rho",
+        ],
+        &rows,
+    );
 
     // Clustering agreement between the two (paper: "almost the same").
     let k = k_expected.max(basic_peaks.len()).max(1);

@@ -63,25 +63,41 @@ fn main() {
     // DP itself (sequential = Basic-DDP's result).
     let exact = dp_core::compute_exact(ds, dc);
     let dp_out = CentralizedStep::new(PeakSelection::TopK(k)).run(&exact);
-    rows.push(quality("DP (sequential)", dp_out.clustering.labels(), truth, &args));
+    rows.push(quality(
+        "DP (sequential)",
+        dp_out.clustering.labels(),
+        truth,
+        &args,
+    ));
 
     // Distributed: Basic-DDP and LSH-DDP.
-    let basic = BasicDdp::new(BasicConfig { block_size: 200, ..Default::default() }).run(ds, dc);
+    let basic = BasicDdp::new(BasicConfig {
+        block_size: 200,
+        ..Default::default()
+    })
+    .run(ds, dc);
     let basic_out = CentralizedStep::new(PeakSelection::TopK(k)).run(&basic.result);
-    rows.push(quality("Basic-DDP", basic_out.clustering.labels(), truth, &args));
+    rows.push(quality(
+        "Basic-DDP",
+        basic_out.clustering.labels(),
+        truth,
+        &args,
+    ));
 
     let lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, args.seed)
         .expect("valid accuracy")
         .run(ds, dc);
     let lsh_out = CentralizedStep::new(PeakSelection::TopK(k)).run(&lsh.result);
-    rows.push(quality("LSH-DDP", lsh_out.clustering.labels(), truth, &args));
+    rows.push(quality(
+        "LSH-DDP",
+        lsh_out.clustering.labels(),
+        truth,
+        &args,
+    ));
 
     print_table(&["algorithm", "ARI", "NMI", "purity"], &rows);
 
-    let agreement = adjusted_rand_index(
-        basic_out.clustering.labels(),
-        lsh_out.clustering.labels(),
-    );
+    let agreement = adjusted_rand_index(basic_out.clustering.labels(), lsh_out.clustering.labels());
     let differing = basic_out
         .clustering
         .labels()

@@ -57,7 +57,15 @@ fn main() {
             lshddp_bench::fmt_count(row.distances),
         ]);
     }
-    print_table(&["A (expected)", "tau1 (measured)", "tau2 (measured)", "# dist"], &rows);
+    print_table(
+        &[
+            "A (expected)",
+            "tau1 (measured)",
+            "tau2 (measured)",
+            "# dist",
+        ],
+        &rows,
+    );
     println!(
         "\nPaper's claims to check: tau1 tracks the diagonal (measured ≈ expected), \
          both metrics rise toward 1 as A -> 1, and cost (# dist) rises with A."

@@ -36,7 +36,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["M", "pi", "w (Thm 1)", "predicted #dist", "predicted shuffle", "predicted cost"],
+        &[
+            "M",
+            "pi",
+            "w (Thm 1)",
+            "predicted #dist",
+            "predicted shuffle",
+            "predicted cost",
+        ],
         &rows,
     );
 
@@ -44,7 +51,11 @@ fn main() {
     let worst = report
         .candidates
         .iter()
-        .max_by(|a, b| a.predicted_cost_secs.partial_cmp(&b.predicted_cost_secs).unwrap())
+        .max_by(|a, b| {
+            a.predicted_cost_secs
+                .partial_cmp(&b.predicted_cost_secs)
+                .unwrap()
+        })
         .expect("non-empty grid");
     println!("\nvalidation runs (measured):");
     for (tag, cand) in [("best", &report.best), ("worst", worst)] {

@@ -1,0 +1,131 @@
+//! Closed-loop load generator for the serving layer.
+//!
+//! Fits a `ClusterModel` over a synthetic mixture once, then sweeps the
+//! server over thread counts and cache sizes. Each configuration runs `C`
+//! closed-loop client threads (a client blocks on every `assign` round
+//! trip, so offered load self-throttles to service capacity — classic
+//! closed-loop benchmarking) over a skewed query pool: a minority of hot
+//! queries repeat, which is what gives a non-zero cache hit rate at
+//! realistic quantization.
+//!
+//! Reported per configuration: sustained throughput, mean micro-batch
+//! size (the batching win appears as soon as clients outnumber workers),
+//! cache hit rate, and p50/p99 end-to-end latency.
+//!
+//! ```text
+//! cargo run --release -p lshddp-bench --bin serve_loadgen [-- --scale f --seed n]
+//! ```
+
+use ddp::prelude::*;
+use lshddp_bench::{print_table, ExpArgs};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serve::{ClusterModel, QueryEngine, Server, ServerConfig};
+use std::time::Instant;
+
+const QUERIES_PER_CLIENT: usize = 4_000;
+const POOL: usize = 4_096;
+const HOT_FRACTION: f64 = 0.10; // hottest 10% of the pool ...
+const HOT_WEIGHT: f64 = 0.80; // ... serve 80% of the picks
+
+fn main() {
+    // Scale 1.0 = 12,000 training points; --scale shrinks the fit.
+    let args = ExpArgs::parse(1.0);
+    let n_per = ((3_000.0 * args.scale) as usize).max(200);
+    let ld = datasets::gaussian_mixture(4, 4, n_per, 120.0, 2.0, args.seed);
+    let ds = &ld.data;
+    let dc = dp_core::cutoff::estimate_dc_sampled(ds, 0.02, 100_000, args.seed);
+
+    let ddp = LshDdp::with_accuracy(0.99, 10, 3, dc, args.seed).expect("valid params");
+    let params = ddp.config().params;
+    let report = ddp.run(ds, dc);
+    let outcome = CentralizedStep::new(PeakSelection::TopK(4)).run(&report.result);
+    let model = ClusterModel::from_run(ds, &report, &outcome, &params, args.seed);
+    println!(
+        "serve loadgen — model: {} points x {} dims, {} clusters, d_c = {dc:.4}",
+        model.len(),
+        model.dim(),
+        model.n_clusters()
+    );
+
+    // A fixed query pool: training points plus small jitter, so queries
+    // exercise the LSH path rather than the trivial self-match.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed);
+    let pool: Vec<Vec<f64>> = (0..POOL)
+        .map(|_| {
+            let id = rng.random_range(0..model.len()) as u32;
+            model
+                .point(id)
+                .iter()
+                .map(|&x| x + rng.random_range(-0.05..0.05) * dc)
+                .collect()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        for &cache in &[0usize, 16_384] {
+            let clients = threads * 4;
+            let engine = QueryEngine::new(model.clone());
+            let server = Server::start(
+                engine,
+                ServerConfig {
+                    threads,
+                    queue_depth: 1024,
+                    max_batch: 32,
+                    cache_capacity: cache,
+                    ..ServerConfig::default()
+                },
+            );
+
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for c in 0..clients {
+                    let client = server.client();
+                    let pool = &pool;
+                    let mut rng = StdRng::seed_from_u64(args.seed + c as u64);
+                    s.spawn(move || {
+                        let hot = ((POOL as f64 * HOT_FRACTION) as usize).max(1);
+                        for _ in 0..QUERIES_PER_CLIENT {
+                            let i = if rng.random_bool(HOT_WEIGHT) {
+                                rng.random_range(0..hot)
+                            } else {
+                                rng.random_range(0..POOL)
+                            };
+                            client.assign(&pool[i]).expect("server alive");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = server.stats();
+            server.shutdown();
+
+            let total = (clients * QUERIES_PER_CLIENT) as f64;
+            rows.push(vec![
+                threads.to_string(),
+                clients.to_string(),
+                cache.to_string(),
+                format!("{:.0}", total / elapsed),
+                format!("{:.2}", stats.mean_batch_size),
+                format!("{:.1}%", stats.cache_hit_rate * 100.0),
+                format!("{:.0}", stats.p50_latency_us),
+                format!("{:.0}", stats.p99_latency_us),
+            ]);
+        }
+    }
+
+    print_table(
+        &[
+            "threads",
+            "clients",
+            "cache",
+            "qps",
+            "mean batch",
+            "hit rate",
+            "p50 µs",
+            "p99 µs",
+        ],
+        &rows,
+    );
+}

@@ -46,7 +46,10 @@ fn main() {
     let km_shape = spiral_score(|ds| KMeans::new(2, 1).fit(ds).clustering.labels().to_vec());
     let em_shape = spiral_score(|ds| EmGmm::new(2, 1).fit(ds).clustering.labels().to_vec());
     let hi_shape = spiral_score(|ds| {
-        Hierarchical::new(2, Linkage::Single).fit(ds).labels().to_vec()
+        Hierarchical::new(2, Linkage::Single)
+            .fit(ds)
+            .labels()
+            .to_vec()
     });
     let db_shape = spiral_score(|ds| {
         let dc = dp_core::cutoff::estimate_dc_exact(ds, 0.02);

@@ -29,7 +29,10 @@ fn main() {
     let mut ds = ld.data;
     ds.normalize_min_max();
     let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 200_000, args.seed);
-    let spec = ClusterSpec { job_startup_secs: 0.0, ..ClusterSpec::local_cluster() };
+    let spec = ClusterSpec {
+        job_startup_secs: 0.0,
+        ..ClusterSpec::local_cluster()
+    };
     let dims_factor = ds.dim() as f64 / 4.0;
     println!(
         "Table IV — LSH-DDP vs EDDPC on BigCross500K analog (N = {}, d_c = {dc:.4})\n",
@@ -79,7 +82,14 @@ fn main() {
     }
 
     print_table(
-        &["algorithm", "wall", "sim (5-node)", "shuffled", "# dist", "tau2 vs exact"],
+        &[
+            "algorithm",
+            "wall",
+            "sim (5-node)",
+            "shuffled",
+            "# dist",
+            "tau2 vs exact",
+        ],
         &rows,
     );
     println!(

@@ -39,7 +39,11 @@ impl ExpArgs {
     /// Parses `--scale`, `--seed`, `--json` from `std::env::args`,
     /// with the given default scale.
     pub fn parse(default_scale: f64) -> ExpArgs {
-        let mut args = ExpArgs { scale: default_scale, seed: 42, json: None };
+        let mut args = ExpArgs {
+            scale: default_scale,
+            seed: 42,
+            json: None,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -73,8 +77,12 @@ impl ExpArgs {
                 .append(true)
                 .open(path)
                 .expect("open json output");
-            writeln!(f, "{}", serde_json::to_string(row).expect("serializable row"))
-                .expect("write json row");
+            writeln!(
+                f,
+                "{}",
+                serde_json::to_string(row).expect("serializable row")
+            )
+            .expect("write json row");
         }
     }
 }
@@ -103,7 +111,13 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", out.trim_end());
     };
     line(headers.iter().map(|s| s.to_string()).collect());
-    println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w + 2))
+            .collect::<String>()
+    );
     for row in rows {
         line(row.clone());
     }

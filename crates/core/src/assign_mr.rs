@@ -107,7 +107,10 @@ pub fn assign_distributed(
     let mut peak_cluster = vec![u32::MAX; n];
     for (c, &p) in peaks.iter().enumerate() {
         assert!((p as usize) < n, "peak {p} out of range");
-        assert!(peak_cluster[p as usize] == u32::MAX, "duplicate peak id {p}");
+        assert!(
+            peak_cluster[p as usize] == u32::MAX,
+            "duplicate peak id {p}"
+        );
         peak_cluster[p as usize] = c as u32;
     }
 
@@ -152,8 +155,7 @@ pub fn assign_distributed(
                 merged[i as usize] = t;
             }
         }
-        let new_ptrs: Vec<Ptr> =
-            (0..n as PointId).map(|i| (i, merged[i as usize])).collect();
+        let new_ptrs: Vec<Ptr> = (0..n as PointId).map(|i| (i, merged[i as usize])).collect();
         let converged = new_ptrs == ptrs;
         ptrs = new_ptrs;
         if converged {

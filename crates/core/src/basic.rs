@@ -21,8 +21,8 @@
 //! distance matrix on the DFS (§III-A, Step 2).
 
 use crate::common::{
-    assemble_delta, dc_sampling_job, point_records, DeltaPartial, IdentityMapper,
-    MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
+    assemble_delta, dc_sampling_job, point_records, DeltaPartial, IdentityMapper, MinDeltaCombiner,
+    MinDeltaReducer, PipelineConfig,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
@@ -43,7 +43,10 @@ pub struct BasicConfig {
 
 impl Default for BasicConfig {
     fn default() -> Self {
-        BasicConfig { block_size: 500, pipeline: PipelineConfig::default() }
+        BasicConfig {
+            block_size: 500,
+            pipeline: PipelineConfig::default(),
+        }
     }
 }
 
@@ -194,13 +197,7 @@ struct DeltaBlockReducer {
 
 impl DeltaBlockReducer {
     #[inline]
-    fn consider(
-        &self,
-        partial: &mut DeltaPartial,
-        self_id: PointId,
-        other_id: PointId,
-        d: f64,
-    ) {
+    fn consider(&self, partial: &mut DeltaPartial, self_id: PointId, other_id: PointId, d: f64) {
         partial.2 = partial.2.max(d);
         if denser(
             self.rho[other_id as usize],
@@ -275,8 +272,14 @@ impl BasicDdp {
     ) -> RunReport {
         let tracker = DistanceTracker::new();
         let start = Instant::now();
-        let (dc, mut metrics) =
-            dc_sampling_job(ds, percentile, sample_target, seed, &self.config.pipeline, &tracker);
+        let (dc, mut metrics) = dc_sampling_job(
+            ds,
+            percentile,
+            sample_target,
+            seed,
+            &self.config.pipeline,
+            &tracker,
+        );
         metrics.user.insert("distances".into(), tracker.total());
         let mut report = self.run_tracked(ds, dc, tracker, start);
         report.jobs.insert(0, metrics);
@@ -308,8 +311,14 @@ impl BasicDdp {
         // ---- Job 1: blocked rho partials ------------------------------
         let (rho_partials, mut m1) = JobBuilder::new(
             "basic/rho-block",
-            BlockMapper { block_size: self.config.block_size, n_blocks },
-            RhoBlockReducer { dc, tracker: tracker.clone() },
+            BlockMapper {
+                block_size: self.config.block_size,
+                n_blocks,
+            },
+            RhoBlockReducer {
+                dc,
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -337,8 +346,14 @@ impl BasicDdp {
         // ---- Job 3: blocked delta partials (rho table broadcast) -------
         let (delta_partials, mut m3) = JobBuilder::new(
             "basic/delta-block",
-            BlockMapper { block_size: self.config.block_size, n_blocks },
-            DeltaBlockReducer { rho: rho.clone(), tracker: tracker.clone() },
+            BlockMapper {
+                block_size: self.config.block_size,
+                n_blocks,
+            },
+            DeltaBlockReducer {
+                rho: rho.clone(),
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -366,7 +381,12 @@ impl BasicDdp {
             jobs,
             distances: tracker.total(),
             wall: start.elapsed(),
-            result: DpResult { dc, rho, delta, upslope },
+            result: DpResult {
+                dc,
+                rho,
+                delta,
+                upslope,
+            },
         }
     }
 }
@@ -444,10 +464,16 @@ mod tests {
         let ds = grid_dataset(6, 5); // 30 points
         let dc = 1.3;
         let exact = compute_exact(&ds, dc);
-        let report = BasicDdp::new(BasicConfig { block_size: 7, ..Default::default() })
-            .run(&ds, dc);
+        let report = BasicDdp::new(BasicConfig {
+            block_size: 7,
+            ..Default::default()
+        })
+        .run(&ds, dc);
         assert_eq!(report.result.rho, exact.rho, "rho must be exact");
-        assert_eq!(report.result.upslope, exact.upslope, "upslope must be exact");
+        assert_eq!(
+            report.result.upslope, exact.upslope,
+            "upslope must be exact"
+        );
         for (a, b) in report.result.delta.iter().zip(exact.delta.iter()) {
             assert!((a - b).abs() < 1e-12, "delta mismatch: {a} vs {b}");
         }
@@ -459,10 +485,16 @@ mod tests {
         let dc = 1.1;
         let exact = compute_exact(&ds, dc);
         for block_size in [1, 3, 10, 25, 100] {
-            let report = BasicDdp::new(BasicConfig { block_size, ..Default::default() })
-                .run(&ds, dc);
+            let report = BasicDdp::new(BasicConfig {
+                block_size,
+                ..Default::default()
+            })
+            .run(&ds, dc);
             assert_eq!(report.result.rho, exact.rho, "block_size {block_size}");
-            assert_eq!(report.result.upslope, exact.upslope, "block_size {block_size}");
+            assert_eq!(
+                report.result.upslope, exact.upslope,
+                "block_size {block_size}"
+            );
         }
     }
 
@@ -471,8 +503,11 @@ mod tests {
         // N(N-1)/2 distances in the rho step and again in the delta step.
         let ds = grid_dataset(4, 5); // N = 20
         let n = ds.len() as u64;
-        let report = BasicDdp::new(BasicConfig { block_size: 6, ..Default::default() })
-            .run(&ds, 1.0);
+        let report = BasicDdp::new(BasicConfig {
+            block_size: 6,
+            ..Default::default()
+        })
+        .run(&ds, 1.0);
         assert_eq!(report.distances, 2 * n * (n - 1) / 2);
     }
 
@@ -489,8 +524,11 @@ mod tests {
     #[test]
     fn single_block_degenerates_to_sequential() {
         let ds = grid_dataset(3, 3);
-        let report = BasicDdp::new(BasicConfig { block_size: 1000, ..Default::default() })
-            .run(&ds, 1.2);
+        let report = BasicDdp::new(BasicConfig {
+            block_size: 1000,
+            ..Default::default()
+        })
+        .run(&ds, 1.2);
         let exact = compute_exact(&ds, 1.2);
         assert_eq!(report.result.rho, exact.rho);
     }
@@ -500,8 +538,11 @@ mod tests {
         // Each point shuffled ⌈(n_blocks+1)/2⌉ times in each blocked job.
         let ds = grid_dataset(4, 5); // N = 20
         let block_size = 4; // n_blocks = 5 -> 3 copies each
-        let report =
-            BasicDdp::new(BasicConfig { block_size, ..Default::default() }).run(&ds, 1.0);
+        let report = BasicDdp::new(BasicConfig {
+            block_size,
+            ..Default::default()
+        })
+        .run(&ds, 1.0);
         let rho_job = &report.jobs[0];
         assert_eq!(rho_job.map_output_records, 20 * 3);
     }
@@ -509,6 +550,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "block size must be positive")]
     fn rejects_zero_block_size() {
-        let _ = BasicDdp::new(BasicConfig { block_size: 0, ..Default::default() });
+        let _ = BasicDdp::new(BasicConfig {
+            block_size: 0,
+            ..Default::default()
+        });
     }
 }

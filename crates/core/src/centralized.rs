@@ -6,8 +6,8 @@
 //! selection and assignment run on the "master" in a single thread, over
 //! the result assembled from the distributed jobs.
 
-use dp_core::{decision, DpResult, PointId};
 use dp_core::decision::{Clustering, DecisionGraph};
+use dp_core::{decision, DpResult, PointId};
 use serde::{Deserialize, Serialize};
 
 /// How density peaks are chosen from the decision graph.
@@ -82,7 +82,10 @@ impl CentralizedStep {
             }
             PeakSelection::TopK(k) => decision::select_top_k(result, *k),
             PeakSelection::DeltaOutliers { k, rho_quantile } => {
-                assert!((0.0..1.0).contains(rho_quantile), "rho_quantile must be in [0,1)");
+                assert!(
+                    (0.0..1.0).contains(rho_quantile),
+                    "rho_quantile must be in [0,1)"
+                );
                 let mut rhos: Vec<u32> = result.rho.clone();
                 rhos.sort_unstable();
                 let floor = rhos[((rhos.len() - 1) as f64 * rho_quantile) as usize];
@@ -92,7 +95,10 @@ impl CentralizedStep {
                     .filter(|p| p.rho >= floor.max(1))
                     .collect();
                 ids.sort_by(|a, b| {
-                    b.delta.partial_cmp(&a.delta).expect("finite").then(a.id.cmp(&b.id))
+                    b.delta
+                        .partial_cmp(&a.delta)
+                        .expect("finite")
+                        .then(a.id.cmp(&b.id))
                 });
                 let mut peaks: Vec<PointId> = ids.iter().take(*k).map(|p| p.id).collect();
                 peaks.sort_unstable();
@@ -108,7 +114,11 @@ impl CentralizedStep {
             "peak selection produced no density peaks; loosen the thresholds"
         );
         let clustering = decision::assign(result, &peaks);
-        CentralizedOutput { graph, peaks, clustering }
+        CentralizedOutput {
+            graph,
+            peaks,
+            clustering,
+        }
     }
 }
 
@@ -145,7 +155,11 @@ mod tests {
         let ds = blobs();
         let r = compute_exact(&ds, 0.35);
         let out = CentralizedStep::new(PeakSelection::Auto).run(&r);
-        assert_eq!(out.peaks.len(), 2, "largest delta gap separates the two centers");
+        assert_eq!(
+            out.peaks.len(),
+            2,
+            "largest delta gap separates the two centers"
+        );
     }
 
     #[test]

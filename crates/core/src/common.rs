@@ -31,8 +31,16 @@ impl PipelineConfig {
     pub fn job_config(&self) -> JobConfig {
         let d = JobConfig::default();
         JobConfig {
-            map_tasks: if self.map_tasks == 0 { d.map_tasks } else { self.map_tasks },
-            reduce_tasks: if self.reduce_tasks == 0 { d.reduce_tasks } else { self.reduce_tasks },
+            map_tasks: if self.map_tasks == 0 {
+                d.map_tasks
+            } else {
+                self.map_tasks
+            },
+            reduce_tasks: if self.reduce_tasks == 0 {
+                d.reduce_tasks
+            } else {
+                self.reduce_tasks
+            },
             fault: self.fault,
         }
     }
@@ -48,7 +56,9 @@ pub fn point_records(ds: &Dataset) -> Vec<(PointId, Vec<f64>)> {
 /// `id` with probability `keep_per_4096 / 4096`, independent of point order.
 #[inline]
 pub fn sample_hash(id: PointId, seed: u64) -> u64 {
-    let mut z = (id as u64).wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = (id as u64)
+        .wrapping_add(seed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -92,12 +102,7 @@ impl Reducer for MinDeltaReducer {
     type InValue = DeltaPartial;
     type OutKey = PointId;
     type OutValue = DeltaPartial;
-    fn reduce(
-        &self,
-        k: &PointId,
-        vs: Vec<DeltaPartial>,
-        out: &mut Emitter<PointId, DeltaPartial>,
-    ) {
+    fn reduce(&self, k: &PointId, vs: Vec<DeltaPartial>, out: &mut Emitter<PointId, DeltaPartial>) {
         out.emit(*k, merge_delta_partials(vs));
     }
 }
@@ -201,16 +206,28 @@ pub fn dc_sampling_job(
                     dists.push(self.tracker.distance(a, b));
                 }
             }
-            assert!(!dists.is_empty(), "d_c sample produced no distances — increase sample");
-            out.emit(0, dp_core::cutoff::quantile_in_place(&mut dists, self.percentile));
+            assert!(
+                !dists.is_empty(),
+                "d_c sample produced no distances — increase sample"
+            );
+            out.emit(
+                0,
+                dp_core::cutoff::quantile_in_place(&mut dists, self.percentile),
+            );
         }
     }
 
     // Keep probability targeting `sample_target` sampled points, capped at
     // keeping everything.
     let keep = ((sample_target as f64 / ds.len() as f64) * 4096.0).ceil() as u64;
-    let mapper = SampleMapper { keep_per_4096: keep.min(4096), seed };
-    let reducer = QuantileReducer { percentile, tracker: tracker.clone() };
+    let mapper = SampleMapper {
+        keep_per_4096: keep.min(4096),
+        seed,
+    };
+    let reducer = QuantileReducer {
+        percentile,
+        tracker: tracker.clone(),
+    };
 
     let (out, metrics) = JobBuilder::new("dc-sampling", mapper, reducer)
         .config(cfg.job_config())
@@ -243,7 +260,11 @@ mod tests {
         let cfg = PipelineConfig::default();
         let jc = cfg.job_config();
         assert!(jc.map_tasks > 0 && jc.reduce_tasks > 0);
-        let cfg = PipelineConfig { map_tasks: 3, reduce_tasks: 5, fault: None };
+        let cfg = PipelineConfig {
+            map_tasks: 3,
+            reduce_tasks: 5,
+            fault: None,
+        };
         let jc = cfg.job_config();
         assert_eq!((jc.map_tasks, jc.reduce_tasks), (3, 5));
     }
@@ -255,7 +276,9 @@ mod tests {
         assert_ne!(a, sample_hash(2, 42));
         assert_ne!(a, sample_hash(1, 43));
         // Roughly half of ids pass a 50% filter.
-        let kept = (0..10_000).filter(|&i| sample_hash(i, 7) % 4096 < 2048).count();
+        let kept = (0..10_000)
+            .filter(|&i| sample_hash(i, 7) % 4096 < 2048)
+            .count();
         assert!((4000..6000).contains(&kept), "kept {kept}");
     }
 
@@ -276,9 +299,11 @@ mod tests {
     fn dc_job_with_full_sampling_is_exact() {
         let ds = line(60);
         let tracker = DistanceTracker::new();
-        let (dc, _) =
-            dc_sampling_job(&ds, 0.1, 60, 1, &PipelineConfig::default(), &tracker);
+        let (dc, _) = dc_sampling_job(&ds, 0.1, 60, 1, &PipelineConfig::default(), &tracker);
         let exact = dp_core::cutoff::estimate_dc_exact(&ds, 0.1);
-        assert_eq!(dc, exact, "keeping every point must reproduce the exact quantile");
+        assert_eq!(
+            dc, exact,
+            "keeping every point must reproduce the exact quantile"
+        );
     }
 }

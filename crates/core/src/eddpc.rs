@@ -26,8 +26,8 @@
 //! exactly the trade-off Table IV of the paper measures.
 
 use crate::common::{
-    assemble_delta, point_records, DeltaPartial, IdentityMapper, MinDeltaCombiner,
-    MinDeltaReducer, PipelineConfig,
+    assemble_delta, point_records, DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer,
+    PipelineConfig,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
@@ -109,7 +109,12 @@ impl PivotIndex {
                 radii[best.0 as usize] = best.1;
             }
         }
-        PivotIndex { p, own, dists, radii }
+        PivotIndex {
+            p,
+            own,
+            dists,
+            radii,
+        }
     }
 
     /// The pivot distances of point `id`.
@@ -371,8 +376,14 @@ impl Eddpc {
         // ---- Job 1: Voronoi rho (replication + exact local count) ------
         let (rho_out, mut m1) = JobBuilder::new(
             "eddpc/rho-voronoi",
-            RhoVoronoiMapper { index: index.clone(), dc },
-            RhoVoronoiReducer { dc, tracker: tracker.clone() },
+            RhoVoronoiMapper {
+                index: index.clone(),
+                dc,
+            },
+            RhoVoronoiReducer {
+                dc,
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -388,8 +399,13 @@ impl Eddpc {
         // ---- Job 2: delta round 1 (own cell upper bound) ----------------
         let (round1, mut m2) = JobBuilder::new(
             "eddpc/delta-local",
-            OwnerMapper { index: index.clone() },
-            DeltaRound1Reducer { rho: rho.clone(), tracker: tracker.clone() },
+            OwnerMapper {
+                index: index.clone(),
+            },
+            DeltaRound1Reducer {
+                rho: rho.clone(),
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -417,8 +433,16 @@ impl Eddpc {
         // ---- Job 3: delta round 2 (bounded cross-cell refinement) -------
         let (round2, mut m3) = JobBuilder::new(
             "eddpc/delta-refine",
-            DeltaRound2Mapper { index, ub, cell_max, rho: rho.clone() },
-            DeltaRound2Reducer { rho: rho.clone(), tracker: tracker.clone() },
+            DeltaRound2Mapper {
+                index,
+                ub,
+                cell_max,
+                rho: rho.clone(),
+            },
+            DeltaRound2Reducer {
+                rho: rho.clone(),
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -446,7 +470,12 @@ impl Eddpc {
             jobs,
             distances: tracker.total(),
             wall: start.elapsed(),
-            result: DpResult { dc, rho, delta, upslope },
+            result: DpResult {
+                dc,
+                rho,
+                delta,
+                upslope,
+            },
         }
     }
 }
@@ -472,7 +501,11 @@ mod tests {
     }
 
     fn config(n_pivots: usize) -> EddpcConfig {
-        EddpcConfig { n_pivots, seed: 3, pipeline: PipelineConfig::default() }
+        EddpcConfig {
+            n_pivots,
+            seed: 3,
+            pipeline: PipelineConfig::default(),
+        }
     }
 
     #[test]
@@ -494,8 +527,12 @@ mod tests {
         for pivots in [1, 5, 11] {
             let report = Eddpc::new(config(pivots)).run(&ds, dc);
             assert_eq!(report.result.upslope, exact.upslope, "n_pivots = {pivots}");
-            for (i, (a, b)) in
-                report.result.delta.iter().zip(exact.delta.iter()).enumerate()
+            for (i, (a, b)) in report
+                .result
+                .delta
+                .iter()
+                .zip(exact.delta.iter())
+                .enumerate()
             {
                 assert!(
                     (a - b).abs() < 1e-12,

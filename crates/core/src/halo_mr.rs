@@ -62,7 +62,12 @@ impl Reducer for BorderReducer {
     type OutValue = u32;
 
     fn reduce(&self, _k: &PartitionKey, points: Vec<PointRecord>, out: &mut Emitter<u32, u32>) {
-        let k_clusters = self.labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let k_clusters = self
+            .labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut border = vec![0u32; k_clusters];
         for i in 0..points.len() {
             let (pi, ci) = (points[i].0, self.labels[points[i].0 as usize]);
@@ -109,7 +114,11 @@ pub fn compute_halo_distributed(
     pipeline: &PipelineConfig,
 ) -> DistributedHalo {
     assert_eq!(ds.len(), result.len(), "result must cover the dataset");
-    assert_eq!(ds.len(), clustering.len(), "clustering must cover the dataset");
+    assert_eq!(
+        ds.len(),
+        clustering.len(),
+        "clustering must cover the dataset"
+    );
     let tracker = DistanceTracker::new();
     let multi = Arc::new(MultiLsh::new(ds.dim(), &config.params, config.seed));
     let rho = Arc::new(result.rho.clone());
@@ -141,14 +150,18 @@ pub fn compute_halo_distributed(
             b > 0 && result.rho[i] <= b
         })
         .collect();
-    DistributedHalo { halo, border_rho, job }
+    DistributedHalo {
+        halo,
+        border_rho,
+        job,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_core::decision::{assign, compute_halo, select_top_k};
     use dp_core::compute_exact;
+    use dp_core::decision::{assign, compute_halo, select_top_k};
 
     /// Two dense blobs joined by a sparse bridge whose spacing stays
     /// within `d_c = 0.6`, so cross-cluster border pairs exist.
@@ -187,7 +200,10 @@ mod tests {
         let dist =
             compute_halo_distributed(&ds, &r, &c, &lsh_config(dc), &PipelineConfig::default());
         for (i, (&d, &e)) in dist.halo.iter().zip(&exact).enumerate() {
-            assert!(!d || e, "point {i}: distributed halo must be a subset of exact");
+            assert!(
+                !d || e,
+                "point {i}: distributed halo must be a subset of exact"
+            );
         }
     }
 
@@ -201,19 +217,17 @@ mod tests {
         let exact = compute_halo(&ds, &r, &c);
         let dist =
             compute_halo_distributed(&ds, &r, &c, &lsh_config(dc), &PipelineConfig::default());
-        let agree = dist
-            .halo
-            .iter()
-            .zip(&exact)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = dist.halo.iter().zip(&exact).filter(|(a, b)| a == b).count();
         assert!(
             agree as f64 / ds.len() as f64 > 0.95,
             "{agree}/{} flags agree",
             ds.len()
         );
         // The bridge region must be detected.
-        assert!(dist.halo[30..34].iter().any(|&h| h), "bridge points flagged");
+        assert!(
+            dist.halo[30..34].iter().any(|&h| h),
+            "bridge points flagged"
+        );
     }
 
     #[test]

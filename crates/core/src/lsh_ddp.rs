@@ -19,9 +19,7 @@
 //!    non-local `delta` (§IV-C). The centralized step rectifies `∞` to the
 //!    max finite `delta` before drawing the decision graph.
 
-use crate::common::{
-    dc_sampling_job, point_records, IdentityMapper, PipelineConfig, PointRecord,
-};
+use crate::common::{dc_sampling_job, point_records, IdentityMapper, PipelineConfig, PointRecord};
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
 use dp_core::{Dataset, DistanceTracker, PointId};
@@ -115,12 +113,7 @@ impl Reducer for LocalRhoReducer {
     type OutKey = PointId;
     type OutValue = u32;
 
-    fn reduce(
-        &self,
-        _k: &PartitionKey,
-        points: Vec<PointRecord>,
-        out: &mut Emitter<PointId, u32>,
-    ) {
+    fn reduce(&self, _k: &PartitionKey, points: Vec<PointRecord>, out: &mut Emitter<PointId, u32>) {
         for chunk in points.chunks(self.cap) {
             let mut rho = vec![0u32; chunk.len()];
             for i in 0..chunk.len() {
@@ -204,8 +197,7 @@ impl Reducer for LocalDeltaReducer {
                 for j in (i + 1)..chunk.len() {
                     let d = self.tracker.distance(&chunk[i].1, &chunk[j].1);
                     let (pi, pj) = (chunk[i].0, chunk[j].0);
-                    let i_denser =
-                        denser(self.rho[pi as usize], pi, self.rho[pj as usize], pj);
+                    let i_denser = denser(self.rho[pi as usize], pi, self.rho[pj as usize], pj);
                     let (slot, cand) = if i_denser { (j, pi) } else { (i, pj) };
                     let b = &mut best[slot];
                     if d < b.0 || (d == b.0 && cand < b.1) {
@@ -254,7 +246,10 @@ impl Reducer for MinReducer {
 impl LshDdp {
     /// A pipeline with explicit parameters.
     pub fn new(config: LshDdpConfig) -> Self {
-        assert!(config.params.m > 0 && config.params.pi > 0, "M and pi must be positive");
+        assert!(
+            config.params.m > 0 && config.params.pi > 0,
+            "M and pi must be positive"
+        );
         assert!(config.params.w > 0.0, "slot width must be positive");
         LshDdp { config }
     }
@@ -328,7 +323,11 @@ impl LshDdp {
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
         let n = ds.len();
         let job_cfg = self.config.pipeline.job_config();
-        let multi = Arc::new(MultiLsh::new(ds.dim(), &self.config.params, self.config.seed));
+        let multi = Arc::new(MultiLsh::new(
+            ds.dim(),
+            &self.config.params,
+            self.config.seed,
+        ));
         let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
         let mut jobs: Vec<JobMetrics> = Vec::with_capacity(4);
         let snap = |m: &mut JobMetrics, t: &DistanceTracker| {
@@ -338,8 +337,14 @@ impl LshDdp {
         // ---- Job 1: LSH partition + local rho --------------------------
         let (rho_partials, mut m1) = JobBuilder::new(
             "lsh/rho-local",
-            LshPartitionMapper { multi: multi.clone() },
-            LocalRhoReducer { dc, cap, tracker: tracker.clone() },
+            LshPartitionMapper {
+                multi: multi.clone(),
+            },
+            LocalRhoReducer {
+                dc,
+                cap,
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -377,7 +382,11 @@ impl LshDdp {
         let (delta_partials, mut m3) = JobBuilder::new(
             "lsh/delta-local",
             LshPartitionMapper { multi },
-            LocalDeltaReducer { rho: rho.clone(), cap, tracker: tracker.clone() },
+            LocalDeltaReducer {
+                rho: rho.clone(),
+                cap,
+                tracker: tracker.clone(),
+            },
         )
         .config(job_cfg)
         .run(point_records(ds));
@@ -412,7 +421,12 @@ impl LshDdp {
             jobs,
             distances: tracker.total(),
             wall: start.elapsed(),
-            result: DpResult { dc, rho, delta, upslope },
+            result: DpResult {
+                dc,
+                rho,
+                delta,
+                upslope,
+            },
         }
     }
 }
@@ -516,7 +530,12 @@ mod tests {
         let ds = blobs(50, 5);
         let dc = 0.5;
         let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
-        let n_inf = report.result.delta.iter().filter(|d| d.is_infinite()).count();
+        let n_inf = report
+            .result
+            .delta
+            .iter()
+            .filter(|d| d.is_infinite())
+            .count();
         // At least the global densest point is a candidate; typically the
         // three blob centers are.
         assert!(n_inf >= 1, "at least one peak candidate expected");
@@ -542,7 +561,10 @@ mod tests {
         let exact_out = CentralizedStep::new(PeakSelection::TopK(3)).run(&exact);
         let report = LshDdp::new(accurate_config(dc)).run(&ds, dc);
         let approx_out = CentralizedStep::new(PeakSelection::TopK(3)).run(&report.result);
-        let ari = adjusted_rand_index(exact_out.clustering.labels(), approx_out.clustering.labels());
+        let ari = adjusted_rand_index(
+            exact_out.clustering.labels(),
+            approx_out.clustering.labels(),
+        );
         assert!(ari > 0.95, "ARI = {ari}");
     }
 
@@ -574,7 +596,10 @@ mod tests {
         let dc = 0.5;
         let exact = compute_exact(&ds, dc);
         let run_with = |agg| {
-            let cfg = LshDdpConfig { rho_aggregation: agg, ..accurate_config(dc) };
+            let cfg = LshDdpConfig {
+                rho_aggregation: agg,
+                ..accurate_config(dc)
+            };
             LshDdp::new(cfg).run(&ds, dc)
         };
         let max_r = run_with(RhoAggregation::Max);

@@ -83,16 +83,29 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn report() -> RunReport {
-        let mut j1 = JobMetrics { name: "a".into(), shuffle_bytes: 100, ..Default::default() };
+        let mut j1 = JobMetrics {
+            name: "a".into(),
+            shuffle_bytes: 100,
+            ..Default::default()
+        };
         j1.user.insert("distances".into(), 10);
-        let mut j2 = JobMetrics { name: "b".into(), shuffle_bytes: 50, ..Default::default() };
+        let mut j2 = JobMetrics {
+            name: "b".into(),
+            shuffle_bytes: 50,
+            ..Default::default()
+        };
         j2.user = BTreeMap::from([("distances".to_string(), 30u64)]);
         RunReport {
             algorithm: "test".into(),
             jobs: vec![j1, j2],
             distances: 30,
             wall: Duration::from_millis(12),
-            result: DpResult { dc: 1.0, rho: vec![0], delta: vec![0.0], upslope: vec![0] },
+            result: DpResult {
+                dc: 1.0,
+                rho: vec![0],
+                delta: vec![0.0],
+                upslope: vec![0],
+            },
         }
     }
 

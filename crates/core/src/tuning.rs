@@ -145,8 +145,7 @@ mod tests {
         let ds = workload();
         let dc = 0.9;
         let spec = ClusterSpec::local_cluster();
-        let report =
-            autotune(&ds, dc, 0.95, &spec, &RECOMMENDED_GRID, 400, 7).expect("tunes");
+        let report = autotune(&ds, dc, 0.95, &spec, &RECOMMENDED_GRID, 400, 7).expect("tunes");
         assert_eq!(report.candidates.len(), RECOMMENDED_GRID.len());
 
         // Run the winning config for real and compare predicted vs

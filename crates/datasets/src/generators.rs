@@ -61,7 +61,10 @@ impl GaussianMixture {
         std: f64,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(dim > 0 && k > 0 && n_per > 0, "dim, k, n_per must be positive");
+        assert!(
+            dim > 0 && k > 0 && n_per > 0,
+            "dim, k, n_per must be positive"
+        );
         let components = (0..k)
             .map(|_| Component {
                 center: (0..dim).map(|_| rng.random_range(0.0..spread)).collect(),
@@ -131,7 +134,10 @@ pub fn embedded_mixture(
     ambient_noise: f64,
     seed: u64,
 ) -> LabeledDataset {
-    assert!(latent_dim > 0 && latent_dim <= ambient_dim, "latent dim must be in 1..=ambient");
+    assert!(
+        latent_dim > 0 && latent_dim <= ambient_dim,
+        "latent dim must be in 1..=ambient"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // Random embedding with E[|Ex|] = |x|: entries N(0, 1/latent_dim).
     let scale = 1.0 / (latent_dim as f64).sqrt();
@@ -152,13 +158,26 @@ pub fn embedded_mixture(
         }
         data.push(&out);
     }
-    LabeledDataset { data, labels: latent.labels }
+    LabeledDataset {
+        data,
+        labels: latent.labels,
+    }
 }
 
 /// A regular `gx × gy` grid of compact 2-D blobs — the workload where
 /// LSH partitions align with natural groups (used by scaling tests).
-pub fn blob_grid(gx: usize, gy: usize, n_per: usize, pitch: f64, std: f64, seed: u64) -> LabeledDataset {
-    assert!(gx > 0 && gy > 0 && n_per > 0, "grid dimensions must be positive");
+pub fn blob_grid(
+    gx: usize,
+    gy: usize,
+    n_per: usize,
+    pitch: f64,
+    std: f64,
+    seed: u64,
+) -> LabeledDataset {
+    assert!(
+        gx > 0 && gy > 0 && n_per > 0,
+        "grid dimensions must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Dataset::with_capacity(2, gx * gy * n_per);
     let mut labels = Vec::with_capacity(gx * gy * n_per);
@@ -223,13 +242,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let gm = GaussianMixture {
             components: vec![
-                Component { center: vec![0.0, 0.0], std: 0.1, n: 50 },
-                Component { center: vec![100.0, 100.0], std: 0.1, n: 50 },
+                Component {
+                    center: vec![0.0, 0.0],
+                    std: 0.1,
+                    n: 50,
+                },
+                Component {
+                    center: vec![100.0, 100.0],
+                    std: 0.1,
+                    n: 50,
+                },
             ],
         };
         let ld = gm.sample(&mut rng);
         for (i, (_, p)) in ld.data.iter().enumerate() {
-            let c: &[f64] = if ld.labels[i] == 0 { &[0.0, 0.0] } else { &[100.0, 100.0] };
+            let c: &[f64] = if ld.labels[i] == 0 {
+                &[0.0, 0.0]
+            } else {
+                &[100.0, 100.0]
+            };
             let d = dp_core::distance::euclidean(p, c);
             assert!(d < 1.0, "point {i} is {d} from its center");
         }

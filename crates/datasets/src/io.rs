@@ -31,7 +31,11 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
-            IoError::RaggedRows { line, expected, got } => {
+            IoError::RaggedRows {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} columns, got {got}")
             }
             IoError::Empty => write!(f, "no data rows"),
@@ -71,7 +75,10 @@ pub fn parse_csv<R: Read>(reader: R, labeled: bool) -> Result<LabeledDataset, Io
         }
         let (coords, label) = if labeled {
             if row.len() < 2 {
-                return Err(IoError::Parse(lineno, "labeled row needs >= 2 columns".into()));
+                return Err(IoError::Parse(
+                    lineno,
+                    "labeled row needs >= 2 columns".into(),
+                ));
             }
             let l = *row.last().expect("non-empty row");
             if l < 0.0 || l.fract() != 0.0 {
@@ -210,7 +217,10 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert!(matches!(parse_csv("".as_bytes(), false), Err(IoError::Empty)));
+        assert!(matches!(
+            parse_csv("".as_bytes(), false),
+            Err(IoError::Empty)
+        ));
         assert!(matches!(
             parse_csv("1.0,abc\n".as_bytes(), false),
             Err(IoError::Parse(1, _))
@@ -238,7 +248,10 @@ mod tests {
 
     #[test]
     fn parse_libsvm_errors() {
-        assert!(matches!(parse_libsvm("".as_bytes(), 2), Err(IoError::Empty)));
+        assert!(matches!(
+            parse_libsvm("".as_bytes(), 2),
+            Err(IoError::Empty)
+        ));
         assert!(matches!(
             parse_libsvm("1 5:1.0\n".as_bytes(), 2),
             Err(IoError::Parse(1, _))

@@ -99,7 +99,10 @@ impl PaperDataset {
     /// # Panics
     /// Panics if `scale` is outside `(0, 1]`.
     pub fn generate(self, scale: f64, seed: u64) -> LabeledDataset {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0,1], got {scale}"
+        );
         let n = ((self.full_size() as f64 * scale).round() as usize).max(16);
         match self {
             PaperDataset::Aggregation => shapes::aggregation_like(seed),
@@ -148,7 +151,14 @@ pub fn s2_like(n: usize, seed: u64) -> LabeledDataset {
 /// which makes the 2%-quantile `d_c` span whole components and collapses
 /// the LSH partitioning into a few huge cells — unlike the paper's real
 /// data sets, whose density structure is much finer grained.
-fn mixture_like(n: usize, dim: usize, k: usize, spread: f64, std: f64, seed: u64) -> LabeledDataset {
+fn mixture_like(
+    n: usize,
+    dim: usize,
+    k: usize,
+    spread: f64,
+    std: f64,
+    seed: u64,
+) -> LabeledDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).sqrt()).collect();
     let total_w: f64 = weights.iter().sum();
@@ -174,7 +184,9 @@ fn mixture_like(n: usize, dim: usize, k: usize, spread: f64, std: f64, seed: u64
     let mut components: Vec<Component> = sizes
         .into_iter()
         .map(|sz| Component {
-            center: (0..latent_dim).map(|_| rng.random_range(0.0..spread)).collect(),
+            center: (0..latent_dim)
+                .map(|_| rng.random_range(0.0..spread))
+                .collect(),
             std: std * rng.random_range(0.6..1.8),
             n: sz.max(1),
         })
@@ -206,8 +218,10 @@ pub fn spatial3d_like(n: usize, seed: u64) -> LabeledDataset {
         let center: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..400.0)).collect();
         for _ in 0..roads_per_town {
             // A short segment (length <= ~14) near the town center.
-            let a: Vec<f64> =
-                center.iter().map(|c| c + rng.random_range(-6.0..6.0)).collect();
+            let a: Vec<f64> = center
+                .iter()
+                .map(|c| c + rng.random_range(-6.0..6.0))
+                .collect();
             let b: Vec<f64> = a.iter().map(|x| x + rng.random_range(-8.0..8.0)).collect();
             for _ in 0..n_per {
                 let t: f64 = rng.random_range(0.0f64..1.0);
@@ -255,7 +269,11 @@ mod tests {
     #[test]
     fn aggregation_ignores_scale_and_stays_canonical() {
         let ld = PaperDataset::Aggregation.generate(0.5, 3);
-        assert_eq!(ld.len(), 788, "Aggregation is small enough to always run full");
+        assert_eq!(
+            ld.len(),
+            788,
+            "Aggregation is small enough to always run full"
+        );
     }
 
     #[test]
@@ -267,7 +285,11 @@ mod tests {
 
     #[test]
     fn generators_deterministic() {
-        for d in [PaperDataset::S2, PaperDataset::Spatial3d, PaperDataset::BigCross500k] {
+        for d in [
+            PaperDataset::S2,
+            PaperDataset::Spatial3d,
+            PaperDataset::BigCross500k,
+        ] {
             let a = d.generate(0.01, 5);
             let b = d.generate(0.01, 5);
             assert_eq!(a.data, b.data, "{}", d.name());
@@ -299,6 +321,11 @@ mod tests {
         assert!(sizes[k - 1] >= ld.len() / 60);
         // First real component is much larger than the last (sqrt skew:
         // ~8x over 64 components).
-        assert!(sizes[0] > 4 * sizes[k - 2], "{} vs {}", sizes[0], sizes[k - 2]);
+        assert!(
+            sizes[0] > 4 * sizes[k - 2],
+            "{} vs {}",
+            sizes[0],
+            sizes[k - 2]
+        );
     }
 }

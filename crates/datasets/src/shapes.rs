@@ -60,7 +60,10 @@ pub fn spirals(k: usize, n_per: usize, noise: f64, seed: u64) -> LabeledDataset 
 
 /// Concentric rings (annuli) around the origin.
 pub fn rings(radii: &[f64], n_per: usize, noise: f64, seed: u64) -> LabeledDataset {
-    assert!(!radii.is_empty() && n_per > 0, "need at least one ring and one point");
+    assert!(
+        !radii.is_empty() && n_per > 0,
+        "need at least one ring and one point"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Dataset::with_capacity(2, radii.len() * n_per);
     let mut labels = Vec::with_capacity(radii.len() * n_per);
@@ -186,7 +189,10 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(two_moons(50, 0.1, 9).data, two_moons(50, 0.1, 9).data);
         assert_eq!(spirals(3, 40, 0.1, 9).data, spirals(3, 40, 0.1, 9).data);
-        assert_eq!(rings(&[2.0], 30, 0.1, 9).data, rings(&[2.0], 30, 0.1, 9).data);
+        assert_eq!(
+            rings(&[2.0], 30, 0.1, 9).data,
+            rings(&[2.0], 30, 0.1, 9).data
+        );
         assert_eq!(aggregation_like(9).data, aggregation_like(9).data);
     }
 }

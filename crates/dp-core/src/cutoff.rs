@@ -101,8 +101,8 @@ pub fn quantile_in_place(values: &mut [f64], t: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
     let len = values.len();
     let rank = ((t * len as f64).round() as usize).clamp(1, len) - 1;
-    let (_, v, _) = values
-        .select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).expect("NaN distance"));
+    let (_, v, _) =
+        values.select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).expect("NaN distance"));
     *v
 }
 

@@ -75,7 +75,10 @@ impl DecisionGraph {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("id,rho,delta,rectified\n");
         for p in &self.points {
-            out.push_str(&format!("{},{},{},{}\n", p.id, p.rho, p.delta, p.rectified as u8));
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                p.id, p.rho, p.delta, p.rectified as u8
+            ));
         }
         out
     }
@@ -263,7 +266,11 @@ pub fn compute_halo(
     clustering: &Clustering,
 ) -> Vec<bool> {
     assert_eq!(ds.len(), result.len(), "result must cover the dataset");
-    assert_eq!(ds.len(), clustering.len(), "clustering must cover the dataset");
+    assert_eq!(
+        ds.len(),
+        clustering.len(),
+        "clustering must cover the dataset"
+    );
     let n = ds.len();
     let k = clustering.n_clusters() as usize;
     // Max density seen in each cluster's border region.
@@ -301,10 +308,7 @@ mod tests {
 
     fn two_blobs() -> Dataset {
         // Blob A around 0, blob B around 100 (1-D).
-        Dataset::from_flat(
-            1,
-            vec![0.0, 0.1, 0.2, 0.3, 0.4, 100.0, 100.1, 100.2, 100.3],
-        )
+        Dataset::from_flat(1, vec![0.0, 0.1, 0.2, 0.3, 0.4, 100.0, 100.1, 100.2, 100.3])
     }
 
     #[test]

@@ -77,6 +77,75 @@ pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
+/// Fills `out` with the squared Euclidean distances between every query
+/// and every target: `out[q * n_targets + t] = d²(queries[q], targets[t])`.
+///
+/// Both point blocks are flat row-major `dim`-dimensional coordinates, the
+/// layout [`crate::Dataset`] stores. Processing a block of queries at once
+/// amortizes the target sweep across queries (the serving runtime's
+/// micro-batches feed this), and the tiled inner loops keep the target
+/// block hot in cache.
+///
+/// # Panics
+/// Panics if `dim` is zero or either block's length is not a multiple of
+/// `dim`.
+pub fn squared_euclidean_block(queries: &[f64], targets: &[f64], dim: usize, out: &mut Vec<f64>) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(
+        queries.len() % dim,
+        0,
+        "query block length must be a multiple of dim"
+    );
+    assert_eq!(
+        targets.len() % dim,
+        0,
+        "target block length must be a multiple of dim"
+    );
+    let nq = queries.len() / dim;
+    let nt = targets.len() / dim;
+    out.clear();
+    out.resize(nq * nt, 0.0);
+
+    // Tile over targets so one stripe of the target block is reused by
+    // every query in the batch before being evicted.
+    const TILE: usize = 64;
+    for t0 in (0..nt).step_by(TILE) {
+        let t1 = (t0 + TILE).min(nt);
+        for (q, qp) in queries.chunks_exact(dim).enumerate() {
+            let row = &mut out[q * nt..(q + 1) * nt];
+            for (t, tp) in targets[t0 * dim..t1 * dim].chunks_exact(dim).enumerate() {
+                row[t0 + t] = squared_euclidean(qp, tp);
+            }
+        }
+    }
+}
+
+/// For each query in the flat block, the index of its nearest target and
+/// the (non-squared) Euclidean distance to it; ties go to the lower index.
+///
+/// This is the batched kernel behind the serving layer's exact
+/// nearest-center fallback: one call resolves a whole micro-batch.
+///
+/// # Panics
+/// Panics if `targets` is empty, `dim` is zero, or either block's length
+/// is not a multiple of `dim`.
+pub fn nearest_in_block(queries: &[f64], targets: &[f64], dim: usize) -> Vec<(usize, f64)> {
+    assert!(!targets.is_empty(), "need at least one target");
+    let mut d2 = Vec::new();
+    squared_euclidean_block(queries, targets, dim, &mut d2);
+    let nt = targets.len() / dim;
+    d2.chunks_exact(nt)
+        .map(|row| {
+            let (best, &d) = row
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .expect("non-empty target row");
+            (best, d.sqrt())
+        })
+        .collect()
+}
+
 /// Manhattan (L1) distance.
 #[inline]
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
@@ -120,7 +189,10 @@ impl DistanceTracker {
 
     /// A fresh tracker using the given metric.
     pub fn with_kind(kind: DistanceKind) -> Self {
-        DistanceTracker { count: Arc::new(AtomicU64::new(0)), kind }
+        DistanceTracker {
+            count: Arc::new(AtomicU64::new(0)),
+            kind,
+        }
     }
 
     /// The metric this tracker evaluates.
@@ -233,15 +305,78 @@ mod tests {
     }
 
     #[test]
+    fn block_kernel_matches_pairwise_calls() {
+        let queries = [0.0, 0.0, 1.0, 2.0, -3.0, 0.5, 7.0, 7.0];
+        let targets = [0.5, 0.5, 4.0, -1.0, 6.9, 7.2];
+        let dim = 2;
+        let mut out = Vec::new();
+        squared_euclidean_block(&queries, &targets, dim, &mut out);
+        assert_eq!(out.len(), 4 * 3);
+        for (q, qp) in queries.chunks_exact(dim).enumerate() {
+            for (t, tp) in targets.chunks_exact(dim).enumerate() {
+                assert_eq!(
+                    out[q * 3 + t],
+                    squared_euclidean(qp, tp),
+                    "entry ({q}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernel_tiles_past_the_stripe_width() {
+        // More targets than one 64-wide tile, so the tiling loop wraps.
+        let dim = 3;
+        let targets: Vec<f64> = (0..150 * dim).map(|i| (i % 17) as f64 * 0.25).collect();
+        let queries: Vec<f64> = (0..4 * dim).map(|i| i as f64).collect();
+        let mut out = Vec::new();
+        squared_euclidean_block(&queries, &targets, dim, &mut out);
+        for (q, qp) in queries.chunks_exact(dim).enumerate() {
+            for (t, tp) in targets.chunks_exact(dim).enumerate() {
+                assert_eq!(out[q * 150 + t], squared_euclidean(qp, tp));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_in_block_finds_true_nearest_with_low_index_ties() {
+        let targets = [0.0, 0.0, 10.0, 0.0, 10.0, 0.0];
+        let queries = [9.0, 0.0, 1.0, 1.0];
+        let got = nearest_in_block(&queries, &targets, 2);
+        assert_eq!(
+            got[0].0, 1,
+            "ties between equal targets go to the lower index"
+        );
+        assert!((got[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(got[1].0, 0);
+        assert!((got[1].1 - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_kernel_handles_empty_query_batch() {
+        let mut out = vec![1.0];
+        squared_euclidean_block(&[], &[1.0, 2.0], 2, &mut out);
+        assert!(out.is_empty());
+        assert!(nearest_in_block(&[], &[1.0, 2.0], 2).is_empty());
+    }
+
+    #[test]
     fn triangle_inequality_spot_check() {
         // All three provided metrics must satisfy the triangle inequality,
         // which the EDDPC filters depend on.
         let pts = [[0.0, 0.0], [1.0, 2.0], [-3.0, 0.5]];
-        for kind in [DistanceKind::Euclidean, DistanceKind::Manhattan, DistanceKind::Chebyshev] {
+        for kind in [
+            DistanceKind::Euclidean,
+            DistanceKind::Manhattan,
+            DistanceKind::Chebyshev,
+        ] {
             let ab = kind.eval(&pts[0], &pts[1]);
             let bc = kind.eval(&pts[1], &pts[2]);
             let ac = kind.eval(&pts[0], &pts[2]);
-            assert!(ac <= ab + bc + 1e-12, "{kind:?} violates triangle inequality");
+            assert!(
+                ac <= ab + bc + 1e-12,
+                "{kind:?} violates triangle inequality"
+            );
         }
     }
 }

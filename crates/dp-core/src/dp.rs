@@ -117,7 +117,10 @@ pub fn compute_exact(ds: &Dataset, dc: f64) -> DpResult {
 /// Distance evaluations use the tracker's metric ([`DistanceKind`]).
 pub fn compute_exact_tracked(ds: &Dataset, dc: f64, tracker: &DistanceTracker) -> DpResult {
     assert!(!ds.is_empty(), "cannot run DP on an empty dataset");
-    assert!(dc.is_finite() && dc > 0.0, "d_c must be positive and finite, got {dc}");
+    assert!(
+        dc.is_finite() && dc > 0.0,
+        "d_c must be positive and finite, got {dc}"
+    );
     let n = ds.len();
     let kind = tracker.kind();
 
@@ -155,9 +158,7 @@ pub fn compute_exact_tracked(ds: &Dataset, dc: f64, tracker: &DistanceTracker) -
                 }
                 let d = kind.eval(pi, pj);
                 max_d = max_d.max(d);
-                if denser(rho[j as usize], j, rho_i, i)
-                    && (d < best || (d == best && j < best_j))
-                {
+                if denser(rho[j as usize], j, rho_i, i) && (d < best || (d == best && j < best_j)) {
                     best = d;
                     best_j = j;
                 }
@@ -176,7 +177,12 @@ pub fn compute_exact_tracked(ds: &Dataset, dc: f64, tracker: &DistanceTracker) -
         upslope[i] = u;
     }
 
-    DpResult { dc, rho, delta, upslope }
+    DpResult {
+        dc,
+        rho,
+        delta,
+        upslope,
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +242,10 @@ mod tests {
         for (rj, j, ri, i) in [(5u32, 3u32, 4u32, 9u32), (5, 3, 5, 2), (5, 3, 5, 4)] {
             let a = denser(rj, j, ri, i);
             let b = denser(ri, i, rj, j);
-            assert!(a != b, "denser must order every distinct pair exactly one way");
+            assert!(
+                a != b,
+                "denser must order every distinct pair exactly one way"
+            );
         }
     }
 

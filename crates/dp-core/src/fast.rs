@@ -36,8 +36,9 @@ impl PivotTable {
         let n = ds.len();
         let p = p.clamp(1, n);
         let stride = (n / p).max(1);
-        let pivots: Vec<&[f64]> =
-            (0..p).map(|k| ds.point(((k * stride) % n) as PointId)).collect();
+        let pivots: Vec<&[f64]> = (0..p)
+            .map(|k| ds.point(((k * stride) % n) as PointId))
+            .collect();
         let mut dists = Vec::with_capacity(n * p);
         for (_, point) in ds.iter() {
             for pv in &pivots {
@@ -79,7 +80,10 @@ pub fn compute_exact_fast_tracked(
     tracker: &DistanceTracker,
 ) -> DpResult {
     assert!(!ds.is_empty(), "cannot run DP on an empty dataset");
-    assert!(dc.is_finite() && dc > 0.0, "d_c must be positive and finite, got {dc}");
+    assert!(
+        dc.is_finite() && dc > 0.0,
+        "d_c must be positive and finite, got {dc}"
+    );
     let n = ds.len();
     let kind = tracker.kind();
     let pivots = PivotTable::build(ds, n_pivots, tracker);
@@ -144,7 +148,12 @@ pub fn compute_exact_fast_tracked(
         upslope[i as usize] = best_j;
     }
 
-    DpResult { dc, rho, delta, upslope }
+    DpResult {
+        dc,
+        rho,
+        delta,
+        upslope,
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,10 @@ pub fn compute_gaussian_tracked(
     tracker: &DistanceTracker,
 ) -> KernelDpResult {
     assert!(!ds.is_empty(), "cannot run DP on an empty dataset");
-    assert!(dc.is_finite() && dc > 0.0, "d_c must be positive and finite, got {dc}");
+    assert!(
+        dc.is_finite() && dc > 0.0,
+        "d_c must be positive and finite, got {dc}"
+    );
     let n = ds.len();
     let kind = tracker.kind();
 
@@ -103,9 +106,7 @@ pub fn compute_gaussian_tracked(
                 }
                 let d = kind.eval(pi, pj);
                 max_d = max_d.max(d);
-                if denser(rho[j as usize], j, rho_i, i)
-                    && (d < best || (d == best && j < best_j))
-                {
+                if denser(rho[j as usize], j, rho_i, i) && (d < best || (d == best && j < best_j)) {
                     best = d;
                     best_j = j;
                 }
@@ -125,7 +126,15 @@ pub fn compute_gaussian_tracked(
         upslope[i] = u;
     }
 
-    KernelDpResult { result: DpResult { dc, rho, delta, upslope }, raw_rho }
+    KernelDpResult {
+        result: DpResult {
+            dc,
+            rho,
+            delta,
+            upslope,
+        },
+        raw_rho,
+    }
 }
 
 #[cfg(test)]

@@ -36,13 +36,19 @@ impl Dataset {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dataset dimensionality must be positive");
-        Dataset { dim, data: Vec::new() }
+        Dataset {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty dataset with room for `n` points.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dataset dimensionality must be positive");
-        Dataset { dim, data: Vec::with_capacity(dim * n) }
+        Dataset {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Builds a dataset from row-major coordinates.
@@ -176,7 +182,9 @@ impl Dataset {
     /// Normalization is what the paper's preprocessing applies to the
     /// UCI-style data sets so that one global `d_c` is meaningful.
     pub fn normalize_min_max(&mut self) {
-        let Some((lo, hi)) = self.bounds() else { return };
+        let Some((lo, hi)) = self.bounds() else {
+            return;
+        };
         let dim = self.dim;
         for (d, (l, h)) in lo.iter().zip(hi.iter()).enumerate() {
             let range = h - l;

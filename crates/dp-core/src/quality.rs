@@ -41,7 +41,12 @@ impl Contingency {
             *row_sums.entry(x).or_insert(0) += 1;
             *col_sums.entry(y).or_insert(0) += 1;
         }
-        Contingency { counts, row_sums, col_sums, n: a.len() as u64 }
+        Contingency {
+            counts,
+            row_sums,
+            col_sums,
+            n: a.len() as u64,
+        }
     }
 
     /// Number of points tabulated.
@@ -131,8 +136,16 @@ pub fn pairwise_f1(predicted: &[u32], truth: &[u32]) -> (f64, f64, f64) {
     let tp: f64 = t.counts.values().map(|&c| choose2(c)).sum();
     let pred_pairs: f64 = t.row_sums.values().map(|&c| choose2(c)).sum();
     let true_pairs: f64 = t.col_sums.values().map(|&c| choose2(c)).sum();
-    let precision = if pred_pairs > 0.0 { tp / pred_pairs } else { 1.0 };
-    let recall = if true_pairs > 0.0 { tp / true_pairs } else { 1.0 };
+    let precision = if pred_pairs > 0.0 {
+        tp / pred_pairs
+    } else {
+        1.0
+    };
+    let recall = if true_pairs > 0.0 {
+        tp / true_pairs
+    } else {
+        1.0
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {

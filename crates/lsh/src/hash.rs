@@ -25,7 +25,10 @@ impl LshFunction {
     /// `w`, from `rng`: `a ~ N(0, I)`, `b ~ U[0, w)`.
     pub fn sample(dim: usize, w: f64, rng: &mut impl Rng) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert!(w.is_finite() && w > 0.0, "slot width must be positive, got {w}");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "slot width must be positive, got {w}"
+        );
         let a = (0..dim).map(|_| rng.sample(StandardNormal)).collect();
         let b = rng.random_range(0.0..w);
         LshFunction { a, b, w }
@@ -67,7 +70,9 @@ impl HashGroup {
     /// Draws a group of `pi` independent functions.
     pub fn sample(dim: usize, pi: usize, w: f64, rng: &mut impl Rng) -> Self {
         assert!(pi > 0, "a hash group needs at least one function");
-        HashGroup { funcs: (0..pi).map(|_| LshFunction::sample(dim, w, rng)).collect() }
+        HashGroup {
+            funcs: (0..pi).map(|_| LshFunction::sample(dim, w, rng)).collect(),
+        }
     }
 
     /// Number of hash functions (`pi`).
@@ -214,7 +219,10 @@ mod tests {
         };
         let pi1 = count(1, &mut rng);
         let pi8 = count(8, &mut rng);
-        assert!(pi8 < pi1, "pi=8 collisions {pi8} must be rarer than pi=1 {pi1}");
+        assert!(
+            pi8 < pi1,
+            "pi=8 collisions {pi8} must be rarer than pi=1 {pi1}"
+        );
     }
 
     #[test]
@@ -229,7 +237,11 @@ mod tests {
         let ml2 = MultiLsh::new(3, &params(7, 2, 1.5), 99);
         assert_eq!(ml2.signatures(&p), sigs, "same seed, same layouts");
         let ml3 = MultiLsh::new(3, &params(7, 2, 1.5), 100);
-        assert_ne!(ml3.signatures(&p), sigs, "different seed, different layouts");
+        assert_ne!(
+            ml3.signatures(&p),
+            sigs,
+            "different seed, different layouts"
+        );
     }
 
     #[test]

@@ -10,6 +10,32 @@ use crate::hash::{MultiLsh, Signature};
 use crate::tuning::LshParams;
 use std::collections::HashMap;
 
+/// Builds one bucket table per layout: `tables[m]` maps each signature
+/// under layout `m` to the ids (enumeration order, as `u32`) of the points
+/// hashing to it.
+///
+/// This is the query-time half of the paper's partitioning, factored out
+/// so consumers that already own the point storage (the [`LshIndex`] here,
+/// the serving layer's `ClusterModel`) can rebuild the tables from a
+/// [`MultiLsh`] without copying their points into a second container.
+///
+/// # Panics
+/// Debug-asserts each point's dimensionality matches `multi`.
+pub fn bucket_tables<'a, I>(multi: &MultiLsh, points: I) -> Vec<HashMap<Signature, Vec<u32>>>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut tables: Vec<HashMap<Signature, Vec<u32>>> =
+        (0..multi.layouts()).map(|_| HashMap::new()).collect();
+    for (i, p) in points.into_iter().enumerate() {
+        debug_assert_eq!(p.len(), multi.dim(), "point dim mismatch");
+        for (m, sig) in multi.signatures(p).into_iter().enumerate() {
+            tables[m].entry(sig).or_default().push(i as u32);
+        }
+    }
+    tables
+}
+
 /// An immutable LSH index over a set of points.
 ///
 /// ```
@@ -39,14 +65,12 @@ impl LshIndex {
             "all points must share one dimensionality"
         );
         let multi = MultiLsh::new(dim, params, seed);
-        let mut tables: Vec<HashMap<Signature, Vec<u32>>> =
-            (0..params.m).map(|_| HashMap::new()).collect();
-        for (i, p) in points.iter().enumerate() {
-            for (m, sig) in multi.signatures(p).into_iter().enumerate() {
-                tables[m].entry(sig).or_default().push(i as u32);
-            }
+        let tables = bucket_tables(&multi, points.iter().map(Vec::as_slice));
+        LshIndex {
+            multi,
+            tables,
+            points,
         }
-        LshIndex { multi, tables, points }
     }
 
     /// Number of indexed points.
@@ -116,7 +140,11 @@ mod tests {
     }
 
     fn params() -> LshParams {
-        LshParams { m: 12, pi: 2, w: 4.0 }
+        LshParams {
+            m: 12,
+            pi: 2,
+            w: 4.0,
+        }
     }
 
     #[test]
@@ -168,18 +196,40 @@ mod tests {
             truth[..8].iter().map(|(i, _)| *i).collect();
 
         let recall = |m: usize| {
-            let idx = LshIndex::build(
-                pts.clone(),
-                &LshParams { m, pi: 3, w: 2.0 },
-                7,
-            );
+            let idx = LshIndex::build(pts.clone(), &LshParams { m, pi: 3, w: 2.0 }, 7);
             let got = idx.knn(&query, 8);
             got.iter().filter(|(i, _)| truth_ids.contains(i)).count()
         };
         let r1 = recall(1);
         let r16 = recall(16);
-        assert!(r16 >= r1, "recall must not fall with more layouts: {r1} vs {r16}");
-        assert!(r16 >= 6, "16 layouts should recover most true neighbors, got {r16}");
+        assert!(
+            r16 >= r1,
+            "recall must not fall with more layouts: {r1} vs {r16}"
+        );
+        assert!(
+            r16 >= 6,
+            "16 layouts should recover most true neighbors, got {r16}"
+        );
+    }
+
+    #[test]
+    fn bucket_tables_group_identical_points_under_every_layout() {
+        let pts = grid_points();
+        let multi = MultiLsh::new(2, &params(), 9);
+        let tables = bucket_tables(&multi, pts.iter().map(Vec::as_slice));
+        assert_eq!(tables.len(), params().m);
+        for (m, table) in tables.iter().enumerate() {
+            // Every point appears exactly once per layout, in its own bucket.
+            let total: usize = table.values().map(Vec::len).sum();
+            assert_eq!(total, pts.len());
+            for (i, p) in pts.iter().enumerate() {
+                let sig = multi.signature(m, p);
+                assert!(
+                    table[&sig].contains(&(i as u32)),
+                    "point {i} missing from its layout-{m} bucket"
+                );
+            }
+        }
     }
 
     #[test]

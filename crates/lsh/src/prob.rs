@@ -13,7 +13,10 @@ const SQRT_2PI: f64 = 2.5066282746310002; // sqrt(2*pi)
 ///
 /// Clamped to `[0, 1]`: for `w <= 4*dc/sqrt(2*pi)` the bound is vacuous.
 pub fn p_rho(w: f64, dc: f64) -> f64 {
-    assert!(w > 0.0 && dc >= 0.0, "invalid p_rho parameters: w={w}, dc={dc}");
+    assert!(
+        w > 0.0 && dc >= 0.0,
+        "invalid p_rho parameters: w={w}, dc={dc}"
+    );
     (1.0 - 4.0 * dc / (SQRT_2PI * w)).clamp(0.0, 1.0)
 }
 
@@ -26,7 +29,10 @@ pub fn p_rho(w: f64, dc: f64) -> f64 {
 ///
 /// `d = 0` collides with probability 1.
 pub fn p_delta(d: f64, w: f64) -> f64 {
-    assert!(w > 0.0 && d >= 0.0, "invalid p_delta parameters: d={d}, w={w}");
+    assert!(
+        w > 0.0 && d >= 0.0,
+        "invalid p_delta parameters: d={d}, w={w}"
+    );
     if d == 0.0 {
         return 1.0;
     }
@@ -84,7 +90,10 @@ mod tests {
             assert!(p >= prev, "p_rho must grow with w");
             prev = p;
         }
-        assert!(prev > 0.99, "wide slots almost surely keep neighbors together");
+        assert!(
+            prev > 0.99,
+            "wide slots almost surely keep neighbors together"
+        );
     }
 
     #[test]

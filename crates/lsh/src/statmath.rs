@@ -63,7 +63,11 @@ mod tests {
             (3.0, 0.9999779095),
         ];
         for (x, expect) in cases {
-            assert!((erf(x) - expect).abs() < 2e-7, "erf({x}) = {} != {expect}", erf(x));
+            assert!(
+                (erf(x) - expect).abs() < 2e-7,
+                "erf({x}) = {} != {expect}",
+                erf(x)
+            );
         }
     }
 

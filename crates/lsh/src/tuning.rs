@@ -101,7 +101,11 @@ impl LshParams {
     /// Builds a parameter set achieving expected accuracy `a` (Theorem 1)
     /// with the given `m` and `pi` at cutoff `dc`.
     pub fn for_accuracy(a: f64, m: usize, pi: usize, dc: f64) -> Result<Self, TuningError> {
-        Ok(LshParams { m, pi, w: solve_width(a, m, pi, dc)? })
+        Ok(LshParams {
+            m,
+            pi,
+            w: solve_width(a, m, pi, dc)?,
+        })
     }
 
     /// The paper's recommended configuration (`M = 10`, `pi = 3`) for a
@@ -186,7 +190,10 @@ mod tests {
             solve_width(0.9, 0, 3, 0.1),
             Err(TuningError::InvalidCounts { .. })
         ));
-        assert!(matches!(solve_width(0.9, 10, 3, 0.0), Err(TuningError::InvalidCutoff(_))));
+        assert!(matches!(
+            solve_width(0.9, 10, 3, 0.0),
+            Err(TuningError::InvalidCutoff(_))
+        ));
         assert!(matches!(
             solve_width(0.9, 10, 3, f64::NAN),
             Err(TuningError::InvalidCutoff(_))

@@ -128,7 +128,11 @@ fn random_range_b_is_uniform_within_slot() {
         acc += b;
     }
     let mean = acc / trials as f64;
-    assert!((mean - w / 2.0).abs() < 0.05, "mean b = {mean}, expected {}", w / 2.0);
+    assert!(
+        (mean - w / 2.0).abs() < 0.05,
+        "mean b = {mean}, expected {}",
+        w / 2.0
+    );
 }
 
 #[test]

@@ -122,11 +122,20 @@ mod tests {
     #[test]
     fn time_scales_inversely_with_workers() {
         let m = job(1_000_000_000, 1_000_000);
-        let few = ClusterSpec { workers: 4, ..ClusterSpec::ec2_m1_medium(4) };
-        let many = ClusterSpec { workers: 64, ..ClusterSpec::ec2_m1_medium(64) };
+        let few = ClusterSpec {
+            workers: 4,
+            ..ClusterSpec::ec2_m1_medium(4)
+        };
+        let many = ClusterSpec {
+            workers: 64,
+            ..ClusterSpec::ec2_m1_medium(64)
+        };
         let t_few = few.simulate_job(&m, 10_000_000_000, 1.0) - few.job_startup_secs;
         let t_many = many.simulate_job(&m, 10_000_000_000, 1.0) - many.job_startup_secs;
-        assert!((t_few / t_many - 16.0).abs() < 1e-6, "work terms scale 1/workers");
+        assert!(
+            (t_few / t_many - 16.0).abs() < 1e-6,
+            "work terms scale 1/workers"
+        );
     }
 
     #[test]
@@ -167,7 +176,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        let spec = ClusterSpec { workers: 0, ..ClusterSpec::local_cluster() };
+        let spec = ClusterSpec {
+            workers: 0,
+            ..ClusterSpec::local_cluster()
+        };
         let _ = spec.simulate_job(&job(0, 0), 0, 1.0);
     }
 }

@@ -76,7 +76,10 @@ impl Dfs {
         }
         files.insert(
             path.to_string(),
-            File { records: Arc::new(records), bytes },
+            File {
+                records: Arc::new(records),
+                bytes,
+            },
         );
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         Ok(())
@@ -156,7 +159,10 @@ mod tests {
     fn write_once_semantics() {
         let dfs = Dfs::new();
         dfs.put("x", vec![0u8]).unwrap();
-        assert_eq!(dfs.put("x", vec![1u8]), Err(DfsError::AlreadyExists("x".into())));
+        assert_eq!(
+            dfs.put("x", vec![1u8]),
+            Err(DfsError::AlreadyExists("x".into()))
+        );
         assert!(dfs.remove("x"));
         dfs.put("x", vec![1u8]).unwrap();
         assert_eq!(&*dfs.get::<u8>("x").unwrap(), &vec![1]);
@@ -165,9 +171,15 @@ mod tests {
     #[test]
     fn missing_and_wrong_type_errors() {
         let dfs = Dfs::new();
-        assert_eq!(dfs.get::<u32>("nope").unwrap_err(), DfsError::NotFound("nope".into()));
+        assert_eq!(
+            dfs.get::<u32>("nope").unwrap_err(),
+            DfsError::NotFound("nope".into())
+        );
         dfs.put("t", vec![1u32]).unwrap();
-        assert_eq!(dfs.get::<u64>("t").unwrap_err(), DfsError::WrongType("t".into()));
+        assert_eq!(
+            dfs.get::<u64>("t").unwrap_err(),
+            DfsError::WrongType("t".into())
+        );
     }
 
     #[test]
@@ -187,7 +199,10 @@ mod tests {
         dfs.put("job1/out", vec![0u8]).unwrap();
         dfs.put("job2/out", vec![0u8]).unwrap();
         dfs.put("job1/log", vec![0u8]).unwrap();
-        assert_eq!(dfs.list("job1/"), vec!["job1/log".to_string(), "job1/out".to_string()]);
+        assert_eq!(
+            dfs.list("job1/"),
+            vec!["job1/log".to_string(), "job1/out".to_string()]
+        );
         assert_eq!(dfs.list("").len(), 3);
     }
 

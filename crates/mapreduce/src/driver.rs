@@ -20,7 +20,10 @@ pub struct Driver {
 impl Driver {
     /// A fresh driver with an empty DFS.
     pub fn new() -> Self {
-        Driver { dfs: Arc::new(Dfs::new()), history: Vec::new() }
+        Driver {
+            dfs: Arc::new(Dfs::new()),
+            history: Vec::new(),
+        }
     }
 
     /// The driver's distributed file system.

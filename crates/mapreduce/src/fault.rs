@@ -48,8 +48,15 @@ impl FaultPlan {
     /// A plan failing roughly `fail_per_mille`/1000 of attempts, 4
     /// attempts per task.
     pub fn new(fail_per_mille: u32, seed: u64) -> Self {
-        assert!(fail_per_mille < 1000, "a rate of 1000 would fail every attempt");
-        FaultPlan { fail_per_mille, max_attempts: 4, seed }
+        assert!(
+            fail_per_mille < 1000,
+            "a rate of 1000 would fail every attempt"
+        );
+        FaultPlan {
+            fail_per_mille,
+            max_attempts: 4,
+            seed,
+        }
     }
 
     /// Whether the given attempt of a task fails.
@@ -141,9 +148,8 @@ mod tests {
             }
         }
         // Map and reduce schedules differ somewhere.
-        let differs = (0..200).any(|t| {
-            plan.fails(Phase::Map, t, 0) != plan.fails(Phase::Reduce, t, 0)
-        });
+        let differs =
+            (0..200).any(|t| plan.fails(Phase::Map, t, 0) != plan.fails(Phase::Reduce, t, 0));
         assert!(differs);
     }
 
@@ -164,7 +170,11 @@ mod tests {
     fn exhausted_attempts_kill_the_job() {
         // Rate 999 with 4 attempts: find a task whose four attempts all
         // fail under this seed, then run it.
-        let plan = FaultPlan { fail_per_mille: 999, max_attempts: 4, seed: 5 };
+        let plan = FaultPlan {
+            fail_per_mille: 999,
+            max_attempts: 4,
+            seed: 5,
+        };
         let doomed = (0..10_000)
             .find(|&t| (0..4).all(|a| plan.fails(Phase::Map, t, a)))
             .expect("a doomed task exists at rate 0.999");

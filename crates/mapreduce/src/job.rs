@@ -44,7 +44,11 @@ pub struct JobConfig {
 impl Default for JobConfig {
     fn default() -> Self {
         let n = rayon::current_num_threads().max(1);
-        JobConfig { map_tasks: n, reduce_tasks: n, fault: None }
+        JobConfig {
+            map_tasks: n,
+            reduce_tasks: n,
+            fault: None,
+        }
     }
 }
 
@@ -52,7 +56,11 @@ impl JobConfig {
     /// A config with `n` map and `n` reduce tasks, no fault injection.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "task count must be positive");
-        JobConfig { map_tasks: n, reduce_tasks: n, fault: None }
+        JobConfig {
+            map_tasks: n,
+            reduce_tasks: n,
+            fault: None,
+        }
     }
 }
 
@@ -115,7 +123,10 @@ where
 
     /// Sets the parallelism config.
     pub fn config(mut self, config: JobConfig) -> Self {
-        assert!(config.map_tasks > 0 && config.reduce_tasks > 0, "task counts must be positive");
+        assert!(
+            config.map_tasks > 0 && config.reduce_tasks > 0,
+            "task counts must be positive"
+        );
         self.config = config;
         self
     }
@@ -145,7 +156,10 @@ where
         input: Vec<(M::InKey, M::InValue)>,
     ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics) {
         let start = Instant::now();
-        let mut metrics = JobMetrics { name: self.name.clone(), ..Default::default() };
+        let mut metrics = JobMetrics {
+            name: self.name.clone(),
+            ..Default::default()
+        };
         metrics.map_input_records = input.len() as u64;
 
         let r_tasks = self.config.reduce_tasks;
@@ -203,7 +217,11 @@ where
                         debug_assert!(b < r_tasks, "partitioner returned out-of-range bucket");
                         buckets[b].push((k, v));
                     }
-                    MapTaskOut { buckets, emitted, combined }
+                    MapTaskOut {
+                        buckets,
+                        emitted,
+                        combined,
+                    }
                 })
             })
             .collect();
@@ -238,26 +256,28 @@ where
         let reduced: Vec<TaskOut<R::OutKey, R::OutValue>> = reduce_inputs
             .into_par_iter()
             .enumerate()
-            .map(|(task, bucket)| run_task_with_plan(fault_plan, &retries, Phase::Reduce, task, move || {
-                let mut bucket = bucket;
-                // Stable sort by key keeps value arrival order deterministic
-                // (map-task index order, preserved by the merge above).
-                bucket.sort_by(|a, b| a.0.cmp(&b.0));
-                let mut groups = 0u64;
-                let mut max_group = 0u64;
-                let mut emitter = Emitter::new();
-                let mut it = bucket.into_iter().peekable();
-                while let Some((key, first)) = it.next() {
-                    let mut values = vec![first];
-                    while it.peek().is_some_and(|(k, _)| *k == key) {
-                        values.push(it.next().expect("peeked").1);
+            .map(|(task, bucket)| {
+                run_task_with_plan(fault_plan, &retries, Phase::Reduce, task, move || {
+                    let mut bucket = bucket;
+                    // Stable sort by key keeps value arrival order deterministic
+                    // (map-task index order, preserved by the merge above).
+                    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut groups = 0u64;
+                    let mut max_group = 0u64;
+                    let mut emitter = Emitter::new();
+                    let mut it = bucket.into_iter().peekable();
+                    while let Some((key, first)) = it.next() {
+                        let mut values = vec![first];
+                        while it.peek().is_some_and(|(k, _)| *k == key) {
+                            values.push(it.next().expect("peeked").1);
+                        }
+                        groups += 1;
+                        max_group = max_group.max(values.len() as u64);
+                        reducer.reduce(&key, values, &mut emitter);
                     }
-                    groups += 1;
-                    max_group = max_group.max(values.len() as u64);
-                    reducer.reduce(&key, values, &mut emitter);
-                }
-                (groups, max_group, emitter.into_records())
-            }))
+                    (groups, max_group, emitter.into_records())
+                })
+            })
             .collect();
 
         let mut output = Vec::new();
@@ -339,10 +359,7 @@ mod tests {
         ]
     }
 
-    fn wordcount(
-        input: Vec<(u64, String)>,
-        config: JobConfig,
-    ) -> (Vec<(String, u64)>, JobMetrics) {
+    fn wordcount(input: Vec<(u64, String)>, config: JobConfig) -> (Vec<(String, u64)>, JobMetrics) {
         let m = FnMapper::new(|_k: u64, line: String, out: &mut Emitter<String, u64>| {
             for w in line.split_whitespace() {
                 out.emit(w.to_string(), 1);
@@ -404,12 +421,15 @@ mod tests {
                     out.emit(w.to_string(), 1);
                 }
             });
-            let r =
-                FnReducer::new(|k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>| {
-                    out.emit(k.clone(), vs.into_iter().sum());
-                });
+            let r = FnReducer::new(|k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>| {
+                out.emit(k.clone(), vs.into_iter().sum());
+            });
             let b = JobBuilder::new("wc", m, r).config(JobConfig::uniform(1));
-            let b = if with_combiner { b.combiner(SumCombiner) } else { b };
+            let b = if with_combiner {
+                b.combiner(SumCombiner)
+            } else {
+                b
+            };
             b.run(wordcount_input())
         };
 
@@ -435,7 +455,9 @@ mod tests {
         let r = FnReducer::new(|k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>| {
             out.emit(k.clone(), vs.into_iter().sum());
         });
-        let (_, metrics) = JobBuilder::new("wc", m, r).config(JobConfig::uniform(1)).run(input);
+        let (_, metrics) = JobBuilder::new("wc", m, r)
+            .config(JobConfig::uniform(1))
+            .run(input);
         assert_eq!(metrics.shuffle_bytes, 2 * (6 + 8));
     }
 
@@ -453,13 +475,13 @@ mod tests {
             assert!(vs.windows(2).all(|w| w[0] < w[1]));
             out.emit(*k, vs.into_iter().sum());
         });
-        let (out, _) = JobBuilder::new(
-            "grouping",
-            m,
-            r,
-        )
-        .config(JobConfig { map_tasks: 4, reduce_tasks: 1, fault: None })
-        .run(input);
+        let (out, _) = JobBuilder::new("grouping", m, r)
+            .config(JobConfig {
+                map_tasks: 4,
+                reduce_tasks: 1,
+                fault: None,
+            })
+            .run(input);
         let keys: Vec<u32> = out.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, (0..10).collect::<Vec<_>>());
     }
@@ -506,7 +528,11 @@ mod tests {
         let input: Vec<(u32, u32)> = (0..20).map(|i| (i, i)).collect();
         let (out, _) = JobBuilder::new("skewed", m, r)
             .partitioner(AllToZero)
-            .config(JobConfig { map_tasks: 2, reduce_tasks: 4, fault: None })
+            .config(JobConfig {
+                map_tasks: 2,
+                reduce_tasks: 4,
+                fault: None,
+            })
             .run(input);
         // All keys land in bucket 0, so the output is globally key-sorted.
         let keys: Vec<u32> = out.iter().map(|(k, _)| *k).collect();
@@ -523,7 +549,11 @@ mod tests {
             out.emit(*k, vs.len() as u32);
         });
         let (_, metrics) = JobBuilder::new("skewed", m, r)
-            .config(JobConfig { map_tasks: 4, reduce_tasks: 2, fault: None })
+            .config(JobConfig {
+                map_tasks: 4,
+                reduce_tasks: 2,
+                fault: None,
+            })
             .run(input);
         assert_eq!(metrics.max_reduce_group, 90);
         assert!(metrics.max_reduce_task_records >= 90);
@@ -538,8 +568,9 @@ mod tests {
         let r = FnReducer::new(|k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u32>| {
             out.emit(*k, vs.len() as u32);
         });
-        let (_, metrics) =
-            JobBuilder::new("timed", m, r).config(JobConfig::uniform(2)).run(input);
+        let (_, metrics) = JobBuilder::new("timed", m, r)
+            .config(JobConfig::uniform(2))
+            .run(input);
         assert!(metrics.map_time <= metrics.wall_time);
         assert!(metrics.reduce_time <= metrics.wall_time);
     }
@@ -553,12 +584,15 @@ mod tests {
                     out.emit(w.to_string(), 1);
                 }
             });
-            let r =
-                FnReducer::new(|k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>| {
-                    out.emit(k.clone(), vs.into_iter().sum());
-                });
+            let r = FnReducer::new(|k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>| {
+                out.emit(k.clone(), vs.into_iter().sum());
+            });
             let b = JobBuilder::new("wc", m, r).config(JobConfig::uniform(6));
-            let b = if let Some(p) = plan { b.fault_plan(p) } else { b };
+            let b = if let Some(p) = plan {
+                b.fault_plan(p)
+            } else {
+                b
+            };
             b.run(wordcount_input())
         };
         let (mut clean, m_clean) = run(None);
@@ -569,7 +603,10 @@ mod tests {
         faulty.sort();
         assert_eq!(clean, faulty, "fault tolerance must be invisible in output");
         assert_eq!(m_clean.task_retries, 0);
-        assert!(m_faulty.task_retries > 0, "30% rate over 12 tasks must retry");
+        assert!(
+            m_faulty.task_retries > 0,
+            "30% rate over 12 tasks must retry"
+        );
     }
 
     #[test]
@@ -577,7 +614,11 @@ mod tests {
     fn doomed_job_is_killed() {
         use crate::fault::FaultPlan;
         // One attempt only, 99.9% failure: some map task dies.
-        let plan = FaultPlan { fail_per_mille: 999, max_attempts: 1, seed: 8 };
+        let plan = FaultPlan {
+            fail_per_mille: 999,
+            max_attempts: 1,
+            seed: 8,
+        };
         let m = FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u32>| out.emit(k, v));
         let r = FnReducer::new(|k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u32>| {
             out.emit(*k, vs.len() as u32);

@@ -59,8 +59,8 @@
 pub mod cost;
 pub mod counters;
 pub mod dfs;
-pub mod fault;
 pub mod driver;
+pub mod fault;
 pub mod job;
 pub mod record;
 pub mod task;
@@ -69,9 +69,9 @@ pub mod wire;
 pub use cost::ClusterSpec;
 pub use counters::{Counters, JobMetrics};
 pub use dfs::Dfs;
-pub use fault::{FaultPlan, Phase};
 pub use driver::Driver;
+pub use fault::{FaultPlan, Phase};
 pub use job::{JobBuilder, JobConfig, Partitioner};
 pub use record::ShuffleSize;
-pub use wire::{decode, encode, Wire, WireError};
 pub use task::{Combiner, Emitter, Mapper, Reducer};
+pub use wire::{decode, encode, Wire, WireError};

@@ -82,9 +82,7 @@ impl<A: ShuffleSize, B: ShuffleSize, C: ShuffleSize> ShuffleSize for (A, B, C) {
     }
 }
 
-impl<A: ShuffleSize, B: ShuffleSize, C: ShuffleSize, D: ShuffleSize> ShuffleSize
-    for (A, B, C, D)
-{
+impl<A: ShuffleSize, B: ShuffleSize, C: ShuffleSize, D: ShuffleSize> ShuffleSize for (A, B, C, D) {
     #[inline]
     fn shuffle_bytes(&self) -> u64 {
         self.0.shuffle_bytes()

@@ -23,7 +23,9 @@ pub struct Emitter<K, V> {
 impl<K, V> Emitter<K, V> {
     /// A fresh, empty emitter.
     pub fn new() -> Self {
-        Emitter { records: Vec::new() }
+        Emitter {
+            records: Vec::new(),
+        }
     }
 
     /// Emits one intermediate record.
@@ -133,7 +135,10 @@ where
 {
     /// Wraps `f` as a mapper.
     pub fn new(f: F) -> Self {
-        FnMapper { f, _marker: std::marker::PhantomData }
+        FnMapper {
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -171,7 +176,10 @@ where
 {
     /// Wraps `f` as a reducer.
     pub fn new(f: F) -> Self {
-        FnReducer { f, _marker: std::marker::PhantomData }
+        FnReducer {
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

@@ -201,7 +201,12 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
         self.3.write(out);
     }
     fn read(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok((A::read(input)?, B::read(input)?, C::read(input)?, D::read(input)?))
+        Ok((
+            A::read(input)?,
+            B::read(input)?,
+            C::read(input)?,
+            D::read(input)?,
+        ))
     }
 }
 
@@ -211,7 +216,11 @@ mod tests {
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = encode(&v);
-        assert_eq!(bytes.len() as u64, v.shuffle_bytes(), "length contract for {v:?}");
+        assert_eq!(
+            bytes.len() as u64,
+            v.shuffle_bytes(),
+            "length contract for {v:?}"
+        );
         let back: T = decode(&bytes).expect("decode");
         assert_eq!(back, v);
     }

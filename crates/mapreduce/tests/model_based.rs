@@ -46,9 +46,16 @@ fn run_sum(
     let r = FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
         out.emit(*k, vs.into_iter().sum());
     });
-    let b = JobBuilder::new("sum", m, r)
-        .config(JobConfig { map_tasks, reduce_tasks, fault: None });
-    let b = if with_combiner { b.combiner(SumCombiner) } else { b };
+    let b = JobBuilder::new("sum", m, r).config(JobConfig {
+        map_tasks,
+        reduce_tasks,
+        fault: None,
+    });
+    let b = if with_combiner {
+        b.combiner(SumCombiner)
+    } else {
+        b
+    };
     let (out, _) = b.run(input);
     out.into_iter().collect()
 }

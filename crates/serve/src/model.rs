@@ -1,0 +1,400 @@
+//! The [`ClusterModel`] artifact: an immutable snapshot of a finished
+//! LSH-DDP run, serialized with the engine's own `wire` encoding.
+//!
+//! A model carries everything the online query path needs and nothing it
+//! can recompute cheaply: the training coordinates, per-point `rho` /
+//! `delta` / upslope links, cluster labels, the peak ids, halo flags, the
+//! cutoff `d_c`, and the `(M, pi, w)` + seed that generated the hash
+//! layouts. The layouts themselves are *not* serialized — `MultiLsh` is
+//! deterministic in `(dim, params, seed)`, so the query engine redraws
+//! them at load time and rebuilds the bucket tables from the stored
+//! coordinates. That keeps the artifact small and the format free of
+//! floating-point hash-function state.
+
+use ddp::centralized::CentralizedOutput;
+use ddp::prelude::RunReport;
+use dp_core::{Dataset, PointId};
+use lsh::LshParams;
+use mapreduce::wire::{self, Wire, WireError};
+use mapreduce::ShuffleSize;
+
+/// Magic number opening every serialized model ("LDPM" little-endian).
+const MAGIC: u32 = 0x4d50_444c;
+/// Format version; bump on any layout change.
+const VERSION: u32 = 1;
+
+/// An immutable, queryable snapshot of a finished clustering run.
+///
+/// Built from the batch pipeline's outputs via [`ClusterModel::from_run`],
+/// persisted with [`ClusterModel::save`] / [`ClusterModel::load`], and
+/// consumed by [`crate::QueryEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterModel {
+    /// Which pipeline produced the densities (`RunReport::algorithm`).
+    algorithm: String,
+    /// Point dimensionality.
+    dim: usize,
+    /// The cutoff distance the run used.
+    dc: f64,
+    /// LSH layout parameters `(M, pi, w)`.
+    params: LshParams,
+    /// Seed the hash layouts were drawn from.
+    seed: u64,
+    /// Flat row-major training coordinates (`n × dim`).
+    coords: Vec<f64>,
+    /// Local densities.
+    rho: Vec<u32>,
+    /// Separations (rectified: no infinities survive the decision step).
+    delta: Vec<f64>,
+    /// Upslope links (`dp_core::NO_UPSLOPE` for the global peak).
+    upslope: Vec<PointId>,
+    /// Cluster label per point.
+    labels: Vec<u32>,
+    /// The selected density peaks; `labels[peaks[c]] == c`.
+    peaks: Vec<PointId>,
+    /// Halo flag per point (border/noise under the paper's halo rule).
+    halo: Vec<bool>,
+}
+
+/// Errors loading or saving a model artifact.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The bytes do not decode as a model.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "model i/o: {e}"),
+            ModelError::Wire(e) => write!(f, "model decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+impl From<WireError> for ModelError {
+    fn from(e: WireError) -> Self {
+        ModelError::Wire(e)
+    }
+}
+
+impl ClusterModel {
+    /// Snapshots a finished run: the batch pipeline's report, the
+    /// centralized decision step's output, and the LSH layout provenance
+    /// `(params, seed)` the run hashed with.
+    ///
+    /// Halo flags are computed here (they are a presentation-layer product
+    /// the batch pipeline does not keep).
+    ///
+    /// # Panics
+    /// Panics if the report and dataset disagree on the point count.
+    pub fn from_run(
+        ds: &Dataset,
+        report: &RunReport,
+        outcome: &CentralizedOutput,
+        params: &LshParams,
+        seed: u64,
+    ) -> Self {
+        let result = &report.result;
+        assert_eq!(
+            result.len(),
+            ds.len(),
+            "report and dataset point counts differ"
+        );
+        assert_eq!(
+            outcome.clustering.len(),
+            ds.len(),
+            "clustering and dataset differ"
+        );
+        let halo = dp_core::compute_halo(ds, result, &outcome.clustering);
+        ClusterModel {
+            algorithm: report.algorithm.clone(),
+            dim: ds.dim(),
+            dc: result.dc,
+            params: *params,
+            seed,
+            coords: ds.as_flat().to_vec(),
+            rho: result.rho.clone(),
+            delta: result.delta.clone(),
+            upslope: result.upslope.clone(),
+            labels: outcome.clustering.labels().to_vec(),
+            peaks: outcome.peaks.clone(),
+            halo,
+        }
+    }
+
+    /// Serializes to the wire encoding and writes the file atomically
+    /// enough for a single writer (write then rename is overkill here; the
+    /// artifact is written once after a fit).
+    pub fn save(&self, path: &str) -> Result<(), ModelError> {
+        std::fs::write(path, wire::encode(self))?;
+        Ok(())
+    }
+
+    /// Reads and decodes a model written by [`Self::save`].
+    pub fn load(path: &str) -> Result<Self, ModelError> {
+        let bytes = std::fs::read(path)?;
+        Ok(wire::decode(&bytes)?)
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the model is empty (never true for a fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cutoff distance `d_c` the run used.
+    pub fn dc(&self) -> f64 {
+        self.dc
+    }
+
+    /// The LSH layout parameters.
+    pub fn params(&self) -> &LshParams {
+        &self.params
+    }
+
+    /// The hash-layout seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Which pipeline produced the densities.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.peaks.len()
+    }
+
+    /// Coordinates of training point `id`.
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let i = id as usize * self.dim;
+        &self.coords[i..i + self.dim]
+    }
+
+    /// The flat row-major coordinate block.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Local density of training point `id`.
+    pub fn rho(&self, id: PointId) -> u32 {
+        self.rho[id as usize]
+    }
+
+    /// All local densities.
+    pub fn rhos(&self) -> &[u32] {
+        &self.rho
+    }
+
+    /// All separations.
+    pub fn deltas(&self) -> &[f64] {
+        &self.delta
+    }
+
+    /// All upslope links.
+    pub fn upslopes(&self) -> &[PointId] {
+        &self.upslope
+    }
+
+    /// Cluster label of training point `id`.
+    pub fn label(&self, id: PointId) -> u32 {
+        self.labels[id as usize]
+    }
+
+    /// All cluster labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The peak (cluster center) point ids; cluster `c`'s center is
+    /// `peaks()[c]`.
+    pub fn peaks(&self) -> &[PointId] {
+        &self.peaks
+    }
+
+    /// Whether training point `id` is in its cluster's halo.
+    pub fn is_halo(&self, id: PointId) -> bool {
+        self.halo[id as usize]
+    }
+
+    /// All halo flags.
+    pub fn halos(&self) -> &[bool] {
+        &self.halo
+    }
+
+    /// The centers' coordinates as one flat block, in cluster-id order —
+    /// the target block for batched nearest-center kernels.
+    pub fn center_block(&self) -> Vec<f64> {
+        let mut block = Vec::with_capacity(self.peaks.len() * self.dim);
+        for &p in &self.peaks {
+            block.extend_from_slice(self.point(p));
+        }
+        block
+    }
+}
+
+impl ShuffleSize for ClusterModel {
+    fn shuffle_bytes(&self) -> u64 {
+        // magic + version + algorithm + dim + dc + (m, pi, w) + seed
+        4 + 4
+            + self.algorithm.shuffle_bytes()
+            + 8
+            + 8
+            + (8 + 8 + 8)
+            + 8
+            + self.coords.shuffle_bytes()
+            + self.rho.shuffle_bytes()
+            + self.delta.shuffle_bytes()
+            + self.upslope.shuffle_bytes()
+            + self.labels.shuffle_bytes()
+            + self.peaks.shuffle_bytes()
+            + self.halo.shuffle_bytes()
+    }
+}
+
+impl Wire for ClusterModel {
+    fn write(&self, out: &mut Vec<u8>) {
+        MAGIC.write(out);
+        VERSION.write(out);
+        self.algorithm.write(out);
+        (self.dim as u64).write(out);
+        self.dc.write(out);
+        (self.params.m as u64).write(out);
+        (self.params.pi as u64).write(out);
+        self.params.w.write(out);
+        self.seed.write(out);
+        self.coords.write(out);
+        self.rho.write(out);
+        self.delta.write(out);
+        self.upslope.write(out);
+        self.labels.write(out);
+        self.peaks.write(out);
+        self.halo.write(out);
+    }
+
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        if u32::read(input)? != MAGIC {
+            return Err(WireError::Corrupt("model magic"));
+        }
+        if u32::read(input)? != VERSION {
+            return Err(WireError::Corrupt("model version"));
+        }
+        let algorithm = String::read(input)?;
+        let dim = u64::read(input)? as usize;
+        let dc = f64::read(input)?;
+        let m = u64::read(input)? as usize;
+        let pi = u64::read(input)? as usize;
+        let w = f64::read(input)?;
+        let seed = u64::read(input)?;
+        let coords = Vec::<f64>::read(input)?;
+        let rho = Vec::<u32>::read(input)?;
+        let delta = Vec::<f64>::read(input)?;
+        let upslope = Vec::<PointId>::read(input)?;
+        let labels = Vec::<u32>::read(input)?;
+        let peaks = Vec::<PointId>::read(input)?;
+        let halo = Vec::<bool>::read(input)?;
+
+        let n = rho.len();
+        if dim == 0
+            || coords.len() != n * dim
+            || delta.len() != n
+            || upslope.len() != n
+            || labels.len() != n
+            || halo.len() != n
+            || peaks.is_empty()
+            || peaks.iter().any(|&p| p as usize >= n)
+        {
+            return Err(WireError::Corrupt("model field lengths"));
+        }
+        Ok(ClusterModel {
+            algorithm,
+            dim,
+            dc,
+            params: LshParams { m, pi, w },
+            seed,
+            coords,
+            rho,
+            delta,
+            upslope,
+            labels,
+            peaks,
+            halo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fitted_model;
+
+    #[test]
+    fn round_trips_through_the_wire_encoding() {
+        let model = fitted_model(60, 5);
+        let bytes = wire::encode(&model);
+        assert_eq!(bytes.len() as u64, model.shuffle_bytes());
+        let back: ClusterModel = wire::decode(&bytes).expect("decode");
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn save_load_round_trip_on_disk() {
+        let model = fitted_model(50, 6);
+        let dir = std::env::temp_dir().join("serve-model-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let path = path.to_str().unwrap();
+        model.save(path).expect("save");
+        let back = ClusterModel::load(path).expect("load");
+        assert_eq!(back, model);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let model = fitted_model(40, 7);
+        let mut bytes = wire::encode(&model);
+        assert!(matches!(
+            wire::decode::<ClusterModel>(&bytes[..bytes.len() - 3]),
+            Err(WireError::Truncated)
+        ));
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            wire::decode::<ClusterModel>(&bytes),
+            Err(WireError::Corrupt("model magic"))
+        ));
+    }
+
+    #[test]
+    fn labels_of_peaks_are_their_cluster_ids() {
+        let model = fitted_model(60, 8);
+        for (c, &p) in model.peaks().iter().enumerate() {
+            assert_eq!(model.label(p), c as u32);
+        }
+        let block = model.center_block();
+        assert_eq!(block.len(), model.n_clusters() * model.dim());
+        assert_eq!(&block[..model.dim()], model.point(model.peaks()[0]));
+    }
+}

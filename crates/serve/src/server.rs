@@ -1,0 +1,648 @@
+//! The concurrent serving runtime: a bounded request queue, a pool of
+//! worker threads draining it in micro-batches, and a sharded LRU answer
+//! cache — wrapped around an immutable [`QueryEngine`].
+//!
+//! Design notes:
+//!
+//! * **Backpressure** — requests travel over a `sync_channel` of depth
+//!   [`ServerConfig::queue_depth`]. A blocking [`Client::assign`] waits
+//!   for a slot (closed-loop clients self-throttle); [`Client::try_assign`]
+//!   surfaces [`ServeError::Busy`] instead, for open-loop callers that
+//!   would rather shed load than queue it.
+//! * **Micro-batching** — a worker blocks for one request, then greedily
+//!   drains up to [`ServerConfig::max_batch`]` - 1` more without blocking.
+//!   Under load the queue is never empty, batches fill up, and the whole
+//!   batch's cache misses are answered by one [`QueryEngine::assign_batch`]
+//!   call — which resolves every exact-fallback query in a single batched
+//!   distance-kernel sweep ([`dp_core::distance::nearest_in_block`]).
+//! * **Caching** — answers are memoized under the query's coordinates
+//!   quantized to [`ServerConfig::cache_quantum`], sharded to keep lock
+//!   contention off the hot path. Capacity 0 disables the cache.
+//! * **Metrics** — every observable rides in a [`mapreduce::Counters`]
+//!   (the same primitive the MapReduce engine uses for its job metrics):
+//!   query/hit/miss/fallback totals plus bucketed batch-size and latency
+//!   histograms, summarized on demand as a [`ServiceStats`] — either via
+//!   [`Server::stats`] or in-band through a [`Client::stats`] query.
+
+use crate::engine::{Assignment, QueryEngine};
+use mapreduce::Counters;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the serving runtime.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (0 = one per hardware thread).
+    pub threads: usize,
+    /// Bounded request-queue depth; the backpressure limit.
+    pub queue_depth: usize,
+    /// Largest micro-batch a worker drains in one sweep.
+    pub max_batch: usize,
+    /// Total cached answers across all shards (0 disables caching).
+    pub cache_capacity: usize,
+    /// Number of independent cache shards.
+    pub cache_shards: usize,
+    /// Coordinate quantization step for cache keys: queries closer than
+    /// this per coordinate share an entry.
+    pub cache_quantum: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            queue_depth: 1024,
+            max_batch: 32,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            cache_quantum: 1e-6,
+        }
+    }
+}
+
+/// Client-visible serving failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full (only from [`Client::try_assign`]).
+    Busy,
+    /// The server has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy => write!(f, "request queue is full"),
+            ServeError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// open-ended.
+const LATENCY_BOUNDS_US: [u64; 6] = [50, 200, 1_000, 5_000, 20_000, 100_000];
+/// Upper bounds of the micro-batch-size histogram buckets.
+const BATCH_BOUNDS: [u64; 5] = [1, 2, 4, 8, 16];
+
+fn bucket_key(prefix: &str, bounds: &[u64], value: u64) -> String {
+    for &b in bounds {
+        if value <= b {
+            return format!("{prefix}_le_{b}");
+        }
+    }
+    format!("{prefix}_gt_{}", bounds[bounds.len() - 1])
+}
+
+/// A point-in-time summary of the service counters.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Assign queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries per second over the server's uptime.
+    pub qps: f64,
+    /// Fraction of queries answered from the cache.
+    pub cache_hit_rate: f64,
+    /// Mean micro-batch size (assign requests per worker sweep).
+    pub mean_batch_size: f64,
+    /// Median end-to-end latency (enqueue to reply), upper bucket bound
+    /// in µs; `inf` if the median fell in the open-ended bucket.
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency, same convention.
+    pub p99_latency_us: f64,
+    /// Queries answered by the exact nearest-center fallback.
+    pub fallbacks: u64,
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// The raw counter snapshot (histogram buckets included).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queries {}  qps {:.0}  cache hit rate {:.1}%  fallbacks {}",
+            self.queries,
+            self.qps,
+            self.cache_hit_rate * 100.0,
+            self.fallbacks
+        )?;
+        write!(
+            f,
+            "mean batch {:.2}  p50 latency <= {:.0} µs  p99 latency <= {:.0} µs  uptime {:.2?}",
+            self.mean_batch_size, self.p50_latency_us, self.p99_latency_us, self.uptime
+        )
+    }
+}
+
+enum Request {
+    Assign {
+        point: Vec<f64>,
+        enqueued: Instant,
+        reply: SyncSender<Assignment>,
+    },
+    Stats {
+        reply: SyncSender<ServiceStats>,
+    },
+    Shutdown,
+}
+
+/// One LRU shard: key -> (recency stamp, answer) plus a recency index for
+/// O(log n) eviction.
+struct LruShard {
+    map: HashMap<Vec<i64>, (u64, Assignment)>,
+    order: BTreeMap<u64, Vec<i64>>,
+    next_stamp: u64,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &[i64]) -> Option<Assignment> {
+        let stamp = self.next_stamp;
+        let (old, answer) = {
+            let (s, a) = self.map.get_mut(key)?;
+            let old = std::mem::replace(s, stamp);
+            (old, a.clone())
+        };
+        self.next_stamp += 1;
+        let k = self.order.remove(&old).expect("recency index in sync");
+        self.order.insert(stamp, k);
+        Some(answer)
+    }
+
+    fn insert(&mut self, key: Vec<i64>, answer: Assignment) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((old, _)) = self.map.remove(&key) {
+            self.order.remove(&old);
+        } else if self.map.len() >= self.capacity {
+            let (_, victim) = self.order.pop_first().expect("non-empty at capacity");
+            self.map.remove(&victim);
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.insert(stamp, key.clone());
+        self.map.insert(key, (stamp, answer));
+    }
+}
+
+struct Shared {
+    engine: QueryEngine,
+    counters: Counters,
+    shards: Vec<Mutex<LruShard>>,
+    quantum: f64,
+    started: Instant,
+}
+
+impl Shared {
+    fn cache_key(&self, point: &[f64]) -> Vec<i64> {
+        point
+            .iter()
+            .map(|&x| (x / self.quantum).round() as i64)
+            .collect()
+    }
+
+    fn shard_of(&self, key: &[i64]) -> usize {
+        // FNV-1a over the key words; any stable spreader works here.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in key {
+            h ^= w as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn cache_get(&self, key: &[i64]) -> Option<Assignment> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        self.shards[self.shard_of(key)].lock().get(key)
+    }
+
+    fn cache_put(&self, key: Vec<i64>, answer: Assignment) {
+        if self.shards.is_empty() {
+            return;
+        }
+        self.shards[self.shard_of(&key)].lock().insert(key, answer);
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let counters = self.counters.snapshot();
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        let queries = get("queries");
+        let hits = get("cache_hits");
+        let batches = get("batches");
+        let uptime = self.started.elapsed();
+
+        let percentile = |q: f64| -> f64 {
+            let total: u64 = LATENCY_BOUNDS_US
+                .iter()
+                .map(|&b| get(&format!("latency_us_le_{b}")))
+                .sum::<u64>()
+                + get(&format!("latency_us_gt_{}", LATENCY_BOUNDS_US[5]));
+            if total == 0 {
+                return 0.0;
+            }
+            let target = (q * total as f64).ceil() as u64;
+            let mut cum = 0;
+            for &b in &LATENCY_BOUNDS_US {
+                cum += get(&format!("latency_us_le_{b}"));
+                if cum >= target {
+                    return b as f64;
+                }
+            }
+            f64::INFINITY
+        };
+
+        ServiceStats {
+            queries,
+            qps: queries as f64 / uptime.as_secs_f64().max(1e-9),
+            cache_hit_rate: if queries == 0 {
+                0.0
+            } else {
+                hits as f64 / queries as f64
+            },
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                get("batched_points") as f64 / batches as f64
+            },
+            p50_latency_us: percentile(0.50),
+            p99_latency_us: percentile(0.99),
+            fallbacks: get("fallbacks"),
+            uptime,
+            counters,
+        }
+    }
+}
+
+/// A cheap, cloneable handle submitting queries to a running [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    tx: SyncSender<Request>,
+}
+
+impl Client {
+    /// Blocking round trip: enqueue (waiting for queue space if the
+    /// server is saturated — that is the backpressure) and await the
+    /// answer.
+    pub fn assign(&self, point: &[f64]) -> Result<Assignment, ServeError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Request::Assign {
+                point: point.to_vec(),
+                enqueued: Instant::now(),
+                reply,
+            })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Non-blocking submit: fails with [`ServeError::Busy`] instead of
+    /// waiting when the queue is full.
+    pub fn try_assign(&self, point: &[f64]) -> Result<Assignment, ServeError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        let req = Request::Assign {
+            point: point.to_vec(),
+            enqueued: Instant::now(),
+            reply,
+        };
+        match self.tx.try_send(req) {
+            Ok(()) => rx.recv().map_err(|_| ServeError::Closed),
+            Err(TrySendError::Full(_)) => Err(ServeError::Busy),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// In-band metrics query: travels the same queue as assignments.
+    pub fn stats(&self) -> Result<ServiceStats, ServeError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Request::Stats { reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// The running service: worker pool + queue + cache + counters.
+pub struct Server {
+    tx: Option<SyncSender<Request>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Starts the worker pool over `engine`.
+    pub fn start(engine: QueryEngine, config: ServerConfig) -> Server {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            config.threads
+        };
+        let shards = if config.cache_capacity == 0 {
+            Vec::new()
+        } else {
+            let n = config.cache_shards.max(1);
+            let per_shard = (config.cache_capacity / n).max(1);
+            (0..n)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect()
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            counters: Counters::new(),
+            shards,
+            quantum: config.cache_quantum.max(f64::MIN_POSITIVE),
+            started: Instant::now(),
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let max_batch = config.max_batch.max(1);
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared, max_batch))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.as_ref().expect("server running").clone(),
+        }
+    }
+
+    /// Out-of-band metrics snapshot (no queue round trip).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Drains the queue, stops the workers, and joins them. Outstanding
+    /// client handles error with [`ServeError::Closed`] afterwards.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(tx) = self.tx.take() else { return };
+        for _ in 0..self.workers.len() {
+            // One sentinel per worker; each worker consumes exactly one.
+            let _ = tx.send(Request::Shutdown);
+        }
+        drop(tx);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Request>>, shared: &Shared, max_batch: usize) {
+    loop {
+        // Block for one request, then greedily drain a micro-batch. The
+        // receiver lock is held only while draining, never while serving.
+        let mut batch = Vec::with_capacity(max_batch);
+        let mut exiting = false;
+        {
+            let guard = rx.lock();
+            match guard.recv() {
+                Ok(Request::Shutdown) => exiting = true,
+                Ok(req) => batch.push(req),
+                Err(_) => return,
+            }
+            while !exiting && batch.len() < max_batch {
+                match guard.try_recv() {
+                    Ok(Request::Shutdown) => exiting = true,
+                    Ok(req) => batch.push(req),
+                    Err(_) => break,
+                }
+            }
+        }
+        serve_batch(shared, batch);
+        if exiting {
+            return;
+        }
+    }
+}
+
+/// An assign request unpacked for batching: (point, enqueue time, reply
+/// channel, cache key).
+type PendingAssign = (Vec<f64>, Instant, SyncSender<Assignment>, Vec<i64>);
+
+fn serve_batch(shared: &Shared, batch: Vec<Request>) {
+    let c = &shared.counters;
+    let mut assigns: Vec<PendingAssign> = Vec::new();
+    for req in batch {
+        match req {
+            Request::Assign {
+                point,
+                enqueued,
+                reply,
+            } => {
+                let key = shared.cache_key(&point);
+                assigns.push((point, enqueued, reply, key));
+            }
+            Request::Stats { reply } => {
+                c.inc("stats_queries", 1);
+                let _ = reply.send(shared.stats());
+            }
+            Request::Shutdown => unreachable!("sentinels never reach serve_batch"),
+        }
+    }
+    if assigns.is_empty() {
+        return;
+    }
+
+    c.inc("queries", assigns.len() as u64);
+    c.inc("batches", 1);
+    c.inc("batched_points", assigns.len() as u64);
+    c.inc(
+        &bucket_key("batch_size", &BATCH_BOUNDS, assigns.len() as u64),
+        1,
+    );
+
+    // Cache pass: answer hits immediately, gather misses into one flat
+    // block for the batched engine call.
+    let dim = shared.engine.model().dim();
+    let mut misses: Vec<usize> = Vec::new();
+    let mut block: Vec<f64> = Vec::new();
+    let mut answers: Vec<Option<Assignment>> = vec![None; assigns.len()];
+    for (i, (point, _, _, key)) in assigns.iter().enumerate() {
+        if point.len() != dim {
+            // Dimension mismatches get the nearest thing to an error the
+            // reply channel can carry: drop the reply, the client sees
+            // `Closed`. Counted so operators can spot misuse.
+            c.inc("bad_dimension", 1);
+            continue;
+        }
+        if let Some(hit) = shared.cache_get(key) {
+            c.inc("cache_hits", 1);
+            answers[i] = Some(hit);
+        } else {
+            c.inc("cache_misses", 1);
+            misses.push(i);
+            block.extend_from_slice(point);
+        }
+    }
+
+    if !misses.is_empty() {
+        let fresh = shared.engine.assign_batch(&block);
+        for (&i, answer) in misses.iter().zip(fresh) {
+            if answer.fallback {
+                c.inc("fallbacks", 1);
+            }
+            shared.cache_put(assigns[i].3.clone(), answer.clone());
+            answers[i] = Some(answer);
+        }
+    }
+
+    for ((_, enqueued, reply, _), answer) in assigns.iter().zip(answers) {
+        if let Some(answer) = answer {
+            let us = enqueued.elapsed().as_micros() as u64;
+            c.inc(&bucket_key("latency_us", &LATENCY_BOUNDS_US, us), 1);
+            let _ = reply.send(answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fitted_model;
+
+    fn small_server(cache_capacity: usize, threads: usize) -> Server {
+        small_server_with(fitted_model(50, 21), cache_capacity, threads)
+    }
+
+    fn small_server_with(
+        model: crate::ClusterModel,
+        cache_capacity: usize,
+        threads: usize,
+    ) -> Server {
+        Server::start(
+            QueryEngine::new(model),
+            ServerConfig {
+                threads,
+                queue_depth: 64,
+                max_batch: 8,
+                cache_capacity,
+                cache_shards: 4,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn server_answers_match_the_engine() {
+        let model = fitted_model(50, 21);
+        let engine = QueryEngine::new(model.clone());
+        let server = small_server(0, 2);
+        let client = server.client();
+        for id in (0..model.len() as u32).step_by(5) {
+            let got = client.assign(model.point(id)).expect("answer");
+            assert_eq!(got, engine.assign(model.point(id)), "point {id}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let server = small_server(512, 2);
+        let client = server.client();
+        let q = server.shared.engine.model().point(3).to_vec();
+        let first = client.assign(&q).expect("answer");
+        for _ in 0..20 {
+            assert_eq!(client.assign(&q).expect("answer"), first);
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.queries, 21);
+        assert!(stats.counters["cache_hits"] >= 20, "stats: {stats}");
+        assert!(stats.qps > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_correct_answers() {
+        let model = fitted_model(60, 22);
+        let engine = QueryEngine::new(model.clone());
+        let server = small_server_with(model.clone(), 1024, 4);
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let client = server.client();
+                let model = &model;
+                let engine = &engine;
+                s.spawn(move || {
+                    for round in 0..50 {
+                        let id = ((t * 31 + round * 7) % model.len()) as u32;
+                        let got = client.assign(model.point(id)).expect("answer");
+                        assert_eq!(got.cluster, engine.assign(model.point(id)).cluster);
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.queries, 6 * 50);
+        assert!(stats.p50_latency_us > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_clients() {
+        let server = small_server(0, 2);
+        let client = server.client();
+        let q = server.shared.engine.model().point(0).to_vec();
+        assert!(client.assign(&q).is_ok());
+        server.shutdown();
+        assert_eq!(client.assign(&q), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn lru_shard_evicts_least_recently_used() {
+        let a = |c: u32| Assignment {
+            cluster: c,
+            confidence: 1.0,
+            fallback: false,
+            rho_estimate: 0,
+            halo: false,
+        };
+        let mut shard = LruShard::new(2);
+        shard.insert(vec![1], a(1));
+        shard.insert(vec![2], a(2));
+        assert!(shard.get(&[1]).is_some()); // refresh 1; 2 is now LRU
+        shard.insert(vec![3], a(3));
+        assert!(shard.get(&[2]).is_none(), "2 was evicted");
+        assert_eq!(shard.get(&[1]).unwrap().cluster, 1);
+        assert_eq!(shard.get(&[3]).unwrap().cluster, 3);
+    }
+}

@@ -22,8 +22,14 @@ fn main() {
         ds.dim()
     );
 
-    let basic = BasicDdp::new(BasicConfig { block_size: 50, ..Default::default() }).run(&ds, dc);
-    let lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, 11).expect("valid params").run(&ds, dc);
+    let basic = BasicDdp::new(BasicConfig {
+        block_size: 50,
+        ..Default::default()
+    })
+    .run(&ds, dc);
+    let lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, 11)
+        .expect("valid params")
+        .run(&ds, dc);
     let eddpc = Eddpc::new(EddpcConfig::for_size(ds.len(), 11)).run(&ds, dc);
 
     for report in [&basic, &lsh, &eddpc] {
@@ -57,7 +63,10 @@ fn main() {
     // generative component count. DeltaOutliers is the rectangle the
     // paper's interactive user would draw (high delta AND high rho).
     let k = 24;
-    let step = CentralizedStep::new(PeakSelection::DeltaOutliers { k, rho_quantile: 0.5 });
+    let step = CentralizedStep::new(PeakSelection::DeltaOutliers {
+        k,
+        rho_quantile: 0.5,
+    });
     let b = step.run(&basic.result);
     let l = step.run(&lsh.result);
     let e = step.run(&eddpc.result);

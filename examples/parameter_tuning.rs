@@ -17,7 +17,10 @@ fn main() {
     let ld = datasets::generators::blob_grid(6, 6, 60, 30.0, 0.8, 3);
     let ds = ld.data;
     let dc = dp_core::cutoff::estimate_dc_sampled(&ds, 0.02, 100_000, 3);
-    println!("workload: 36-blob grid, {} points, d_c = {dc:.3}\n", ds.len());
+    println!(
+        "workload: 36-blob grid, {} points, d_c = {dc:.3}\n",
+        ds.len()
+    );
 
     // The closed-form solver (Theorem 1 inverted).
     println!("solved slot widths at M = 10, pi = 3:");
@@ -33,7 +36,10 @@ fn main() {
     // Prediction vs measurement.
     let exact = compute_exact(&ds, dc);
     println!("\npredicted vs measured (M = 10, pi = 3):");
-    println!("{:>8} {:>10} {:>10} {:>12}", "A", "tau1", "tau2", "# distances");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "A", "tau1", "tau2", "# distances"
+    );
     for a in [0.5, 0.8, 0.95, 0.99] {
         let report = LshDdp::with_accuracy(a, 10, 3, dc, 3)
             .expect("valid accuracy")
@@ -49,7 +55,10 @@ fn main() {
 
     // The M / pi trade at fixed accuracy.
     println!("\ncost at fixed A = 0.99 (more layouts = more copies shuffled):");
-    println!("{:>4} {:>4} {:>9} {:>14} {:>12}", "M", "pi", "w", "shuffle bytes", "# distances");
+    println!(
+        "{:>4} {:>4} {:>9} {:>14} {:>12}",
+        "M", "pi", "w", "shuffle bytes", "# distances"
+    );
     for (m, pi) in [(5, 3), (10, 3), (20, 3), (10, 10)] {
         let report = LshDdp::with_accuracy(0.99, m, pi, dc, 3)
             .expect("valid accuracy")

@@ -15,7 +15,11 @@ fn main() {
     // Three well-separated Gaussian blobs in the plane.
     let ld = datasets::gaussian_mixture(2, 3, 200, 100.0, 1.5, 7);
     let ds = ld.data;
-    println!("data: {} points, {} dims, 3 true clusters", ds.len(), ds.dim());
+    println!(
+        "data: {} points, {} dims, 3 true clusters",
+        ds.len(),
+        ds.dim()
+    );
 
     // Step 0 — the cutoff distance. The rule of thumb: each point's
     // d_c-neighborhood should hold 1–2% of the data.
@@ -31,7 +35,9 @@ fn main() {
     let graph = DecisionGraph::from_result(&exact);
     let mut by_gamma: Vec<_> = graph.points().to_vec();
     by_gamma.sort_by(|a, b| {
-        (b.rho as f64 * b.delta).partial_cmp(&(a.rho as f64 * a.delta)).unwrap()
+        (b.rho as f64 * b.delta)
+            .partial_cmp(&(a.rho as f64 * a.delta))
+            .unwrap()
     });
     println!("\ndecision graph, top 5 by rho*delta:");
     println!("{:>8} {:>6} {:>10}", "point", "rho", "delta");

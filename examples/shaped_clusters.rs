@@ -18,7 +18,9 @@ use lsh_ddp::prelude::*;
 fn dp_cluster(ds: &Dataset, k: usize, t: f64) -> Clustering {
     let dc = dp_core::cutoff::estimate_dc_exact(ds, t);
     let r = compute_exact(ds, dc);
-    CentralizedStep::new(PeakSelection::TopK(k)).run(&r).clustering
+    CentralizedStep::new(PeakSelection::TopK(k))
+        .run(&r)
+        .clustering
 }
 
 fn evaluate(name: &str, ld: &datasets::LabeledDataset, k: usize, t: f64) {
@@ -47,11 +49,26 @@ fn main() {
     println!("ARI against ground truth (1.0 = perfect recovery):\n");
     // Spiral arms have a density gradient toward the center — DP's home
     // turf (the original DP paper's headline shapes are of this kind).
-    evaluate("spirals", &datasets::shapes::spirals(2, 300, 0.02, 5), 2, 0.05);
+    evaluate(
+        "spirals",
+        &datasets::shapes::spirals(2, 300, 0.02, 5),
+        2,
+        0.05,
+    );
     // Aggregation: 7 clusters of varied size/shape with touching bridges.
-    evaluate("aggregation", &datasets::shapes::aggregation_like(5), 7, 0.02);
+    evaluate(
+        "aggregation",
+        &datasets::shapes::aggregation_like(5),
+        7,
+        0.02,
+    );
     // S2-like: 15 overlapping Gaussian clusters.
-    evaluate("s2 (15 gaussians)", &datasets::paper::s2_like(2000, 5), 15, 0.02);
+    evaluate(
+        "s2 (15 gaussians)",
+        &datasets::paper::s2_like(2000, 5),
+        15,
+        0.02,
+    );
     // Hard case: uniform-density rings — no density peaks to anchor on.
     evaluate(
         "rings (hard case)",

@@ -15,7 +15,12 @@
 //! * `cluster` — run one of the clustering pipelines end to end and write
 //!   one label per input row;
 //! * `graph` — compute the decision graph (`id,rho,delta,rectified`) for
-//!   interactive peak picking.
+//!   interactive peak picking;
+//! * `fit` — run LSH-DDP end to end and snapshot the result as a
+//!   queryable `ClusterModel` artifact;
+//! * `query` — assign new points against a fitted model, one per line;
+//! * `serve` — push a query stream through the concurrent micro-batching
+//!   server and report service metrics.
 
 use lsh_ddp::prelude::*;
 use std::process::ExitCode;
@@ -49,7 +54,18 @@ USAGE:
   lshddp graph --input <file> --out <file> [--labeled] [--dc f] [--seed n]
       [--algorithm exact|lsh|kernel] [--accuracy f] [--m n] [--pi n]
   lshddp tune --input <file> [--labeled] [--accuracy f] [--dc f] [--seed n]
-      cost-optimal (M, pi, w) over the paper's recommended grid (Section V)";
+      cost-optimal (M, pi, w) over the paper's recommended grid (Section V)
+  lshddp fit --input <file> --out <model> [--labeled] [--k n | --auto]
+      [--dc f] [--accuracy f] [--m n] [--pi n] [--seed n] [--normalize]
+      run LSH-DDP and save a queryable ClusterModel artifact
+  lshddp query --model <model> [--input <file>] [--out <file>]
+      [--exactness lsh|hybrid|exact]
+      assign points (CSV rows, stdin when --input is omitted); prints
+      cluster,confidence per point
+  lshddp serve --model <model> --input <file> [--out <file>] [--stats]
+      [--exactness lsh|hybrid|exact] [--threads n] [--batch n]
+      [--cache n] [--queue n] [--clients n]
+      run the query stream through the concurrent micro-batching server";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -60,6 +76,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "cluster" => cluster(&opts),
         "graph" => graph(&opts),
         "tune" => tune(&opts),
+        "fit" => fit(&opts),
+        "query" => query(&opts),
+        "serve" => serve_stream(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -88,6 +107,13 @@ struct Opts {
     accuracy: f64,
     m: usize,
     pi: usize,
+    model: Option<String>,
+    exactness: String,
+    threads: usize,
+    batch: usize,
+    cache: usize,
+    queue: usize,
+    clients: usize,
 }
 
 impl Opts {
@@ -111,6 +137,13 @@ impl Opts {
             accuracy: 0.99,
             m: 10,
             pi: 3,
+            model: None,
+            exactness: "hybrid".into(),
+            threads: 0,
+            batch: 32,
+            cache: 4096,
+            queue: 1024,
+            clients: 4,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -136,6 +169,13 @@ impl Opts {
                 "--accuracy" => o.accuracy = parse_num(value("--accuracy")?, "--accuracy")?,
                 "--m" => o.m = parse_num(value("--m")?, "--m")?,
                 "--pi" => o.pi = parse_num(value("--pi")?, "--pi")?,
+                "--model" => o.model = Some(value("--model")?.clone()),
+                "--exactness" => o.exactness = value("--exactness")?.clone(),
+                "--threads" => o.threads = parse_num(value("--threads")?, "--threads")?,
+                "--batch" => o.batch = parse_num(value("--batch")?, "--batch")?,
+                "--cache" => o.cache = parse_num(value("--cache")?, "--cache")?,
+                "--queue" => o.queue = parse_num(value("--queue")?, "--queue")?,
+                "--clients" => o.clients = parse_num(value("--clients")?, "--clients")?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -181,18 +221,17 @@ fn generate(o: &Opts) -> Result<(), String> {
     };
     let labels = o.labels.then_some(&ld.labels[..]);
     datasets::io::write_csv(out, &ld.data, labels).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {} points x {} dims to {out}", ld.len(), ld.data.dim());
+    println!(
+        "wrote {} points x {} dims to {out}",
+        ld.len(),
+        ld.data.dim()
+    );
     Ok(())
 }
 
 fn estimate_dc(o: &Opts) -> Result<(), String> {
     let ld = o.load()?;
-    let dc = dp_core::cutoff::estimate_dc_sampled(
-        &ld.data,
-        o.percentile,
-        o.samples,
-        o.seed,
-    );
+    let dc = dp_core::cutoff::estimate_dc_sampled(&ld.data, o.percentile, o.samples, o.seed);
     println!("{dc}");
     Ok(())
 }
@@ -216,8 +255,7 @@ fn cluster(o: &Opts) -> Result<(), String> {
     }
 
     // The DP family: compute (rho, delta), then select + assign.
-    let (result, report): (DpResult, Option<ddp::stats::RunReport>) = match o.algorithm.as_str()
-    {
+    let (result, report): (DpResult, Option<ddp::stats::RunReport>) = match o.algorithm.as_str() {
         "exact" => (compute_exact(ds, dc), None),
         "kernel" => (dp_core::compute_gaussian(ds, dc).result, None),
         "basic" => {
@@ -238,7 +276,10 @@ fn cluster(o: &Opts) -> Result<(), String> {
     };
 
     let selection = match (o.auto, o.k) {
-        (false, Some(k)) => PeakSelection::DeltaOutliers { k, rho_quantile: 0.25 },
+        (false, Some(k)) => PeakSelection::DeltaOutliers {
+            k,
+            rho_quantile: 0.25,
+        },
         _ => PeakSelection::Auto,
     };
     let outcome = CentralizedStep::new(selection).run(&result);
@@ -287,7 +328,10 @@ fn graph(o: &Opts) -> Result<(), String> {
     };
     let graph = DecisionGraph::from_result(&result);
     std::fs::write(out, graph.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote decision graph ({} points, d_c = {dc:.6}) to {out}", graph.len());
+    println!(
+        "wrote decision graph ({} points, d_c = {dc:.6}) to {out}",
+        graph.len()
+    );
     Ok(())
 }
 
@@ -299,9 +343,16 @@ fn tune(o: &Opts) -> Result<(), String> {
     let report = ddp::tuning::autotune(ds, dc, o.accuracy, &spec, &RECOMMENDED_GRID, 1000, o.seed)
         .map_err(|e| e.to_string())?;
     println!("d_c = {dc:.6}; grid at A = {}:", o.accuracy);
-    println!("{:>4} {:>4} {:>10} {:>16} {:>18} {:>14}", "M", "pi", "w", "pred #dist", "pred shuffle B", "pred cost s");
+    println!(
+        "{:>4} {:>4} {:>10} {:>16} {:>18} {:>14}",
+        "M", "pi", "w", "pred #dist", "pred shuffle B", "pred cost s"
+    );
     for c in &report.candidates {
-        let marker = if c.params == report.best.params { "->" } else { "  " };
+        let marker = if c.params == report.best.params {
+            "->"
+        } else {
+            "  "
+        };
         println!(
             "{marker}{:>3} {:>4} {:>10.4} {:>16} {:>18} {:>14.2}",
             c.params.m,
@@ -316,6 +367,172 @@ fn tune(o: &Opts) -> Result<(), String> {
         "recommended: --m {} --pi {} (w = {:.4})",
         report.best.params.m, report.best.params.pi, report.best.params.w
     );
+    Ok(())
+}
+
+fn fit(o: &Opts) -> Result<(), String> {
+    let ld = o.load()?;
+    let ds = &ld.data;
+    let out = o.out.as_ref().ok_or("--out is required")?;
+    let dc = o.resolve_dc(ds);
+
+    let ddp =
+        LshDdp::with_accuracy(o.accuracy, o.m, o.pi, dc, o.seed).map_err(|e| e.to_string())?;
+    let params = ddp.config().params;
+    let report = ddp.run(ds, dc);
+    let selection = match (o.auto, o.k) {
+        (false, Some(k)) => PeakSelection::DeltaOutliers {
+            k,
+            rho_quantile: 0.25,
+        },
+        _ => PeakSelection::Auto,
+    };
+    let outcome = CentralizedStep::new(selection).run(&report.result);
+    let model = ClusterModel::from_run(ds, &report, &outcome, &params, o.seed);
+    model.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "fit: {} points x {} dims, d_c = {dc:.6}, {} clusters, model -> {out}",
+        model.len(),
+        model.dim(),
+        model.n_clusters()
+    );
+    Ok(())
+}
+
+/// Reads query points as CSV rows of floats — from a file, or stdin when
+/// `path` is `None`. Rows longer than `dim` keep their first `dim`
+/// columns, so label-bearing files generated with `--labels` work as-is.
+fn read_queries(path: Option<&str>, dim: usize) -> Result<Vec<f64>, String> {
+    let text = match path {
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?,
+        None => {
+            use std::io::Read;
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| e.to_string())?;
+            s
+        }
+    };
+    let mut flat = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Vec<f64> = line
+            .split(',')
+            .map(|c| c.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if row.len() < dim {
+            return Err(format!(
+                "line {}: {} columns, model needs {dim}",
+                lineno + 1,
+                row.len()
+            ));
+        }
+        flat.extend_from_slice(&row[..dim]);
+    }
+    Ok(flat)
+}
+
+fn load_engine(o: &Opts) -> Result<QueryEngine, String> {
+    let path = o.model.as_ref().ok_or("--model is required")?;
+    let model = ClusterModel::load(path).map_err(|e| e.to_string())?;
+    let exactness: Exactness = o.exactness.parse()?;
+    Ok(QueryEngine::with_exactness(model, exactness))
+}
+
+fn write_assignments(path: Option<&str>, answers: &[serve::Assignment]) -> Result<(), String> {
+    use std::io::Write;
+    let mut buf = String::new();
+    for a in answers {
+        buf.push_str(&format!("{},{:.4}\n", a.cluster, a.confidence));
+    }
+    match path {
+        Some(p) => std::fs::write(p, buf).map_err(|e| format!("writing {p}: {e}")),
+        None => std::io::stdout()
+            .write_all(buf.as_bytes())
+            .map_err(|e| e.to_string()),
+    }
+}
+
+fn query(o: &Opts) -> Result<(), String> {
+    let engine = load_engine(o)?;
+    let queries = read_queries(o.input.as_deref(), engine.model().dim())?;
+    let answers = engine.assign_batch(&queries);
+    write_assignments(o.out.as_deref(), &answers)?;
+    let fallbacks = answers.iter().filter(|a| a.fallback).count();
+    eprintln!(
+        "query: {} points, {} exact-fallback",
+        answers.len(),
+        fallbacks
+    );
+    Ok(())
+}
+
+fn serve_stream(o: &Opts) -> Result<(), String> {
+    let engine = load_engine(o)?;
+    let dim = engine.model().dim();
+    let queries = read_queries(o.input.as_deref(), dim)?;
+    let n = queries.len() / dim;
+    if n == 0 {
+        return Err("no query points".into());
+    }
+
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            threads: o.threads,
+            queue_depth: o.queue,
+            max_batch: o.batch,
+            cache_capacity: o.cache,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Closed-loop clients: split the stream into contiguous slices, one
+    // blocking client thread per slice.
+    let clients = o.clients.clamp(1, n);
+    let mut answers: Vec<Option<serve::Assignment>> = vec![None; n];
+    let chunk = n.div_ceil(clients);
+    std::thread::scope(|s| {
+        for (slot, ids) in answers.chunks_mut(chunk).zip(0..) {
+            let client = server.client();
+            let queries = &queries;
+            s.spawn(move || {
+                let base = ids * chunk;
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let q = &queries[(base + j) * dim..(base + j + 1) * dim];
+                    *out = client.assign(q).ok();
+                }
+            });
+        }
+    });
+
+    let answers: Vec<serve::Assignment> = answers
+        .into_iter()
+        .collect::<Option<_>>()
+        .ok_or("server dropped a query")?;
+    if let Some(out) = o.out.as_deref() {
+        write_assignments(Some(out), &answers)?;
+    }
+    let stats = server.client().stats().map_err(|e| e.to_string())?;
+    server.shutdown();
+    println!(
+        "serve: {} points through {clients} client(s)",
+        answers.len()
+    );
+    if o.stats {
+        println!("{stats}");
+    } else {
+        println!(
+            "qps {:.0}  cache hit rate {:.1}%",
+            stats.qps,
+            stats.cache_hit_rate * 100.0
+        );
+    }
     Ok(())
 }
 

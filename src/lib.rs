@@ -16,7 +16,10 @@
 //! * [`baselines`] — K-means (sequential + MapReduce), DBSCAN, EM-GMM,
 //!   agglomerative hierarchical;
 //! * [`datasets`] — seeded analogs of the paper's seven evaluation data
-//!   sets plus shaped generators and CSV IO.
+//!   sets plus shaped generators and CSV IO;
+//! * [`serve`] — the online layer: snapshot a finished run as a
+//!   [`serve::ClusterModel`] artifact and answer `assign(point)` queries
+//!   through a concurrent micro-batching server.
 //!
 //! ## Five-minute tour
 //!
@@ -51,6 +54,7 @@ pub use ddp;
 pub use dp_core;
 pub use lsh;
 pub use mapreduce;
+pub use serve;
 
 /// The types most applications need.
 pub mod prelude {
@@ -62,4 +66,5 @@ pub mod prelude {
     };
     pub use lsh::{LshParams, MultiLsh};
     pub use mapreduce::{ClusterSpec, JobBuilder, JobConfig};
+    pub use serve::{ClusterModel, Exactness, QueryEngine, Server, ServerConfig};
 }

@@ -53,7 +53,11 @@ fn generate_dc_cluster_graph_round_trip() {
         .arg(&points)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(points.exists());
 
     // dc
@@ -62,8 +66,15 @@ fn generate_dc_cluster_graph_round_trip() {
         .arg(&points)
         .output()
         .expect("run dc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let dc: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().expect("dc value");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dc: f64 = String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("dc value");
     assert!(dc > 0.0);
 
     // cluster with LSH-DDP; the file has a label column.
@@ -86,7 +97,11 @@ fn generate_dc_cluster_graph_round_trip() {
         .arg(&labels)
         .output()
         .expect("run cluster");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ARI vs input labels"), "stdout: {text}");
     let label_lines = std::fs::read_to_string(&labels).expect("labels written");
@@ -100,7 +115,11 @@ fn generate_dc_cluster_graph_round_trip() {
         .arg(&graph)
         .output()
         .expect("run graph");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let gtext = std::fs::read_to_string(&graph).expect("graph written");
     assert!(gtext.starts_with("id,rho,delta,rectified"));
     assert_eq!(gtext.lines().count(), 501);
@@ -111,13 +130,24 @@ fn cluster_exact_and_kernel_agree_on_easy_data() {
     let points = tmp("blobs.csv");
     // Generate an easy shaped set with labels.
     let out = bin()
-        .args(["generate", "--dataset", "spirals", "--seed", "3", "--labels", "--out"])
+        .args([
+            "generate",
+            "--dataset",
+            "spirals",
+            "--seed",
+            "3",
+            "--labels",
+            "--out",
+        ])
         .arg(&points)
         .output()
         .expect("run generate");
     assert!(out.status.success());
 
-    for (algo, file) in [("exact", "exact-labels.csv"), ("kernel", "kernel-labels.csv")] {
+    for (algo, file) in [
+        ("exact", "exact-labels.csv"),
+        ("kernel", "kernel-labels.csv"),
+    ] {
         let lpath = tmp(file);
         let out = bin()
             .args([
@@ -143,7 +173,10 @@ fn cluster_exact_and_kernel_agree_on_easy_data() {
         );
         let text = String::from_utf8_lossy(&out.stdout);
         // Both algorithms should recover the spirals nearly perfectly.
-        let ari_line = text.lines().find(|l| l.contains("ARI")).expect("ARI printed");
+        let ari_line = text
+            .lines()
+            .find(|l| l.contains("ARI"))
+            .expect("ARI printed");
         let ari: f64 = ari_line.rsplit(' ').next().unwrap().parse().expect("ari");
         assert!(ari > 0.9, "{algo}: ARI = {ari}");
     }
@@ -163,7 +196,11 @@ fn tune_recommends_grid_parameters() {
         .arg(&points)
         .output()
         .expect("run tune");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("recommended: --m"), "stdout: {text}");
     assert!(text.lines().count() >= 8, "grid table printed");
@@ -191,7 +228,13 @@ fn kmeans_requires_k() {
 #[test]
 fn missing_input_is_a_clean_error() {
     let out = bin()
-        .args(["cluster", "--input", "/nonexistent/nope.csv", "--out", "/tmp/x"])
+        .args([
+            "cluster",
+            "--input",
+            "/nonexistent/nope.csv",
+            "--out",
+            "/tmp/x",
+        ])
         .output()
         .expect("run");
     assert!(!out.status.success());

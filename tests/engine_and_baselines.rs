@@ -31,10 +31,12 @@ fn driver_runs_a_two_job_pipeline_through_dfs() {
     let (maxes, m2) = JobBuilder::new(
         "argmax",
         FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u8, (u32, u64)>| out.emit(0, (k, v))),
-        FnReducer::new(|_k: &u8, vs: Vec<(u32, u64)>, out: &mut Emitter<u32, u64>| {
-            let (k, v) = vs.into_iter().max_by_key(|(_, v)| *v).expect("non-empty");
-            out.emit(k, v);
-        }),
+        FnReducer::new(
+            |_k: &u8, vs: Vec<(u32, u64)>, out: &mut Emitter<u32, u64>| {
+                let (k, v) = vs.into_iter().max_by_key(|(_, v)| *v).expect("non-empty");
+                out.emit(k, v);
+            },
+        ),
     )
     .config(JobConfig::uniform(2))
     .run(hist);
@@ -53,10 +55,8 @@ fn mapreduce_kmeans_converges_like_sequential_on_blobs() {
     let ld = datasets::gaussian_mixture(3, 4, 80, 120.0, 1.0, 5);
     let seq = KMeans::new(4, 9).fit(&ld.data);
     let mr = MapReduceKMeans::new(4, 9).run(&ld.data, 25);
-    let ari = dp_core::quality::adjusted_rand_index(
-        seq.clustering.labels(),
-        mr.clustering.labels(),
-    );
+    let ari =
+        dp_core::quality::adjusted_rand_index(seq.clustering.labels(), mr.clustering.labels());
     assert!(ari > 0.99, "sequential vs MapReduce K-means ARI = {ari}");
     // Both recover the generating mixture.
     let truth = dp_core::quality::adjusted_rand_index(mr.clustering.labels(), &ld.labels);
@@ -112,14 +112,21 @@ fn cluster_cost_model_orders_algorithms_like_counters() {
     // cluster size.
     let ld = datasets::generators::blob_grid(6, 5, 25, 25.0, 0.6, 3);
     let dc = 0.8;
-    let basic = BasicDdp::new(BasicConfig { block_size: 25, ..Default::default() })
-        .run(&ld.data, dc);
+    let basic = BasicDdp::new(BasicConfig {
+        block_size: 25,
+        ..Default::default()
+    })
+    .run(&ld.data, dc);
     let lshr = LshDdp::with_accuracy(0.99, 10, 3, dc, 3)
         .expect("valid accuracy")
         .run(&ld.data, dc);
     assert!(lshr.distances < basic.distances);
     for workers in [4, 16, 64] {
-        let spec = ClusterSpec { workers, job_startup_secs: 0.0, ..ClusterSpec::local_cluster() };
+        let spec = ClusterSpec {
+            workers,
+            job_startup_secs: 0.0,
+            ..ClusterSpec::local_cluster()
+        };
         assert!(
             lshr.simulate(&spec, 1.0) < basic.simulate(&spec, 1.0),
             "workers = {workers}"

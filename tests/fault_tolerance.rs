@@ -2,7 +2,7 @@
 //! injection and produce results identical to clean runs.
 
 use lsh_ddp::prelude::*;
-use mapreduce::FaultPlan;
+use mapreduce::{FaultPlan, Phase};
 
 fn workload() -> Dataset {
     datasets::generators::blob_grid(4, 4, 25, 20.0, 0.6, 3).data
@@ -20,16 +20,25 @@ fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
 fn basic_ddp_survives_task_failures_bit_exactly() {
     let ds = workload();
     let dc = 0.9;
-    let clean = BasicDdp::new(BasicConfig { block_size: 40, ..Default::default() })
-        .run(&ds, dc);
+    let clean = BasicDdp::new(BasicConfig {
+        block_size: 40,
+        ..Default::default()
+    })
+    .run(&ds, dc);
     let faulty = BasicDdp::new(BasicConfig {
         block_size: 40,
         pipeline: faulty_pipeline(250),
     })
     .run(&ds, dc);
-    assert_eq!(clean.result, faulty.result, "retries must be invisible in results");
+    assert_eq!(
+        clean.result, faulty.result,
+        "retries must be invisible in results"
+    );
     let retries: u64 = faulty.jobs.iter().map(|j| j.task_retries).sum();
-    assert!(retries > 0, "25% failure rate across 4 jobs x 12 tasks must retry");
+    assert!(
+        retries > 0,
+        "25% failure rate across 4 jobs x 12 tasks must retry"
+    );
     assert_eq!(clean.jobs.iter().map(|j| j.task_retries).sum::<u64>(), 0);
 }
 
@@ -48,7 +57,11 @@ fn lsh_ddp_survives_task_failures_bit_exactly() {
         })
         .run(&ds, dc)
     };
-    let clean = run(PipelineConfig { map_tasks: 6, reduce_tasks: 6, fault: None });
+    let clean = run(PipelineConfig {
+        map_tasks: 6,
+        reduce_tasks: 6,
+        fault: None,
+    });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
     assert!(faulty.jobs.iter().map(|j| j.task_retries).sum::<u64>() > 0);
@@ -59,11 +72,61 @@ fn eddpc_survives_task_failures_bit_exactly() {
     let ds = workload();
     let dc = 0.9;
     let run = |pipeline: PipelineConfig| {
-        Eddpc::new(EddpcConfig { n_pivots: 12, seed: 2, pipeline }).run(&ds, dc)
+        Eddpc::new(EddpcConfig {
+            n_pivots: 12,
+            seed: 2,
+            pipeline,
+        })
+        .run(&ds, dc)
     };
-    let clean = run(PipelineConfig { map_tasks: 6, reduce_tasks: 6, fault: None });
+    let clean = run(PipelineConfig {
+        map_tasks: 6,
+        reduce_tasks: 6,
+        fault: None,
+    });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
+}
+
+#[test]
+fn run_task_retry_counts_match_the_schedule_for_every_phase() {
+    // `attempts_before_success` is the oracle `run_task` must obey, and it
+    // must hold for every phase — the failure schedule is phase-dependent,
+    // so a Map-only check would miss a Reduce-side regression.
+    let plan = FaultPlan::new(400, 99);
+    for phase in [Phase::Map, Phase::Reduce] {
+        let mut saw_retries = false;
+        for task in 0..200 {
+            // A task the schedule dooms (fails all attempts) is the panic
+            // path, covered below — here we check every survivable task.
+            let Some(scheduled) = plan.attempts_before_success(phase, task) else {
+                continue;
+            };
+            let mut runs = 0u32;
+            let ((), retries) = plan.run_task(phase, task, || runs += 1);
+            assert_eq!(retries, scheduled, "{phase:?} task {task}");
+            assert_eq!(runs, scheduled + 1, "work runs once per attempt");
+            saw_retries |= retries > 0;
+        }
+        assert!(
+            saw_retries,
+            "40% failure rate must retry some {phase:?} task"
+        );
+    }
+}
+
+#[test]
+fn doomed_tasks_kill_the_job_in_every_phase() {
+    // Find, per phase, a task the schedule dooms (fails all attempts) and
+    // check `run_task` panics for it instead of returning.
+    let plan = FaultPlan::new(900, 4242);
+    for phase in [Phase::Map, Phase::Reduce] {
+        let doomed = (0..10_000)
+            .find(|&t| plan.attempts_before_success(phase, t).is_none())
+            .expect("90% failure rate dooms some task");
+        let outcome = std::panic::catch_unwind(|| plan.run_task(phase, doomed, || ()));
+        assert!(outcome.is_err(), "{phase:?} task {doomed} must be killed");
+    }
 }
 
 #[test]
@@ -71,12 +134,15 @@ fn retries_scale_with_the_failure_rate() {
     let ds = workload();
     let dc = 0.9;
     let retries_at = |rate: u32| -> u64 {
-        BasicDdp::new(BasicConfig { block_size: 40, pipeline: faulty_pipeline(rate) })
-            .run(&ds, dc)
-            .jobs
-            .iter()
-            .map(|j| j.task_retries)
-            .sum()
+        BasicDdp::new(BasicConfig {
+            block_size: 40,
+            pipeline: faulty_pipeline(rate),
+        })
+        .run(&ds, dc)
+        .jobs
+        .iter()
+        .map(|j| j.task_retries)
+        .sum()
     };
     let low = retries_at(50);
     let high = retries_at(500);

@@ -53,7 +53,11 @@ fn all_three_pipelines_agree_on_clustering() {
     let step = CentralizedStep::new(PeakSelection::TopK(k));
 
     let basic = step.run(&BasicDdp::new(BasicConfig::default()).run(ds, dc).result);
-    let eddpc = step.run(&Eddpc::new(EddpcConfig::for_size(ds.len(), 5)).run(ds, dc).result);
+    let eddpc = step.run(
+        &Eddpc::new(EddpcConfig::for_size(ds.len(), 5))
+            .run(ds, dc)
+            .result,
+    );
     let lsh = step.run(
         &LshDdp::with_accuracy(0.99, 10, 3, dc, 5)
             .expect("valid accuracy")
