@@ -1,0 +1,259 @@
+//! Perf-trajectory summary: times the engine, kernel, and pipeline hot
+//! paths at fixed sizes and writes `BENCH_perf.json` at the repo root.
+//!
+//! Unlike the criterion benches (dev-dependencies, `cargo bench`), this
+//! is a plain binary with hand-rolled `Instant` timing so CI can smoke it
+//! and the committed JSON gives future sessions a baseline to compare
+//! against.
+//!
+//! The executor comparison pits the persistent work-stealing pool
+//! (`vendor/rayon`) against a faithful **spawn-per-call** baseline — the
+//! pre-rewrite executor's strategy: fresh OS threads per parallel call,
+//! one contiguous slab each, no stealing. Both run the same item-level
+//! work at the same granularity, so the ratio isolates scheduler
+//! overhead, which is exactly what dominates small-granularity stages
+//! (per-task map invocations, per-bucket reducers).
+//!
+//! Usage: `bench_summary [--smoke] [--out <path>]`.
+
+use ddp::{LshDdp, PipelineConfig};
+use dp_core::{for_each_pair_d2, Dataset};
+use mapreduce::{Emitter, FnMapper, FnReducer, JobBuilder, JobConfig};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ExecutorBench {
+    /// Workload this granularity models.
+    models: &'static str,
+    calls: usize,
+    items_per_call: usize,
+    persistent_pool_s: f64,
+    spawn_per_call_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct WallBench {
+    description: &'static str,
+    wall_s: f64,
+}
+
+#[derive(Serialize)]
+struct KernelBench {
+    points: usize,
+    dim: usize,
+    wall_s: f64,
+    pairs_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    schema: u32,
+    mode: &'static str,
+    threads: usize,
+    mapreduce_engine: ExecutorBench,
+    pipelines: ExecutorBench,
+    engine_shuffle_job: WallBench,
+    lsh_ddp_pipeline: WallBench,
+    kernel_pair_d2: KernelBench,
+}
+
+/// Best-of-3 mean per call, after one warmup call.
+fn time_calls<R>(calls: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..calls {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best / calls as f64
+}
+
+/// A few dozen nanoseconds of integer mixing per item: the same order of
+/// magnitude as one hash/emit or one low-dimensional distance.
+#[inline]
+fn item_work(x: u64) -> u64 {
+    let mut h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^ (h >> 27)
+}
+
+/// The pre-rewrite executor, reproduced: one fresh OS thread per worker
+/// per call, contiguous slabs, join, no reuse.
+fn spawn_per_call_sum(data: &[u64], threads: usize) -> u64 {
+    let chunk = data.len().div_ceil(threads.max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|slab| s.spawn(move || slab.iter().map(|&x| item_work(x)).sum::<u64>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+fn executor_bench(
+    models: &'static str,
+    calls: usize,
+    items_per_call: usize,
+    threads: usize,
+) -> ExecutorBench {
+    let data: Vec<u64> = (0..items_per_call as u64).collect();
+    let pool = time_calls(calls, || {
+        data.par_iter().map(|&x| item_work(x)).sum::<u64>()
+    });
+    let spawn = time_calls(calls, || spawn_per_call_sum(&data, threads));
+    ExecutorBench {
+        models,
+        calls,
+        items_per_call,
+        persistent_pool_s: pool,
+        spawn_per_call_s: spawn,
+        speedup: spawn / pool,
+    }
+}
+
+fn engine_shuffle_job(records: usize) -> WallBench {
+    let input: Vec<(u32, u32)> = (0..records as u32)
+        .map(|i| (i, i.wrapping_mul(2654435761)))
+        .collect();
+    let wall = time_calls(3, || {
+        let m = FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u64>| {
+            out.emit(k % 256, v as u64);
+        });
+        let r = FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+            out.emit(*k, vs.into_iter().sum());
+        });
+        let (out, _) = JobBuilder::new("bench", m, r)
+            .config(JobConfig::uniform(8))
+            .run(input.clone());
+        out
+    });
+    WallBench {
+        description: "modulo-key sum job, 256 groups, 8 map/reduce tasks",
+        wall_s: wall,
+    }
+}
+
+fn lsh_ddp_pipeline(n_per_blob: usize) -> WallBench {
+    let mut ds = Dataset::new(2);
+    for (cx, cy) in [(0.0, 0.0), (10.0, 2.0), (4.0, 9.0)] {
+        for i in 0..n_per_blob as u64 {
+            let jx = ((i.wrapping_mul(2654435761) >> 8) % 2000) as f64 / 1000.0 - 1.0;
+            let jy = ((i.wrapping_mul(40503) >> 4) % 2000) as f64 / 1000.0 - 1.0;
+            ds.push(&[cx + jx, cy + jy]);
+        }
+    }
+    let dc = 0.8;
+    let base = LshDdp::with_accuracy(0.99, 10, 3, dc, 42).expect("valid params");
+    let lsh = LshDdp::new(ddp::LshDdpConfig {
+        pipeline: PipelineConfig {
+            map_tasks: 8,
+            reduce_tasks: 8,
+            fault: None,
+        },
+        ..base.config().clone()
+    });
+    let wall = time_calls(3, || lsh.run(&ds, dc));
+    WallBench {
+        description: "four-job LSH-DDP pipeline, 3 blobs, 8 map/reduce tasks",
+        wall_s: wall,
+    }
+}
+
+fn kernel_pair_d2(points: usize, dim: usize) -> KernelBench {
+    let flat: Vec<f64> = (0..points * dim)
+        .map(|i| ((i as u64).wrapping_mul(48271) % 1000) as f64 / 500.0)
+        .collect();
+    let wall = time_calls(3, || {
+        let mut acc = 0.0f64;
+        for_each_pair_d2(&flat, dim, |_, _, d2| acc += d2);
+        acc
+    });
+    let pairs = (points * (points - 1) / 2) as f64;
+    KernelBench {
+        points,
+        dim,
+        wall_s: wall,
+        pairs_per_s: pairs / wall,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().expect("--out needs a path")),
+            other => panic!("unknown flag {other}; supported: --smoke --out"),
+        }
+    }
+    // The pool sizes itself once from LSHDDP_THREADS; the comparison
+    // needs real worker threads even on small CI machines.
+    if std::env::var_os("LSHDDP_THREADS").is_none() {
+        std::env::set_var("LSHDDP_THREADS", "4");
+    }
+    let threads = rayon::current_num_threads();
+
+    let (calls, engine_records, blob_n, kernel_n) = if smoke {
+        (50, 20_000, 300, 500)
+    } else {
+        (400, 100_000, 1_500, 2_000)
+    };
+
+    eprintln!("bench_summary: threads={threads} smoke={smoke}");
+    let summary = Summary {
+        schema: 1,
+        mode: if smoke { "smoke" } else { "full" },
+        threads,
+        // The engine's map phase: one parallel call per job over a
+        // handful of map tasks, each task light.
+        mapreduce_engine: executor_bench(
+            "map phase: 8 tasks/job, light tasks",
+            calls,
+            512,
+            threads,
+        ),
+        // Pipeline reducers: many small per-bucket calls (LSH partitions
+        // are numerous and skewed, so granularity is even finer).
+        pipelines: executor_bench(
+            "per-bucket reduce: many tiny calls",
+            calls * 2,
+            128,
+            threads,
+        ),
+        engine_shuffle_job: engine_shuffle_job(engine_records),
+        lsh_ddp_pipeline: lsh_ddp_pipeline(blob_n),
+        kernel_pair_d2: kernel_pair_d2(kernel_n, 8),
+    };
+
+    for (name, b) in [
+        ("mapreduce_engine", &summary.mapreduce_engine),
+        ("pipelines", &summary.pipelines),
+    ] {
+        eprintln!(
+            "{name}: pool {:.2e}s/call vs spawn-per-call {:.2e}s/call -> {:.1}x",
+            b.persistent_pool_s, b.spawn_per_call_s, b.speedup
+        );
+    }
+    eprintln!(
+        "engine job {:.3}s, lsh-ddp pipeline {:.3}s, kernel {:.2e} pairs/s",
+        summary.engine_shuffle_job.wall_s,
+        summary.lsh_ddp_pipeline.wall_s,
+        summary.kernel_pair_d2.pairs_per_s
+    );
+
+    let path =
+        out.unwrap_or_else(|| format!("{}/../../BENCH_perf.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    std::fs::write(&path, json + "\n").expect("write BENCH_perf.json");
+    eprintln!("wrote {path}");
+}

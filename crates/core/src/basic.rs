@@ -21,12 +21,12 @@
 //! distance matrix on the DFS (§III-A, Step 2).
 
 use crate::common::{
-    assemble_delta, dc_sampling_job, point_records, DeltaPartial, IdentityMapper, MinDeltaCombiner,
-    MinDeltaReducer, PipelineConfig,
+    assemble_delta, dc_sampling_job, debug_assert_euclidean, flatten_coords, point_records,
+    DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
-use dp_core::{Dataset, DistanceTracker, PointId};
+use dp_core::{for_each_cross_d2, for_each_pair_d2, Dataset, DistanceTracker, PointId};
 use mapreduce::{Combiner, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -133,29 +133,34 @@ impl Reducer for RhoBlockReducer {
     type OutValue = u32;
 
     fn reduce(&self, anchor: &u32, points: Vec<BlockedPoint>, out: &mut Emitter<PointId, u32>) {
+        debug_assert_euclidean(&self.tracker);
         let (own, partners): (Vec<_>, Vec<_>) =
             points.into_iter().partition(|(b, _, _)| b == anchor);
         let mut partials: Vec<(PointId, u32)> = Vec::with_capacity(own.len() + partners.len());
         let mut own_rho = vec![0u32; own.len()];
+        let dc2 = self.dc * self.dc;
+        let (own_flat, dim) = flatten_coords(own.iter().map(|(_, _, c)| c.as_slice()));
         // Diagonal pairs of the anchor block.
-        for i in 0..own.len() {
-            for j in (i + 1)..own.len() {
-                if self.tracker.within(&own[i].2, &own[j].2, self.dc) {
-                    own_rho[i] += 1;
-                    own_rho[j] += 1;
-                }
+        for_each_pair_d2(&own_flat, dim, |i, j, d2| {
+            if d2 < dc2 {
+                own_rho[i] += 1;
+                own_rho[j] += 1;
             }
-        }
-        // Cross pairs: anchor block × each partner point.
-        for (_, qid, qc) in &partners {
-            let mut q_rho = 0u32;
-            for (i, (_, _, pc)) in own.iter().enumerate() {
-                if self.tracker.within(pc, qc, self.dc) {
-                    own_rho[i] += 1;
-                    q_rho += 1;
-                }
+        });
+        self.tracker
+            .add((own.len() * own.len().saturating_sub(1) / 2) as u64);
+        // Cross pairs: each partner point × the anchor block.
+        let (partner_flat, _) = flatten_coords(partners.iter().map(|(_, _, c)| c.as_slice()));
+        let mut partner_rho = vec![0u32; partners.len()];
+        for_each_cross_d2(&partner_flat, &own_flat, dim, |q, i, d2| {
+            if d2 < dc2 {
+                own_rho[i] += 1;
+                partner_rho[q] += 1;
             }
-            partials.push((*qid, q_rho));
+        });
+        self.tracker.add((partners.len() * own.len()) as u64);
+        for ((_, qid, _), r) in partners.iter().zip(partner_rho) {
+            partials.push((*qid, r));
         }
         for ((_, pid, _), r) in own.iter().zip(own_rho) {
             partials.push((*pid, r));
@@ -224,28 +229,33 @@ impl Reducer for DeltaBlockReducer {
         points: Vec<BlockedPoint>,
         out: &mut Emitter<PointId, DeltaPartial>,
     ) {
+        debug_assert_euclidean(&self.tracker);
         let (own, partners): (Vec<_>, Vec<_>) =
             points.into_iter().partition(|(b, _, _)| b == anchor);
         let fresh = || (f64::INFINITY, NO_UPSLOPE, 0.0f64);
         let mut own_part: Vec<DeltaPartial> = vec![fresh(); own.len()];
-        for i in 0..own.len() {
-            for j in (i + 1)..own.len() {
-                let d = self.tracker.distance(&own[i].2, &own[j].2);
-                let (pi, pj) = (own[i].1, own[j].1);
-                // Split borrows: i < j always.
-                let (left, right) = own_part.split_at_mut(j);
-                self.consider(&mut left[i], pi, pj, d);
-                self.consider(&mut right[0], pj, pi, d);
-            }
-        }
-        for (_, qid, qc) in &partners {
-            let mut q_part = fresh();
-            for (i, (_, pid, pc)) in own.iter().enumerate() {
-                let d = self.tracker.distance(pc, qc);
-                self.consider(&mut own_part[i], *pid, *qid, d);
-                self.consider(&mut q_part, *qid, *pid, d);
-            }
-            out.emit(*qid, q_part);
+        let (own_flat, dim) = flatten_coords(own.iter().map(|(_, _, c)| c.as_slice()));
+        for_each_pair_d2(&own_flat, dim, |i, j, d2| {
+            let d = d2.sqrt();
+            let (pi, pj) = (own[i].1, own[j].1);
+            // Split borrows: i < j always.
+            let (left, right) = own_part.split_at_mut(j);
+            self.consider(&mut left[i], pi, pj, d);
+            self.consider(&mut right[0], pj, pi, d);
+        });
+        self.tracker
+            .add((own.len() * own.len().saturating_sub(1) / 2) as u64);
+        let (partner_flat, _) = flatten_coords(partners.iter().map(|(_, _, c)| c.as_slice()));
+        let mut partner_part: Vec<DeltaPartial> = vec![fresh(); partners.len()];
+        for_each_cross_d2(&partner_flat, &own_flat, dim, |q, i, d2| {
+            let d = d2.sqrt();
+            let (qid, pid) = (partners[q].1, own[i].1);
+            self.consider(&mut own_part[i], pid, qid, d);
+            self.consider(&mut partner_part[q], qid, pid, d);
+        });
+        self.tracker.add((partners.len() * own.len()) as u64);
+        for ((_, qid, _), part) in partners.iter().zip(partner_part) {
+            out.emit(*qid, part);
         }
         for ((_, pid, _), part) in own.iter().zip(own_part) {
             out.emit(*pid, part);

@@ -2,7 +2,7 @@
 //! construction, and the sampled `d_c` preprocessing job (paper §III-A).
 
 use dp_core::dp::NO_UPSLOPE;
-use dp_core::{Dataset, DistanceTracker, PointId};
+use dp_core::{Dataset, DistanceKind, DistanceTracker, PointId};
 use mapreduce::task::{MrKey, MrValue};
 use mapreduce::{Combiner, Emitter, JobBuilder, JobConfig, JobMetrics, Mapper, Reducer};
 use serde::{Deserialize, Serialize};
@@ -50,6 +50,37 @@ impl PipelineConfig {
 /// equivalent of reading the point file from HDFS at the start of each job.
 pub fn point_records(ds: &Dataset) -> Vec<(PointId, Vec<f64>)> {
     ds.iter().map(|(id, p)| (id, p.to_vec())).collect()
+}
+
+/// Flattens per-point coordinate slices into one row-major buffer for the
+/// blocked distance kernels (`dp_core::for_each_pair_d2` and friends);
+/// returns the buffer and the dimensionality (1 for an empty input).
+///
+/// The reducers that route their O(n_p²) loops through the batched
+/// kernels call this once per partition, turning the shuffled
+/// `Vec<Vec<f64>>` rows into the flat SoA layout the kernels tile over.
+pub(crate) fn flatten_coords<'a>(coords: impl Iterator<Item = &'a [f64]>) -> (Vec<f64>, usize) {
+    let mut flat = Vec::new();
+    let mut dim = 0usize;
+    for c in coords {
+        if dim == 0 {
+            dim = c.len();
+        }
+        flat.extend_from_slice(c);
+    }
+    (flat, dim.max(1))
+}
+
+/// The routed reducers compute squared Euclidean distances through the
+/// blocked kernels; they must never run under a tracker configured with a
+/// different metric (no pipeline constructs one, asserted in debug).
+#[inline]
+pub(crate) fn debug_assert_euclidean(tracker: &DistanceTracker) {
+    debug_assert_eq!(
+        tracker.kind(),
+        DistanceKind::Euclidean,
+        "blocked-kernel reducers require the Euclidean metric"
+    );
 }
 
 /// Deterministic per-point coin flip used by sampling mappers: keeps point
@@ -200,12 +231,12 @@ pub fn dc_sampling_job(
         type OutKey = u8;
         type OutValue = f64;
         fn reduce(&self, _k: &u8, points: Vec<PointRecord>, out: &mut Emitter<u8, f64>) {
-            let mut dists = Vec::with_capacity(points.len() * (points.len() - 1) / 2);
-            for (i, (_, a)) in points.iter().enumerate() {
-                for (_, b) in points.iter().skip(i + 1) {
-                    dists.push(self.tracker.distance(a, b));
-                }
-            }
+            debug_assert_euclidean(&self.tracker);
+            let n = points.len();
+            let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
+            let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+            dp_core::for_each_pair_d2(&flat, dim, |_i, _j, d2| dists.push(d2.sqrt()));
+            self.tracker.add((n * n.saturating_sub(1) / 2) as u64);
             assert!(
                 !dists.is_empty(),
                 "d_c sample produced no distances — increase sample"

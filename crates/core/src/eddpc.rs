@@ -26,12 +26,12 @@
 //! exactly the trade-off Table IV of the paper measures.
 
 use crate::common::{
-    assemble_delta, point_records, DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer,
-    PipelineConfig,
+    assemble_delta, debug_assert_euclidean, flatten_coords, point_records, DeltaPartial,
+    IdentityMapper, MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
-use dp_core::{Dataset, DistanceTracker, PointId};
+use dp_core::{for_each_cross_d2, for_each_pair_d2, Dataset, DistanceTracker, PointId};
 use mapreduce::{Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -188,17 +188,31 @@ impl Reducer for RhoVoronoiReducer {
     type OutValue = u32;
 
     fn reduce(&self, _cell: &u32, points: Vec<CellPoint>, out: &mut Emitter<PointId, u32>) {
-        for (id, coords, owner) in &points {
-            if *owner == 0 {
-                continue;
+        debug_assert_euclidean(&self.tracker);
+        let owner_idx: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, owner))| *owner == 1)
+            .map(|(i, _)| i)
+            .collect();
+        if owner_idx.is_empty() {
+            return;
+        }
+        let (all_flat, dim) = flatten_coords(points.iter().map(|(_, c, _)| c.as_slice()));
+        let (owner_flat, _) = flatten_coords(owner_idx.iter().map(|&i| points[i].1.as_slice()));
+        let dc2 = self.dc * self.dc;
+        let mut rho = vec![0u32; owner_idx.len()];
+        for_each_cross_d2(&owner_flat, &all_flat, dim, |o, j, d2| {
+            // Each owner appears exactly once in the cell, so the single
+            // id match is its self-pair.
+            if points[owner_idx[o]].0 != points[j].0 && d2 < dc2 {
+                rho[o] += 1;
             }
-            let mut rho = 0u32;
-            for (qid, qc, _) in &points {
-                if qid != id && self.tracker.within(coords, qc, self.dc) {
-                    rho += 1;
-                }
-            }
-            out.emit(*id, rho);
+        });
+        self.tracker
+            .add((owner_idx.len() * points.len().saturating_sub(1)) as u64);
+        for (&i, r) in owner_idx.iter().zip(rho) {
+            out.emit(points[i].0, r);
         }
     }
 }
@@ -240,22 +254,30 @@ impl Reducer for DeltaRound1Reducer {
         points: Vec<(PointId, Vec<f64>)>,
         out: &mut Emitter<PointId, DeltaPartial>,
     ) {
-        for (id, coords) in &points {
-            let mut best: DeltaPartial = (f64::INFINITY, NO_UPSLOPE, 0.0);
-            for (qid, qc) in &points {
-                if qid == id {
-                    continue;
-                }
-                let d = self.tracker.distance(coords, qc);
-                best.2 = best.2.max(d);
-                if denser(self.rho[*qid as usize], *qid, self.rho[*id as usize], *id)
-                    && (d < best.0 || (d == best.0 && *qid < best.1))
+        debug_assert_euclidean(&self.tracker);
+        let mut best: Vec<DeltaPartial> = vec![(f64::INFINITY, NO_UPSLOPE, 0.0); points.len()];
+        let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
+        // One batched pass over unordered pairs updates both endpoints —
+        // equivalent to the per-point scan (updates are symmetric in d).
+        for_each_pair_d2(&flat, dim, |i, j, d2| {
+            let d = d2.sqrt();
+            let (pi, pj) = (points[i].0, points[j].0);
+            for (slot, me, other) in [(i, pi, pj), (j, pj, pi)] {
+                let b = &mut best[slot];
+                b.2 = b.2.max(d);
+                if denser(self.rho[other as usize], other, self.rho[me as usize], me)
+                    && (d < b.0 || (d == b.0 && other < b.1))
                 {
-                    best.0 = d;
-                    best.1 = *qid;
+                    b.0 = d;
+                    b.1 = other;
                 }
             }
-            out.emit(*id, best);
+        });
+        // The per-point scan measures both directions of every pair.
+        self.tracker
+            .add((points.len() * points.len().saturating_sub(1)) as u64);
+        for ((id, _), b) in points.iter().zip(best) {
+            out.emit(*id, b);
         }
     }
 }
@@ -327,22 +349,29 @@ impl Reducer for DeltaRound2Reducer {
         points: Vec<Round2Point>,
         out: &mut Emitter<PointId, DeltaPartial>,
     ) {
+        debug_assert_euclidean(&self.tracker);
         let (owners, visitors): (Vec<_>, Vec<_>) =
             points.into_iter().partition(|(_, _, role, _)| *role == 1);
-        for (vid, vc, _, ub) in &visitors {
-            let mut best: DeltaPartial = (f64::INFINITY, NO_UPSLOPE, 0.0);
-            for (qid, qc, _, _) in &owners {
-                let d = self.tracker.distance(vc, qc);
-                best.2 = best.2.max(d);
-                if d <= *ub
-                    && denser(self.rho[*qid as usize], *qid, self.rho[*vid as usize], *vid)
-                    && (d < best.0 || (d == best.0 && *qid < best.1))
-                {
-                    best.0 = d;
-                    best.1 = *qid;
-                }
+        let (visitor_flat, dim) = flatten_coords(visitors.iter().map(|(_, c, _, _)| c.as_slice()));
+        let (owner_flat, _) = flatten_coords(owners.iter().map(|(_, c, _, _)| c.as_slice()));
+        let mut best: Vec<DeltaPartial> = vec![(f64::INFINITY, NO_UPSLOPE, 0.0); visitors.len()];
+        for_each_cross_d2(&visitor_flat, &owner_flat, dim, |v, q, d2| {
+            let d = d2.sqrt();
+            let (vid, ub) = (visitors[v].0, visitors[v].3);
+            let qid = owners[q].0;
+            let b = &mut best[v];
+            b.2 = b.2.max(d);
+            if d <= ub
+                && denser(self.rho[qid as usize], qid, self.rho[vid as usize], vid)
+                && (d < b.0 || (d == b.0 && qid < b.1))
+            {
+                b.0 = d;
+                b.1 = qid;
             }
-            out.emit(*vid, best);
+        });
+        self.tracker.add((visitors.len() * owners.len()) as u64);
+        for ((vid, _, _, _), b) in visitors.iter().zip(best) {
+            out.emit(*vid, b);
         }
     }
 }

@@ -18,11 +18,11 @@
 //! *lower* a cluster's border density, so the distributed halo set is
 //! always a **subset** of the exact one (property-tested).
 
-use crate::common::{PipelineConfig, PointRecord};
+use crate::common::{debug_assert_euclidean, flatten_coords, PipelineConfig, PointRecord};
 use crate::lsh_ddp::LshDdpConfig;
 use dp_core::decision::Clustering;
 use dp_core::dp::DpResult;
-use dp_core::{Dataset, DistanceTracker, PointId};
+use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, PointId};
 use lsh::{MultiLsh, Signature};
 use mapreduce::{Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
 use std::sync::Arc;
@@ -68,21 +68,27 @@ impl Reducer for BorderReducer {
             .copied()
             .max()
             .map_or(0, |m| m as usize + 1);
+        debug_assert_euclidean(&self.tracker);
         let mut border = vec![0u32; k_clusters];
-        for i in 0..points.len() {
+        let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
+        let dc2 = self.dc * self.dc;
+        // Only cross-cluster pairs are distance measurements (same-cluster
+        // pairs are skipped before the metric in the scalar formulation).
+        let mut measured = 0u64;
+        for_each_pair_d2(&flat, dim, |i, j, d2| {
             let (pi, ci) = (points[i].0, self.labels[points[i].0 as usize]);
-            for j in (i + 1)..points.len() {
-                let (pj, cj) = (points[j].0, self.labels[points[j].0 as usize]);
-                if ci == cj {
-                    continue;
-                }
-                if self.tracker.within(&points[i].1, &points[j].1, self.dc) {
-                    let avg = (self.rho[pi as usize] + self.rho[pj as usize]) / 2;
-                    border[ci as usize] = border[ci as usize].max(avg);
-                    border[cj as usize] = border[cj as usize].max(avg);
-                }
+            let (pj, cj) = (points[j].0, self.labels[points[j].0 as usize]);
+            if ci == cj {
+                return;
             }
-        }
+            measured += 1;
+            if d2 < dc2 {
+                let avg = (self.rho[pi as usize] + self.rho[pj as usize]) / 2;
+                border[ci as usize] = border[ci as usize].max(avg);
+                border[cj as usize] = border[cj as usize].max(avg);
+            }
+        });
+        self.tracker.add(measured);
         for (c, b) in border.into_iter().enumerate() {
             if b > 0 {
                 out.emit(c as u32, b);

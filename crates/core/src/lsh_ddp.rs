@@ -19,10 +19,13 @@
 //!    non-local `delta` (§IV-C). The centralized step rectifies `∞` to the
 //!    max finite `delta` before drawing the decision graph.
 
-use crate::common::{dc_sampling_job, point_records, IdentityMapper, PipelineConfig, PointRecord};
+use crate::common::{
+    dc_sampling_job, debug_assert_euclidean, flatten_coords, point_records, IdentityMapper,
+    PipelineConfig, PointRecord,
+};
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
-use dp_core::{Dataset, DistanceTracker, PointId};
+use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, PointId};
 use lsh::tuning::TuningError;
 use lsh::{LshParams, MultiLsh, Signature};
 use mapreduce::{Combiner, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
@@ -114,16 +117,21 @@ impl Reducer for LocalRhoReducer {
     type OutValue = u32;
 
     fn reduce(&self, _k: &PartitionKey, points: Vec<PointRecord>, out: &mut Emitter<PointId, u32>) {
+        debug_assert_euclidean(&self.tracker);
+        let dc2 = self.dc * self.dc;
         for chunk in points.chunks(self.cap) {
             let mut rho = vec![0u32; chunk.len()];
-            for i in 0..chunk.len() {
-                for j in (i + 1)..chunk.len() {
-                    if self.tracker.within(&chunk[i].1, &chunk[j].1, self.dc) {
-                        rho[i] += 1;
-                        rho[j] += 1;
-                    }
+            let (flat, dim) = flatten_coords(chunk.iter().map(|(_, c)| c.as_slice()));
+            // Same strict `d² < d_c²` predicate as `DistanceTracker::within`,
+            // batched through the blocked kernel.
+            for_each_pair_d2(&flat, dim, |i, j, d2| {
+                if d2 < dc2 {
+                    rho[i] += 1;
+                    rho[j] += 1;
                 }
-            }
+            });
+            self.tracker
+                .add((chunk.len() * chunk.len().saturating_sub(1) / 2) as u64);
             for ((id, _), r) in chunk.iter().zip(rho) {
                 out.emit(*id, r);
             }
@@ -191,20 +199,24 @@ impl Reducer for LocalDeltaReducer {
         points: Vec<PointRecord>,
         out: &mut Emitter<PointId, LocalDelta>,
     ) {
+        debug_assert_euclidean(&self.tracker);
         for chunk in points.chunks(self.cap) {
             let mut best: Vec<LocalDelta> = vec![(f64::INFINITY, NO_UPSLOPE); chunk.len()];
-            for i in 0..chunk.len() {
-                for j in (i + 1)..chunk.len() {
-                    let d = self.tracker.distance(&chunk[i].1, &chunk[j].1);
-                    let (pi, pj) = (chunk[i].0, chunk[j].0);
-                    let i_denser = denser(self.rho[pi as usize], pi, self.rho[pj as usize], pj);
-                    let (slot, cand) = if i_denser { (j, pi) } else { (i, pj) };
-                    let b = &mut best[slot];
-                    if d < b.0 || (d == b.0 && cand < b.1) {
-                        *b = (d, cand);
-                    }
+            let (flat, dim) = flatten_coords(chunk.iter().map(|(_, c)| c.as_slice()));
+            // `d2.sqrt()` is bit-identical to the tracker's Euclidean
+            // `distance`, which is itself `squared_euclidean(..).sqrt()`.
+            for_each_pair_d2(&flat, dim, |i, j, d2| {
+                let d = d2.sqrt();
+                let (pi, pj) = (chunk[i].0, chunk[j].0);
+                let i_denser = denser(self.rho[pi as usize], pi, self.rho[pj as usize], pj);
+                let (slot, cand) = if i_denser { (j, pi) } else { (i, pj) };
+                let b = &mut best[slot];
+                if d < b.0 || (d == b.0 && cand < b.1) {
+                    *b = (d, cand);
                 }
-            }
+            });
+            self.tracker
+                .add((chunk.len() * chunk.len().saturating_sub(1) / 2) as u64);
             for ((id, _), b) in chunk.iter().zip(best) {
                 out.emit(*id, b);
             }

@@ -146,6 +146,83 @@ pub fn nearest_in_block(queries: &[f64], targets: &[f64], dim: usize) -> Vec<(us
         .collect()
 }
 
+/// Visits every unordered pair `(i, j)` with `i < j` of a flat row-major
+/// point block, passing the squared Euclidean distance `d²(i, j)`.
+///
+/// Distances are computed through [`squared_euclidean_block`] on query
+/// blocks, so the O(n²) partition-local rho/delta loops get the kernel's
+/// cache tiling instead of a pointer-chasing call per pair. Pairs arrive
+/// in ascending `(i, j)` order, but correct callers must not depend on
+/// visitation order beyond that (the local-DP update rules are
+/// order-independent).
+///
+/// # Panics
+/// Panics if `dim` is zero or `flat.len()` is not a multiple of `dim`.
+pub fn for_each_pair_d2(flat: &[f64], dim: usize, mut visit: impl FnMut(usize, usize, f64)) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(
+        flat.len() % dim,
+        0,
+        "point block length must be a multiple of dim"
+    );
+    let n = flat.len() / dim;
+    if n < 2 {
+        return;
+    }
+    const QBLOCK: usize = 32;
+    let mut d2 = Vec::new();
+    for q0 in (0..n).step_by(QBLOCK) {
+        let q1 = (q0 + QBLOCK).min(n);
+        // Targets are the suffix starting at the query block, so row `qi`
+        // holds distances to every j >= q0; entries with j > i are the
+        // unordered pairs owned by this block.
+        squared_euclidean_block(&flat[q0 * dim..q1 * dim], &flat[q0 * dim..], dim, &mut d2);
+        let nt = n - q0;
+        for (qi, row) in d2.chunks_exact(nt).enumerate() {
+            let i = q0 + qi;
+            for (tj, &d) in row.iter().enumerate().skip(qi + 1) {
+                visit(i, q0 + tj, d);
+            }
+        }
+    }
+}
+
+/// Visits every cross pair `(i, j)` between two flat row-major point
+/// blocks (`i` indexes `a`, `j` indexes `b`), passing `d²(a_i, b_j)`.
+///
+/// The batched counterpart of a nested `for i in a { for j in b }` loop;
+/// see [`for_each_pair_d2`]. Pairs arrive in ascending `(i, j)` order.
+///
+/// # Panics
+/// Panics if `dim` is zero or either block's length is not a multiple of
+/// `dim`.
+pub fn for_each_cross_d2(
+    a: &[f64],
+    b: &[f64],
+    dim: usize,
+    mut visit: impl FnMut(usize, usize, f64),
+) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(a.len() % dim, 0, "block length must be a multiple of dim");
+    assert_eq!(b.len() % dim, 0, "block length must be a multiple of dim");
+    let nb = b.len() / dim;
+    if a.is_empty() || nb == 0 {
+        return;
+    }
+    const QBLOCK: usize = 32;
+    let na = a.len() / dim;
+    let mut d2 = Vec::new();
+    for q0 in (0..na).step_by(QBLOCK) {
+        let q1 = (q0 + QBLOCK).min(na);
+        squared_euclidean_block(&a[q0 * dim..q1 * dim], b, dim, &mut d2);
+        for (qi, row) in d2.chunks_exact(nb).enumerate() {
+            for (tj, &d) in row.iter().enumerate() {
+                visit(q0 + qi, tj, d);
+            }
+        }
+    }
+}
+
 /// Manhattan (L1) distance.
 #[inline]
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
@@ -358,6 +435,51 @@ mod tests {
         squared_euclidean_block(&[], &[1.0, 2.0], 2, &mut out);
         assert!(out.is_empty());
         assert!(nearest_in_block(&[], &[1.0, 2.0], 2).is_empty());
+    }
+
+    #[test]
+    fn pair_visitor_covers_each_unordered_pair_once() {
+        let dim = 2;
+        // 70 points: crosses the 32-wide query block twice.
+        let flat: Vec<f64> = (0..70 * dim)
+            .map(|i| ((i * 31) % 23) as f64 * 0.5)
+            .collect();
+        let n = flat.len() / dim;
+        let mut seen = std::collections::BTreeMap::new();
+        for_each_pair_d2(&flat, dim, |i, j, d| {
+            assert!(i < j, "pairs must be unordered (i < j)");
+            assert!(seen.insert((i, j), d).is_none(), "pair visited twice");
+        });
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        for ((i, j), d) in seen {
+            let expect =
+                squared_euclidean(&flat[i * dim..(i + 1) * dim], &flat[j * dim..(j + 1) * dim]);
+            assert_eq!(d, expect, "pair ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn cross_visitor_covers_full_product() {
+        let dim = 3;
+        let a: Vec<f64> = (0..40 * dim).map(|i| (i % 11) as f64).collect();
+        let b: Vec<f64> = (0..7 * dim).map(|i| (i % 5) as f64 * 1.5).collect();
+        let mut count = 0usize;
+        for_each_cross_d2(&a, &b, dim, |i, j, d| {
+            let expect = squared_euclidean(&a[i * dim..(i + 1) * dim], &b[j * dim..(j + 1) * dim]);
+            assert_eq!(d, expect);
+            count += 1;
+        });
+        assert_eq!(count, 40 * 7);
+    }
+
+    #[test]
+    fn visitors_handle_degenerate_blocks() {
+        let mut called = false;
+        for_each_pair_d2(&[1.0, 2.0], 2, |_, _, _| called = true);
+        for_each_pair_d2(&[], 2, |_, _, _| called = true);
+        for_each_cross_d2(&[], &[1.0, 2.0], 2, |_, _, _| called = true);
+        for_each_cross_d2(&[1.0, 2.0], &[], 2, |_, _, _| called = true);
+        assert!(!called);
     }
 
     #[test]

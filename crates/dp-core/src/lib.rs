@@ -60,7 +60,10 @@ pub mod quality;
 pub use decision::{
     assign, compute_halo, select_by_threshold, select_top_k, Clustering, DecisionGraph,
 };
-pub use distance::{nearest_in_block, squared_euclidean_block, DistanceKind, DistanceTracker};
+pub use distance::{
+    for_each_cross_d2, for_each_pair_d2, nearest_in_block, squared_euclidean_block, DistanceKind,
+    DistanceTracker,
+};
 pub use dp::{compute_exact, denser, DpResult, NO_UPSLOPE};
 pub use fast::compute_exact_fast;
 pub use kernel::{compute_gaussian, KernelDpResult};

@@ -94,6 +94,10 @@ pub struct JobMetrics {
     /// Wall-clock duration of the sort/group + reduce phase.
     #[serde(with = "duration_secs")]
     pub reduce_time: Duration,
+    /// Wall-clock duration of the shuffle merge (per-reducer bucket
+    /// concatenation + byte accounting).
+    #[serde(with = "duration_secs", default)]
+    pub shuffle_time: Duration,
     /// User counter snapshot at job completion.
     pub user: BTreeMap<String, u64>,
 }
@@ -135,6 +139,7 @@ impl JobMetrics {
             out.wall_time += j.wall_time;
             out.map_time += j.map_time;
             out.reduce_time += j.reduce_time;
+            out.shuffle_time += j.shuffle_time;
             for (k, v) in &j.user {
                 *out.user.entry(k.clone()).or_insert(0) += v;
             }

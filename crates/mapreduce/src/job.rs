@@ -229,24 +229,47 @@ where
         metrics.map_time = map_start.elapsed();
 
         // ---- Shuffle: merge per-reduce buckets, accounting bytes -------
-        let mut reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>> =
-            (0..r_tasks).map(|_| Vec::new()).collect();
+        // Transposing the map outputs into per-reducer columns is a cheap
+        // sequential pass over Vec handles; the actual merge (one big
+        // concatenation) and the per-record `shuffle_bytes` accounting —
+        // the expensive parts — run in parallel, one task per reducer.
+        let shuffle_start = Instant::now();
+        let mut columns: Vec<Vec<Vec<(M::OutKey, M::OutValue)>>> = (0..r_tasks)
+            .map(|_| Vec::with_capacity(self.config.map_tasks))
+            .collect();
         for task_out in map_outputs {
             metrics.map_output_records += task_out.emitted;
             metrics.combine_output_records += task_out.combined;
             for (r, bucket) in task_out.buckets.into_iter().enumerate() {
-                reduce_inputs[r].extend(bucket);
+                columns[r].push(bucket);
             }
         }
-        for bucket in &reduce_inputs {
+        let merged: Vec<(u64, Vec<(M::OutKey, M::OutValue)>)> = columns
+            .into_par_iter()
+            .map(|parts| {
+                let total: usize = parts.iter().map(Vec::len).sum();
+                let mut bucket = Vec::with_capacity(total);
+                // Concatenate in map-task order so value arrival order
+                // stays deterministic (the reduce sort below is stable).
+                for p in parts {
+                    bucket.extend(p);
+                }
+                let bytes: u64 = bucket
+                    .iter()
+                    .map(|(k, v)| k.shuffle_bytes() + v.shuffle_bytes())
+                    .sum();
+                (bytes, bucket)
+            })
+            .collect();
+        let mut reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>> = Vec::with_capacity(r_tasks);
+        for (bytes, bucket) in merged {
             metrics.shuffle_records += bucket.len() as u64;
             metrics.max_reduce_task_records =
                 metrics.max_reduce_task_records.max(bucket.len() as u64);
-            metrics.shuffle_bytes += bucket
-                .iter()
-                .map(|(k, v)| k.shuffle_bytes() + v.shuffle_bytes())
-                .sum::<u64>();
+            metrics.shuffle_bytes += bytes;
+            reduce_inputs.push(bucket);
         }
+        metrics.shuffle_time = shuffle_start.elapsed();
 
         // ---- Sort/group + reduce phase (parallel over reduce tasks) ----
         let reduce_start = Instant::now();
@@ -339,8 +362,15 @@ where
         while it.peek().is_some_and(|(k, _)| *k == key) {
             values.push(it.next().expect("peeked").1);
         }
-        for v in combiner.combine(&key, values) {
-            out.push((key.clone(), v));
+        let mut combined = combiner.combine(&key, values);
+        // The key is cloned only for all-but-one output value; the last
+        // value takes ownership (combiners typically emit exactly one
+        // value per key, making the common case clone-free).
+        if let Some(last) = combined.pop() {
+            for v in combined {
+                out.push((key.clone(), v));
+            }
+            out.push((key, last));
         }
     }
     out

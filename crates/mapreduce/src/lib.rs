@@ -73,5 +73,5 @@ pub use driver::Driver;
 pub use fault::{FaultPlan, Phase};
 pub use job::{JobBuilder, JobConfig, Partitioner};
 pub use record::ShuffleSize;
-pub use task::{Combiner, Emitter, Mapper, Reducer};
+pub use task::{Combiner, Emitter, FnMapper, FnReducer, Mapper, Reducer};
 pub use wire::{decode, encode, Wire, WireError};

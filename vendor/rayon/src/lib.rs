@@ -1,21 +1,226 @@
-//! Offline vendored subset of the `rayon` API.
+//! Offline vendored subset of the `rayon` API, backed by a real executor.
 //!
-//! Implements the parallel-iterator surface this workspace uses —
-//! `into_par_iter().enumerate().map(..).collect()` and friends — over
-//! `std::thread::scope` with one chunk per hardware thread. There is no
-//! work stealing: each adaptor materializes its input, and `map`/`for_each`
-//! fan the items out across threads in contiguous, order-preserving
-//! chunks. For the coarse task-sized closures the MapReduce engine and the
-//! density kernels run, that recovers the parallel speedup that matters.
+//! Unlike the original stand-in — which spawned fresh OS threads on every
+//! `par_iter` call and copied its input into per-thread `Vec`s — this
+//! implementation keeps a **persistent worker pool**:
+//!
+//! * Workers are spawned lazily on first use and parked on a condition
+//!   variable between calls; no thread is created or destroyed per
+//!   operation. The pool size defaults to the hardware parallelism and can
+//!   be overridden with the `LSHDDP_THREADS` environment variable (read
+//!   once, at pool initialization).
+//! * Work is distributed by **work stealing over chunked index ranges**:
+//!   every job splits its index space into many more chunks than there are
+//!   threads, and workers (plus the submitting thread, which always
+//!   participates) claim chunks through a shared atomic counter. A thread
+//!   stuck on a long chunk simply stops claiming; the others drain the
+//!   rest — skewed workloads load-balance instead of pinning one thread
+//!   with a contiguous slab.
+//! * Iteration is **lazy and zero-copy**: `par_iter` over a slice hands
+//!   out `&T` references straight from the slice, `into_par_iter` over a
+//!   `Vec` moves items out of the original buffer in place, and adaptors
+//!   (`enumerate`, `map`) compose without materializing intermediate
+//!   `Vec`s. Only terminal operations run the pool.
+//!
+//! Determinism: chunk *boundaries* depend only on the item count and
+//! `with_min_len`, never on the thread count, and indexed outputs are
+//! written to their final position directly. Every operation therefore
+//! produces bit-identical results under any `LSHDDP_THREADS` value —
+//! including floating-point `sum`/`reduce`, whose partial groupings are
+//! fixed by the chunking.
+//!
+//! Panics: a panicking chunk is caught, the remaining chunks still run
+//! (so sibling workers and the shared pool are never wedged), and the
+//! panic payload is re-raised on the submitting thread once the job has
+//! fully settled. A `Vec` producer interrupted mid-chunk leaks the
+//! not-yet-consumed items of that chunk (it cannot tell which were moved
+//! out) — a bounded leak on an already-panicking path.
 
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of threads the pool would use (here: hardware parallelism).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// Number of chunks a job's index space is split into (before the
+/// `with_min_len` floor). Deliberately a constant rather than a multiple of
+/// the thread count: chunk boundaries — and therefore the grouping of
+/// floating-point reductions — must not change when `LSHDDP_THREADS` does,
+/// and 64 stealable chunks are plenty to balance skew on typical machines.
+const DEFAULT_CHUNKS: usize = 64;
+
+struct Pool {
+    /// Logical parallelism: the submitting thread plus `threads - 1`
+    /// pool workers.
+    threads: usize,
+    /// Jobs with unclaimed chunks. Kept short: finished jobs are pruned by
+    /// both workers and submitters.
+    queue: Mutex<Vec<Arc<JobCore>>>,
+    /// Signaled when a new job is pushed; workers park here when idle.
+    work_available: Condvar,
 }
 
-/// Runs two closures, potentially in parallel, returning both results.
+static POOL: OnceLock<Pool> = OnceLock::new();
+static WORKERS: OnceLock<()> = OnceLock::new();
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("LSHDDP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, initialized (and its workers spawned) on first
+/// use. Workers are daemon threads: they park between jobs and die with
+/// the process.
+fn pool() -> &'static Pool {
+    let p = POOL.get_or_init(|| Pool {
+        threads: configured_threads(),
+        queue: Mutex::new(Vec::new()),
+        work_available: Condvar::new(),
+    });
+    WORKERS.get_or_init(|| {
+        for i in 0..p.threads.saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("lshddp-worker-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("failed to spawn pool worker");
+        }
+    });
+    p
+}
+
+/// Number of threads the pool uses (including the submitting thread).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// One submitted job: a chunked index space drained through an atomic
+/// claim counter.
+///
+/// `run` points into the submitting thread's stack. Soundness: a chunk can
+/// only be claimed while `claimed < total`, and the submitter does not
+/// return from [`run_job`] until `completed == total`; therefore every
+/// dereference of `run` happens while the submitter is still blocked in
+/// `run_job` and the pointee is alive. After exhaustion, workers holding
+/// the `Arc` touch only the atomics/locks owned by this struct.
+struct JobCore {
+    run: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    claimed: AtomicUsize,
+    completed: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    /// Claims and runs one chunk; returns `false` when no chunks remain.
+    fn run_one(&self) -> bool {
+        let i = self.claimed.fetch_add(1, Ordering::AcqRel);
+        if i >= self.total {
+            return false;
+        }
+        // Safety: see the struct docs — a successful claim implies the
+        // submitter is still inside `run_job`.
+        let run = unsafe { &*self.run };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+            let mut slot = self.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        let mut completed = self.completed.lock().unwrap();
+        *completed += 1;
+        if *completed == self.total {
+            self.done.notify_all();
+        }
+        true
+    }
+
+    fn exhausted(&self) -> bool {
+        self.claimed.load(Ordering::Acquire) >= self.total
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                q.retain(|j| !j.exhausted());
+                if let Some(j) = q.first() {
+                    break j.clone();
+                }
+                q = pool.work_available.wait(q).unwrap();
+            }
+        };
+        // Steal chunks until the job is drained, then look for the next.
+        while job.run_one() {}
+    }
+}
+
+/// Runs `total` chunks on the pool. The calling thread always participates
+/// (progress never depends on a free worker, so nested calls from inside a
+/// chunk cannot deadlock); idle workers steal chunks concurrently. Panics
+/// from any chunk are re-raised here after the job has fully settled.
+fn run_job(total: usize, run: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    let p = pool();
+    if p.threads <= 1 || total == 1 {
+        for i in 0..total {
+            run(i);
+        }
+        return;
+    }
+    // Safety: the `'static` lifetime on the stored pointer is a lie the
+    // claim/complete protocol makes good on — see the `JobCore` docs.
+    let run_static: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(run as *const (dyn Fn(usize) + Sync)) };
+    let job = Arc::new(JobCore {
+        run: run_static,
+        total,
+        claimed: AtomicUsize::new(0),
+        completed: Mutex::new(0),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut q = p.queue.lock().unwrap();
+        q.push(job.clone());
+    }
+    p.work_available.notify_all();
+    while job.run_one() {}
+    let mut completed = job.completed.lock().unwrap();
+    while *completed < total {
+        completed = job.done.wait(completed).unwrap();
+    }
+    drop(completed);
+    {
+        let mut q = p.queue.lock().unwrap();
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Runs two closures, potentially in parallel (one may be stolen by a pool
+/// worker while the caller runs the other), returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -23,162 +228,471 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join closure panicked"))
-    })
-}
-
-/// Order-preserving parallel map of `items` through `f`, chunked across
-/// the available threads.
-fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
-{
-    let threads = current_num_threads();
-    if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
-        if c.is_empty() {
-            break;
+    let a_cell = Mutex::new(Some(a));
+    let b_cell = Mutex::new(Some(b));
+    let ra_cell = Mutex::new(None);
+    let rb_cell = Mutex::new(None);
+    run_job(2, &|i| {
+        if i == 0 {
+            let f = a_cell.lock().unwrap().take().expect("join arm claimed twice");
+            *ra_cell.lock().unwrap() = Some(f());
+        } else {
+            let f = b_cell.lock().unwrap().take().expect("join arm claimed twice");
+            *rb_cell.lock().unwrap() = Some(f());
         }
-        chunks.push(c);
-    }
-    let f = &f;
-    let outputs: Vec<Vec<U>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel map task panicked"))
-            .collect()
     });
-    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
-    for chunk in outputs {
-        out.extend(chunk);
-    }
-    out
+    (
+        ra_cell.into_inner().unwrap().expect("join arm a completed"),
+        rb_cell.into_inner().unwrap().expect("join arm b completed"),
+    )
 }
 
-/// An eager "parallel iterator": adaptors record the pipeline on a
-/// materialized `Vec`, and the data-parallel stages (`map`, `for_each`)
-/// execute across threads.
-pub struct ParIter<T> {
-    items: Vec<T>,
+/// Chunk boundaries for `len` items: a function of `(len, min_len)` only,
+/// never of the thread count (see the module docs on determinism).
+fn chunk_ranges(len: usize, min_len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk_len = len.div_ceil(DEFAULT_CHUNKS).max(min_len.max(1));
+    (0..len)
+        .step_by(chunk_len)
+        .map(|lo| lo..(lo + chunk_len).min(len))
+        .collect()
 }
 
-impl<T: Send> ParIter<T> {
-    /// Pairs every item with its index, preserving order.
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
-        ParIter { items: self.items.into_iter().enumerate().collect() }
-    }
+// ---------------------------------------------------------------------------
+// Producers: lazy, splittable item sources
+// ---------------------------------------------------------------------------
 
-    /// Parallel map; the returned iterator holds the already-computed
-    /// results in input order.
-    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
-    where
-        F: Fn(T) -> U + Sync,
-    {
-        ParIter { items: par_map_vec(self.items, f) }
-    }
-
-    /// Parallel filter (predicate runs in parallel, order preserved).
-    pub fn filter<F>(self, f: F) -> ParIter<T>
-    where
-        F: Fn(&T) -> bool + Sync,
-    {
-        let kept = par_map_vec(self.items, |t| if f(&t) { Some(t) } else { None });
-        ParIter { items: kept.into_iter().flatten().collect() }
-    }
-
-    /// Parallel side-effecting visit.
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn(T) + Sync,
-    {
-        let _ = par_map_vec(self.items, f);
-    }
-
-    /// Collects the (already computed) items.
-    pub fn collect<C: FromIterator<T>>(self) -> C {
-        self.items.into_iter().collect()
-    }
-
-    /// Sum of the items.
-    pub fn sum<S>(self) -> S
-    where
-        S: std::iter::Sum<T>,
-    {
-        self.items.into_iter().sum()
-    }
-
-    /// Parallel reduction with an identity element.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
-    where
-        ID: Fn() -> T + Sync,
-        OP: Fn(T, T) -> T + Sync,
-    {
-        self.items.into_iter().fold(identity(), op)
-    }
-}
-
-/// Conversion into a [`ParIter`] by value.
-pub trait IntoParallelIterator {
-    /// Item type.
+/// A fixed-length source of items consumable by disjoint index ranges from
+/// multiple threads.
+///
+/// Contract: a terminal operation calls [`Producer::produce`] with
+/// disjoint ranges covering `0..len` at most once each, in any order and
+/// from any thread. Producers that move items out (the `Vec` producer)
+/// rely on this for soundness.
+pub trait Producer: Send + Sync {
+    /// The item type.
     type Item: Send;
-    /// Builds the iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    /// Total number of items.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Feeds `sink` every `(index, item)` of `range`, ascending.
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, Self::Item));
 }
 
-impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+/// Owning producer over a `Vec`'s buffer; items are moved out in place —
+/// no intermediate copies, no per-thread staging `Vec`s.
+pub struct VecProducer<T> {
+    buf: *mut T,
+    len: usize,
+    cap: usize,
+    /// Whether any range was produced; governs drop behavior.
+    produced: AtomicBool,
+}
+
+unsafe impl<T: Send> Send for VecProducer<T> {}
+unsafe impl<T: Send> Sync for VecProducer<T> {}
+
+impl<T> VecProducer<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        let mut v = ManuallyDrop::new(v);
+        VecProducer {
+            buf: v.as_mut_ptr(),
+            len: v.len(),
+            cap: v.capacity(),
+            produced: AtomicBool::new(false),
+        }
     }
 }
 
-macro_rules! impl_into_par_iter_range {
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, T)) {
+        self.produced.store(true, Ordering::Relaxed);
+        for i in range {
+            // Safety: the `Producer` contract guarantees each index is
+            // produced at most once, so every element is read at most once.
+            let item = unsafe { std::ptr::read(self.buf.add(i)) };
+            sink(i, item);
+        }
+    }
+}
+
+impl<T> Drop for VecProducer<T> {
+    fn drop(&mut self) {
+        unsafe {
+            if self.produced.load(Ordering::Relaxed) {
+                // Items were (partially) moved out; free the buffer without
+                // dropping elements. On a panic mid-chunk this leaks the
+                // unconsumed tail — bounded, and only on unwinding paths.
+                drop(Vec::from_raw_parts(self.buf, 0, self.cap));
+            } else {
+                // Never consumed: drop everything normally.
+                drop(Vec::from_raw_parts(self.buf, self.len, self.cap));
+            }
+        }
+    }
+}
+
+/// Borrowing producer over a slice: items are `&T` straight from the
+/// slice — zero-copy.
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, &'a T)) {
+        for i in range {
+            sink(i, &self.slice[i]);
+        }
+    }
+}
+
+/// Producer over a numeric range.
+pub struct RangeProducer<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_producer {
     ($($t:ty),* $(,)?) => {$(
-        impl IntoParallelIterator for std::ops::Range<$t> {
+        impl Producer for RangeProducer<$t> {
             type Item = $t;
-            fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, $t)) {
+                for i in range {
+                    sink(i, self.start + i as $t);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter::new(RangeProducer { start: self.start, len })
             }
         }
     )*};
 }
 
-impl_into_par_iter_range!(u8, u16, u32, u64, usize, i32, i64);
+/// Pairs every item with its index.
+pub struct EnumerateProducer<P> {
+    inner: P,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, (usize, P::Item))) {
+        self.inner.produce(range, &mut |i, item| sink(i, (i, item)));
+    }
+}
+
+/// Applies a function lazily, at consumption time, on whichever thread
+/// consumes the item.
+pub struct MapProducer<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, U, F> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    U: Send,
+    F: Fn(P::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, U)) {
+        self.inner.produce(range, &mut |i, item| sink(i, (self.f)(item)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ParIter: the public parallel-iterator surface
+// ---------------------------------------------------------------------------
+
+/// A lazy parallel iterator: adaptors compose producers, terminal
+/// operations chunk the index space and drain it on the pool.
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+}
+
+/// Shared-pointer wrapper so indexed output writes can cross the closure's
+/// `Sync` boundary.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        ParIter {
+            producer,
+            min_len: 1,
+        }
+    }
+
+    /// Sets a minimum chunk length, bounding how finely the index space is
+    /// split (rayon's `with_min_len`): raise it when per-item work is tiny
+    /// and the per-chunk overhead would dominate.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Pairs every item with its index, preserving order. Lazy.
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter {
+            producer: EnumerateProducer {
+                inner: self.producer,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Parallel map. Lazy: `f` runs at consumption time on the consuming
+    /// thread.
+    pub fn map<U, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        U: Send,
+        F: Fn(P::Item) -> U + Send + Sync,
+    {
+        ParIter {
+            producer: MapProducer {
+                inner: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Runs `per_chunk` over every chunk range on the pool, returning the
+    /// per-chunk results in chunk order.
+    fn drive<R, F>(&self, per_chunk: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(self.producer.len(), self.min_len);
+        let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        run_job(ranges.len(), &|ci| {
+            let r = per_chunk(ranges[ci].clone());
+            *slots[ci].lock().unwrap() = Some(r);
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("chunk completed"))
+            .collect()
+    }
+
+    /// Collects into a `Vec`, writing each item directly into its final
+    /// position (no per-chunk staging buffers).
+    fn collect_vec(self) -> Vec<P::Item> {
+        let n = self.producer.len();
+        let mut out: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(n);
+        // Safety: MaybeUninit needs no initialization; every slot is
+        // written exactly once below before being read.
+        unsafe { out.set_len(n) };
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let ranges = chunk_ranges(n, self.min_len);
+        let producer = &self.producer;
+        run_job(ranges.len(), &|ci| {
+            let p = out_ptr;
+            producer.produce(ranges[ci].clone(), &mut |i, item| {
+                // Safety: each index is produced exactly once; disjoint
+                // indices never alias.
+                unsafe { p.0.add(i).write(MaybeUninit::new(item)) };
+            });
+        });
+        // Safety: all n slots initialized; MaybeUninit<T> has T's layout.
+        unsafe {
+            let mut out = ManuallyDrop::new(out);
+            Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, out.len(), out.capacity())
+        }
+    }
+
+    /// Collects the items, in input order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        self.collect_vec().into_iter().collect()
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        let producer = &self.producer;
+        let ranges = chunk_ranges(producer.len(), self.min_len);
+        run_job(ranges.len(), &|ci| {
+            producer.produce(ranges[ci].clone(), &mut |_i, item| f(item));
+        });
+    }
+
+    /// Parallel filter (the predicate runs in parallel; order preserved).
+    /// Kept items go straight into per-chunk buffers — no intermediate
+    /// `Option` staging.
+    pub fn filter<F>(self, f: F) -> ParIter<VecProducer<P::Item>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
+        let min_len = self.min_len;
+        let producer = &self.producer;
+        let chunks: Vec<Vec<P::Item>> = self.drive(|range| {
+            let mut kept = Vec::new();
+            producer.produce(range, &mut |_i, item| {
+                if f(&item) {
+                    kept.push(item);
+                }
+            });
+            kept
+        });
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        ParIter::new(VecProducer::from_vec(out)).with_min_len(min_len)
+    }
+
+    /// Parallel sum. Partial sums are grouped by chunk; chunk boundaries
+    /// are thread-count independent, so the result is reproducible under
+    /// any `LSHDDP_THREADS`.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        let producer = &self.producer;
+        let partials: Vec<S> = self.drive(|range| {
+            let mut acc: Option<S> = Some(std::iter::empty::<P::Item>().sum());
+            producer.produce(range, &mut |_i, item| {
+                let one: S = std::iter::once(item).sum();
+                let prev = acc.take().expect("accumulator present");
+                acc = Some([prev, one].into_iter().sum());
+            });
+            acc.expect("accumulator present")
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Parallel reduction with an identity element. `op` must be
+    /// associative; partials are combined in chunk order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        let producer = &self.producer;
+        let partials: Vec<P::Item> = self.drive(|range| {
+            let mut acc = Some(identity());
+            producer.produce(range, &mut |_i, item| {
+                let prev = acc.take().expect("accumulator present");
+                acc = Some(op(prev, item));
+            });
+            acc.expect("accumulator present")
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel fold (rayon-style): each chunk folds sequentially from
+    /// `identity()`, yielding one accumulator per chunk as a new parallel
+    /// iterator — chain `.reduce(..)` or `.collect()` to combine.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecProducer<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, P::Item) -> T + Send + Sync,
+    {
+        let min_len = self.min_len;
+        let producer = &self.producer;
+        let partials: Vec<T> = self.drive(|range| {
+            let mut acc = Some(identity());
+            producer.produce(range, &mut |_i, item| {
+                let prev = acc.take().expect("accumulator present");
+                acc = Some(fold_op(prev, item));
+            });
+            acc.expect("accumulator present")
+        });
+        ParIter::new(VecProducer::from_vec(partials)).with_min_len(min_len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point conversion traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter;
+    /// Builds the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecProducer<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(VecProducer::from_vec(self))
+    }
+}
+
+impl_range_producer!(u8, u16, u32, u64, usize, i32, i64);
 
 /// Conversion into a [`ParIter`] over references.
 pub trait IntoParallelRefIterator<'a> {
     /// Item type (a reference).
     type Item: Send;
+    /// Concrete iterator type.
+    type Iter;
     /// Builds the iterator.
-    fn par_iter(&'a self) -> ParIter<Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+    type Iter = ParIter<SliceProducer<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter::new(SliceProducer { slice: self })
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter { items: self.iter().collect() }
+    type Iter = ParIter<SliceProducer<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter::new(SliceProducer { slice: self })
     }
 }
 
@@ -213,6 +727,64 @@ mod tests {
     }
 
     #[test]
+    fn slice_par_iter_is_zero_copy() {
+        // The items handed out must be references into the original slice,
+        // not copies.
+        let v: Vec<u64> = (0..500).collect();
+        let base = v.as_ptr() as usize;
+        let addrs: Vec<usize> = v.par_iter().map(|x| x as *const u64 as usize).collect();
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(*a, base + i * std::mem::size_of::<u64>());
+        }
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let evens: Vec<u32> = v.into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, (0..1000).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_and_reduce_match_sequential() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, (0..100_000u64).sum());
+        let m = (0..100_000u64)
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(m, 99_999);
+    }
+
+    #[test]
+    fn float_sum_is_deterministic() {
+        // Chunk boundaries are thread-count independent, so repeated runs
+        // (and runs under different LSHDDP_THREADS) give identical bits.
+        let v: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt()).collect();
+        let a: f64 = v.par_iter().map(|&x| x).sum();
+        let b: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total: u64 = v
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn with_min_len_still_covers_everything() {
+        let v: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = v.into_par_iter().with_min_len(64).map(|x| x + 1).collect();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[999], 1000);
+    }
+
+    #[test]
     fn map_actually_runs_on_multiple_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
@@ -225,6 +797,7 @@ mod tests {
             .into_par_iter()
             .map(|x| {
                 seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(50));
                 x
             })
             .collect();
@@ -236,5 +809,60 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
         assert_eq!(a, 2);
         assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let v: Vec<u32> = (0..1000).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = v
+                .into_par_iter()
+                .map(|x| {
+                    if x == 777 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool must still execute subsequent jobs correctly.
+        let v: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out[999], 2997);
+    }
+
+    #[test]
+    fn drop_types_are_not_leaked_or_double_dropped() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] u32);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let v: Vec<D> = (0..100).map(D).collect();
+        let out: Vec<u32> = v.into_par_iter().map(|d| d.0 * 2).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 100, "each item dropped once");
+    }
+
+    #[test]
+    fn unconsumed_vec_producer_drops_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let v: Vec<D> = (0..10).map(|_| D).collect();
+        let it = v.into_par_iter();
+        drop(it);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
     }
 }
