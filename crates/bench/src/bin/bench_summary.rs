@@ -50,6 +50,15 @@ struct KernelBench {
 }
 
 #[derive(Serialize)]
+struct OverheadBench {
+    description: &'static str,
+    tracing_off_s: f64,
+    tracing_on_s: f64,
+    /// `on/off - 1`; negative values are timing noise.
+    overhead_frac: f64,
+}
+
+#[derive(Serialize)]
 struct Summary {
     schema: u32,
     mode: &'static str,
@@ -59,6 +68,7 @@ struct Summary {
     engine_shuffle_job: WallBench,
     lsh_ddp_pipeline: WallBench,
     kernel_pair_d2: KernelBench,
+    tracing_overhead: OverheadBench,
 }
 
 /// Best-of-3 mean per call, after one warmup call.
@@ -141,7 +151,10 @@ fn engine_shuffle_job(records: usize) -> WallBench {
     }
 }
 
-fn lsh_ddp_pipeline(n_per_blob: usize) -> WallBench {
+/// `d_c` matched to the blob geometry below.
+const BLOB_DC: f64 = 0.8;
+
+fn blob_dataset(n_per_blob: usize) -> Dataset {
     let mut ds = Dataset::new(2);
     for (cx, cy) in [(0.0, 0.0), (10.0, 2.0), (4.0, 9.0)] {
         for i in 0..n_per_blob as u64 {
@@ -150,20 +163,53 @@ fn lsh_ddp_pipeline(n_per_blob: usize) -> WallBench {
             ds.push(&[cx + jx, cy + jy]);
         }
     }
-    let dc = 0.8;
-    let base = LshDdp::with_accuracy(0.99, 10, 3, dc, 42).expect("valid params");
-    let lsh = LshDdp::new(ddp::LshDdpConfig {
+    ds
+}
+
+fn blob_lsh() -> LshDdp {
+    let base = LshDdp::with_accuracy(0.99, 10, 3, BLOB_DC, 42).expect("valid params");
+    LshDdp::new(ddp::LshDdpConfig {
         pipeline: PipelineConfig {
             map_tasks: 8,
             reduce_tasks: 8,
             fault: None,
         },
         ..base.config().clone()
-    });
-    let wall = time_calls(3, || lsh.run(&ds, dc));
+    })
+}
+
+fn lsh_ddp_pipeline(n_per_blob: usize) -> WallBench {
+    let ds = blob_dataset(n_per_blob);
+    let lsh = blob_lsh();
+    let wall = time_calls(3, || lsh.run(&ds, BLOB_DC));
     WallBench {
         description: "four-job LSH-DDP pipeline, 3 blobs, 8 map/reduce tasks",
         wall_s: wall,
+    }
+}
+
+/// The full LSH-DDP pipeline with span capture off, then on (capture +
+/// executor chunk observer — everything `--trace` enables). The on-run
+/// is a strict upper bound on the cost of the always-compiled-in
+/// instrumentation while disabled, so gating `overhead_frac` also gates
+/// the tracing-off cost. Must run last: the chunk observer, once
+/// installed, stays installed for the life of the process.
+fn tracing_overhead(n_per_blob: usize) -> OverheadBench {
+    let ds = blob_dataset(n_per_blob);
+    let lsh = blob_lsh();
+    let off = time_calls(3, || lsh.run(&ds, BLOB_DC));
+    obsv::enable_capture();
+    obsv::install_executor_metrics(obsv::global());
+    // The ring buffers drop-oldest at fixed cost, so letting them wrap
+    // across calls measures steady-state recording, not allocation.
+    let on = time_calls(3, || lsh.run(&ds, BLOB_DC));
+    obsv::disable_capture();
+    obsv::clear_events();
+    OverheadBench {
+        description: "lsh_ddp_pipeline workload, span capture off vs on",
+        tracing_off_s: off,
+        tracing_on_s: on,
+        overhead_frac: on / off - 1.0,
     }
 }
 
@@ -211,7 +257,7 @@ fn main() {
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 1,
+        schema: 2,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -233,6 +279,7 @@ fn main() {
         engine_shuffle_job: engine_shuffle_job(engine_records),
         lsh_ddp_pipeline: lsh_ddp_pipeline(blob_n),
         kernel_pair_d2: kernel_pair_d2(kernel_n, 8),
+        tracing_overhead: tracing_overhead(blob_n),
     };
 
     for (name, b) in [
@@ -249,6 +296,12 @@ fn main() {
         summary.engine_shuffle_job.wall_s,
         summary.lsh_ddp_pipeline.wall_s,
         summary.kernel_pair_d2.pairs_per_s
+    );
+    eprintln!(
+        "tracing: off {:.3}s on {:.3}s -> {:+.1}% overhead",
+        summary.tracing_overhead.tracing_off_s,
+        summary.tracing_overhead.tracing_on_s,
+        summary.tracing_overhead.overhead_frac * 100.0
     );
 
     let path =

@@ -102,6 +102,7 @@ pub fn assign_distributed(
     peaks: &[PointId],
     pipeline: &PipelineConfig,
 ) -> DistributedAssignment {
+    let _pipeline_span = obsv::span!("pipeline", "assign-mr");
     assert!(!peaks.is_empty(), "at least one density peak is required");
     let n = result.len();
     let mut peak_cluster = vec![u32::MAX; n];

@@ -308,6 +308,7 @@ impl BasicDdp {
         tracker: DistanceTracker,
         start: Instant,
     ) -> RunReport {
+        let _pipeline_span = obsv::span!("pipeline", "basic-ddp");
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
         let n = ds.len();

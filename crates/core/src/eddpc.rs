@@ -385,6 +385,7 @@ impl Eddpc {
 
     /// Runs the full exact pipeline with a known `d_c`.
     pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
+        let _pipeline_span = obsv::span!("pipeline", "eddpc");
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
         let tracker = DistanceTracker::new();

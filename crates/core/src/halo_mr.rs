@@ -119,6 +119,7 @@ pub fn compute_halo_distributed(
     config: &LshDdpConfig,
     pipeline: &PipelineConfig,
 ) -> DistributedHalo {
+    let _pipeline_span = obsv::span!("pipeline", "halo-mr");
     assert_eq!(ds.len(), result.len(), "result must cover the dataset");
     assert_eq!(
         ds.len(),

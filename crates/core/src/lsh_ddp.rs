@@ -331,6 +331,7 @@ impl LshDdp {
         tracker: DistanceTracker,
         start: Instant,
     ) -> RunReport {
+        let _pipeline_span = obsv::span!("pipeline", "lsh-ddp");
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
         let n = ds.len();

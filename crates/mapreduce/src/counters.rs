@@ -1,20 +1,41 @@
 //! Job counters and metrics, mirroring Hadoop's job counter report.
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Shard fan-out for the counter name map.
+const COUNTER_SHARDS: usize = 16;
+
+/// One shard of the name→cell map.
+type CounterShard = RwLock<HashMap<String, Arc<AtomicU64>>>;
 
 /// Named user counters, shareable across task threads.
 ///
 /// Tasks that want to report algorithm-level statistics (e.g. candidate
 /// pairs filtered by the EDDPC triangle-inequality test) capture a clone of
 /// the job's `Counters` in their struct and call [`Counters::inc`].
-#[derive(Debug, Clone, Default)]
+///
+/// The name→cell map is sharded by name hash, and resolving an existing
+/// counter takes only a shard's *read* lock — many task threads looking up
+/// (or `inc`ing) counters concurrently never serialize on one global lock;
+/// the write lock is taken once per name, on creation.
+#[derive(Debug, Clone)]
 pub struct Counters {
-    inner: Arc<Mutex<BTreeMap<String, Arc<AtomicU64>>>>,
+    shards: Arc<[CounterShard; COUNTER_SHARDS]>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            shards: Arc::new(std::array::from_fn(|_| RwLock::new(HashMap::new()))),
+        }
+    }
 }
 
 impl Counters {
@@ -23,35 +44,83 @@ impl Counters {
         Self::default()
     }
 
+    fn shard(&self, name: &str) -> &CounterShard {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % COUNTER_SHARDS]
+    }
+
     /// Increments `name` by `n`, creating the counter on first use.
     pub fn inc(&self, name: &str, n: u64) {
         self.handle(name).fetch_add(n, Ordering::Relaxed);
     }
 
     /// Returns a cheap handle to a single counter, avoiding the name lookup
-    /// in hot loops.
+    /// in hot loops. An existing counter resolves under a shared read lock.
     pub fn handle(&self, name: &str) -> Arc<AtomicU64> {
-        let mut map = self.inner.lock();
-        map.entry(name.to_string())
+        let shard = self.shard(name);
+        if let Some(c) = shard.read().get(name) {
+            return c.clone();
+        }
+        shard
+            .write()
+            .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)))
             .clone()
     }
 
     /// Current value of `name` (0 if never incremented).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
+        self.shard(name)
+            .read()
             .get(name)
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Snapshot of all counters, name-ordered.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        let mut out = BTreeMap::new();
+        for shard in self.shards.iter() {
+            for (k, v) in shard.read().iter() {
+                out.insert(k.clone(), v.load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+}
+
+/// Duration summary of one phase's task attempts (nanoseconds), derived
+/// from the span layer's per-task measurements. All-zero when a job
+/// predates task timing — the field deserializes via `#[serde(default)]`
+/// from older metric dumps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskTimes {
+    /// Task attempts measured.
+    pub tasks: u64,
+    /// Median task duration (ns, bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th-percentile task duration (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile task duration (ns).
+    pub p99_ns: u64,
+    /// Longest task attempt (ns, exact) — the straggler that bounds the
+    /// phase's critical path.
+    pub max_ns: u64,
+}
+
+impl TaskTimes {
+    /// Merges two summaries the way [`JobMetrics::aggregate`] needs:
+    /// attempt counts add, quantiles take the element-wise max (the
+    /// aggregate answers "how bad did any constituent job's tasks get",
+    /// not a recomputed cross-job distribution).
+    pub fn merge(self, other: TaskTimes) -> TaskTimes {
+        TaskTimes {
+            tasks: self.tasks + other.tasks,
+            p50_ns: self.p50_ns.max(other.p50_ns),
+            p95_ns: self.p95_ns.max(other.p95_ns),
+            p99_ns: self.p99_ns.max(other.p99_ns),
+            max_ns: self.max_ns.max(other.max_ns),
+        }
     }
 }
 
@@ -98,6 +167,12 @@ pub struct JobMetrics {
     /// concatenation + byte accounting).
     #[serde(with = "duration_secs", default)]
     pub shuffle_time: Duration,
+    /// Per-attempt duration summary of the map tasks.
+    #[serde(default)]
+    pub map_task_times: TaskTimes,
+    /// Per-attempt duration summary of the reduce tasks.
+    #[serde(default)]
+    pub reduce_task_times: TaskTimes,
     /// User counter snapshot at job completion.
     pub user: BTreeMap<String, u64>,
 }
@@ -140,6 +215,8 @@ impl JobMetrics {
             out.map_time += j.map_time;
             out.reduce_time += j.reduce_time;
             out.shuffle_time += j.shuffle_time;
+            out.map_task_times = out.map_task_times.merge(j.map_task_times);
+            out.reduce_task_times = out.reduce_task_times.merge(j.reduce_task_times);
             for (k, v) in &j.user {
                 *out.user.entry(k.clone()).or_insert(0) += v;
             }
@@ -188,6 +265,115 @@ mod tests {
             }
         });
         assert_eq!(c.get("n"), 800);
+    }
+
+    #[test]
+    fn hot_handle_lookups_do_not_serialize_across_threads() {
+        // Regression test for the old single-Mutex map: 8 threads
+        // resolving handles for disjoint *and* shared names concurrently
+        // must all make progress under read locks and lose no updates.
+        // Uses `handle`/`inc` directly (not a pre-resolved handle) so the
+        // lookup path itself is what's being hammered.
+        const THREADS: usize = 8;
+        const ITERS: u64 = 20_000;
+        let c = Counters::new();
+        // Pre-create the shared name so every thread takes the read path.
+        c.inc("shared", 0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cc = c.clone();
+                s.spawn(move || {
+                    let own = format!("thread-{t}");
+                    for _ in 0..ITERS {
+                        cc.inc("shared", 1);
+                        cc.handle(&own).fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("shared"), THREADS as u64 * ITERS);
+        for t in 0..THREADS {
+            assert_eq!(c.get(&format!("thread-{t}")), ITERS);
+        }
+        assert_eq!(c.snapshot().len(), THREADS + 1);
+    }
+
+    #[test]
+    fn task_times_merge_adds_counts_and_maxes_quantiles() {
+        let a = TaskTimes {
+            tasks: 4,
+            p50_ns: 100,
+            p95_ns: 200,
+            p99_ns: 300,
+            max_ns: 400,
+        };
+        let b = TaskTimes {
+            tasks: 2,
+            p50_ns: 150,
+            p95_ns: 180,
+            p99_ns: 350,
+            max_ns: 390,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.tasks, 6);
+        assert_eq!(m.p50_ns, 150);
+        assert_eq!(m.p95_ns, 200);
+        assert_eq!(m.p99_ns, 350);
+        assert_eq!(m.max_ns, 400);
+    }
+
+    #[test]
+    fn job_metrics_load_from_pre_task_times_dumps() {
+        // Backward compat: metric dumps written before the task-time and
+        // shuffle-time fields existed must still deserialize, with the
+        // missing fields defaulting. Serialize a current JobMetrics to the
+        // Value tree, strip the new fields (emulating an old dump), and
+        // load it back.
+        #[derive(Debug)]
+        struct E(String);
+        impl std::fmt::Display for E {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+        impl serde::de::Error for E {
+            fn custom<T: std::fmt::Display>(msg: T) -> Self {
+                E(msg.to_string())
+            }
+        }
+
+        let current = JobMetrics {
+            name: "legacy".into(),
+            shuffle_bytes: 123,
+            wall_time: Duration::from_millis(7),
+            shuffle_time: Duration::from_millis(2),
+            map_task_times: TaskTimes {
+                tasks: 3,
+                max_ns: 99,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let serde::Value::Map(fields) = serde::to_value(&current) else {
+            panic!("JobMetrics must serialize to a map");
+        };
+        let old_dump: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "shuffle_time" | "map_task_times" | "reduce_task_times"
+                )
+            })
+            .collect();
+        let loaded: JobMetrics =
+            serde::from_value::<_, E>(serde::Value::Map(old_dump)).expect("old dump must load");
+        assert_eq!(loaded.name, "legacy");
+        assert_eq!(loaded.shuffle_bytes, 123);
+        assert_eq!(loaded.wall_time, Duration::from_millis(7));
+        assert_eq!(loaded.shuffle_time, Duration::ZERO);
+        assert_eq!(loaded.map_task_times, TaskTimes::default());
+        assert_eq!(loaded.reduce_task_times, TaskTimes::default());
     }
 
     #[test]

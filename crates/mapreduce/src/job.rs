@@ -1,7 +1,7 @@
 //! Job configuration and execution: map → (combine) → shuffle → sort/group
 //! → reduce, with every phase running on the Rayon thread pool.
 
-use crate::counters::{Counters, JobMetrics};
+use crate::counters::{Counters, JobMetrics, TaskTimes};
 use crate::fault::{FaultPlan, Phase};
 use crate::record::ShuffleSize;
 use crate::task::{Combiner, Emitter, Mapper, MrKey, Reducer};
@@ -150,12 +150,31 @@ where
 
     /// Runs the job to completion, returning the reduce output (ordered by
     /// reduce-task index, then by key) and the measured [`JobMetrics`].
+    ///
+    /// The whole job runs inside a `"job"` span, each phase inside a
+    /// `"phase"` span, and every task attempt inside a `"task"` span
+    /// parented (across pool threads) on its phase. The phase-time metric
+    /// fields (`map_time`, `shuffle_time`, `reduce_time`, `wall_time`)
+    /// are *derived from the span layer's measurements* — there is no
+    /// second clock; with capture off, `timed_span` degrades to a plain
+    /// stopwatch.
     #[allow(clippy::type_complexity)]
     pub fn run(
         self,
         input: Vec<(M::InKey, M::InValue)>,
     ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics) {
-        let start = Instant::now();
+        let name = self.name.clone();
+        let ((output, mut metrics), wall) =
+            obsv::timed_span("job", || name.clone(), move || self.run_phases(input));
+        metrics.wall_time = wall;
+        (output, metrics)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_phases(
+        self,
+        input: Vec<(M::InKey, M::InValue)>,
+    ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics) {
         let mut metrics = JobMetrics {
             name: self.name.clone(),
             ..Default::default()
@@ -191,117 +210,167 @@ where
 
         let fault_plan = self.fault_plan.or(self.config.fault);
         let retries = std::sync::atomic::AtomicU64::new(0);
+        let retries = &retries;
+        // Per-task attempt durations, recorded unconditionally (tasks are
+        // coarse, two clock reads each are noise) and summarized into
+        // `JobMetrics::{map,reduce}_task_times`.
+        let map_task_ns = obsv::Histogram::new();
+        let reduce_task_ns = obsv::Histogram::new();
 
-        let map_start = Instant::now();
-        let map_outputs: Vec<MapTaskOut<M::OutKey, M::OutValue>> = chunks
-            .into_par_iter()
-            .enumerate()
-            .map(|(task, records)| {
-                run_task_with_plan(fault_plan, &retries, Phase::Map, task, || {
-                    let mut emitter = Emitter::new();
-                    for (k, v) in records {
-                        mapper.map(k, v, &mut emitter);
-                    }
-                    let mut out = emitter.into_records();
-                    let emitted = out.len() as u64;
+        let (map_outputs, map_dur) = obsv::timed_span(
+            "phase",
+            || format!("map:{}", self.name),
+            || {
+                let parent = obsv::current_span();
+                let hist = &map_task_ns;
+                chunks
+                    .into_par_iter()
+                    .enumerate()
+                    .map(|(task, records)| {
+                        obsv::with_parent(parent, move || {
+                            let attempt = Instant::now();
+                            let out = obsv::span!("task", format!("map-{task}") => {
+                                run_task_with_plan(fault_plan, retries, Phase::Map, task, || {
+                                    let mut emitter = Emitter::new();
+                                    for (k, v) in records {
+                                        mapper.map(k, v, &mut emitter);
+                                    }
+                                    let mut out = emitter.into_records();
+                                    let emitted = out.len() as u64;
 
-                    if let Some(c) = combiner {
-                        out = run_combiner(c, out);
-                    }
-                    let combined = out.len() as u64;
+                                    if let Some(c) = combiner {
+                                        out = run_combiner(c, out);
+                                    }
+                                    let combined = out.len() as u64;
 
-                    let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
-                        (0..r_tasks).map(|_| Vec::new()).collect();
-                    for (k, v) in out {
-                        let b = partitioner.partition(&k, r_tasks);
-                        debug_assert!(b < r_tasks, "partitioner returned out-of-range bucket");
-                        buckets[b].push((k, v));
-                    }
-                    MapTaskOut {
-                        buckets,
-                        emitted,
-                        combined,
-                    }
-                })
-            })
-            .collect();
-
-        metrics.map_time = map_start.elapsed();
+                                    let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                                        (0..r_tasks).map(|_| Vec::new()).collect();
+                                    for (k, v) in out {
+                                        let b = partitioner.partition(&k, r_tasks);
+                                        debug_assert!(
+                                            b < r_tasks,
+                                            "partitioner returned out-of-range bucket"
+                                        );
+                                        buckets[b].push((k, v));
+                                    }
+                                    MapTaskOut {
+                                        buckets,
+                                        emitted,
+                                        combined,
+                                    }
+                                })
+                            });
+                            hist.record(attempt.elapsed().as_nanos() as u64);
+                            out
+                        })
+                    })
+                    .collect::<Vec<MapTaskOut<M::OutKey, M::OutValue>>>()
+            },
+        );
+        metrics.map_time = map_dur;
 
         // ---- Shuffle: merge per-reduce buckets, accounting bytes -------
         // Transposing the map outputs into per-reducer columns is a cheap
         // sequential pass over Vec handles; the actual merge (one big
         // concatenation) and the per-record `shuffle_bytes` accounting —
         // the expensive parts — run in parallel, one task per reducer.
-        let shuffle_start = Instant::now();
-        let mut columns: Vec<Vec<Vec<(M::OutKey, M::OutValue)>>> = (0..r_tasks)
-            .map(|_| Vec::with_capacity(self.config.map_tasks))
-            .collect();
-        for task_out in map_outputs {
-            metrics.map_output_records += task_out.emitted;
-            metrics.combine_output_records += task_out.combined;
-            for (r, bucket) in task_out.buckets.into_iter().enumerate() {
-                columns[r].push(bucket);
-            }
-        }
-        let merged: Vec<(u64, Vec<(M::OutKey, M::OutValue)>)> = columns
-            .into_par_iter()
-            .map(|parts| {
-                let total: usize = parts.iter().map(Vec::len).sum();
-                let mut bucket = Vec::with_capacity(total);
-                // Concatenate in map-task order so value arrival order
-                // stays deterministic (the reduce sort below is stable).
-                for p in parts {
-                    bucket.extend(p);
+        let (reduce_inputs, shuffle_dur) = obsv::timed_span(
+            "phase",
+            || format!("shuffle:{}", self.name),
+            || {
+                let mut columns: Vec<Vec<Vec<(M::OutKey, M::OutValue)>>> = (0..r_tasks)
+                    .map(|_| Vec::with_capacity(self.config.map_tasks))
+                    .collect();
+                for task_out in map_outputs {
+                    metrics.map_output_records += task_out.emitted;
+                    metrics.combine_output_records += task_out.combined;
+                    for (r, bucket) in task_out.buckets.into_iter().enumerate() {
+                        columns[r].push(bucket);
+                    }
                 }
-                let bytes: u64 = bucket
-                    .iter()
-                    .map(|(k, v)| k.shuffle_bytes() + v.shuffle_bytes())
-                    .sum();
-                (bytes, bucket)
-            })
-            .collect();
-        let mut reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>> = Vec::with_capacity(r_tasks);
-        for (bytes, bucket) in merged {
-            metrics.shuffle_records += bucket.len() as u64;
-            metrics.max_reduce_task_records =
-                metrics.max_reduce_task_records.max(bucket.len() as u64);
-            metrics.shuffle_bytes += bytes;
-            reduce_inputs.push(bucket);
-        }
-        metrics.shuffle_time = shuffle_start.elapsed();
+                let merged: Vec<(u64, Vec<(M::OutKey, M::OutValue)>)> = columns
+                    .into_par_iter()
+                    .map(|parts| {
+                        let total: usize = parts.iter().map(Vec::len).sum();
+                        let mut bucket = Vec::with_capacity(total);
+                        // Concatenate in map-task order so value arrival order
+                        // stays deterministic (the reduce sort below is stable).
+                        for p in parts {
+                            bucket.extend(p);
+                        }
+                        let bytes: u64 = bucket
+                            .iter()
+                            .map(|(k, v)| k.shuffle_bytes() + v.shuffle_bytes())
+                            .sum();
+                        (bytes, bucket)
+                    })
+                    .collect();
+                let mut reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                    Vec::with_capacity(r_tasks);
+                for (bytes, bucket) in merged {
+                    metrics.shuffle_records += bucket.len() as u64;
+                    metrics.max_reduce_task_records =
+                        metrics.max_reduce_task_records.max(bucket.len() as u64);
+                    metrics.shuffle_bytes += bytes;
+                    reduce_inputs.push(bucket);
+                }
+                reduce_inputs
+            },
+        );
+        metrics.shuffle_time = shuffle_dur;
 
         // ---- Sort/group + reduce phase (parallel over reduce tasks) ----
-        let reduce_start = Instant::now();
         let reducer = &self.reducer;
         // (groups, max group size, output records) per reduce task.
         type TaskOut<K, V> = (u64, u64, Vec<(K, V)>);
-        let reduced: Vec<TaskOut<R::OutKey, R::OutValue>> = reduce_inputs
-            .into_par_iter()
-            .enumerate()
-            .map(|(task, bucket)| {
-                run_task_with_plan(fault_plan, &retries, Phase::Reduce, task, move || {
-                    let mut bucket = bucket;
-                    // Stable sort by key keeps value arrival order deterministic
-                    // (map-task index order, preserved by the merge above).
-                    bucket.sort_by(|a, b| a.0.cmp(&b.0));
-                    let mut groups = 0u64;
-                    let mut max_group = 0u64;
-                    let mut emitter = Emitter::new();
-                    let mut it = bucket.into_iter().peekable();
-                    while let Some((key, first)) = it.next() {
-                        let mut values = vec![first];
-                        while it.peek().is_some_and(|(k, _)| *k == key) {
-                            values.push(it.next().expect("peeked").1);
-                        }
-                        groups += 1;
-                        max_group = max_group.max(values.len() as u64);
-                        reducer.reduce(&key, values, &mut emitter);
-                    }
-                    (groups, max_group, emitter.into_records())
-                })
-            })
-            .collect();
+        let (reduced, reduce_dur) = obsv::timed_span(
+            "phase",
+            || format!("reduce:{}", self.name),
+            || {
+                let parent = obsv::current_span();
+                let hist = &reduce_task_ns;
+                reduce_inputs
+                    .into_par_iter()
+                    .enumerate()
+                    .map(|(task, bucket)| {
+                        obsv::with_parent(parent, move || {
+                            let attempt = Instant::now();
+                            let out = obsv::span!("task", format!("reduce-{task}") => {
+                                run_task_with_plan(
+                                    fault_plan,
+                                    retries,
+                                    Phase::Reduce,
+                                    task,
+                                    move || {
+                                        let mut bucket = bucket;
+                                        // Stable sort by key keeps value arrival
+                                        // order deterministic (map-task index
+                                        // order, preserved by the merge above).
+                                        bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                                        let mut groups = 0u64;
+                                        let mut max_group = 0u64;
+                                        let mut emitter = Emitter::new();
+                                        let mut it = bucket.into_iter().peekable();
+                                        while let Some((key, first)) = it.next() {
+                                            let mut values = vec![first];
+                                            while it.peek().is_some_and(|(k, _)| *k == key) {
+                                                values.push(it.next().expect("peeked").1);
+                                            }
+                                            groups += 1;
+                                            max_group = max_group.max(values.len() as u64);
+                                            reducer.reduce(&key, values, &mut emitter);
+                                        }
+                                        (groups, max_group, emitter.into_records())
+                                    },
+                                )
+                            });
+                            hist.record(attempt.elapsed().as_nanos() as u64);
+                            out
+                        })
+                    })
+                    .collect::<Vec<TaskOut<R::OutKey, R::OutValue>>>()
+            },
+        );
 
         let mut output = Vec::new();
         for (groups, max_group, records) in reduced {
@@ -312,12 +381,26 @@ where
         }
 
         metrics.task_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
-        metrics.reduce_time = reduce_start.elapsed();
-        metrics.wall_time = start.elapsed();
+        metrics.reduce_time = reduce_dur;
+        metrics.map_task_times = task_times(&map_task_ns);
+        metrics.reduce_task_times = task_times(&reduce_task_ns);
         if let Some(c) = &self.counters {
             metrics.user = c.snapshot();
         }
         (output, metrics)
+    }
+}
+
+/// Compresses a phase's per-task duration histogram into the fixed
+/// [`TaskTimes`] summary stored on [`JobMetrics`].
+fn task_times(h: &obsv::Histogram) -> TaskTimes {
+    let s = h.summary();
+    TaskTimes {
+        tasks: s.count,
+        p50_ns: s.p50,
+        p95_ns: s.p95,
+        p99_ns: s.p99,
+        max_ns: s.max,
     }
 }
 

@@ -67,7 +67,7 @@ pub mod task;
 pub mod wire;
 
 pub use cost::ClusterSpec;
-pub use counters::{Counters, JobMetrics};
+pub use counters::{Counters, JobMetrics, TaskTimes};
 pub use dfs::Dfs;
 pub use driver::Driver;
 pub use fault::{FaultPlan, Phase};

@@ -1,0 +1,45 @@
+//! Glue wiring the work-stealing executor's chunk observer into a
+//! metrics [`Registry`](crate::metrics::Registry).
+
+use crate::metrics::Registry;
+
+/// Installs a chunk observer on the global executor pool that records,
+/// into `reg`:
+///
+/// * `executor.chunk_run_ns` — histogram of per-chunk run times;
+/// * `executor.chunks_stolen` — chunks claimed by parked pool workers;
+/// * `executor.chunks_local` — chunks run by the submitting thread.
+///
+/// The observer is process-global and installs at most once; returns
+/// `false` if one was already present. Until installed, the executor
+/// never reads the clock per chunk — pair this with
+/// [`enable_capture`](crate::tracer::enable_capture) behind the same
+/// `--trace`/`LSHDDP_TRACE` switch.
+pub fn install_executor_metrics(reg: &'static Registry) -> bool {
+    let hist = reg.histogram("executor.chunk_run_ns");
+    let stolen = reg.counter("executor.chunks_stolen");
+    let local = reg.counter("executor.chunks_local");
+    rayon::set_chunk_observer(Box::new(move |dur_ns, was_stolen| {
+        hist.record(dur_ns);
+        if was_stolen {
+            stolen.inc(1);
+        } else {
+            local.inc(1);
+        }
+    }))
+}
+
+/// Copies the executor's always-on pool statistics (thread count, jobs,
+/// chunks run, steal counts, per-worker chunk totals) into gauges and
+/// counters of `reg` under the `pool.` prefix.
+pub fn snapshot_pool_stats(reg: &Registry) {
+    let s = rayon::pool_stats();
+    reg.gauge("pool.threads").set(s.threads as i64);
+    reg.gauge("pool.jobs_submitted")
+        .set(s.jobs_submitted as i64);
+    reg.gauge("pool.chunks_run").set(s.chunks_run as i64);
+    reg.gauge("pool.chunks_stolen").set(s.chunks_stolen as i64);
+    for (i, n) in s.per_worker_chunks.iter().enumerate() {
+        reg.gauge(&format!("pool.worker_{i}.chunks")).set(*n as i64);
+    }
+}

@@ -1,0 +1,185 @@
+//! Exporters: `chrome://tracing` timeline JSON, JSONL event logs, and a
+//! human-readable text report.
+//!
+//! The chrome format uses "X" (complete) events — one object per span
+//! carrying `ts` + `dur` in microseconds — which `chrome://tracing` and
+//! <https://ui.perfetto.dev> load directly; no begin/end pairing is
+//! needed. All JSON is emitted by hand (the workspace's vendored
+//! `serde_json` is serialize-only and this crate sits below it anyway).
+
+use crate::metrics::RegistrySnapshot;
+use crate::tracer::SpanEvent;
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as a JSON string body (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn span_object(out: &mut String, e: &SpanEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &e.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, e.cat);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{},\
+         \"args\":{{\"id\":{},\"parent\":{}}}}}",
+        e.start_ns / 1_000,
+        e.start_ns % 1_000,
+        e.dur_ns / 1_000,
+        e.dur_ns % 1_000,
+        e.tid,
+        e.id,
+        e.parent,
+    );
+}
+
+/// Renders events as a chrome-tracing `trace.json` document.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        span_object(&mut out, e);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders events as JSONL: one span object per line, append-friendly.
+pub fn jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128);
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"id\":{},\"parent\":{},\"tid\":{},\"cat\":\"",
+            e.seq, e.id, e.parent, e.tid
+        );
+        escape_into(&mut out, e.cat);
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, &e.name);
+        let _ = writeln!(
+            out,
+            "\",\"start_ns\":{},\"dur_ns\":{}}}",
+            e.start_ns, e.dur_ns
+        );
+    }
+    out
+}
+
+/// Writes `events` to `path`, picking the format by extension: `.jsonl`
+/// gets the line-oriented log, everything else the chrome timeline.
+pub fn write_trace(path: &str, events: &[SpanEvent]) -> std::io::Result<()> {
+    let body = if path.ends_with(".jsonl") {
+        jsonl(events)
+    } else {
+        chrome_trace(events)
+    };
+    std::fs::write(path, body)
+}
+
+/// Renders a registry snapshot as an aligned human-readable report.
+pub fn text_report(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (name, s) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}",
+                name, s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str) -> SpanEvent {
+        SpanEvent {
+            seq: 0,
+            id: 1,
+            parent: 0,
+            tid: 0,
+            cat: "job",
+            name: name.to_string(),
+            start_ns: 1_234_567,
+            dur_ns: 89_000,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_contains_complete_events() {
+        let t = chrome_trace(&[ev("alpha"), ev("beta")]);
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("\"ts\":1234.567"));
+        assert!(t.contains("\"dur\":89.000"));
+        assert!(t.contains("\"name\":\"alpha\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let t = chrome_trace(&[ev("a\"b\\c\nd")]);
+        assert!(t.contains(r#"a\"b\\c\nd"#));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let t = jsonl(&[ev("a"), ev("b")]);
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn text_report_lists_everything() {
+        let r = crate::metrics::Registry::new();
+        r.counter("hits").inc(3);
+        r.gauge("depth").set(-2);
+        r.histogram("lat_ns").record(100);
+        let report = text_report(&r.snapshot());
+        assert!(report.contains("hits"));
+        assert!(report.contains("depth"));
+        assert!(report.contains("lat_ns"));
+        assert!(text_report(&Default::default()).contains("no metrics"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The metrics registry: named counters, gauges, and log-linear-bucket
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s resolved
+//! once by name and then updated with plain atomics — the registry lock
+//! is never on the hot path. Histograms use HdrHistogram-style
+//! log-linear buckets: [`SUB_BUCKETS`] linear sub-buckets per power of
+//! two, giving a bounded relative quantile error of `1/SUB_BUCKETS`
+//! (6.25%) over the full `u64` range in ~1k fixed slots per histogram.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Linear sub-buckets per octave (must be a power of two).
+pub const SUB_BUCKETS: u64 = 16;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total bucket count: values `< SUB_BUCKETS` are exact, every later
+/// octave contributes `SUB_BUCKETS` slots up to `u64::MAX`.
+const N_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB_BUCKETS as usize;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.v.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index of `v`: identity below [`SUB_BUCKETS`], then
+/// `SUB_BUCKETS` linear slots per octave.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1)) as usize;
+    (octave << SUB_BITS) + sub
+}
+
+/// Smallest value mapping to bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        return idx as u64;
+    }
+    let octave = (idx >> SUB_BITS) as u32;
+    let sub = (idx as u64) & (SUB_BUCKETS - 1);
+    (SUB_BUCKETS + sub) << (octave - 1)
+}
+
+/// Largest value mapping to bucket `idx` (saturating at `u64::MAX`).
+fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= N_BUCKETS {
+        return u64::MAX;
+    }
+    bucket_low(idx + 1) - 1
+}
+
+/// A fixed-footprint log-linear histogram. `record` is three relaxed
+/// atomic RMWs; quantiles are reconstructed from bucket counts with
+/// relative error at most `1/SUB_BUCKETS`.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`0.0 < q <= 1.0`); 0 when empty. The bound over-estimates the
+    /// exact order statistic by at most `1/SUB_BUCKETS` relative.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_high(idx).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary (p50/p95/p99/max and friends).
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("summary", &self.summary())
+            .finish()
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observation (exact).
+    pub max: u64,
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Lookup takes the registry lock; updates through the returned handles
+/// do not. Instruments are created on first use and live for the
+/// registry's lifetime.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.histograms.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Snapshots every instrument, name-ordered.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry (executor metrics, CLI-level stats).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Every bucket's low..=high range is contiguous with its
+        // neighbors and maps back to itself.
+        let mut prev_high = None;
+        for idx in 0..256 {
+            let lo = bucket_low(idx);
+            let hi = bucket_high(idx);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            if let Some(p) = prev_high {
+                assert_eq!(
+                    lo,
+                    p + 1,
+                    "bucket {idx} must start after bucket {}",
+                    idx - 1
+                );
+            }
+            prev_high = Some(hi);
+        }
+        // Extremes stay in range.
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0 / SUB_BUCKETS as f64), 0);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS - 1);
+        assert_eq!(h.summary().max, SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_stream() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max, 10_000);
+        // Relative error bound: est in [exact, exact * (1 + 1/16)].
+        for (q, exact) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let est = h.quantile(q);
+            assert!(est >= exact, "q{q}: {est} < {exact}");
+            assert!(est <= exact + exact / 16 + 1, "q{q}: {est} too high");
+        }
+    }
+
+    #[test]
+    fn registry_handles_share_state() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc(3);
+        b.inc(4);
+        assert_eq!(r.counter("x").get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+
+        let g = r.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+
+        r.histogram("lat").record(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["x"], 7);
+        assert_eq!(snap.gauges["depth"], 3);
+        assert_eq!(snap.histograms["lat"].count, 1);
+        assert_eq!(snap.histograms["lat"].max, 42);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s, HistogramSummary::default());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the log-linear histogram: quantiles reconstructed
+//! from bucket counts must bracket the exact sorted percentiles within
+//! the advertised `1/SUB_BUCKETS` relative error, for arbitrary value
+//! streams.
+
+use obsv::metrics::SUB_BUCKETS;
+use obsv::Histogram;
+use proptest::prelude::*;
+
+/// Exact order statistic matching the histogram's rank convention:
+/// smallest element whose rank reaches `ceil(q * n)`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check_quantiles(values: Vec<u64>) {
+    let h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values;
+    sorted.sort_unstable();
+    for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        assert!(
+            est >= exact,
+            "q={q}: estimate {est} below exact {exact} (n={})",
+            sorted.len()
+        );
+        // Bucket width at v is at most v / SUB_BUCKETS, so the bucket's
+        // upper bound overshoots by at most that (+1 for the -1 edge).
+        let bound = exact.saturating_add(exact / SUB_BUCKETS).saturating_add(1);
+        assert!(
+            est <= bound,
+            "q={q}: estimate {est} above bound {bound} for exact {exact}"
+        );
+    }
+    assert_eq!(h.count(), sorted.len() as u64);
+    assert_eq!(h.summary().max, *sorted.last().unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantiles_bracket_exact_percentiles_small(
+        values in proptest::collection::vec(0u64..10_000, 1..400)
+    ) {
+        check_quantiles(values);
+    }
+
+    #[test]
+    fn quantiles_bracket_exact_percentiles_full_range(
+        values in proptest::collection::vec(any::<u64>(), 1..200)
+    ) {
+        check_quantiles(values);
+    }
+
+    #[test]
+    fn sum_and_count_are_exact(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, values.len() as u64);
+        assert_eq!(s.sum, values.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let h = std::sync::Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 10_000 + i);
+                }
+            });
+        }
+    });
+    let sum: u64 = (0..80_000u64).sum();
+    let s = h.summary();
+    assert_eq!(s.count, 80_000);
+    assert_eq!(s.sum, sum);
+    assert_eq!(s.max, 79_999);
+}

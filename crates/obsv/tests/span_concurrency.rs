@@ -1,0 +1,131 @@
+//! Span nesting and ordering under concurrent threads.
+//!
+//! This test toggles the process-global capture flag, so it lives in its
+//! own integration-test binary (one process) rather than alongside the
+//! crate's unit tests.
+
+use std::collections::HashMap;
+
+use obsv::{
+    clear_events, current_span, disable_capture, drain_events, enable_capture, with_parent,
+    SpanCtx, SpanEvent, SpanGuard,
+};
+
+fn by_name(events: &[SpanEvent]) -> HashMap<&str, &SpanEvent> {
+    events.iter().map(|e| (e.name.as_str(), e)).collect()
+}
+
+/// `child` must start and end inside `parent`'s interval and link to it.
+fn assert_nested(child: &SpanEvent, parent: &SpanEvent) {
+    assert_eq!(
+        child.parent, parent.id,
+        "{} must be a child of {}",
+        child.name, parent.name
+    );
+    assert!(
+        child.start_ns >= parent.start_ns,
+        "{} starts before {}",
+        child.name,
+        parent.name
+    );
+    assert!(
+        child.start_ns + child.dur_ns <= parent.start_ns + parent.dur_ns,
+        "{} ends after {}",
+        child.name,
+        parent.name
+    );
+}
+
+#[test]
+fn concurrent_spans_nest_and_order() {
+    enable_capture();
+    clear_events();
+
+    // A root span on the main thread with two levels of nesting, plus
+    // eight worker threads whose spans are re-parented under a phase via
+    // the current_span / with_parent handoff.
+    const WORKERS: usize = 8;
+    const SPANS_PER_WORKER: usize = 50;
+    {
+        let root = SpanGuard::enter("pipeline", || "root".into());
+        let phase = SpanGuard::enter("phase", || "fanout".into());
+        assert_ne!(phase.ctx(), SpanCtx::NONE);
+        assert_eq!(current_span(), phase.ctx());
+
+        let ctx = current_span();
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                s.spawn(move || {
+                    with_parent(ctx, || {
+                        for i in 0..SPANS_PER_WORKER {
+                            let t = SpanGuard::enter("task", || format!("task-{w}-{i}"));
+                            let _inner = SpanGuard::enter("task", || format!("inner-{w}-{i}"));
+                            drop(_inner);
+                            drop(t);
+                        }
+                    });
+                    // The worker's stack must be fully restored.
+                    assert_eq!(current_span(), SpanCtx::NONE);
+                });
+            }
+        });
+
+        drop(phase);
+        // Popping the phase restores the root as current.
+        assert_eq!(current_span(), root.ctx());
+        drop(root);
+        assert_eq!(current_span(), SpanCtx::NONE);
+    }
+
+    disable_capture();
+    let events = drain_events();
+    let expected = 2 + WORKERS * SPANS_PER_WORKER * 2;
+    assert_eq!(events.len(), expected, "every span closed exactly once");
+
+    // Ids are unique; seqs are unique; events come back sorted by start.
+    let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), expected);
+    let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), expected);
+    assert!(
+        events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns),
+        "drain_events must sort by start time"
+    );
+
+    let named = by_name(&events);
+    let root = named["root"];
+    let phase = named["fanout"];
+    assert_eq!(root.parent, 0, "root has no parent");
+    assert_nested(phase, root);
+
+    // Every task parents on the phase (cross-thread), every inner span on
+    // its own task (same-thread nesting), with interval containment.
+    let by_id: HashMap<u64, &SpanEvent> = events.iter().map(|e| (e.id, e)).collect();
+    let mut tasks = 0;
+    let mut inners = 0;
+    for ev in &events {
+        if let Some(rest) = ev.name.strip_prefix("task-") {
+            tasks += 1;
+            assert_nested(ev, phase);
+            assert_ne!(ev.tid, root.tid, "task-{rest} ran on a worker thread");
+        } else if ev.name.starts_with("inner-") {
+            inners += 1;
+            let parent = by_id[&ev.parent];
+            assert!(parent.name.starts_with("task-"));
+            assert_nested(ev, parent);
+            assert_eq!(
+                ev.name["inner-".len()..],
+                parent.name["task-".len()..],
+                "inner span must nest under its own task"
+            );
+            // Same-thread nesting closes child-before-parent.
+            assert!(ev.seq < parent.seq, "child closes before its parent");
+        }
+    }
+    assert_eq!(tasks, WORKERS * SPANS_PER_WORKER);
+    assert_eq!(inners, WORKERS * SPANS_PER_WORKER);
+}

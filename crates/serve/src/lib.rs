@@ -19,8 +19,9 @@
 //!   request queue for backpressure, worker threads that drain the queue
 //!   in micro-batches to feed the batched distance kernels in
 //!   [`dp_core`], a sharded LRU cache over quantized query coordinates,
-//!   and service metrics ([`ServiceStats`]) kept in
-//!   [`mapreduce::Counters`] and served through a `stats` query.
+//!   and service metrics ([`ServiceStats`]) kept in an [`obsv::Registry`]
+//!   (latency/queue-wait/batch-size histograms plus counters) and served
+//!   through a `stats` query.
 //!
 //! ```
 //! use ddp::prelude::*;

@@ -18,14 +18,16 @@
 //! * **Caching** — answers are memoized under the query's coordinates
 //!   quantized to [`ServerConfig::cache_quantum`], sharded to keep lock
 //!   contention off the hot path. Capacity 0 disables the cache.
-//! * **Metrics** — every observable rides in a [`mapreduce::Counters`]
-//!   (the same primitive the MapReduce engine uses for its job metrics):
-//!   query/hit/miss/fallback totals plus bucketed batch-size and latency
-//!   histograms, summarized on demand as a [`ServiceStats`] — either via
-//!   [`Server::stats`] or in-band through a [`Client::stats`] query.
+//! * **Metrics** — every observable rides in an [`obsv::Registry`]:
+//!   query/hit/miss/fallback counters plus log-linear histograms of
+//!   end-to-end latency, queue wait, and micro-batch size, with handles
+//!   resolved once at startup so the hot path touches only atomics.
+//!   Summarized on demand as a [`ServiceStats`] — via [`Server::stats`],
+//!   in-band through a [`Client::stats`] query, or as a raw registry
+//!   snapshot from [`Server::registry`] (the `lshddp stats` view).
 
 use crate::engine::{Assignment, QueryEngine};
-use mapreduce::Counters;
+use obsv::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -83,22 +85,49 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
-/// open-ended.
-const LATENCY_BOUNDS_US: [u64; 6] = [50, 200, 1_000, 5_000, 20_000, 100_000];
-/// Upper bounds of the micro-batch-size histogram buckets.
-const BATCH_BOUNDS: [u64; 5] = [1, 2, 4, 8, 16];
-
-fn bucket_key(prefix: &str, bounds: &[u64], value: u64) -> String {
-    for &b in bounds {
-        if value <= b {
-            return format!("{prefix}_le_{b}");
-        }
-    }
-    format!("{prefix}_gt_{}", bounds[bounds.len() - 1])
+/// The service's instruments: one registry plus handles resolved once at
+/// startup, so recording on the serve path is pure atomics (no name
+/// lookups, no registry lock).
+struct Metrics {
+    registry: Registry,
+    queries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    fallbacks: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_points: Arc<Counter>,
+    bad_dimension: Arc<Counter>,
+    stats_queries: Arc<Counter>,
+    /// End-to-end latency (enqueue → reply), nanoseconds.
+    latency_ns: Arc<Histogram>,
+    /// Queue wait (enqueue → worker pickup), nanoseconds.
+    queue_wait_ns: Arc<Histogram>,
+    /// Assign requests per worker micro-batch sweep.
+    batch_size: Arc<Histogram>,
 }
 
-/// A point-in-time summary of the service counters.
+impl Metrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Metrics {
+            queries: registry.counter("queries"),
+            cache_hits: registry.counter("cache_hits"),
+            cache_misses: registry.counter("cache_misses"),
+            fallbacks: registry.counter("fallbacks"),
+            batches: registry.counter("batches"),
+            batched_points: registry.counter("batched_points"),
+            bad_dimension: registry.counter("bad_dimension"),
+            stats_queries: registry.counter("stats_queries"),
+            latency_ns: registry.histogram("latency_ns"),
+            queue_wait_ns: registry.histogram("queue_wait_ns"),
+            batch_size: registry.histogram("batch_size"),
+            registry,
+        }
+    }
+}
+
+/// A point-in-time summary of the service metrics, derived from the
+/// registry's counters and histograms.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
     /// Assign queries answered (cache hits included).
@@ -109,16 +138,22 @@ pub struct ServiceStats {
     pub cache_hit_rate: f64,
     /// Mean micro-batch size (assign requests per worker sweep).
     pub mean_batch_size: f64,
-    /// Median end-to-end latency (enqueue to reply), upper bucket bound
-    /// in µs; `inf` if the median fell in the open-ended bucket.
+    /// Median end-to-end latency (enqueue to reply) in µs, from the
+    /// log-linear histogram (≤ 6.25% relative error).
     pub p50_latency_us: f64,
+    /// 95th-percentile end-to-end latency, same convention.
+    pub p95_latency_us: f64,
     /// 99th-percentile end-to-end latency, same convention.
     pub p99_latency_us: f64,
+    /// Median queue wait (enqueue to worker pickup) in µs.
+    pub p50_queue_wait_us: f64,
+    /// 99th-percentile queue wait in µs.
+    pub p99_queue_wait_us: f64,
     /// Queries answered by the exact nearest-center fallback.
     pub fallbacks: u64,
     /// Time since the server started.
     pub uptime: Duration,
-    /// The raw counter snapshot (histogram buckets included).
+    /// The raw counter snapshot.
     pub counters: BTreeMap<String, u64>,
 }
 
@@ -132,10 +167,15 @@ impl std::fmt::Display for ServiceStats {
             self.cache_hit_rate * 100.0,
             self.fallbacks
         )?;
+        writeln!(
+            f,
+            "mean batch {:.2}  latency p50 {:.0} µs  p95 {:.0} µs  p99 {:.0} µs",
+            self.mean_batch_size, self.p50_latency_us, self.p95_latency_us, self.p99_latency_us
+        )?;
         write!(
             f,
-            "mean batch {:.2}  p50 latency <= {:.0} µs  p99 latency <= {:.0} µs  uptime {:.2?}",
-            self.mean_batch_size, self.p50_latency_us, self.p99_latency_us, self.uptime
+            "queue wait p50 {:.0} µs  p99 {:.0} µs  uptime {:.2?}",
+            self.p50_queue_wait_us, self.p99_queue_wait_us, self.uptime
         )
     }
 }
@@ -203,7 +243,7 @@ impl LruShard {
 
 struct Shared {
     engine: QueryEngine,
-    counters: Counters,
+    metrics: Metrics,
     shards: Vec<Mutex<LruShard>>,
     quantum: f64,
     started: Instant,
@@ -242,32 +282,12 @@ impl Shared {
     }
 
     fn stats(&self) -> ServiceStats {
-        let counters = self.counters.snapshot();
-        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
-        let queries = get("queries");
-        let hits = get("cache_hits");
-        let batches = get("batches");
+        let m = &self.metrics;
+        let queries = m.queries.get();
         let uptime = self.started.elapsed();
-
-        let percentile = |q: f64| -> f64 {
-            let total: u64 = LATENCY_BOUNDS_US
-                .iter()
-                .map(|&b| get(&format!("latency_us_le_{b}")))
-                .sum::<u64>()
-                + get(&format!("latency_us_gt_{}", LATENCY_BOUNDS_US[5]));
-            if total == 0 {
-                return 0.0;
-            }
-            let target = (q * total as f64).ceil() as u64;
-            let mut cum = 0;
-            for &b in &LATENCY_BOUNDS_US {
-                cum += get(&format!("latency_us_le_{b}"));
-                if cum >= target {
-                    return b as f64;
-                }
-            }
-            f64::INFINITY
-        };
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let latency = m.latency_ns.summary();
+        let wait = m.queue_wait_ns.summary();
 
         ServiceStats {
             queries,
@@ -275,18 +295,17 @@ impl Shared {
             cache_hit_rate: if queries == 0 {
                 0.0
             } else {
-                hits as f64 / queries as f64
+                m.cache_hits.get() as f64 / queries as f64
             },
-            mean_batch_size: if batches == 0 {
-                0.0
-            } else {
-                get("batched_points") as f64 / batches as f64
-            },
-            p50_latency_us: percentile(0.50),
-            p99_latency_us: percentile(0.99),
-            fallbacks: get("fallbacks"),
+            mean_batch_size: m.batch_size.summary().mean,
+            p50_latency_us: us(latency.p50),
+            p95_latency_us: us(latency.p95),
+            p99_latency_us: us(latency.p99),
+            p50_queue_wait_us: us(wait.p50),
+            p99_queue_wait_us: us(wait.p99),
+            fallbacks: m.fallbacks.get(),
             uptime,
-            counters,
+            counters: m.registry.snapshot().counters,
         }
     }
 }
@@ -365,7 +384,7 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             engine,
-            counters: Counters::new(),
+            metrics: Metrics::new(),
             shards,
             quantum: config.cache_quantum.max(f64::MIN_POSITIVE),
             started: Instant::now(),
@@ -401,6 +420,12 @@ impl Server {
     /// Out-of-band metrics snapshot (no queue round trip).
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats()
+    }
+
+    /// The service's metrics registry, for full-fidelity views (e.g. the
+    /// `lshddp stats` text report) beyond the [`ServiceStats`] digest.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.metrics.registry
     }
 
     /// Drains the queue, stops the workers, and joins them. Outstanding
@@ -460,8 +485,16 @@ fn worker_loop(rx: &Mutex<Receiver<Request>>, shared: &Shared, max_batch: usize)
 /// channel, cache key).
 type PendingAssign = (Vec<f64>, Instant, SyncSender<Assignment>, Vec<i64>);
 
+/// Clamp a duration to a non-zero nanosecond count: sub-nanosecond reads
+/// still count as one observation above zero, so quantiles of a fast
+/// in-process path never collapse to 0.
+fn nonzero_ns(d: Duration) -> u64 {
+    (d.as_nanos() as u64).max(1)
+}
+
 fn serve_batch(shared: &Shared, batch: Vec<Request>) {
-    let c = &shared.counters;
+    let m = &shared.metrics;
+    let picked_up = Instant::now();
     let mut assigns: Vec<PendingAssign> = Vec::new();
     for req in batch {
         match req {
@@ -470,11 +503,13 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
                 enqueued,
                 reply,
             } => {
+                m.queue_wait_ns
+                    .record(nonzero_ns(picked_up.duration_since(enqueued)));
                 let key = shared.cache_key(&point);
                 assigns.push((point, enqueued, reply, key));
             }
             Request::Stats { reply } => {
-                c.inc("stats_queries", 1);
+                m.stats_queries.inc(1);
                 let _ = reply.send(shared.stats());
             }
             Request::Shutdown => unreachable!("sentinels never reach serve_batch"),
@@ -484,13 +519,10 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
         return;
     }
 
-    c.inc("queries", assigns.len() as u64);
-    c.inc("batches", 1);
-    c.inc("batched_points", assigns.len() as u64);
-    c.inc(
-        &bucket_key("batch_size", &BATCH_BOUNDS, assigns.len() as u64),
-        1,
-    );
+    m.queries.inc(assigns.len() as u64);
+    m.batches.inc(1);
+    m.batched_points.inc(assigns.len() as u64);
+    m.batch_size.record(assigns.len() as u64);
 
     // Cache pass: answer hits immediately, gather misses into one flat
     // block for the batched engine call.
@@ -503,14 +535,14 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
             // Dimension mismatches get the nearest thing to an error the
             // reply channel can carry: drop the reply, the client sees
             // `Closed`. Counted so operators can spot misuse.
-            c.inc("bad_dimension", 1);
+            m.bad_dimension.inc(1);
             continue;
         }
         if let Some(hit) = shared.cache_get(key) {
-            c.inc("cache_hits", 1);
+            m.cache_hits.inc(1);
             answers[i] = Some(hit);
         } else {
-            c.inc("cache_misses", 1);
+            m.cache_misses.inc(1);
             misses.push(i);
             block.extend_from_slice(point);
         }
@@ -520,7 +552,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
         let fresh = shared.engine.assign_batch(&block);
         for (&i, answer) in misses.iter().zip(fresh) {
             if answer.fallback {
-                c.inc("fallbacks", 1);
+                m.fallbacks.inc(1);
             }
             shared.cache_put(assigns[i].3.clone(), answer.clone());
             answers[i] = Some(answer);
@@ -529,8 +561,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
 
     for ((_, enqueued, reply, _), answer) in assigns.iter().zip(answers) {
         if let Some(answer) = answer {
-            let us = enqueued.elapsed().as_micros() as u64;
-            c.inc(&bucket_key("latency_us", &LATENCY_BOUNDS_US, us), 1);
+            m.latency_ns.record(nonzero_ns(enqueued.elapsed()));
             let _ = reply.send(answer);
         }
     }

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""CI tracing-overhead gate.
+
+Reads the `tracing_overhead` scenario out of a BENCH_perf.json produced
+by `bench_summary` and fails if enabling capture cost more than the
+budget (default 5%). The capture-on run upper-bounds the cost of the
+disabled instrumentation, so this also gates the tracing-off overhead.
+
+Usage: check_overhead.py <BENCH_perf.json> [max_frac]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [max_frac]", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    budget = float(sys.argv[2]) if len(sys.argv) == 3 else 0.05
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    scenario = doc.get("tracing_overhead")
+    if not isinstance(scenario, dict):
+        print(f"{path}: no tracing_overhead scenario (schema {doc.get('schema')})",
+              file=sys.stderr)
+        return 1
+    frac = scenario["overhead_frac"]
+    off, on = scenario["tracing_off_s"], scenario["tracing_on_s"]
+    if frac > budget:
+        print(f"{path}: tracing overhead {frac:+.1%} exceeds {budget:.0%} "
+              f"(off {off:.3f}s, on {on:.3f}s)", file=sys.stderr)
+        return 1
+    print(f"{path}: tracing overhead {frac:+.1%} within {budget:.0%} budget "
+          f"(off {off:.3f}s, on {on:.3f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

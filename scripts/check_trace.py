@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI trace smoke check.
+
+Validates a chrome-tracing document written by `lshddp --trace`:
+
+* the file parses as JSON with a `traceEvents` array of "X" events;
+* all four LSH-DDP MapReduce job spans are present;
+* the trace reaches task granularity (at least one `task` span).
+
+Usage: check_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+EXPECTED_JOBS = [
+    "lsh/rho-local",
+    "lsh/rho-aggregate",
+    "lsh/delta-local",
+    "lsh/delta-aggregate",
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <trace.json>", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"{path}: no traceEvents", file=sys.stderr)
+        return 1
+
+    for e in events:
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                print(f"{path}: event missing {key!r}: {e}", file=sys.stderr)
+                return 1
+        if e["ph"] != "X":
+            print(f"{path}: non-complete event {e}", file=sys.stderr)
+            return 1
+
+    names = {(e["cat"], e["name"]) for e in events}
+    missing = [j for j in EXPECTED_JOBS if ("job", j) not in names]
+    if missing:
+        print(f"{path}: missing job spans {missing}", file=sys.stderr)
+        return 1
+    tasks = sum(1 for e in events if e["cat"] == "task")
+    if tasks == 0:
+        print(f"{path}: no task spans — trace stops above task level", file=sys.stderr)
+        return 1
+
+    print(f"{path}: OK — {len(events)} spans, {tasks} task attempts, all 4 jobs present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

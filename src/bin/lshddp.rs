@@ -65,12 +65,34 @@ USAGE:
   lshddp serve --model <model> --input <file> [--out <file>] [--stats]
       [--exactness lsh|hybrid|exact] [--threads n] [--batch n]
       [--cache n] [--queue n] [--clients n]
-      run the query stream through the concurrent micro-batching server";
+      run the query stream through the concurrent micro-batching server
+  lshddp stats --model <model> --input <file> [serve flags]
+      drive the serve stream, then print the full metrics registry —
+      counters, pool gauges, latency/queue-wait/batch-size histograms
+
+GLOBAL:
+  --trace <file>   capture a span timeline of the run: every pipeline,
+      job, phase, and task attempt. Writes chrome://tracing JSON (load
+      in ui.perfetto.dev), or a JSONL event log if <file> ends in
+      .jsonl. LSHDDP_TRACE=<file> does the same without the flag.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
     let opts = Opts::parse(rest)?;
-    match cmd.as_str() {
+
+    // `--trace <file>` (or LSHDDP_TRACE=<file>) turns span capture on for
+    // the whole run and dumps the timeline on the way out. Without it,
+    // tracing costs one atomic load per span.
+    let trace = opts
+        .trace
+        .clone()
+        .or_else(|| std::env::var("LSHDDP_TRACE").ok());
+    if trace.is_some() {
+        obsv::enable_capture();
+        obsv::install_executor_metrics(obsv::global());
+    }
+
+    let outcome = match cmd.as_str() {
         "generate" => generate(&opts),
         "dc" => estimate_dc(&opts),
         "cluster" => cluster(&opts),
@@ -78,13 +100,24 @@ fn run(args: &[String]) -> Result<(), String> {
         "tune" => tune(&opts),
         "fit" => fit(&opts),
         "query" => query(&opts),
-        "serve" => serve_stream(&opts),
+        "serve" => serve_stream(&opts, false),
+        "stats" => serve_stream(&opts, true),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
+    };
+
+    if let Some(path) = &trace {
+        obsv::snapshot_pool_stats(obsv::global());
+        let events = obsv::drain_events();
+        match obsv::export::write_trace(path, &events) {
+            Ok(()) => eprintln!("trace: {} spans -> {path}", events.len()),
+            Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
+        }
     }
+    outcome
 }
 
 /// Flat option bag for all subcommands.
@@ -108,6 +141,7 @@ struct Opts {
     m: usize,
     pi: usize,
     model: Option<String>,
+    trace: Option<String>,
     exactness: String,
     threads: usize,
     batch: usize,
@@ -138,6 +172,7 @@ impl Opts {
             m: 10,
             pi: 3,
             model: None,
+            trace: None,
             exactness: "hybrid".into(),
             threads: 0,
             batch: 32,
@@ -170,6 +205,7 @@ impl Opts {
                 "--m" => o.m = parse_num(value("--m")?, "--m")?,
                 "--pi" => o.pi = parse_num(value("--pi")?, "--pi")?,
                 "--model" => o.model = Some(value("--model")?.clone()),
+                "--trace" => o.trace = Some(value("--trace")?.clone()),
                 "--exactness" => o.exactness = value("--exactness")?.clone(),
                 "--threads" => o.threads = parse_num(value("--threads")?, "--threads")?,
                 "--batch" => o.batch = parse_num(value("--batch")?, "--batch")?,
@@ -472,7 +508,11 @@ fn query(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn serve_stream(o: &Opts) -> Result<(), String> {
+/// Drives a query stream through the concurrent server. With
+/// `full_report` (the `stats` subcommand), prints the service's whole
+/// metrics registry — counters, executor pool gauges, and the
+/// latency/queue-wait/batch-size histograms — instead of the digest.
+fn serve_stream(o: &Opts, full_report: bool) -> Result<(), String> {
     let engine = load_engine(o)?;
     let dim = engine.model().dim();
     let queries = read_queries(o.input.as_deref(), dim)?;
@@ -519,12 +559,21 @@ fn serve_stream(o: &Opts) -> Result<(), String> {
         write_assignments(Some(out), &answers)?;
     }
     let stats = server.client().stats().map_err(|e| e.to_string())?;
+    let report = if full_report {
+        obsv::snapshot_pool_stats(server.registry());
+        Some(obsv::export::text_report(&server.registry().snapshot()))
+    } else {
+        None
+    };
     server.shutdown();
     println!(
         "serve: {} points through {clients} client(s)",
         answers.len()
     );
-    if o.stats {
+    if let Some(report) = report {
+        println!("{stats}");
+        println!("{report}");
+    } else if o.stats {
         println!("{stats}");
     } else {
         println!(

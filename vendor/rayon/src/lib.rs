@@ -36,12 +36,83 @@
 //! not-yet-consumed items of that chunk (it cannot tell which were moved
 //! out) — a bounded leak on an already-panicking path.
 
+use std::cell::Cell;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Pool statistics and the chunk observer
+// ---------------------------------------------------------------------------
+
+/// Always-on scheduler counters (relaxed atomics bumped per job/chunk —
+/// a few dozen per parallel call, far off any hot path).
+static JOBS_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+static CHUNKS_RUN: AtomicU64 = AtomicU64::new(0);
+static CHUNKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+/// Chunks run by each pool worker (index = worker id; the submitting
+/// thread is not listed — its share is `chunks_run - sum(per_worker)`).
+static WORKER_CHUNKS: OnceLock<Vec<AtomicU64>> = OnceLock::new();
+
+thread_local! {
+    /// This thread's pool-worker index, or `usize::MAX` for submitters.
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Point-in-time scheduler statistics.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Pool parallelism (submitting thread included).
+    pub threads: usize,
+    /// Jobs submitted through [`run_job`] since process start.
+    pub jobs_submitted: u64,
+    /// Chunks executed (by workers and submitters).
+    pub chunks_run: u64,
+    /// Chunks claimed by parked pool workers rather than the submitter —
+    /// the work actually *stolen*.
+    pub chunks_stolen: u64,
+    /// Chunks executed by each pool worker, by worker index.
+    pub per_worker_chunks: Vec<u64>,
+}
+
+/// Snapshots the scheduler counters (initializing the pool if needed).
+pub fn pool_stats() -> PoolStats {
+    let threads = pool().threads;
+    PoolStats {
+        threads,
+        jobs_submitted: JOBS_SUBMITTED.load(Ordering::Relaxed),
+        chunks_run: CHUNKS_RUN.load(Ordering::Relaxed),
+        chunks_stolen: CHUNKS_STOLEN.load(Ordering::Relaxed),
+        per_worker_chunks: WORKER_CHUNKS
+            .get()
+            .map(|v| v.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default(),
+    }
+}
+
+/// Observer called after every executed chunk with `(run_nanos,
+/// was_stolen)`.
+type ChunkObserver = Box<dyn Fn(u64, bool) + Send + Sync>;
+
+static OBSERVER: OnceLock<ChunkObserver> = OnceLock::new();
+/// Fast-path flag: [`JobCore::run_one`] reads the clock only when an
+/// observer is installed, so untraced runs never pay per-chunk timing.
+static OBSERVER_SET: AtomicBool = AtomicBool::new(false);
+
+/// Installs the process-wide chunk observer (at most once). The observer
+/// runs on the executing thread after each chunk, with the chunk's run
+/// time in nanoseconds and whether it was stolen by a pool worker.
+/// Returns `false` if an observer was already installed.
+pub fn set_chunk_observer(f: Box<dyn Fn(u64, bool) + Send + Sync>) -> bool {
+    let installed = OBSERVER.set(f).is_ok();
+    if installed {
+        OBSERVER_SET.store(true, Ordering::Release);
+    }
+    installed
+}
 
 // ---------------------------------------------------------------------------
 // The persistent pool
@@ -91,10 +162,14 @@ fn pool() -> &'static Pool {
         work_available: Condvar::new(),
     });
     WORKERS.get_or_init(|| {
-        for i in 0..p.threads.saturating_sub(1) {
+        let n_workers = p.threads.saturating_sub(1);
+        WORKER_CHUNKS
+            .set((0..n_workers).map(|_| AtomicU64::new(0)).collect())
+            .ok();
+        for i in 0..n_workers {
             std::thread::Builder::new()
                 .name(format!("lshddp-worker-{i}"))
-                .spawn(move || worker_loop(p))
+                .spawn(move || worker_loop(p, i))
                 .expect("failed to spawn pool worker");
         }
     });
@@ -129,17 +204,36 @@ unsafe impl Sync for JobCore {}
 
 impl JobCore {
     /// Claims and runs one chunk; returns `false` when no chunks remain.
-    fn run_one(&self) -> bool {
+    /// `stolen` says whether the claimer is a parked pool worker (as
+    /// opposed to the submitting thread draining its own job).
+    fn run_one(&self, stolen: bool) -> bool {
         let i = self.claimed.fetch_add(1, Ordering::AcqRel);
         if i >= self.total {
             return false;
         }
+        CHUNKS_RUN.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            CHUNKS_STOLEN.fetch_add(1, Ordering::Relaxed);
+            let id = WORKER_ID.with(Cell::get);
+            if let Some(counts) = WORKER_CHUNKS.get() {
+                if let Some(c) = counts.get(id) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         // Safety: see the struct docs — a successful claim implies the
         // submitter is still inside `run_job`.
         let run = unsafe { &*self.run };
+        // Per-chunk timing only when an observer is watching; untraced
+        // runs never touch the clock here.
+        let timed = OBSERVER_SET.load(Ordering::Acquire);
+        let start = timed.then(std::time::Instant::now);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
             let mut slot = self.panic.lock().unwrap();
             slot.get_or_insert(payload);
+        }
+        if let (Some(start), Some(obs)) = (start, OBSERVER.get()) {
+            obs(start.elapsed().as_nanos() as u64, stolen);
         }
         let mut completed = self.completed.lock().unwrap();
         *completed += 1;
@@ -154,7 +248,8 @@ impl JobCore {
     }
 }
 
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(pool: &'static Pool, worker_id: usize) {
+    WORKER_ID.with(|w| w.set(worker_id));
     loop {
         let job = {
             let mut q = pool.queue.lock().unwrap();
@@ -167,7 +262,7 @@ fn worker_loop(pool: &'static Pool) {
             }
         };
         // Steal chunks until the job is drained, then look for the next.
-        while job.run_one() {}
+        while job.run_one(true) {}
     }
 }
 
@@ -180,7 +275,9 @@ fn run_job(total: usize, run: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let p = pool();
+    JOBS_SUBMITTED.fetch_add(1, Ordering::Relaxed);
     if p.threads <= 1 || total == 1 {
+        CHUNKS_RUN.fetch_add(total as u64, Ordering::Relaxed);
         for i in 0..total {
             run(i);
         }
@@ -203,7 +300,7 @@ fn run_job(total: usize, run: &(dyn Fn(usize) + Sync)) {
         q.push(job.clone());
     }
     p.work_available.notify_all();
-    while job.run_one() {}
+    while job.run_one(false) {}
     let mut completed = job.completed.lock().unwrap();
     while *completed < total {
         completed = job.done.wait(completed).unwrap();
@@ -847,6 +944,22 @@ mod tests {
         let out: Vec<u32> = v.into_par_iter().map(|d| d.0 * 2).collect();
         assert_eq!(out.len(), 100);
         assert_eq!(DROPS.load(Ordering::Relaxed), 100, "each item dropped once");
+    }
+
+    #[test]
+    fn pool_stats_count_jobs_and_chunks() {
+        let before = super::pool_stats();
+        let v: Vec<u64> = (0..10_000).collect();
+        let _: u64 = v.par_iter().map(|&x| x).sum();
+        let after = super::pool_stats();
+        assert_eq!(after.threads, super::current_num_threads());
+        assert!(after.jobs_submitted > before.jobs_submitted);
+        assert!(after.chunks_run > before.chunks_run);
+        assert!(after.chunks_stolen <= after.chunks_run);
+        assert_eq!(
+            after.per_worker_chunks.len(),
+            after.threads.saturating_sub(1)
+        );
     }
 
     #[test]

@@ -519,6 +519,22 @@ pub mod __private {
             None => Err(E::custom(format!("missing field `{name}`"))),
         }
     }
+
+    /// `#[serde(with = "...", default)]` field: applies the module's
+    /// deserialize, with missing falling back to `Default`.
+    pub fn field_with_default<'de, T: Default, E: de::Error, F>(
+        entries: &mut Vec<(String, Value)>,
+        name: &'static str,
+        f: F,
+    ) -> Result<T, E>
+    where
+        F: FnOnce(super::ValueDeserializer<E>) -> Result<T, E>,
+    {
+        match take_field(entries, name) {
+            Some(v) => f(super::ValueDeserializer::new(v)),
+            None => Ok(T::default()),
+        }
+    }
 }
 
 #[cfg(test)]

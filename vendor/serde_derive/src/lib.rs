@@ -278,8 +278,12 @@ fn ser_named_pushes(fields: &[Field], access: &dyn Fn(&str) -> String) -> String
 fn de_field_init(f: &Field) -> String {
     let n = &f.name;
     match (&f.attrs.with, f.attrs.default) {
-        (Some(w), _) => format!(
+        (Some(w), false) => format!(
             "{n}: ::serde::__private::field_with::<_, __D::Error, _>(&mut __m, \"{n}\", \
+             |__vd| {w}::deserialize(__vd))?,\n"
+        ),
+        (Some(w), true) => format!(
+            "{n}: ::serde::__private::field_with_default::<_, __D::Error, _>(&mut __m, \"{n}\", \
              |__vd| {w}::deserialize(__vd))?,\n"
         ),
         (None, true) => {
