@@ -59,6 +59,20 @@ struct OverheadBench {
 }
 
 #[derive(Serialize)]
+struct ElisionBench {
+    description: &'static str,
+    elision_on_s: f64,
+    elision_off_s: f64,
+    shuffle_bytes_on: u64,
+    shuffle_bytes_off: u64,
+    shuffle_bytes_saved: u64,
+    /// Fraction of the no-elision shuffle volume that elision avoided.
+    saved_frac: f64,
+    /// Bit-identical `(rho, delta, upslope)` between the two modes.
+    outputs_match: bool,
+}
+
+#[derive(Serialize)]
 struct Summary {
     schema: u32,
     mode: &'static str,
@@ -68,6 +82,7 @@ struct Summary {
     engine_shuffle_job: WallBench,
     lsh_ddp_pipeline: WallBench,
     kernel_pair_d2: KernelBench,
+    plan_elision: ElisionBench,
     tracing_overhead: OverheadBench,
 }
 
@@ -167,12 +182,17 @@ fn blob_dataset(n_per_blob: usize) -> Dataset {
 }
 
 fn blob_lsh() -> LshDdp {
+    blob_lsh_with(false)
+}
+
+fn blob_lsh_with(disable_elision: bool) -> LshDdp {
     let base = LshDdp::with_accuracy(0.99, 10, 3, BLOB_DC, 42).expect("valid params");
     LshDdp::new(ddp::LshDdpConfig {
         pipeline: PipelineConfig {
             map_tasks: 8,
             reduce_tasks: 8,
             fault: None,
+            disable_elision,
         },
         ..base.config().clone()
     })
@@ -185,6 +205,38 @@ fn lsh_ddp_pipeline(n_per_blob: usize) -> WallBench {
     WallBench {
         description: "four-job LSH-DDP pipeline, 3 blobs, 8 map/reduce tasks",
         wall_s: wall,
+    }
+}
+
+/// The LSH-DDP pipeline with co-partitioned shuffle elision on (the
+/// default: the delta-local stage reuses the rho-local stage's shuffled
+/// partitions) vs forced off, with bit-identity of the outputs checked.
+fn plan_elision(n_per_blob: usize) -> ElisionBench {
+    let ds = blob_dataset(n_per_blob);
+    let on = blob_lsh_with(false);
+    let off = blob_lsh_with(true);
+    let elision_on_s = time_calls(3, || on.run(&ds, BLOB_DC));
+    let elision_off_s = time_calls(3, || off.run(&ds, BLOB_DC));
+    let r_on = on.run(&ds, BLOB_DC);
+    let r_off = off.run(&ds, BLOB_DC);
+    let outputs_match = r_on.result.rho == r_off.result.rho
+        && r_on.result.upslope == r_off.result.upslope
+        && r_on
+            .result
+            .delta
+            .iter()
+            .zip(&r_off.result.delta)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let saved = r_on.shuffle_bytes_saved();
+    ElisionBench {
+        description: "lsh_ddp_pipeline workload, co-partitioned shuffle elision on vs off",
+        elision_on_s,
+        elision_off_s,
+        shuffle_bytes_on: r_on.shuffle_bytes(),
+        shuffle_bytes_off: r_off.shuffle_bytes(),
+        shuffle_bytes_saved: saved,
+        saved_frac: saved as f64 / r_off.shuffle_bytes().max(1) as f64,
+        outputs_match,
     }
 }
 
@@ -257,7 +309,7 @@ fn main() {
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 2,
+        schema: 3,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -279,6 +331,8 @@ fn main() {
         engine_shuffle_job: engine_shuffle_job(engine_records),
         lsh_ddp_pipeline: lsh_ddp_pipeline(blob_n),
         kernel_pair_d2: kernel_pair_d2(kernel_n, 8),
+        plan_elision: plan_elision(blob_n),
+        // Must stay last: installs the process-lifetime chunk observer.
         tracing_overhead: tracing_overhead(blob_n),
     };
 
@@ -296,6 +350,16 @@ fn main() {
         summary.engine_shuffle_job.wall_s,
         summary.lsh_ddp_pipeline.wall_s,
         summary.kernel_pair_d2.pairs_per_s
+    );
+    eprintln!(
+        "elision: on {:.3}s off {:.3}s, shuffle {} B vs {} B (saved {} B = {:.1}%), outputs_match={}",
+        summary.plan_elision.elision_on_s,
+        summary.plan_elision.elision_off_s,
+        summary.plan_elision.shuffle_bytes_on,
+        summary.plan_elision.shuffle_bytes_off,
+        summary.plan_elision.shuffle_bytes_saved,
+        summary.plan_elision.saved_frac * 100.0,
+        summary.plan_elision.outputs_match
     );
     eprintln!(
         "tracing: off {:.3}s on {:.3}s -> {:+.1}% overhead",

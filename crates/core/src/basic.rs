@@ -21,16 +21,26 @@
 //! distance matrix on the DFS (§III-A, Step 2).
 
 use crate::common::{
-    assemble_delta, dc_sampling_job, debug_assert_euclidean, flatten_coords, point_records,
-    DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
+    assemble_delta, dc_sampling_stage, debug_assert_euclidean, flatten_coords, point_records,
+    point_snapshot, DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer,
+    PipelineConfig,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
 use dp_core::{for_each_cross_d2, for_each_pair_d2, Dataset, DistanceTracker, PointId};
-use mapreduce::{Combiner, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use mapreduce::{
+    plan, Combiner, Driver, Emitter, JobBuilder, JobMetrics, Mapper, ReduceStage, Reducer, Snapshot,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The co-partitioning contract of the two blocked jobs: both apply the
+/// same deterministic [`BlockMapper`] (same block size, same tournament
+/// schedule) and hash partitioner to the same point snapshot, so the
+/// scheduler reuses the rho job's post-shuffle partitions for the delta
+/// job and elides its map+shuffle.
+const BLOCK_LAYOUT_CONTRACT: &str = "basic/blocks";
 
 /// Basic-DDP configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -282,28 +292,40 @@ impl BasicDdp {
     ) -> RunReport {
         let tracker = DistanceTracker::new();
         let start = Instant::now();
-        let (dc, mut metrics) = dc_sampling_job(
-            ds,
+        // One snapshot and one scheduler across the dc stage and the four
+        // pipeline jobs.
+        let snap = point_snapshot(ds);
+        let mut driver = self.config.pipeline.driver();
+        let dc = dc_sampling_stage(
+            &snap,
+            &mut driver,
             percentile,
             sample_target,
             seed,
             &self.config.pipeline,
             &tracker,
         );
-        metrics.user.insert("distances".into(), tracker.total());
-        let mut report = self.run_tracked(ds, dc, tracker, start);
-        report.jobs.insert(0, metrics);
-        report
+        self.run_tracked(ds, &snap, driver, dc, tracker, start)
     }
 
     /// Runs the pipeline with a known `d_c`.
     pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
-        self.run_tracked(ds, dc, DistanceTracker::new(), Instant::now())
+        let snap = point_snapshot(ds);
+        self.run_tracked(
+            ds,
+            &snap,
+            self.config.pipeline.driver(),
+            dc,
+            DistanceTracker::new(),
+            Instant::now(),
+        )
     }
 
     fn run_tracked(
         &self,
         ds: &Dataset,
+        snap: &Snapshot<PointId, Vec<f64>>,
+        mut driver: Driver,
         dc: f64,
         tracker: DistanceTracker,
         start: Instant,
@@ -314,12 +336,114 @@ impl BasicDdp {
         let n = ds.len();
         let n_blocks = n.div_ceil(self.config.block_size) as u32;
         let job_cfg = self.config.pipeline.job_config();
+        let dist_snapshot = |t: &DistanceTracker| {
+            let t = t.clone();
+            move |m: &mut JobMetrics| {
+                m.user.insert("distances".into(), t.total());
+            }
+        };
+
+        // ---- Jobs 1 + 2: blocked rho partials, then sum. The blocked
+        // stage declares the tournament-layout contract, retaining its
+        // post-shuffle partitions for the delta job.
+        let rho_plan = plan("basic/rho")
+            .snapshot(snap)
+            .map_stage(BlockMapper {
+                block_size: self.config.block_size,
+                n_blocks,
+            })
+            .reduce_stage(
+                ReduceStage::new(
+                    "basic/rho-block",
+                    RhoBlockReducer {
+                        dc,
+                        tracker: tracker.clone(),
+                    },
+                )
+                .config(job_cfg)
+                .co_partitioned(BLOCK_LAYOUT_CONTRACT)
+                .finalize(dist_snapshot(&tracker)),
+            )
+            .reduce_stage(
+                ReduceStage::new("basic/rho-combine", SumReducer)
+                    .combiner(SumCombiner)
+                    .config(job_cfg)
+                    .finalize(dist_snapshot(&tracker)),
+            )
+            .build();
+        let rho_out = driver.run_plan(rho_plan);
+
+        // Broadcast the density table (Hadoop's distributed cache).
+        let mut rho = vec![0u32; n];
+        for (id, r) in rho_out {
+            rho[id as usize] = r;
+        }
+        let rho = Arc::new(rho);
+
+        // ---- Jobs 3 + 4: blocked delta partials (same block layout —
+        // map+shuffle elided via the retained partitions), then min-merge.
+        let delta_plan = plan("basic/delta")
+            .snapshot(snap)
+            .map_stage(BlockMapper {
+                block_size: self.config.block_size,
+                n_blocks,
+            })
+            .reduce_stage(
+                ReduceStage::new(
+                    "basic/delta-block",
+                    DeltaBlockReducer {
+                        rho: rho.clone(),
+                        tracker: tracker.clone(),
+                    },
+                )
+                .config(job_cfg)
+                .co_partitioned(BLOCK_LAYOUT_CONTRACT)
+                .finalize(dist_snapshot(&tracker)),
+            )
+            .reduce_stage(
+                ReduceStage::new("basic/delta-combine", MinDeltaReducer)
+                    .combiner(MinDeltaCombiner)
+                    .config(job_cfg)
+                    .finalize(dist_snapshot(&tracker)),
+            )
+            .build();
+        let delta_out = driver.run_plan(delta_plan);
+
+        // The absolute density peak gets delta = max distance to anyone.
+        let (delta, upslope) = assemble_delta(n, delta_out, true);
+
+        let rho = Arc::try_unwrap(rho).unwrap_or_else(|arc| (*arc).clone());
+        RunReport {
+            algorithm: "basic-ddp".into(),
+            jobs: driver.into_history(),
+            distances: tracker.total(),
+            wall: start.elapsed(),
+            result: DpResult {
+                dc,
+                rho,
+                delta,
+                upslope,
+            },
+        }
+    }
+
+    /// The pre-plan execution path: the same four jobs hand-chained
+    /// through [`JobBuilder`], one input materialization per blocked job,
+    /// no elision. Retained as the equivalence-suite reference.
+    pub fn run_reference(&self, ds: &Dataset, dc: f64) -> RunReport {
+        let _pipeline_span = obsv::span!("pipeline", "basic-ddp-reference");
+        assert!(!ds.is_empty(), "cannot cluster an empty dataset");
+        assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
+        let tracker = DistanceTracker::new();
+        let start = Instant::now();
+        let n = ds.len();
+        let n_blocks = n.div_ceil(self.config.block_size) as u32;
+        let job_cfg = self.config.pipeline.job_config();
         let mut jobs: Vec<JobMetrics> = Vec::with_capacity(4);
         let snap = |m: &mut JobMetrics, t: &DistanceTracker| {
             m.user.insert("distances".into(), t.total());
         };
 
-        // ---- Job 1: blocked rho partials ------------------------------
         let (rho_partials, mut m1) = JobBuilder::new(
             "basic/rho-block",
             BlockMapper {
@@ -336,7 +460,6 @@ impl BasicDdp {
         snap(&mut m1, &tracker);
         jobs.push(m1);
 
-        // ---- Job 2: sum rho partials -----------------------------------
         let (rho_out, mut m2) = JobBuilder::new(
             "basic/rho-combine",
             IdentityMapper::<PointId, u32>::new(),
@@ -354,7 +477,6 @@ impl BasicDdp {
         }
         let rho = Arc::new(rho);
 
-        // ---- Job 3: blocked delta partials (rho table broadcast) -------
         let (delta_partials, mut m3) = JobBuilder::new(
             "basic/delta-block",
             BlockMapper {
@@ -371,7 +493,6 @@ impl BasicDdp {
         snap(&mut m3, &tracker);
         jobs.push(m3);
 
-        // ---- Job 4: min-combine delta partials -------------------------
         let (delta_out, mut m4) = JobBuilder::new(
             "basic/delta-combine",
             IdentityMapper::<PointId, DeltaPartial>::new(),
@@ -383,9 +504,7 @@ impl BasicDdp {
         snap(&mut m4, &tracker);
         jobs.push(m4);
 
-        // The absolute density peak gets delta = max distance to anyone.
         let (delta, upslope) = assemble_delta(n, delta_out, true);
-
         let rho = Arc::try_unwrap(rho).unwrap_or_else(|arc| (*arc).clone());
         RunReport {
             algorithm: "basic-ddp".into(),

@@ -4,8 +4,11 @@
 use dp_core::dp::NO_UPSLOPE;
 use dp_core::{Dataset, DistanceKind, DistanceTracker, PointId};
 use mapreduce::task::{MrKey, MrValue};
-use mapreduce::{Combiner, Emitter, JobBuilder, JobConfig, JobMetrics, Mapper, Reducer};
+use mapreduce::{
+    plan, Combiner, Driver, Emitter, JobConfig, JobMetrics, Mapper, Reducer, Snapshot, Stage,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A shuffled point record: `(id, coordinates)`. Its shuffle size is
 /// `4 + 4 + 8·dim` bytes, matching the paper's accounting.
@@ -24,6 +27,11 @@ pub struct PipelineConfig {
     /// [`mapreduce::JobMetrics::task_retries`]).
     #[serde(default)]
     pub fault: Option<mapreduce::FaultPlan>,
+    /// Disables the scheduler's co-partitioned shuffle elision (see
+    /// [`mapreduce::plan`]). Outputs are bit-identical either way; the
+    /// switch exists for A/B measurement of the shuffle savings.
+    #[serde(default)]
+    pub disable_elision: bool,
 }
 
 impl PipelineConfig {
@@ -44,12 +52,36 @@ impl PipelineConfig {
             fault: self.fault,
         }
     }
+
+    /// A plan scheduler configured by this pipeline config: elision on
+    /// unless [`Self::disable_elision`] is set.
+    pub fn driver(&self) -> Driver {
+        Driver::new().with_elision(!self.disable_elision)
+    }
+}
+
+/// How many times `point_records` has materialized a dataset since process
+/// start. The pipelines share one [`Snapshot`] per run, so each run must
+/// bump this exactly once — asserted by the materialization test.
+static POINT_RECORD_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of [`point_records`] materializations.
+pub fn point_record_materializations() -> u64 {
+    POINT_RECORD_BUILDS.load(Ordering::Relaxed)
 }
 
 /// Builds the job input `(id, coords)` records from a dataset — the
 /// equivalent of reading the point file from HDFS at the start of each job.
 pub fn point_records(ds: &Dataset) -> Vec<(PointId, Vec<f64>)> {
+    POINT_RECORD_BUILDS.fetch_add(1, Ordering::Relaxed);
     ds.iter().map(|(id, p)| (id, p.to_vec())).collect()
+}
+
+/// Materializes the dataset ONCE as an immutable shared snapshot every
+/// stage of a pipeline reads in place — the fix for re-reading the point
+/// file from the DFS at the start of each job.
+pub fn point_snapshot(ds: &Dataset) -> Snapshot<PointId, Vec<f64>> {
+    Snapshot::new(point_records(ds))
 }
 
 /// Flattens per-point coordinate slices into one row-major buffer for the
@@ -189,9 +221,101 @@ pub fn assemble_delta(
     (delta, upslope)
 }
 
-/// The preprocessing MapReduce job that estimates `d_c` (paper §III-A):
-/// mappers sample points toward a single reducer, which computes all
-/// pairwise distances of the sample and takes the `percentile`-quantile.
+/// Mapper of the `d_c` sampling job: deterministic per-point coin flip
+/// toward the single quantile reducer.
+struct SampleMapper {
+    keep_per_4096: u64,
+    seed: u64,
+}
+impl Mapper for SampleMapper {
+    type InKey = PointId;
+    type InValue = Vec<f64>;
+    type OutKey = u8;
+    type OutValue = PointRecord;
+    fn map(&self, id: PointId, coords: Vec<f64>, out: &mut Emitter<u8, PointRecord>) {
+        if sample_hash(id, self.seed) % 4096 < self.keep_per_4096 {
+            out.emit(0, (id, coords));
+        }
+    }
+}
+
+/// Reducer of the `d_c` sampling job: all-pairs distances of the sample,
+/// `percentile`-quantile out.
+struct QuantileReducer {
+    percentile: f64,
+    tracker: DistanceTracker,
+}
+impl Reducer for QuantileReducer {
+    type InKey = u8;
+    type InValue = PointRecord;
+    type OutKey = u8;
+    type OutValue = f64;
+    fn reduce(&self, _k: &u8, points: Vec<PointRecord>, out: &mut Emitter<u8, f64>) {
+        debug_assert_euclidean(&self.tracker);
+        let n = points.len();
+        let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
+        let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+        dp_core::for_each_pair_d2(&flat, dim, |_i, _j, d2| dists.push(d2.sqrt()));
+        self.tracker.add((n * n.saturating_sub(1) / 2) as u64);
+        assert!(
+            !dists.is_empty(),
+            "d_c sample produced no distances — increase sample"
+        );
+        out.emit(
+            0,
+            dp_core::cutoff::quantile_in_place(&mut dists, self.percentile),
+        );
+    }
+}
+
+/// The preprocessing stage that estimates `d_c` (paper §III-A), run over a
+/// shared snapshot through the pipeline's own scheduler: mappers sample
+/// points toward a single reducer, which computes all pairwise distances
+/// of the sample and takes the `percentile`-quantile. The stage's metrics
+/// (with a cumulative `"distances"` snapshot) land in `driver`'s history.
+pub fn dc_sampling_stage(
+    snap: &Snapshot<PointId, Vec<f64>>,
+    driver: &mut Driver,
+    percentile: f64,
+    sample_target: usize,
+    seed: u64,
+    cfg: &PipelineConfig,
+    tracker: &DistanceTracker,
+) -> f64 {
+    assert!(snap.len() >= 2, "need at least two points to estimate d_c");
+    assert!(sample_target >= 2, "need at least two sampled points");
+
+    // Keep probability targeting `sample_target` sampled points, capped at
+    // keeping everything.
+    let keep = ((sample_target as f64 / snap.len() as f64) * 4096.0).ceil() as u64;
+    let mapper = SampleMapper {
+        keep_per_4096: keep.min(4096),
+        seed,
+    };
+    let reducer = QuantileReducer {
+        percentile,
+        tracker: tracker.clone(),
+    };
+    let t = tracker.clone();
+    let p = plan("dc-sampling")
+        .snapshot(snap)
+        .stage(
+            Stage::new("dc-sampling", mapper, reducer)
+                .config(cfg.job_config())
+                .finalize(move |m| {
+                    m.user.insert("distances".into(), t.total());
+                }),
+        )
+        .build();
+    let out = driver.run_plan(p);
+    out.first()
+        .map(|(_, d)| *d)
+        .expect("sampling kept at least two points")
+}
+
+/// The preprocessing MapReduce job that estimates `d_c` (paper §III-A) as
+/// a standalone job over a freshly materialized input. Pipelines share
+/// their snapshot and scheduler via [`dc_sampling_stage`] instead.
 ///
 /// Returns `(d_c, job metrics)`.
 pub fn dc_sampling_job(
@@ -202,71 +326,21 @@ pub fn dc_sampling_job(
     cfg: &PipelineConfig,
     tracker: &DistanceTracker,
 ) -> (f64, JobMetrics) {
-    assert!(ds.len() >= 2, "need at least two points to estimate d_c");
-    assert!(sample_target >= 2, "need at least two sampled points");
-
-    struct SampleMapper {
-        keep_per_4096: u64,
-        seed: u64,
-    }
-    impl Mapper for SampleMapper {
-        type InKey = PointId;
-        type InValue = Vec<f64>;
-        type OutKey = u8;
-        type OutValue = PointRecord;
-        fn map(&self, id: PointId, coords: Vec<f64>, out: &mut Emitter<u8, PointRecord>) {
-            if sample_hash(id, self.seed) % 4096 < self.keep_per_4096 {
-                out.emit(0, (id, coords));
-            }
-        }
-    }
-
-    struct QuantileReducer {
-        percentile: f64,
-        tracker: DistanceTracker,
-    }
-    impl Reducer for QuantileReducer {
-        type InKey = u8;
-        type InValue = PointRecord;
-        type OutKey = u8;
-        type OutValue = f64;
-        fn reduce(&self, _k: &u8, points: Vec<PointRecord>, out: &mut Emitter<u8, f64>) {
-            debug_assert_euclidean(&self.tracker);
-            let n = points.len();
-            let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
-            let mut dists = Vec::with_capacity(n * (n - 1) / 2);
-            dp_core::for_each_pair_d2(&flat, dim, |_i, _j, d2| dists.push(d2.sqrt()));
-            self.tracker.add((n * n.saturating_sub(1) / 2) as u64);
-            assert!(
-                !dists.is_empty(),
-                "d_c sample produced no distances — increase sample"
-            );
-            out.emit(
-                0,
-                dp_core::cutoff::quantile_in_place(&mut dists, self.percentile),
-            );
-        }
-    }
-
-    // Keep probability targeting `sample_target` sampled points, capped at
-    // keeping everything.
-    let keep = ((sample_target as f64 / ds.len() as f64) * 4096.0).ceil() as u64;
-    let mapper = SampleMapper {
-        keep_per_4096: keep.min(4096),
-        seed,
-    };
-    let reducer = QuantileReducer {
+    let snap = point_snapshot(ds);
+    let mut driver = cfg.driver();
+    let dc = dc_sampling_stage(
+        &snap,
+        &mut driver,
         percentile,
-        tracker: tracker.clone(),
-    };
-
-    let (out, metrics) = JobBuilder::new("dc-sampling", mapper, reducer)
-        .config(cfg.job_config())
-        .run(point_records(ds));
-    let dc = out
-        .first()
-        .map(|(_, d)| *d)
-        .expect("sampling kept at least two points");
+        sample_target,
+        seed,
+        cfg,
+        tracker,
+    );
+    let metrics = driver
+        .into_history()
+        .pop()
+        .expect("dc sampling ran one stage");
     (dc, metrics)
 }
 
@@ -294,7 +368,7 @@ mod tests {
         let cfg = PipelineConfig {
             map_tasks: 3,
             reduce_tasks: 5,
-            fault: None,
+            ..Default::default()
         };
         let jc = cfg.job_config();
         assert_eq!((jc.map_tasks, jc.reduce_tasks), (3, 5));

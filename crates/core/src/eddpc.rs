@@ -26,13 +26,13 @@
 //! exactly the trade-off Table IV of the paper measures.
 
 use crate::common::{
-    assemble_delta, debug_assert_euclidean, flatten_coords, point_records, DeltaPartial,
-    IdentityMapper, MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
+    assemble_delta, debug_assert_euclidean, flatten_coords, point_records, point_snapshot,
+    DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
 use dp_core::{for_each_cross_d2, for_each_pair_d2, Dataset, DistanceTracker, PointId};
-use mapreduce::{Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use mapreduce::{plan, Emitter, JobBuilder, JobMetrics, Mapper, ReduceStage, Reducer, Stage};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -384,8 +384,162 @@ impl Eddpc {
     }
 
     /// Runs the full exact pipeline with a known `d_c`.
+    ///
+    /// All four jobs execute as plans through one scheduler over one
+    /// shared point snapshot. EDDPC's jobs use three *different* mappers
+    /// over the point file (ownership changes per phase), so no
+    /// co-partitioning contract applies — the plan layer's win here is
+    /// the single input materialization and automatic stage metrics.
     pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
         let _pipeline_span = obsv::span!("pipeline", "eddpc");
+        assert!(!ds.is_empty(), "cannot cluster an empty dataset");
+        assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
+        let tracker = DistanceTracker::new();
+        let start = Instant::now();
+        let n = ds.len();
+        let job_cfg = self.config.pipeline.job_config();
+        let pivots = sample_pivots(ds, self.config.n_pivots, self.config.seed);
+        let snap = point_snapshot(ds);
+        let mut driver = self.config.pipeline.driver();
+        let dist_snapshot = |t: &DistanceTracker| {
+            let t = t.clone();
+            move |m: &mut JobMetrics| {
+                m.user.insert("distances".into(), t.total());
+            }
+        };
+
+        // The partitioning pass: point-to-pivot distances, Voronoi
+        // ownership, and cell radii — computed once and broadcast to all
+        // four jobs (EDDPC's cached Voronoi partition).
+        let index = Arc::new(PivotIndex::build(ds, &pivots, &tracker));
+
+        // ---- Job 1: Voronoi rho (replication + exact local count) ------
+        let rho_out = driver.run_plan(
+            plan("eddpc/rho")
+                .snapshot(&snap)
+                .stage(
+                    Stage::new(
+                        "eddpc/rho-voronoi",
+                        RhoVoronoiMapper {
+                            index: index.clone(),
+                            dc,
+                        },
+                        RhoVoronoiReducer {
+                            dc,
+                            tracker: tracker.clone(),
+                        },
+                    )
+                    .config(job_cfg)
+                    .finalize(dist_snapshot(&tracker)),
+                )
+                .build(),
+        );
+
+        let mut rho = vec![0u32; n];
+        for (id, r) in rho_out {
+            rho[id as usize] = r;
+        }
+        let rho = Arc::new(rho);
+
+        // ---- Job 2: delta round 1 (own cell upper bound) ----------------
+        let round1 = driver.run_plan(
+            plan("eddpc/delta-r1")
+                .snapshot(&snap)
+                .stage(
+                    Stage::new(
+                        "eddpc/delta-local",
+                        OwnerMapper {
+                            index: index.clone(),
+                        },
+                        DeltaRound1Reducer {
+                            rho: rho.clone(),
+                            tracker: tracker.clone(),
+                        },
+                    )
+                    .config(job_cfg)
+                    .finalize(dist_snapshot(&tracker)),
+                )
+                .build(),
+        );
+
+        let mut ub = vec![f64::INFINITY; n];
+        for (id, (d, _, _)) in &round1 {
+            ub[*id as usize] = *d;
+        }
+        let ub = Arc::new(ub);
+
+        // Densest owner per cell (canonical order), for the round-2
+        // density filter.
+        let mut cell_max = vec![(0u32, PointId::MAX); index.p];
+        for i in 0..n as PointId {
+            let cell = index.own(i) as usize;
+            let (mr, mi) = cell_max[cell];
+            if mi == PointId::MAX || denser(rho[i as usize], i, mr, mi) {
+                cell_max[cell] = (rho[i as usize], i);
+            }
+        }
+        let cell_max = Arc::new(cell_max);
+
+        // ---- Job 3: delta round 2 (bounded cross-cell refinement) -------
+        let round2 = driver.run_plan(
+            plan("eddpc/delta-r2")
+                .snapshot(&snap)
+                .stage(
+                    Stage::new(
+                        "eddpc/delta-refine",
+                        DeltaRound2Mapper {
+                            index,
+                            ub,
+                            cell_max,
+                            rho: rho.clone(),
+                        },
+                        DeltaRound2Reducer {
+                            rho: rho.clone(),
+                            tracker: tracker.clone(),
+                        },
+                    )
+                    .config(job_cfg)
+                    .finalize(dist_snapshot(&tracker)),
+                )
+                .build(),
+        );
+
+        // ---- Job 4: min-merge the two rounds ----------------------------
+        let mut merged_input = round1;
+        merged_input.extend(round2);
+        let delta_out = driver.run_plan(
+            plan("eddpc/delta-merge")
+                .rows(merged_input)
+                .reduce_stage(
+                    ReduceStage::new("eddpc/delta-merge", MinDeltaReducer)
+                        .combiner(MinDeltaCombiner)
+                        .config(job_cfg)
+                        .finalize(dist_snapshot(&tracker)),
+                )
+                .build(),
+        );
+
+        let (delta, upslope) = assemble_delta(n, delta_out, true);
+        let rho = Arc::try_unwrap(rho).unwrap_or_else(|arc| (*arc).clone());
+        RunReport {
+            algorithm: "eddpc".into(),
+            jobs: driver.into_history(),
+            distances: tracker.total(),
+            wall: start.elapsed(),
+            result: DpResult {
+                dc,
+                rho,
+                delta,
+                upslope,
+            },
+        }
+    }
+
+    /// The pre-plan execution path: the same four jobs hand-chained
+    /// through [`JobBuilder`], one input materialization per point-file
+    /// job. Retained as the equivalence-suite reference.
+    pub fn run_reference(&self, ds: &Dataset, dc: f64) -> RunReport {
+        let _pipeline_span = obsv::span!("pipeline", "eddpc-reference");
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
         let tracker = DistanceTracker::new();
@@ -398,12 +552,8 @@ impl Eddpc {
             m.user.insert("distances".into(), t.total());
         };
 
-        // The partitioning pass: point-to-pivot distances, Voronoi
-        // ownership, and cell radii — computed once and broadcast to all
-        // four jobs (EDDPC's cached Voronoi partition).
         let index = Arc::new(PivotIndex::build(ds, &pivots, &tracker));
 
-        // ---- Job 1: Voronoi rho (replication + exact local count) ------
         let (rho_out, mut m1) = JobBuilder::new(
             "eddpc/rho-voronoi",
             RhoVoronoiMapper {
@@ -426,7 +576,6 @@ impl Eddpc {
         }
         let rho = Arc::new(rho);
 
-        // ---- Job 2: delta round 1 (own cell upper bound) ----------------
         let (round1, mut m2) = JobBuilder::new(
             "eddpc/delta-local",
             OwnerMapper {
@@ -448,8 +597,6 @@ impl Eddpc {
         }
         let ub = Arc::new(ub);
 
-        // Densest owner per cell (canonical order), for the round-2
-        // density filter.
         let mut cell_max = vec![(0u32, PointId::MAX); index.p];
         for i in 0..n as PointId {
             let cell = index.own(i) as usize;
@@ -460,7 +607,6 @@ impl Eddpc {
         }
         let cell_max = Arc::new(cell_max);
 
-        // ---- Job 3: delta round 2 (bounded cross-cell refinement) -------
         let (round2, mut m3) = JobBuilder::new(
             "eddpc/delta-refine",
             DeltaRound2Mapper {
@@ -479,7 +625,6 @@ impl Eddpc {
         snap(&mut m3, &tracker);
         jobs.push(m3);
 
-        // ---- Job 4: min-merge the two rounds ----------------------------
         let mut merged_input = round1;
         merged_input.extend(round2);
         let (delta_out, mut m4) = JobBuilder::new(

@@ -18,13 +18,15 @@
 //! *lower* a cluster's border density, so the distributed halo set is
 //! always a **subset** of the exact one (property-tested).
 
-use crate::common::{debug_assert_euclidean, flatten_coords, PipelineConfig, PointRecord};
+use crate::common::{
+    debug_assert_euclidean, flatten_coords, point_snapshot, PipelineConfig, PointRecord,
+};
 use crate::lsh_ddp::LshDdpConfig;
 use dp_core::decision::Clustering;
 use dp_core::dp::DpResult;
 use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, PointId};
 use lsh::{MultiLsh, Signature};
-use mapreduce::{Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use mapreduce::{plan, Emitter, JobBuilder, JobMetrics, Mapper, Reducer, Stage};
 use std::sync::Arc;
 
 type PartitionKey = (u16, Signature);
@@ -120,6 +122,75 @@ pub fn compute_halo_distributed(
     pipeline: &PipelineConfig,
 ) -> DistributedHalo {
     let _pipeline_span = obsv::span!("pipeline", "halo-mr");
+    assert_eq!(ds.len(), result.len(), "result must cover the dataset");
+    assert_eq!(
+        ds.len(),
+        clustering.len(),
+        "clustering must cover the dataset"
+    );
+    let tracker = DistanceTracker::new();
+    let multi = Arc::new(MultiLsh::new(ds.dim(), &config.params, config.seed));
+    let rho = Arc::new(result.rho.clone());
+    let labels = Arc::new(clustering.labels().to_vec());
+
+    let snap = point_snapshot(ds);
+    let mut driver = pipeline.driver();
+    let t = tracker.clone();
+    let candidates = driver.run_plan(
+        plan("halo")
+            .snapshot(&snap)
+            .stage(
+                Stage::new(
+                    "halo/border-scan",
+                    HaloPartitionMapper { multi },
+                    BorderReducer {
+                        dc: result.dc,
+                        rho: rho.clone(),
+                        labels: labels.clone(),
+                        tracker: tracker.clone(),
+                    },
+                )
+                .config(pipeline.job_config())
+                .finalize(move |m| {
+                    m.user.insert("distances".into(), t.total());
+                }),
+            )
+            .build(),
+    );
+    let job = driver
+        .into_history()
+        .pop()
+        .expect("halo pipeline ran one stage");
+
+    let mut border_rho = vec![0u32; clustering.n_clusters() as usize];
+    for (c, b) in candidates {
+        let slot = &mut border_rho[c as usize];
+        *slot = (*slot).max(b);
+    }
+    let halo = (0..ds.len())
+        .map(|i| {
+            let b = border_rho[labels[i] as usize];
+            b > 0 && result.rho[i] <= b
+        })
+        .collect();
+    DistributedHalo {
+        halo,
+        border_rho,
+        job,
+    }
+}
+
+/// The pre-plan execution path of [`compute_halo_distributed`]: the same
+/// job hand-chained through [`JobBuilder`]. Retained as the
+/// equivalence-suite reference.
+pub fn compute_halo_distributed_reference(
+    ds: &Dataset,
+    result: &DpResult,
+    clustering: &Clustering,
+    config: &LshDdpConfig,
+    pipeline: &PipelineConfig,
+) -> DistributedHalo {
+    let _pipeline_span = obsv::span!("pipeline", "halo-mr-reference");
     assert_eq!(ds.len(), result.len(), "result must cover the dataset");
     assert_eq!(
         ds.len(),

@@ -20,18 +20,28 @@
 //!    max finite `delta` before drawing the decision graph.
 
 use crate::common::{
-    dc_sampling_job, debug_assert_euclidean, flatten_coords, point_records, IdentityMapper,
-    PipelineConfig, PointRecord,
+    dc_sampling_stage, debug_assert_euclidean, flatten_coords, point_records, point_snapshot,
+    IdentityMapper, PipelineConfig, PointRecord,
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
 use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, PointId};
 use lsh::tuning::TuningError;
 use lsh::{LshParams, MultiLsh, Signature};
-use mapreduce::{Combiner, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use mapreduce::{
+    plan, Combiner, Driver, Emitter, JobBuilder, JobMetrics, Mapper, ReduceStage, Reducer, Snapshot,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The co-partitioning contract of jobs 1 and 3: both apply the same
+/// seeded [`LshPartitionMapper`] (identical `MultiLsh` layouts) and hash
+/// partitioner to the same point snapshot, so the scheduler reuses job 1's
+/// post-shuffle partitions for job 3 and elides its map+shuffle entirely —
+/// the plan layer's formalization of "same partitioning (same seeded hash
+/// groups)".
+const LSH_LAYOUT_CONTRACT: &str = "lsh/layout";
 
 /// LSH-DDP configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -304,9 +314,20 @@ impl LshDdp {
         let pipeline = PipelineConfig::default();
         let tracker = DistanceTracker::new();
         let start = Instant::now();
-        let (dc, mut metrics) =
-            dc_sampling_job(ds, percentile, sample_target, seed, &pipeline, &tracker);
-        metrics.user.insert("distances".into(), tracker.total());
+        // One snapshot and one scheduler for the whole run: the dc stage
+        // reads the same materialization as the four pipeline jobs, and its
+        // metrics land first in the shared history.
+        let snap = point_snapshot(ds);
+        let mut driver = pipeline.driver();
+        let dc = dc_sampling_stage(
+            &snap,
+            &mut driver,
+            percentile,
+            sample_target,
+            seed,
+            &pipeline,
+            &tracker,
+        );
         let this = LshDdp::new(LshDdpConfig {
             params: LshParams::for_accuracy(accuracy, m, pi, dc)?,
             seed,
@@ -314,19 +335,27 @@ impl LshDdp {
             partition_cap: None,
             rho_aggregation: RhoAggregation::default(),
         });
-        let mut report = this.run_tracked(ds, dc, tracker, start);
-        report.jobs.insert(0, metrics);
-        Ok(report)
+        Ok(this.run_tracked(ds, &snap, driver, dc, tracker, start))
     }
 
     /// Runs the four-job pipeline with a known `d_c`.
     pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
-        self.run_tracked(ds, dc, DistanceTracker::new(), Instant::now())
+        let snap = point_snapshot(ds);
+        self.run_tracked(
+            ds,
+            &snap,
+            self.config.pipeline.driver(),
+            dc,
+            DistanceTracker::new(),
+            Instant::now(),
+        )
     }
 
     fn run_tracked(
         &self,
         ds: &Dataset,
+        snap: &Snapshot<PointId, Vec<f64>>,
+        mut driver: Driver,
         dc: f64,
         tracker: DistanceTracker,
         start: Instant,
@@ -342,12 +371,140 @@ impl LshDdp {
             self.config.seed,
         ));
         let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
+        let dist_snapshot = |t: &DistanceTracker| {
+            let t = t.clone();
+            move |m: &mut JobMetrics| {
+                m.user.insert("distances".into(), t.total());
+            }
+        };
+
+        // ---- Jobs 1 + 2: LSH partition + local rho, aggregate over
+        // layouts. The local stage declares the layout contract, retaining
+        // its post-shuffle partitions for job 3.
+        let local_rho = ReduceStage::new(
+            "lsh/rho-local",
+            LocalRhoReducer {
+                dc,
+                cap,
+                tracker: tracker.clone(),
+            },
+        )
+        .config(job_cfg)
+        .co_partitioned(LSH_LAYOUT_CONTRACT)
+        .finalize(dist_snapshot(&tracker));
+        let rho_plan = match self.config.rho_aggregation {
+            RhoAggregation::Max => plan("lsh/rho")
+                .snapshot(snap)
+                .map_stage(LshPartitionMapper {
+                    multi: multi.clone(),
+                })
+                .reduce_stage(local_rho)
+                .reduce_stage(
+                    ReduceStage::new("lsh/rho-aggregate", MaxReducer)
+                        .combiner(MaxCombiner)
+                        .config(job_cfg)
+                        .finalize(dist_snapshot(&tracker)),
+                )
+                .build(),
+            RhoAggregation::Mean => plan("lsh/rho")
+                .snapshot(snap)
+                .map_stage(LshPartitionMapper {
+                    multi: multi.clone(),
+                })
+                .reduce_stage(local_rho)
+                .reduce_stage(
+                    ReduceStage::new("lsh/rho-aggregate-mean", MeanReducer)
+                        .config(job_cfg)
+                        .finalize(dist_snapshot(&tracker)),
+                )
+                .build(),
+        };
+        let rho_out = driver.run_plan(rho_plan);
+
+        // Broadcast the aggregated densities (distributed-cache style).
+        let mut rho = vec![0u32; n];
+        for (id, r) in rho_out {
+            rho[id as usize] = r;
+        }
+        let rho = Arc::new(rho);
+
+        // ---- Jobs 3 + 4: LSH partition + local delta, min over layouts.
+        // Job 3 re-declares the layout contract: same mapper (same seeded
+        // layouts), same partitioner, same snapshot — the scheduler feeds
+        // it job 1's retained partitions and elides its map+shuffle.
+        let delta_plan = plan("lsh/delta")
+            .snapshot(snap)
+            .map_stage(LshPartitionMapper { multi })
+            .reduce_stage(
+                ReduceStage::new(
+                    "lsh/delta-local",
+                    LocalDeltaReducer {
+                        rho: rho.clone(),
+                        cap,
+                        tracker: tracker.clone(),
+                    },
+                )
+                .config(job_cfg)
+                .co_partitioned(LSH_LAYOUT_CONTRACT)
+                .finalize(dist_snapshot(&tracker)),
+            )
+            .reduce_stage(
+                ReduceStage::new("lsh/delta-aggregate", MinReducer)
+                    .combiner(MinCombiner)
+                    .config(job_cfg)
+                    .finalize(dist_snapshot(&tracker)),
+            )
+            .build();
+        let delta_out = driver.run_plan(delta_plan);
+
+        // ---- Assemble: infinite deltas stay infinite; the centralized
+        // step rectifies them (the paper draws them at the top of the
+        // decision graph and treats them as peak candidates).
+        let mut delta = vec![f64::INFINITY; n];
+        let mut upslope = vec![NO_UPSLOPE; n];
+        for (id, (d, u)) in delta_out {
+            delta[id as usize] = d;
+            upslope[id as usize] = u;
+        }
+
+        let rho = Arc::try_unwrap(rho).unwrap_or_else(|arc| (*arc).clone());
+        RunReport {
+            algorithm: "lsh-ddp".into(),
+            jobs: driver.into_history(),
+            distances: tracker.total(),
+            wall: start.elapsed(),
+            result: DpResult {
+                dc,
+                rho,
+                delta,
+                upslope,
+            },
+        }
+    }
+
+    /// The pre-plan execution path: the same four jobs hand-chained
+    /// through [`JobBuilder`] with a fresh input materialization per
+    /// blocked job and no shuffle elision. Retained as the reference the
+    /// equivalence suite proves the scheduler bit-identical against.
+    pub fn run_reference(&self, ds: &Dataset, dc: f64) -> RunReport {
+        let _pipeline_span = obsv::span!("pipeline", "lsh-ddp-reference");
+        assert!(!ds.is_empty(), "cannot cluster an empty dataset");
+        assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
+        let tracker = DistanceTracker::new();
+        let start = Instant::now();
+        let n = ds.len();
+        let job_cfg = self.config.pipeline.job_config();
+        let multi = Arc::new(MultiLsh::new(
+            ds.dim(),
+            &self.config.params,
+            self.config.seed,
+        ));
+        let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
         let mut jobs: Vec<JobMetrics> = Vec::with_capacity(4);
         let snap = |m: &mut JobMetrics, t: &DistanceTracker| {
             m.user.insert("distances".into(), t.total());
         };
 
-        // ---- Job 1: LSH partition + local rho --------------------------
         let (rho_partials, mut m1) = JobBuilder::new(
             "lsh/rho-local",
             LshPartitionMapper {
@@ -364,7 +521,6 @@ impl LshDdp {
         snap(&mut m1, &tracker);
         jobs.push(m1);
 
-        // ---- Job 2: aggregate rho over layouts -------------------------
         let (rho_out, mut m2) = match self.config.rho_aggregation {
             RhoAggregation::Max => JobBuilder::new(
                 "lsh/rho-aggregate",
@@ -391,7 +547,6 @@ impl LshDdp {
         }
         let rho = Arc::new(rho);
 
-        // ---- Job 3: LSH partition + local delta -------------------------
         let (delta_partials, mut m3) = JobBuilder::new(
             "lsh/delta-local",
             LshPartitionMapper { multi },
@@ -406,7 +561,6 @@ impl LshDdp {
         snap(&mut m3, &tracker);
         jobs.push(m3);
 
-        // ---- Job 4: delta_hat = min over layouts ------------------------
         let (delta_out, mut m4) = JobBuilder::new(
             "lsh/delta-aggregate",
             IdentityMapper::<PointId, LocalDelta>::new(),
@@ -418,9 +572,6 @@ impl LshDdp {
         snap(&mut m4, &tracker);
         jobs.push(m4);
 
-        // ---- Assemble: infinite deltas stay infinite; the centralized
-        // step rectifies them (the paper draws them at the top of the
-        // decision graph and treats them as peak candidates).
         let mut delta = vec![f64::INFINITY; n];
         let mut upslope = vec![NO_UPSLOPE; n];
         for (id, (d, u)) in delta_out {
@@ -589,7 +740,40 @@ mod tests {
         let m = cfg.params.m as u64;
         let report = LshDdp::new(cfg).run(&ds, dc);
         assert_eq!(report.jobs[0].map_output_records, ds.len() as u64 * m);
-        assert_eq!(report.jobs[2].map_output_records, ds.len() as u64 * m);
+        // Job 3 declares the same layout contract as job 1, so the
+        // scheduler elides its map+shuffle and reuses job 1's partitions:
+        // the M copies are shuffled once, and job 3 books the skipped
+        // volume as saved bytes instead.
+        assert_eq!(report.jobs[2].map_output_records, 0);
+        assert_eq!(report.jobs[2].shuffle_bytes, 0);
+        assert_eq!(
+            report.jobs[2].shuffle_bytes_saved,
+            report.jobs[0].shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn elision_disabled_shuffles_twice_with_identical_results() {
+        let ds = blobs(20, 7);
+        let dc = 0.5;
+        let cfg = accurate_config(dc);
+        let m = cfg.params.m as u64;
+        let on = LshDdp::new(cfg.clone()).run(&ds, dc);
+        let off_cfg = LshDdpConfig {
+            pipeline: PipelineConfig {
+                disable_elision: true,
+                ..cfg.pipeline
+            },
+            ..cfg
+        };
+        let off = LshDdp::new(off_cfg).run(&ds, dc);
+        assert_eq!(off.jobs[2].map_output_records, ds.len() as u64 * m);
+        assert!(off.jobs[2].shuffle_bytes > 0);
+        assert_eq!(off.jobs[2].shuffle_bytes_saved, 0);
+        assert_eq!(on.result.rho, off.result.rho);
+        assert_eq!(on.result.upslope, off.result.upslope);
+        let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&on.result.delta), bits(&off.result.delta));
     }
 
     #[test]

@@ -48,6 +48,12 @@ impl RunReport {
         self.jobs.iter().map(|j| j.shuffle_records).sum()
     }
 
+    /// Total bytes that co-partitioned stage elision kept out of the
+    /// shuffle (0 when elision is disabled or no stage was elidable).
+    pub fn shuffle_bytes_saved(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes_saved).sum()
+    }
+
     /// Simulated runtime of the pipeline on a modeled cluster.
     /// `dims_factor` scales per-distance CPU cost with dimensionality
     /// (`dim / 4`, at least 1).

@@ -141,6 +141,15 @@ pub struct JobMetrics {
     /// Estimated serialized bytes crossing the shuffle boundary — the
     /// paper's "shuffled data" (Figure 10(b)).
     pub shuffle_bytes: u64,
+    /// Bytes that *would* have crossed the shuffle boundary but didn't,
+    /// because the scheduler elided this stage's map+shuffle and reused a
+    /// co-partitioned intermediate retained from an earlier stage. Kept
+    /// separate from `shuffle_bytes` so Figure 10(b) accounting stays
+    /// exact: the logical shuffle volume of a plan is
+    /// `shuffle_bytes + shuffle_bytes_saved`. Defaults to 0 in metric
+    /// dumps that predate plan execution.
+    #[serde(default)]
+    pub shuffle_bytes_saved: u64,
     /// Distinct keys seen by the reduce phase.
     pub reduce_input_groups: u64,
     /// Records emitted by reducers.
@@ -205,6 +214,7 @@ impl JobMetrics {
             out.combine_output_records += j.combine_output_records;
             out.shuffle_records += j.shuffle_records;
             out.shuffle_bytes += j.shuffle_bytes;
+            out.shuffle_bytes_saved += j.shuffle_bytes_saved;
             out.reduce_input_groups += j.reduce_input_groups;
             out.reduce_output_records += j.reduce_output_records;
             out.max_reduce_group = out.max_reduce_group.max(j.max_reduce_group);
@@ -345,6 +355,7 @@ mod tests {
         let current = JobMetrics {
             name: "legacy".into(),
             shuffle_bytes: 123,
+            shuffle_bytes_saved: 55,
             wall_time: Duration::from_millis(7),
             shuffle_time: Duration::from_millis(2),
             map_task_times: TaskTimes {
@@ -362,7 +373,7 @@ mod tests {
             .filter(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "shuffle_time" | "map_task_times" | "reduce_task_times"
+                    "shuffle_time" | "map_task_times" | "reduce_task_times" | "shuffle_bytes_saved"
                 )
             })
             .collect();
@@ -370,6 +381,7 @@ mod tests {
             serde::from_value::<_, E>(serde::Value::Map(old_dump)).expect("old dump must load");
         assert_eq!(loaded.name, "legacy");
         assert_eq!(loaded.shuffle_bytes, 123);
+        assert_eq!(loaded.shuffle_bytes_saved, 0);
         assert_eq!(loaded.wall_time, Duration::from_millis(7));
         assert_eq!(loaded.shuffle_time, Duration::ZERO);
         assert_eq!(loaded.map_task_times, TaskTimes::default());

@@ -1,29 +1,57 @@
-//! The driver program: runs a sequence of jobs and keeps their history.
+//! The driver program: the scheduler that executes dataflow plans.
 //!
 //! A MapReduce algorithm is usually a *pipeline* — the paper's LSH-DDP is
 //! four jobs plus a centralized step. [`Driver`] is the master-node side of
-//! that: it owns the [`Dfs`], collects each job's [`JobMetrics`], and can
-//! report pipeline-level aggregates (total shuffle bytes, total distance
+//! that: it owns the [`Dfs`], executes [`Plan`]s stage by stage (recording
+//! every stage's [`JobMetrics`] automatically), applies the cross-stage
+//! optimizations the plan layer declares — co-partitioned shuffle elision
+//! and map-stage fusion, see [`crate::plan`] — and reports pipeline-level
+//! aggregates (total shuffle bytes, bytes saved by elision, total distance
 //! computations) and cost-model runtimes.
 
 use crate::cost::ClusterSpec;
 use crate::counters::JobMetrics;
 use crate::dfs::Dfs;
+use crate::job::MapInput;
+use crate::plan::{ExecCtx, PartitionCache, Plan};
 use std::sync::Arc;
 
-/// Pipeline driver: DFS handle + job history.
+/// Pipeline driver: plan scheduler + DFS handle + job history.
+///
+/// The retained-partition cache lives on the driver, not on individual
+/// plans, so a co-partitioning contract can span plan segments — pipelines
+/// routinely interleave driver-side assembly (e.g. broadcasting aggregated
+/// ρ values) between two plans that read the same snapshot.
 pub struct Driver {
     dfs: Arc<Dfs>,
     history: Vec<JobMetrics>,
+    cache: PartitionCache,
+    elision: bool,
 }
 
 impl Driver {
-    /// A fresh driver with an empty DFS.
+    /// A fresh driver with an empty DFS, empty history, and shuffle
+    /// elision enabled.
     pub fn new() -> Self {
         Driver {
             dfs: Arc::new(Dfs::new()),
             history: Vec::new(),
+            cache: PartitionCache::default(),
+            elision: true,
         }
+    }
+
+    /// Enables or disables co-partitioned shuffle elision. Outputs are
+    /// bit-identical either way; disabling exists for A/B measurement and
+    /// paranoia.
+    pub fn with_elision(mut self, on: bool) -> Self {
+        self.elision = on;
+        self
+    }
+
+    /// Whether the scheduler elides co-partitioned shuffles.
+    pub fn elision(&self) -> bool {
+        self.elision
     }
 
     /// The driver's distributed file system.
@@ -31,9 +59,56 @@ impl Driver {
         &self.dfs
     }
 
+    /// Executes a plan: runs every stage through the engine's phase
+    /// machinery, auto-records each stage's [`JobMetrics`] into the
+    /// history, and applies shuffle elision where stages declared
+    /// co-partitioning contracts. Returns the final stage's output rows.
+    pub fn run_plan<K, V>(&mut self, plan: Plan<K, V>) -> Vec<(K, V)>
+    where
+        K: Clone + 'static,
+        V: Clone + 'static,
+    {
+        let Plan {
+            name,
+            source,
+            source_id,
+            stages,
+            ..
+        } = plan;
+        let _plan_span = obsv::span!("plan", name);
+        let mut rows = source;
+        let mut source = source_id;
+        for stage in stages {
+            let mut ctx = ExecCtx {
+                elide: self.elision,
+                cache: &mut self.cache,
+                history: &mut self.history,
+            };
+            let (next, next_source) = stage(&mut ctx, rows, source);
+            rows = next;
+            source = next_source;
+        }
+        let out = rows
+            .downcast::<MapInput<K, V>>()
+            .expect("plan output row type mismatch");
+        match *out {
+            MapInput::Owned(v) => v,
+            MapInput::Shared(arc) => Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+
     /// Records one completed job.
+    #[deprecated(
+        note = "build a dataflow plan and let `run_plan` auto-record stage metrics; \
+                manual recording remains for externally-run jobs"
+    )]
     pub fn record(&mut self, metrics: JobMetrics) {
         self.history.push(metrics);
+    }
+
+    /// Consumes the driver, returning the recorded job history.
+    pub fn into_history(self) -> Vec<JobMetrics> {
+        self.history
     }
 
     /// Metrics of every job run so far, in order.
@@ -50,6 +125,13 @@ impl Driver {
     /// quantity.
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.history.iter().map(|m| m.shuffle_bytes).sum()
+    }
+
+    /// Total bytes that never crossed the shuffle boundary because the
+    /// scheduler elided co-partitioned stages — the counterpart of
+    /// [`Self::total_shuffle_bytes`] in Figure 10(b) accounting.
+    pub fn total_shuffle_bytes_saved(&self) -> u64 {
+        self.history.iter().map(|m| m.shuffle_bytes_saved).sum()
     }
 
     /// Sum of a user counter across all jobs (e.g. `"distances"`).
@@ -86,6 +168,7 @@ impl Default for Driver {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

@@ -8,12 +8,23 @@ use crate::task::{Combiner, Emitter, Mapper, MrKey, Reducer};
 use rayon::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Decides which reduce task receives a key.
 pub trait Partitioner<K>: Send + Sync {
     /// Reduce-task index for `key`, in `0..num_reducers`.
     fn partition(&self, key: &K, num_reducers: usize) -> usize;
+
+    /// Label identifying the partitioning *function* for co-partitioning
+    /// contracts (see the plan layer): two stages can only share a
+    /// partitioned intermediate when their partitioners carry the same
+    /// label. The default is a catch-all, so distinct custom partitioners
+    /// should override it with distinct labels.
+    fn contract_id(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Hadoop's default: `hash(key) mod R`. Uses a fixed-seed SipHash so runs
@@ -26,6 +37,36 @@ impl<K: Hash> Partitioner<K> for HashPartitioner {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         (h.finish() % num_reducers as u64) as usize
+    }
+
+    fn contract_id(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Input to a job's map phase: either an owned record list (the classic
+/// `run` path) or a shared immutable snapshot. A shared snapshot is split
+/// into index ranges and records are cloned inside the parallel map tasks,
+/// so one materialization can feed every job of a pipeline.
+pub enum MapInput<K, V> {
+    /// The job consumes these records.
+    Owned(Vec<(K, V)>),
+    /// The job reads (clones) records out of a shared snapshot.
+    Shared(Arc<Vec<(K, V)>>),
+}
+
+impl<K, V> MapInput<K, V> {
+    /// Number of input records.
+    pub fn len(&self) -> usize {
+        match self {
+            MapInput::Owned(v) => v.len(),
+            MapInput::Shared(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no input records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -162,10 +203,17 @@ where
     pub fn run(
         self,
         input: Vec<(M::InKey, M::InValue)>,
-    ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics) {
+    ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics)
+    where
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+    {
         let name = self.name.clone();
-        let ((output, mut metrics), wall) =
-            obsv::timed_span("job", || name.clone(), move || self.run_phases(input));
+        let ((output, mut metrics), wall) = obsv::timed_span(
+            "job",
+            || name.clone(),
+            move || self.run_phases(MapInput::Owned(input)),
+        );
         metrics.wall_time = wall;
         (output, metrics)
     }
@@ -173,49 +221,96 @@ where
     #[allow(clippy::type_complexity)]
     fn run_phases(
         self,
-        input: Vec<(M::InKey, M::InValue)>,
-    ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics) {
-        let mut metrics = JobMetrics {
+        input: MapInput<M::InKey, M::InValue>,
+    ) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics)
+    where
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+    {
+        let mut metrics = self.metrics_shell();
+        let retries = AtomicU64::new(0);
+        let map_outputs = self.map_phase(input, &mut metrics, &retries);
+        let reduce_inputs = self.shuffle_phase(map_outputs, &mut metrics);
+        let output = self.reduce_phase(reduce_inputs, &mut metrics, &retries);
+        self.finish_metrics(&mut metrics, &retries);
+        (output, metrics)
+    }
+
+    /// A metrics record carrying just this job's name; the phase methods
+    /// below fill in the measurements.
+    pub(crate) fn metrics_shell(&self) -> JobMetrics {
+        JobMetrics {
             name: self.name.clone(),
             ..Default::default()
-        };
-        metrics.map_input_records = input.len() as u64;
+        }
+    }
 
+    /// This job's name.
+    pub(crate) fn job_name(&self) -> &str {
+        &self.name
+    }
+
+    /// This job's parallelism config.
+    pub(crate) fn job_config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// The contract label of this job's partitioner (see
+    /// [`Partitioner::contract_id`]).
+    pub(crate) fn partitioner_contract(&self) -> &'static str {
+        self.partitioner.contract_id()
+    }
+
+    /// Installs an already-boxed combiner (the plan layer erases stage
+    /// types before handing them to the engine).
+    pub(crate) fn boxed_combiner(
+        mut self,
+        combiner: Box<dyn Combiner<Key = M::OutKey, Value = M::OutValue> + Send + Sync>,
+    ) -> Self {
+        self.combiner = Some(combiner);
+        self
+    }
+
+    /// Installs an already-boxed partitioner.
+    pub(crate) fn boxed_partitioner(
+        mut self,
+        partitioner: Box<dyn Partitioner<M::OutKey>>,
+    ) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// The fault plan in effect: an explicit [`JobBuilder::fault_plan`]
+    /// wins over the config-level one.
+    fn effective_fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan.or(self.config.fault)
+    }
+
+    /// Map phase (parallel over map tasks): each task maps its chunk of
+    /// the input, applies the combiner, and partitions its output into one
+    /// bucket per reduce task. Fills `map_input_records`, `map_time` and
+    /// `map_task_times`.
+    pub(crate) fn map_phase(
+        &self,
+        input: MapInput<M::InKey, M::InValue>,
+        metrics: &mut JobMetrics,
+        retries: &AtomicU64,
+    ) -> Vec<MapTaskOut<M::OutKey, M::OutValue>>
+    where
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+    {
+        metrics.map_input_records = input.len() as u64;
         let r_tasks = self.config.reduce_tasks;
         let chunk = input.len().div_ceil(self.config.map_tasks).max(1);
         let mapper = &self.mapper;
         let combiner = self.combiner.as_deref();
         let partitioner = self.partitioner.as_ref();
-
-        // ---- Map phase (parallel over map tasks) -----------------------
-        // Each map task produces one bucket per reduce task.
-        struct MapTaskOut<K, V> {
-            buckets: Vec<Vec<(K, V)>>,
-            emitted: u64,
-            combined: u64,
-        }
-
-        let chunks: Vec<Vec<(M::InKey, M::InValue)>> = {
-            let mut chunks = Vec::new();
-            let mut it = input.into_iter();
-            loop {
-                let c: Vec<_> = it.by_ref().take(chunk).collect();
-                if c.is_empty() {
-                    break;
-                }
-                chunks.push(c);
-            }
-            chunks
-        };
-
-        let fault_plan = self.fault_plan.or(self.config.fault);
-        let retries = std::sync::atomic::AtomicU64::new(0);
-        let retries = &retries;
+        let fault_plan = self.effective_fault_plan();
         // Per-task attempt durations, recorded unconditionally (tasks are
         // coarse, two clock reads each are noise) and summarized into
-        // `JobMetrics::{map,reduce}_task_times`.
+        // `JobMetrics::map_task_times`.
         let map_task_ns = obsv::Histogram::new();
-        let reduce_task_ns = obsv::Histogram::new();
 
         let (map_outputs, map_dur) = obsv::timed_span(
             "phase",
@@ -223,57 +318,75 @@ where
             || {
                 let parent = obsv::current_span();
                 let hist = &map_task_ns;
-                chunks
-                    .into_par_iter()
-                    .enumerate()
-                    .map(|(task, records)| {
-                        obsv::with_parent(parent, move || {
-                            let attempt = Instant::now();
-                            let out = obsv::span!("task", format!("map-{task}") => {
-                                run_task_with_plan(fault_plan, retries, Phase::Map, task, || {
-                                    let mut emitter = Emitter::new();
-                                    for (k, v) in records {
-                                        mapper.map(k, v, &mut emitter);
-                                    }
-                                    let mut out = emitter.into_records();
-                                    let emitted = out.len() as u64;
-
-                                    if let Some(c) = combiner {
-                                        out = run_combiner(c, out);
-                                    }
-                                    let combined = out.len() as u64;
-
-                                    let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
-                                        (0..r_tasks).map(|_| Vec::new()).collect();
-                                    for (k, v) in out {
-                                        let b = partitioner.partition(&k, r_tasks);
-                                        debug_assert!(
-                                            b < r_tasks,
-                                            "partitioner returned out-of-range bucket"
-                                        );
-                                        buckets[b].push((k, v));
-                                    }
-                                    MapTaskOut {
-                                        buckets,
-                                        emitted,
-                                        combined,
-                                    }
-                                })
-                            });
-                            hist.record(attempt.elapsed().as_nanos() as u64);
-                            out
-                        })
+                let run_one = |task: usize, records: Vec<(M::InKey, M::InValue)>| {
+                    obsv::with_parent(parent, move || {
+                        let attempt = Instant::now();
+                        let out = obsv::span!("task", format!("map-{task}") => {
+                            run_task_with_plan(fault_plan, retries, Phase::Map, task, || {
+                                map_one_task(mapper, combiner, partitioner, r_tasks, records)
+                            })
+                        });
+                        hist.record(attempt.elapsed().as_nanos() as u64);
+                        out
                     })
-                    .collect::<Vec<MapTaskOut<M::OutKey, M::OutValue>>>()
+                };
+                match input {
+                    MapInput::Owned(rows) => {
+                        let chunks: Vec<Vec<(M::InKey, M::InValue)>> = {
+                            let mut chunks = Vec::new();
+                            let mut it = rows.into_iter();
+                            loop {
+                                let c: Vec<_> = it.by_ref().take(chunk).collect();
+                                if c.is_empty() {
+                                    break;
+                                }
+                                chunks.push(c);
+                            }
+                            chunks
+                        };
+                        chunks
+                            .into_par_iter()
+                            .enumerate()
+                            .map(|(task, records)| run_one(task, records))
+                            .collect::<Vec<MapTaskOut<M::OutKey, M::OutValue>>>()
+                    }
+                    MapInput::Shared(rows) => {
+                        // Same chunk boundaries as the owned path, so task
+                        // assignment (and therefore record order downstream)
+                        // is identical; records are cloned inside the
+                        // parallel tasks rather than materialized up front.
+                        let ranges: Vec<(usize, usize)> = (0..rows.len())
+                            .step_by(chunk)
+                            .map(|s| (s, (s + chunk).min(rows.len())))
+                            .collect();
+                        let rows = &rows;
+                        ranges
+                            .into_par_iter()
+                            .enumerate()
+                            .map(|(task, (s, e))| run_one(task, rows[s..e].to_vec()))
+                            .collect::<Vec<MapTaskOut<M::OutKey, M::OutValue>>>()
+                    }
+                }
             },
         );
         metrics.map_time = map_dur;
+        metrics.map_task_times = task_times(&map_task_ns);
+        map_outputs
+    }
 
-        // ---- Shuffle: merge per-reduce buckets, accounting bytes -------
-        // Transposing the map outputs into per-reducer columns is a cheap
-        // sequential pass over Vec handles; the actual merge (one big
-        // concatenation) and the per-record `shuffle_bytes` accounting —
-        // the expensive parts — run in parallel, one task per reducer.
+    /// Shuffle: merge per-reduce buckets, accounting bytes. Transposing
+    /// the map outputs into per-reducer columns is a cheap sequential pass
+    /// over `Vec` handles; the actual merge (one big concatenation) and
+    /// the per-record `shuffle_bytes` accounting — the expensive parts —
+    /// run in parallel, one task per reducer. Fills the map output /
+    /// combine / shuffle counters and `shuffle_time`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn shuffle_phase(
+        &self,
+        map_outputs: Vec<MapTaskOut<M::OutKey, M::OutValue>>,
+        metrics: &mut JobMetrics,
+    ) -> Vec<Vec<(M::OutKey, M::OutValue)>> {
+        let r_tasks = self.config.reduce_tasks;
         let (reduce_inputs, shuffle_dur) = obsv::timed_span(
             "phase",
             || format!("shuffle:{}", self.name),
@@ -318,9 +431,21 @@ where
             },
         );
         metrics.shuffle_time = shuffle_dur;
+        reduce_inputs
+    }
 
-        // ---- Sort/group + reduce phase (parallel over reduce tasks) ----
+    /// Sort/group + reduce phase (parallel over reduce tasks). Fills the
+    /// reduce counters, `reduce_time` and `reduce_task_times`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn reduce_phase(
+        &self,
+        reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>>,
+        metrics: &mut JobMetrics,
+        retries: &AtomicU64,
+    ) -> Vec<(R::OutKey, R::OutValue)> {
         let reducer = &self.reducer;
+        let fault_plan = self.effective_fault_plan();
+        let reduce_task_ns = obsv::Histogram::new();
         // (groups, max group size, output records) per reduce task.
         type TaskOut<K, V> = (u64, u64, Vec<(K, V)>);
         let (reduced, reduce_dur) = obsv::timed_span(
@@ -379,15 +504,60 @@ where
             metrics.reduce_output_records += records.len() as u64;
             output.extend(records);
         }
-
-        metrics.task_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
         metrics.reduce_time = reduce_dur;
-        metrics.map_task_times = task_times(&map_task_ns);
         metrics.reduce_task_times = task_times(&reduce_task_ns);
+        output
+    }
+
+    /// Final metric bookkeeping shared by every execution path: retry
+    /// count and the user-counter snapshot.
+    pub(crate) fn finish_metrics(&self, metrics: &mut JobMetrics, retries: &AtomicU64) {
+        metrics.task_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
         if let Some(c) = &self.counters {
             metrics.user = c.snapshot();
         }
-        (output, metrics)
+    }
+}
+
+/// Output of one map task: one bucket per reduce task, plus the record
+/// counts before and after combining.
+pub(crate) struct MapTaskOut<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    emitted: u64,
+    combined: u64,
+}
+
+/// One map task's body: map every record, combine, partition.
+fn map_one_task<M: Mapper>(
+    mapper: &M,
+    combiner: Option<&(dyn Combiner<Key = M::OutKey, Value = M::OutValue> + Send + Sync)>,
+    partitioner: &dyn Partitioner<M::OutKey>,
+    r_tasks: usize,
+    records: Vec<(M::InKey, M::InValue)>,
+) -> MapTaskOut<M::OutKey, M::OutValue> {
+    let mut emitter = Emitter::new();
+    for (k, v) in records {
+        mapper.map(k, v, &mut emitter);
+    }
+    let mut out = emitter.into_records();
+    let emitted = out.len() as u64;
+
+    if let Some(c) = combiner {
+        out = run_combiner(c, out);
+    }
+    let combined = out.len() as u64;
+
+    let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+        (0..r_tasks).map(|_| Vec::new()).collect();
+    for (k, v) in out {
+        let b = partitioner.partition(&k, r_tasks);
+        debug_assert!(b < r_tasks, "partitioner returned out-of-range bucket");
+        buckets[b].push((k, v));
+    }
+    MapTaskOut {
+        buckets,
+        emitted,
+        combined,
     }
 }
 

@@ -62,6 +62,7 @@ pub mod dfs;
 pub mod driver;
 pub mod fault;
 pub mod job;
+pub mod plan;
 pub mod record;
 pub mod task;
 pub mod wire;
@@ -71,7 +72,8 @@ pub use counters::{Counters, JobMetrics, TaskTimes};
 pub use dfs::Dfs;
 pub use driver::Driver;
 pub use fault::{FaultPlan, Phase};
-pub use job::{JobBuilder, JobConfig, Partitioner};
+pub use job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
+pub use plan::{plan, IdentityMap, MapChain, Plan, PlanBuilder, ReduceStage, Snapshot, Stage};
 pub use record::ShuffleSize;
 pub use task::{Combiner, Emitter, FnMapper, FnReducer, Mapper, Reducer};
 pub use wire::{decode, encode, Wire, WireError};

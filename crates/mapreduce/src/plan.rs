@@ -1,0 +1,1074 @@
+//! Typed dataflow plans: declarative multi-stage pipelines with stage
+//! fusion and co-partitioned shuffle elision.
+//!
+//! A [`Plan`] is a linear sequence of [`Stage`] nodes, each wrapping a
+//! mapper, reducer, optional combiner and partitioner together with the
+//! stage's declared contracts. Pipelines *describe* their dataflow with
+//! the builder here and hand the plan to [`Driver::run_plan`], which is
+//! the scheduler: it executes the stages through the same phase machinery
+//! as [`JobBuilder::run`], records every stage's [`JobMetrics`]
+//! automatically, and applies two cross-stage optimizations the
+//! hand-chained `JobBuilder` style cannot express:
+//!
+//! * **Stage fusion.** Adjacent map-only stages ([`PlanBuilder::map_stage`])
+//!   are fused at plan-build time into a single [`MapChain`] mapper, so the
+//!   fused stage makes one pass over its input — each record flows through
+//!   the whole chain (and the downstream stage's map-side combiner) without
+//!   materializing any intermediate stage output.
+//!
+//! * **Co-partitioned shuffle elision.** Two stages that declare the same
+//!   [`Stage::co_partitioned`] token promise they apply the *same
+//!   deterministic mapper and partitioner to the same input rows* (the
+//!   paper's LSH-DDP pipeline does exactly this: the ρ-local and δ-local
+//!   jobs both re-partition the identical point snapshot by the identical
+//!   LSH layout). The scheduler retains the first stage's post-shuffle
+//!   partitions and feeds them straight into the later stage's reduce,
+//!   skipping its map *and* shuffle entirely. The bytes that did not cross
+//!   the (simulated) network are reported as
+//!   [`JobMetrics::shuffle_bytes_saved`], keeping the paper's Figure 10(b)
+//!   accounting exact. Because the retained buckets are byte-for-byte what
+//!   the elided stage's own map+shuffle would have produced, outputs are
+//!   bit-identical with elision on or off.
+//!
+//! A [`Snapshot`] is the third leg: one immutable, `Arc`-shared input
+//! materialization that any number of plans (and stages) read without
+//! copying it up front — records are cloned lazily inside the parallel map
+//! tasks.
+//!
+//! [`Driver::run_plan`]: crate::driver::Driver::run_plan
+//! [`JobBuilder::run`]: crate::job::JobBuilder::run
+
+use crate::counters::{Counters, JobMetrics};
+use crate::job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
+use crate::task::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic ids identifying "the same input rows" across plans: a
+/// [`Snapshot`] keeps its id for life, every other row set gets a fresh
+/// one, so a co-partitioning contract can verify that producer and
+/// consumer really read the same input.
+static NEXT_SOURCE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_source_id() -> u64 {
+    NEXT_SOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An immutable input materialization shared by every stage and plan of a
+/// pipeline. Cloning a `Snapshot` clones an `Arc`, not the rows; map tasks
+/// clone only the records of their own chunk, in parallel.
+pub struct Snapshot<K, V> {
+    rows: Arc<Vec<(K, V)>>,
+    id: u64,
+}
+
+impl<K, V> Clone for Snapshot<K, V> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            rows: Arc::clone(&self.rows),
+            id: self.id,
+        }
+    }
+}
+
+impl<K, V> Snapshot<K, V> {
+    /// Wraps one materialized row set for sharing.
+    pub fn new(rows: Vec<(K, V)>) -> Self {
+        Snapshot {
+            rows: Arc::new(rows),
+            id: fresh_source_id(),
+        }
+    }
+
+    /// The shared rows.
+    pub fn rows(&self) -> &[(K, V)] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the snapshot holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Two mappers fused into one pass: `second` consumes `first`'s emissions
+/// record by record, so the first stage's full output is never
+/// materialized. Built by [`PlanBuilder::map_stage`]; usable directly with
+/// [`JobBuilder`] too.
+pub struct MapChain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> MapChain<A, B>
+where
+    A: Mapper,
+    B: Mapper<InKey = A::OutKey, InValue = A::OutValue>,
+{
+    /// Chains `first` then `second`.
+    pub fn new(first: A, second: B) -> Self {
+        MapChain { first, second }
+    }
+}
+
+impl<A, B> Mapper for MapChain<A, B>
+where
+    A: Mapper,
+    B: Mapper<InKey = A::OutKey, InValue = A::OutValue>,
+{
+    type InKey = A::InKey;
+    type InValue = A::InValue;
+    type OutKey = B::OutKey;
+    type OutValue = B::OutValue;
+
+    fn map(&self, key: A::InKey, value: A::InValue, out: &mut Emitter<B::OutKey, B::OutValue>) {
+        let mut mid = Emitter::new();
+        self.first.map(key, value, &mut mid);
+        for (k, v) in mid.into_records() {
+            self.second.map(k, v, out);
+        }
+    }
+}
+
+/// The no-op mapper a reducer-only stage runs when no map-only stages
+/// precede it — the "aggregate" jobs of the DDP pipelines.
+pub struct IdentityMap<K, V>(PhantomData<fn() -> (K, V)>);
+
+impl<K, V> IdentityMap<K, V> {
+    /// A fresh identity mapper.
+    pub fn new() -> Self {
+        IdentityMap(PhantomData)
+    }
+}
+
+impl<K, V> Default for IdentityMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: MrKey, V: MrValue> Mapper for IdentityMap<K, V> {
+    type InKey = K;
+    type InValue = V;
+    type OutKey = K;
+    type OutValue = V;
+
+    fn map(&self, key: K, value: V, out: &mut Emitter<K, V>) {
+        out.emit(key, value);
+    }
+}
+
+/// A pending map-only chain accumulated by [`PlanBuilder::map_stage`],
+/// waiting to be fused into the next full stage.
+pub struct Pending<A>(A);
+
+/// Build-time fusion: how the pending map-only chain (`Self`) absorbs the
+/// next stage's mapper `M`, yielding the mapper the stage actually runs.
+/// `K`/`V` are the row types entering the chain.
+pub trait FusePending<K, V, M: Mapper>: Sized {
+    /// The fused mapper: consumes `(K, V)` rows, produces `M`'s output.
+    type Fused: Mapper<InKey = K, InValue = V, OutKey = M::OutKey, OutValue = M::OutValue>;
+
+    /// Fuses the chain with `next`.
+    fn fuse(self, next: M) -> Self::Fused;
+}
+
+impl<K, V, M> FusePending<K, V, M> for ()
+where
+    M: Mapper<InKey = K, InValue = V>,
+{
+    type Fused = M;
+
+    fn fuse(self, next: M) -> M {
+        next
+    }
+}
+
+impl<K, V, A, M> FusePending<K, V, M> for Pending<A>
+where
+    A: Mapper<InKey = K, InValue = V>,
+    M: Mapper<InKey = A::OutKey, InValue = A::OutValue>,
+{
+    type Fused = MapChain<A, M>;
+
+    fn fuse(self, next: M) -> MapChain<A, M> {
+        MapChain::new(self.0, next)
+    }
+}
+
+/// How the pending chain becomes a stage's mapper when the next stage is
+/// reducer-only ([`PlanBuilder::reduce_stage`]): the chain itself if one
+/// is pending, the zero-cost [`IdentityMap`] otherwise.
+pub trait PendingMapper<K, V>: Sized {
+    /// The mapper the reducer-only stage runs.
+    type M: Mapper<InKey = K, InValue = V>;
+
+    /// Consumes the pending state.
+    fn into_mapper(self) -> Self::M;
+}
+
+impl<K: MrKey, V: MrValue> PendingMapper<K, V> for () {
+    type M = IdentityMap<K, V>;
+
+    fn into_mapper(self) -> IdentityMap<K, V> {
+        IdentityMap::new()
+    }
+}
+
+impl<A: Mapper> PendingMapper<A::InKey, A::InValue> for Pending<A> {
+    type M = A;
+
+    fn into_mapper(self) -> A {
+        self.0
+    }
+}
+
+/// One full dataflow node: a mapper and reducer plus the optional
+/// combiner, partitioner, parallelism config, user counters, declared
+/// partitioning contract, and a metrics-finalize hook.
+pub struct Stage<M, R>
+where
+    M: Mapper,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    name: String,
+    mapper: M,
+    reducer: R,
+    combiner: Option<Box<dyn Combiner<Key = M::OutKey, Value = M::OutValue> + Send + Sync>>,
+    partitioner: Box<dyn Partitioner<M::OutKey>>,
+    config: JobConfig,
+    counters: Option<Counters>,
+    contract: Option<String>,
+    finalize: Option<FinalizeHook>,
+}
+
+impl<M, R> Stage<M, R>
+where
+    M: Mapper,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    /// A stage named `name` running `mapper` then `reducer`, with the
+    /// default hash partitioner and default parallelism.
+    pub fn new(name: impl Into<String>, mapper: M, reducer: R) -> Self {
+        Stage {
+            name: name.into(),
+            mapper,
+            reducer,
+            combiner: None,
+            partitioner: Box::new(HashPartitioner),
+            config: JobConfig::default(),
+            counters: None,
+            contract: None,
+            finalize: None,
+        }
+    }
+
+    /// Installs a map-side combiner. The engine always runs combiners
+    /// inside the map tasks, so on a fused stage the whole
+    /// map-chain → combine pass happens in one sweep per task.
+    pub fn combiner<C>(mut self, combiner: C) -> Self
+    where
+        C: Combiner<Key = M::OutKey, Value = M::OutValue> + Send + Sync + 'static,
+    {
+        self.combiner = Some(Box::new(combiner));
+        self
+    }
+
+    /// Replaces the default hash partitioner.
+    pub fn partitioner<P>(mut self, partitioner: P) -> Self
+    where
+        P: Partitioner<M::OutKey> + 'static,
+    {
+        self.partitioner = Box::new(partitioner);
+        self
+    }
+
+    /// Sets the parallelism config.
+    pub fn config(mut self, config: JobConfig) -> Self {
+        assert!(
+            config.map_tasks > 0 && config.reduce_tasks > 0,
+            "task counts must be positive"
+        );
+        self.config = config;
+        self
+    }
+
+    /// Attaches user counters whose snapshot is included in the stage's
+    /// metrics.
+    pub fn counters(mut self, counters: Counters) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Declares this stage's map output partitioning under `token`.
+    ///
+    /// **Contract:** every stage declaring the same token applies the same
+    /// deterministic mapper and partitioner, with the same task counts, to
+    /// the same input rows. The scheduler retains the first such stage's
+    /// post-shuffle partitions and elides the map+shuffle of later ones
+    /// (reporting the skipped volume as `shuffle_bytes_saved`). The
+    /// declared-type parts of the contract — key/value types, task counts,
+    /// partitioner identity, input source — are verified at run time and a
+    /// mismatch falls back to full execution; sameness of the mapper is
+    /// the caller's promise.
+    pub fn co_partitioned(mut self, token: impl Into<String>) -> Self {
+        self.contract = Some(token.into());
+        self
+    }
+
+    /// Runs `f` on the stage's recorded metrics right before the scheduler
+    /// appends them to the driver history — the hook for pipeline-level
+    /// bookkeeping such as cumulative distance-counter snapshots.
+    pub fn finalize(mut self, f: impl FnOnce(&mut JobMetrics) + 'static) -> Self {
+        self.finalize = Some(Box::new(f));
+        self
+    }
+}
+
+/// A reducer-only dataflow node: its mapper is whatever map-only chain
+/// precedes it in the plan (or the identity). This is the natural shape of
+/// the DDP "aggregate" stages — and of any stage fused behind
+/// [`PlanBuilder::map_stage`] without paying an identity hop per record.
+pub struct ReduceStage<R: Reducer> {
+    name: String,
+    reducer: R,
+    combiner: Option<Box<dyn Combiner<Key = R::InKey, Value = R::InValue> + Send + Sync>>,
+    partitioner: Box<dyn Partitioner<R::InKey>>,
+    config: JobConfig,
+    counters: Option<Counters>,
+    contract: Option<String>,
+    finalize: Option<FinalizeHook>,
+}
+
+impl<R: Reducer> ReduceStage<R> {
+    /// A reducer-only stage named `name`.
+    pub fn new(name: impl Into<String>, reducer: R) -> Self {
+        ReduceStage {
+            name: name.into(),
+            reducer,
+            combiner: None,
+            partitioner: Box::new(HashPartitioner),
+            config: JobConfig::default(),
+            counters: None,
+            contract: None,
+            finalize: None,
+        }
+    }
+
+    /// Installs a map-side combiner (see [`Stage::combiner`]).
+    pub fn combiner<C>(mut self, combiner: C) -> Self
+    where
+        C: Combiner<Key = R::InKey, Value = R::InValue> + Send + Sync + 'static,
+    {
+        self.combiner = Some(Box::new(combiner));
+        self
+    }
+
+    /// Replaces the default hash partitioner.
+    pub fn partitioner<P>(mut self, partitioner: P) -> Self
+    where
+        P: Partitioner<R::InKey> + 'static,
+    {
+        self.partitioner = Box::new(partitioner);
+        self
+    }
+
+    /// Sets the parallelism config.
+    pub fn config(mut self, config: JobConfig) -> Self {
+        assert!(
+            config.map_tasks > 0 && config.reduce_tasks > 0,
+            "task counts must be positive"
+        );
+        self.config = config;
+        self
+    }
+
+    /// Attaches user counters (see [`Stage::counters`]).
+    pub fn counters(mut self, counters: Counters) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Declares the stage's partitioning contract (see
+    /// [`Stage::co_partitioned`]).
+    pub fn co_partitioned(mut self, token: impl Into<String>) -> Self {
+        self.contract = Some(token.into());
+        self
+    }
+
+    /// Metrics-finalize hook (see [`Stage::finalize`]).
+    pub fn finalize(mut self, f: impl FnOnce(&mut JobMetrics) + 'static) -> Self {
+        self.finalize = Some(Box::new(f));
+        self
+    }
+}
+
+/// Boxed rows flowing between erased stages: a `MapInput<K, V>` behind
+/// `dyn Any`. The typed builder guarantees every downcast succeeds.
+type Rows = Box<dyn Any>;
+
+/// Metrics hook run right before a stage's metrics are recorded.
+type FinalizeHook = Box<dyn FnOnce(&mut JobMetrics)>;
+
+/// Retained post-shuffle buckets plus the shuffle volume they represent.
+type TakenBuckets<K, V> = (Vec<Vec<(K, V)>>, u64);
+
+/// One type-erased, ready-to-run stage.
+type StageRun = Box<dyn FnOnce(&mut ExecCtx<'_>, Rows, u64) -> (Rows, u64)>;
+
+/// What the scheduler hands each stage: the elision switch, the retained
+/// partition cache, and the metrics history to append to.
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) elide: bool,
+    pub(crate) cache: &'a mut PartitionCache,
+    pub(crate) history: &'a mut Vec<JobMetrics>,
+}
+
+/// The verified half of a co-partitioning contract: intermediate key/value
+/// types, task counts, partitioner identity, and the identity of the input
+/// rows the map ran over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ContractKey {
+    kv: (TypeId, TypeId),
+    map_tasks: usize,
+    reduce_tasks: usize,
+    partitioner: &'static str,
+    source: u64,
+}
+
+struct CacheEntry {
+    buckets: Box<dyn Any>,
+    key: ContractKey,
+    shuffle_bytes: u64,
+}
+
+/// Retained post-shuffle partitions, keyed by contract token. Owned by the
+/// driver so a contract can span plans (pipelines interleave driver-side
+/// broadcast assembly between plan segments). An entry is consumed by its
+/// first eligible consumer.
+#[derive(Default)]
+pub(crate) struct PartitionCache {
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl PartitionCache {
+    fn take<K: 'static, V: 'static>(
+        &mut self,
+        token: &str,
+        key: &ContractKey,
+    ) -> Option<TakenBuckets<K, V>> {
+        if self.entries.get(token)?.key != *key {
+            return None;
+        }
+        let entry = self.entries.remove(token).expect("entry checked above");
+        let buckets = entry
+            .buckets
+            .downcast::<Vec<Vec<(K, V)>>>()
+            .expect("bucket type verified by ContractKey");
+        Some((*buckets, entry.shuffle_bytes))
+    }
+
+    fn retain<K: 'static, V: 'static>(
+        &mut self,
+        token: String,
+        key: ContractKey,
+        buckets: Vec<Vec<(K, V)>>,
+        shuffle_bytes: u64,
+    ) {
+        self.entries.insert(
+            token,
+            CacheEntry {
+                buckets: Box::new(buckets),
+                key,
+                shuffle_bytes,
+            },
+        );
+    }
+}
+
+/// A built, ready-to-execute dataflow plan producing `(K, V)` rows. Hand
+/// it to [`Driver::run_plan`](crate::driver::Driver::run_plan).
+pub struct Plan<K, V> {
+    pub(crate) name: String,
+    pub(crate) source: Rows,
+    pub(crate) source_id: u64,
+    pub(crate) stages: Vec<StageRun>,
+    pub(crate) _out: PhantomData<fn() -> (K, V)>,
+}
+
+/// Starts describing a plan named `name`; pick the input with
+/// [`PlanInit::rows`] or [`PlanInit::snapshot`].
+pub fn plan(name: impl Into<String>) -> PlanInit {
+    PlanInit { name: name.into() }
+}
+
+/// A named plan waiting for its input source.
+pub struct PlanInit {
+    name: String,
+}
+
+impl PlanInit {
+    /// Feeds the plan an owned row set.
+    pub fn rows<K: 'static, V: 'static>(self, rows: Vec<(K, V)>) -> PlanBuilder<K, V, ()> {
+        PlanBuilder {
+            name: self.name,
+            source: Box::new(MapInput::Owned(rows)),
+            source_id: fresh_source_id(),
+            stages: Vec::new(),
+            pending: (),
+            _rows: PhantomData,
+        }
+    }
+
+    /// Feeds the plan a shared snapshot — many plans can read the same
+    /// materialization, and co-partitioning contracts recognize it as the
+    /// same source across plans.
+    pub fn snapshot<K: 'static, V: 'static>(self, snap: &Snapshot<K, V>) -> PlanBuilder<K, V, ()> {
+        PlanBuilder {
+            name: self.name,
+            source: Box::new(MapInput::Shared(Arc::clone(&snap.rows))),
+            source_id: snap.id,
+            stages: Vec::new(),
+            pending: (),
+            _rows: PhantomData,
+        }
+    }
+}
+
+/// Typed plan builder. `K`/`V` are the row types entering the pending
+/// map-only chain `P` (`()` when nothing is pending — then they are simply
+/// the current row types). The types thread through every `stage` call,
+/// so a mis-chained plan is a compile error, not a runtime surprise.
+pub struct PlanBuilder<K, V, P> {
+    name: String,
+    source: Rows,
+    source_id: u64,
+    stages: Vec<StageRun>,
+    pending: P,
+    _rows: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, P> PlanBuilder<K, V, P> {
+    /// Appends a map-only stage. It does not run on its own: the scheduler
+    /// fuses it (and any further map-only stages) into the next full stage,
+    /// which then makes a single pass doing chain → combine → partition
+    /// per map task.
+    pub fn map_stage<M>(self, mapper: M) -> PlanBuilder<K, V, Pending<P::Fused>>
+    where
+        M: Mapper,
+        P: FusePending<K, V, M>,
+    {
+        PlanBuilder {
+            name: self.name,
+            source: self.source,
+            source_id: self.source_id,
+            stages: self.stages,
+            pending: Pending(self.pending.fuse(mapper)),
+            _rows: PhantomData,
+        }
+    }
+
+    /// Appends a full map+reduce stage, fusing any pending map-only chain
+    /// in front of its mapper.
+    pub fn stage<M, R>(mut self, stage: Stage<M, R>) -> PlanBuilder<R::OutKey, R::OutValue, ()>
+    where
+        M: Mapper + 'static,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
+        P: FusePending<K, V, M>,
+        P::Fused: 'static,
+        K: Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        M::OutKey: 'static,
+        M::OutValue: Clone + 'static,
+        R::OutKey: 'static,
+        R::OutValue: 'static,
+    {
+        let fused = self.pending.fuse(stage.mapper);
+        push_stage::<P::Fused, R>(
+            &mut self.stages,
+            stage.name,
+            fused,
+            stage.reducer,
+            stage.combiner,
+            stage.partitioner,
+            stage.config,
+            stage.counters,
+            stage.contract,
+            stage.finalize,
+        );
+        PlanBuilder {
+            name: self.name,
+            source: self.source,
+            source_id: self.source_id,
+            stages: self.stages,
+            pending: (),
+            _rows: PhantomData,
+        }
+    }
+
+    /// Appends a reducer-only stage: the pending map-only chain (or the
+    /// identity) becomes its mapper directly — no per-record identity hop.
+    pub fn reduce_stage<R>(
+        mut self,
+        stage: ReduceStage<R>,
+    ) -> PlanBuilder<R::OutKey, R::OutValue, ()>
+    where
+        R: Reducer + 'static,
+        P: PendingMapper<K, V>,
+        P::M: Mapper<OutKey = R::InKey, OutValue = R::InValue> + 'static,
+        K: Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        R::InKey: 'static,
+        R::InValue: Clone + 'static,
+        R::OutKey: 'static,
+        R::OutValue: 'static,
+    {
+        let mapper = self.pending.into_mapper();
+        push_stage::<P::M, R>(
+            &mut self.stages,
+            stage.name,
+            mapper,
+            stage.reducer,
+            stage.combiner,
+            stage.partitioner,
+            stage.config,
+            stage.counters,
+            stage.contract,
+            stage.finalize,
+        );
+        PlanBuilder {
+            name: self.name,
+            source: self.source,
+            source_id: self.source_id,
+            stages: self.stages,
+            pending: (),
+            _rows: PhantomData,
+        }
+    }
+}
+
+impl<K: 'static, V: 'static> PlanBuilder<K, V, ()> {
+    /// Finishes the plan. Only available with no pending map-only stage —
+    /// a trailing `map_stage` has no reducer to fuse into, which this
+    /// turns into a compile error.
+    pub fn build(self) -> Plan<K, V> {
+        Plan {
+            name: self.name,
+            source: self.source,
+            source_id: self.source_id,
+            stages: self.stages,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Erases one configured stage into a [`StageRun`] closure.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn push_stage<M, R>(
+    stages: &mut Vec<StageRun>,
+    name: String,
+    mapper: M,
+    reducer: R,
+    combiner: Option<Box<dyn Combiner<Key = M::OutKey, Value = M::OutValue> + Send + Sync>>,
+    partitioner: Box<dyn Partitioner<M::OutKey>>,
+    config: JobConfig,
+    counters: Option<Counters>,
+    contract: Option<String>,
+    finalize: Option<FinalizeHook>,
+) where
+    M: Mapper + 'static,
+    M::InKey: Clone + Sync + 'static,
+    M::InValue: Clone + Sync + 'static,
+    M::OutKey: 'static,
+    M::OutValue: Clone + 'static,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
+    R::OutKey: 'static,
+    R::OutValue: 'static,
+{
+    stages.push(Box::new(move |ctx, rows, source| {
+        let input = *rows
+            .downcast::<MapInput<M::InKey, M::InValue>>()
+            .unwrap_or_else(|_| panic!("plan stage '{name}': input row type mismatch"));
+        let mut builder = JobBuilder::new(name, mapper, reducer)
+            .config(config)
+            .boxed_partitioner(partitioner);
+        if let Some(c) = combiner {
+            builder = builder.boxed_combiner(c);
+        }
+        if let Some(c) = counters {
+            builder = builder.counters(c);
+        }
+        let (out, mut metrics) = execute_stage(ctx, builder, contract.as_deref(), input, source);
+        if let Some(f) = finalize {
+            f(&mut metrics);
+        }
+        ctx.history.push(metrics);
+        (Box::new(MapInput::Owned(out)) as Rows, fresh_source_id())
+    }));
+}
+
+/// Runs one stage through the engine's phase machinery, inside the same
+/// `"job"` span `JobBuilder::run` opens, applying the co-partitioning
+/// contract: retain the post-shuffle partitions the first time a token is
+/// seen, elide map+shuffle (reduce straight off the retained buckets) on a
+/// verified later use. Fault injection applies to whatever phases actually
+/// run, so an elided stage still exercises reduce-side retries.
+#[allow(clippy::type_complexity)]
+fn execute_stage<M, R>(
+    ctx: &mut ExecCtx<'_>,
+    builder: JobBuilder<M, R>,
+    contract: Option<&str>,
+    input: MapInput<M::InKey, M::InValue>,
+    source: u64,
+) -> (Vec<(R::OutKey, R::OutValue)>, JobMetrics)
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+    M::OutKey: 'static,
+    M::OutValue: Clone + 'static,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    let name = builder.job_name().to_string();
+    let elide = ctx.elide;
+    let cache = &mut *ctx.cache;
+    let ((out, mut metrics), wall) = obsv::timed_span(
+        "job",
+        || name.clone(),
+        move || {
+            let mut metrics = builder.metrics_shell();
+            let retries = AtomicU64::new(0);
+            let ckey = ContractKey {
+                kv: (TypeId::of::<M::OutKey>(), TypeId::of::<M::OutValue>()),
+                map_tasks: builder.job_config().map_tasks,
+                reduce_tasks: builder.job_config().reduce_tasks,
+                partitioner: builder.partitioner_contract(),
+                source,
+            };
+            let reuse = match (contract, elide) {
+                (Some(token), true) => cache.take::<M::OutKey, M::OutValue>(token, &ckey),
+                _ => None,
+            };
+            let out = match reuse {
+                Some((buckets, saved_bytes)) => {
+                    // Map and shuffle elided: their counters stay 0, the
+                    // skipped volume is reported separately, and the input
+                    // rows are never even read.
+                    metrics.shuffle_bytes_saved = saved_bytes;
+                    metrics.max_reduce_task_records =
+                        buckets.iter().map(|b| b.len() as u64).max().unwrap_or(0);
+                    builder.reduce_phase(buckets, &mut metrics, &retries)
+                }
+                None => {
+                    let map_out = builder.map_phase(input, &mut metrics, &retries);
+                    let buckets = builder.shuffle_phase(map_out, &mut metrics);
+                    if let (Some(token), true) = (contract, elide) {
+                        cache.retain::<M::OutKey, M::OutValue>(
+                            token.to_string(),
+                            ckey,
+                            buckets.clone(),
+                            metrics.shuffle_bytes,
+                        );
+                    }
+                    builder.reduce_phase(buckets, &mut metrics, &retries)
+                }
+            };
+            builder.finish_metrics(&mut metrics, &retries);
+            (out, metrics)
+        },
+    );
+    metrics.wall_time = wall;
+    (out, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::task::{FnMapper, FnReducer};
+
+    fn mod_key_mapper() -> impl Mapper<InKey = u32, InValue = u32, OutKey = u32, OutValue = u64> {
+        FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u64>| {
+            out.emit(k % 7, v as u64);
+        })
+    }
+
+    fn sum_reducer() -> impl Reducer<InKey = u32, InValue = u64, OutKey = u32, OutValue = u64> {
+        FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+            out.emit(*k, vs.into_iter().sum());
+        })
+    }
+
+    fn max_reducer() -> impl Reducer<InKey = u32, InValue = u64, OutKey = u32, OutValue = u64> {
+        FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+            out.emit(*k, vs.into_iter().max().unwrap_or(0));
+        })
+    }
+
+    fn input_rows(n: u32) -> Vec<(u32, u32)> {
+        (0..n).map(|i| (i, i.wrapping_mul(2654435761))).collect()
+    }
+
+    #[test]
+    fn multi_stage_plan_matches_hand_chained_jobs() {
+        let rows = input_rows(100);
+
+        // Reference: two hand-chained JobBuilder runs.
+        let (mid, m1) = JobBuilder::new("s1", mod_key_mapper(), sum_reducer())
+            .config(JobConfig::uniform(3))
+            .run(rows.clone());
+        let (mut want, m2) = JobBuilder::new(
+            "s2",
+            FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u32, u64>| out.emit(k % 2, v)),
+            sum_reducer(),
+        )
+        .config(JobConfig::uniform(2))
+        .run(mid);
+
+        // Same dataflow as a plan.
+        let mut driver = Driver::new();
+        let p = plan("two-stage")
+            .rows(rows)
+            .stage(Stage::new("s1", mod_key_mapper(), sum_reducer()).config(JobConfig::uniform(3)))
+            .stage(
+                Stage::new(
+                    "s2",
+                    FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u32, u64>| out.emit(k % 2, v)),
+                    sum_reducer(),
+                )
+                .config(JobConfig::uniform(2)),
+            )
+            .build();
+        let mut got = driver.run_plan(p);
+
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        let h = driver.history();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].name, "s1");
+        assert_eq!(h[1].name, "s2");
+        assert_eq!(h[0].shuffle_bytes, m1.shuffle_bytes);
+        assert_eq!(h[1].shuffle_bytes, m2.shuffle_bytes);
+        assert!(h.iter().all(|m| m.shuffle_bytes_saved == 0));
+    }
+
+    #[test]
+    fn map_stages_fuse_into_one_single_pass_stage() {
+        let rows = input_rows(60);
+
+        // Reference: the unfused dataflow, one job per map stage.
+        let (a, _) = JobBuilder::new(
+            "m1",
+            FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u32>| {
+                out.emit(k, v / 2);
+            }),
+            FnReducer::new(|k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u32>| {
+                for v in vs {
+                    out.emit(*k, v);
+                }
+            }),
+        )
+        .config(JobConfig::uniform(2))
+        .run(rows.clone());
+        let (mut want, _) = JobBuilder::new("m2", mod_key_mapper(), sum_reducer())
+            .config(JobConfig::uniform(2))
+            .run(a);
+
+        let mut driver = Driver::new();
+        let p = plan("fused")
+            .rows(rows)
+            .map_stage(FnMapper::new(
+                |k: u32, v: u32, out: &mut Emitter<u32, u32>| {
+                    out.emit(k, v / 2);
+                },
+            ))
+            .map_stage(mod_key_mapper())
+            .reduce_stage(
+                ReduceStage::new("fused-sum", sum_reducer()).config(JobConfig::uniform(2)),
+            )
+            .build();
+        let mut got = driver.run_plan(p);
+
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        // The two map-only stages and the reduce stage ran as ONE job.
+        assert_eq!(driver.history().len(), 1);
+        assert_eq!(driver.history()[0].name, "fused-sum");
+        assert_eq!(driver.history()[0].map_output_records, 60);
+    }
+
+    #[test]
+    fn co_partitioned_stages_elide_the_second_shuffle() {
+        let snap = Snapshot::new(input_rows(200));
+        let mut driver = Driver::new();
+
+        let p1 = plan("sum")
+            .snapshot(&snap)
+            .map_stage(mod_key_mapper())
+            .reduce_stage(
+                ReduceStage::new("sum", sum_reducer())
+                    .config(JobConfig::uniform(4))
+                    .co_partitioned("mod7"),
+            )
+            .build();
+        let sums = driver.run_plan(p1);
+
+        let p2 = plan("max")
+            .snapshot(&snap)
+            .map_stage(mod_key_mapper())
+            .reduce_stage(
+                ReduceStage::new("max", max_reducer())
+                    .config(JobConfig::uniform(4))
+                    .co_partitioned("mod7"),
+            )
+            .build();
+        let mut maxes = driver.run_plan(p2);
+
+        let h = driver.history();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].shuffle_bytes > 0);
+        assert_eq!(h[0].shuffle_bytes_saved, 0);
+        // Second stage: map+shuffle elided, volume accounted as saved.
+        assert_eq!(h[1].map_input_records, 0);
+        assert_eq!(h[1].map_output_records, 0);
+        assert_eq!(h[1].shuffle_records, 0);
+        assert_eq!(h[1].shuffle_bytes, 0);
+        assert_eq!(h[1].shuffle_bytes_saved, h[0].shuffle_bytes);
+        // Reduce still ran for real.
+        assert_eq!(h[1].reduce_input_groups, 7);
+
+        // Outputs are bit-identical to an un-elided run.
+        let mut plain_driver = Driver::new().with_elision(false);
+        let p2_plain = plan("max-plain")
+            .snapshot(&snap)
+            .map_stage(mod_key_mapper())
+            .reduce_stage(
+                ReduceStage::new("max", max_reducer())
+                    .config(JobConfig::uniform(4))
+                    .co_partitioned("mod7"),
+            )
+            .build();
+        let mut plain = plain_driver.run_plan(p2_plain);
+        maxes.sort();
+        plain.sort();
+        assert_eq!(maxes, plain);
+        assert_eq!(plain_driver.history()[0].shuffle_bytes_saved, 0);
+        assert!(plain_driver.history()[0].shuffle_bytes > 0);
+
+        // And the sums are what a direct job computes.
+        let (mut want_sums, _) = JobBuilder::new("ref", mod_key_mapper(), sum_reducer())
+            .config(JobConfig::uniform(4))
+            .run(snap.rows().to_vec());
+        let mut sums = sums;
+        sums.sort();
+        want_sums.sort();
+        assert_eq!(sums, want_sums);
+    }
+
+    #[test]
+    fn contract_mismatch_falls_back_to_full_execution() {
+        let snap = Snapshot::new(input_rows(80));
+        let mut driver = Driver::new();
+
+        let p1 = plan("sum")
+            .snapshot(&snap)
+            .map_stage(mod_key_mapper())
+            .reduce_stage(
+                ReduceStage::new("sum", sum_reducer())
+                    .config(JobConfig::uniform(4))
+                    .co_partitioned("tok"),
+            )
+            .build();
+        driver.run_plan(p1);
+
+        // Same token but different reduce task count: the verified part of
+        // the contract fails, so the stage runs (correctly) in full.
+        let p2 = plan("max")
+            .snapshot(&snap)
+            .map_stage(mod_key_mapper())
+            .reduce_stage(
+                ReduceStage::new("max", max_reducer())
+                    .config(JobConfig::uniform(2))
+                    .co_partitioned("tok"),
+            )
+            .build();
+        let mut got = driver.run_plan(p2);
+
+        let h = driver.history();
+        assert_eq!(h[1].shuffle_bytes_saved, 0);
+        assert!(h[1].shuffle_bytes > 0);
+
+        let (mut want, _) = JobBuilder::new("ref", mod_key_mapper(), max_reducer())
+            .config(JobConfig::uniform(2))
+            .run(snap.rows().to_vec());
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshot_feeds_stages_without_copying_upfront() {
+        let snap = Snapshot::new(input_rows(50));
+        let before = Arc::strong_count(&snap.rows);
+        let mut driver = Driver::new();
+        let p = plan("reader")
+            .snapshot(&snap)
+            .map_stage(mod_key_mapper())
+            .reduce_stage(ReduceStage::new("sum", sum_reducer()).config(JobConfig::uniform(3)))
+            .build();
+        let mut got = driver.run_plan(p);
+        // The plan held a reference, not a copy, and released it.
+        assert_eq!(Arc::strong_count(&snap.rows), before);
+
+        let (mut want, _) = JobBuilder::new("ref", mod_key_mapper(), sum_reducer())
+            .config(JobConfig::uniform(3))
+            .run(snap.rows().to_vec());
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn finalize_hook_edits_recorded_metrics() {
+        let mut driver = Driver::new();
+        let p = plan("hooked")
+            .rows(input_rows(10))
+            .stage(
+                Stage::new("s", mod_key_mapper(), sum_reducer())
+                    .config(JobConfig::uniform(2))
+                    .finalize(|m: &mut JobMetrics| {
+                        m.user.insert("custom".into(), 42);
+                    }),
+            )
+            .build();
+        driver.run_plan(p);
+        assert_eq!(driver.history()[0].user["custom"], 42);
+    }
+
+    #[test]
+    fn map_chain_fuses_record_by_record() {
+        let chain = MapChain::new(
+            FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u32>| {
+                // fan out two copies
+                out.emit(k, v);
+                out.emit(k + 1, v);
+            }),
+            FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u64>| {
+                out.emit(k * 10, v as u64);
+            }),
+        );
+        let mut out = Emitter::new();
+        chain.map(3, 5, &mut out);
+        assert_eq!(out.into_records(), vec![(30, 5u64), (40, 5u64)]);
+    }
+}

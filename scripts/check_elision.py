@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CI plan-elision gate.
+
+Reads the `plan_elision` scenario out of a BENCH_perf.json produced by
+`bench_summary` and fails unless co-partitioned shuffle elision
+
+* saved a strictly positive number of shuffle bytes,
+* saved at least `min_frac` of the no-elision shuffle volume
+  (default 20%, the paper-scale floor for the LSH-DDP pipeline), and
+* changed no output bits (`outputs_match`).
+
+Usage: check_elision.py <BENCH_perf.json> [min_frac]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [min_frac]", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_frac = float(sys.argv[2]) if len(sys.argv) == 3 else 0.20
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    scenario = doc.get("plan_elision")
+    if not isinstance(scenario, dict):
+        print(f"{path}: no plan_elision scenario (schema {doc.get('schema')})",
+              file=sys.stderr)
+        return 1
+    saved = scenario["shuffle_bytes_saved"]
+    frac = scenario["saved_frac"]
+    if saved <= 0:
+        print(f"{path}: elision saved no shuffle bytes", file=sys.stderr)
+        return 1
+    if frac < min_frac:
+        print(f"{path}: elision saved only {frac:.1%} of shuffle volume, "
+              f"need >= {min_frac:.0%}", file=sys.stderr)
+        return 1
+    if not scenario["outputs_match"]:
+        print(f"{path}: elision changed the pipeline output bits", file=sys.stderr)
+        return 1
+    print(f"{path}: elision saved {saved} B ({frac:.1%} of "
+          f"{scenario['shuffle_bytes_off']} B), outputs bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

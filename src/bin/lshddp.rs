@@ -337,10 +337,21 @@ fn cluster(o: &Opts) -> Result<(), String> {
         if let Some(r) = report {
             println!("{}", r.summary_row());
             for job in &r.jobs {
-                println!(
-                    "  {:<22} shuffle {:>12} B  records {:>10}",
-                    job.name, job.shuffle_bytes, job.shuffle_records
-                );
+                if job.shuffle_bytes_saved > 0 {
+                    println!(
+                        "  {:<22} shuffle {:>12} B  records {:>10}  (elided; saved {} B)",
+                        job.name, job.shuffle_bytes, job.shuffle_records, job.shuffle_bytes_saved
+                    );
+                } else {
+                    println!(
+                        "  {:<22} shuffle {:>12} B  records {:>10}",
+                        job.name, job.shuffle_bytes, job.shuffle_records
+                    );
+                }
+            }
+            let saved = r.shuffle_bytes_saved();
+            if saved > 0 {
+                println!("  shuffle bytes saved by plan elision: {saved}");
             }
         }
     }

@@ -5,6 +5,7 @@ use lsh_ddp::prelude::*;
 use mapreduce::{Driver, Emitter};
 
 #[test]
+#[allow(deprecated)] // exercises manual Driver::record for externally-run jobs
 fn driver_runs_a_two_job_pipeline_through_dfs() {
     use mapreduce::task::{FnMapper, FnReducer};
 

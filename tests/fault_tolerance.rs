@@ -13,6 +13,7 @@ fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: Some(FaultPlan::new(rate_per_mille, 777)),
+        disable_elision: false,
     }
 }
 
@@ -61,6 +62,7 @@ fn lsh_ddp_survives_task_failures_bit_exactly() {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        disable_elision: false,
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -83,6 +85,7 @@ fn eddpc_survives_task_failures_bit_exactly() {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        disable_elision: false,
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);

@@ -116,6 +116,7 @@ fn pipelines_are_deterministic_across_runs_and_task_counts() {
                 map_tasks: tasks,
                 reduce_tasks: tasks,
                 fault: None,
+                disable_elision: false,
             },
             partition_cap: None,
             rho_aggregation: Default::default(),

@@ -47,6 +47,14 @@ fn library_run_captures_pipeline_job_phase_task_tree() {
         .expect("pipeline span recorded");
     assert_eq!(pipeline.name, "lsh-ddp");
 
+    // The two dataflow plans the pipeline runs appear as plan spans.
+    for p in ["lsh/rho", "lsh/delta"] {
+        assert!(
+            events.iter().any(|e| e.cat == "plan" && e.name == p),
+            "plan span {p} recorded"
+        );
+    }
+
     for job in LSH_DDP_JOBS {
         let j = events
             .iter()
@@ -61,12 +69,19 @@ fn library_run_captures_pipeline_job_phase_task_tree() {
             j.start_ns + j.dur_ns <= pipeline.start_ns + pipeline.dur_ns,
             "{job} ends inside pipeline"
         );
-        // ... and has map/reduce phases linked to it by parent id.
+        // ... and has map/reduce phases linked to it by parent id. The
+        // delta-local stage reuses rho-local's shuffled partitions
+        // (co-partitioned elision), so its map phase never runs.
+        let elided = job == "lsh/delta-local";
         for phase in ["map", "reduce"] {
             let p = events
                 .iter()
-                .find(|e| e.cat == "phase" && e.name == format!("{phase}:{job}"))
-                .unwrap_or_else(|| panic!("phase span {phase}:{job} recorded"));
+                .find(|e| e.cat == "phase" && e.name == format!("{phase}:{job}"));
+            if phase == "map" && elided {
+                assert!(p.is_none(), "elided {job} must not run a map phase");
+                continue;
+            }
+            let p = p.unwrap_or_else(|| panic!("phase span {phase}:{job} recorded"));
             assert_eq!(p.parent, j.id, "{phase}:{job} is a child of its job");
         }
     }
