@@ -73,6 +73,23 @@ struct ElisionBench {
 }
 
 #[derive(Serialize)]
+struct RecoveryBench {
+    description: &'static str,
+    clean_s: f64,
+    /// Wall time with ~10% task crashes plus 10% stragglers injected.
+    chaos_s: f64,
+    /// Wall time with stage checkpointing on (no faults).
+    checkpoint_s: f64,
+    /// `checkpoint_s / clean_s - 1`; the cost of materializing every
+    /// stage. Negative values are timing noise.
+    checkpoint_overhead_frac: f64,
+    task_retries: u64,
+    straggler_delay_ms: f64,
+    /// Bit-identical `(rho, delta, upslope)` between clean and chaos.
+    outputs_match: bool,
+}
+
+#[derive(Serialize)]
 struct Summary {
     schema: u32,
     mode: &'static str,
@@ -83,6 +100,7 @@ struct Summary {
     lsh_ddp_pipeline: WallBench,
     kernel_pair_d2: KernelBench,
     plan_elision: ElisionBench,
+    recovery_overhead: RecoveryBench,
     tracing_overhead: OverheadBench,
 }
 
@@ -186,14 +204,20 @@ fn blob_lsh() -> LshDdp {
 }
 
 fn blob_lsh_with(disable_elision: bool) -> LshDdp {
+    blob_lsh_cfg(PipelineConfig {
+        map_tasks: 8,
+        reduce_tasks: 8,
+        fault: None,
+        chaos: None,
+        disable_elision,
+        checkpoints: false,
+    })
+}
+
+fn blob_lsh_cfg(pipeline: PipelineConfig) -> LshDdp {
     let base = LshDdp::with_accuracy(0.99, 10, 3, BLOB_DC, 42).expect("valid params");
     LshDdp::new(ddp::LshDdpConfig {
-        pipeline: PipelineConfig {
-            map_tasks: 8,
-            reduce_tasks: 8,
-            fault: None,
-            disable_elision,
-        },
+        pipeline,
         ..base.config().clone()
     })
 }
@@ -236,6 +260,66 @@ fn plan_elision(n_per_blob: usize) -> ElisionBench {
         shuffle_bytes_off: r_off.shuffle_bytes(),
         shuffle_bytes_saved: saved,
         saved_frac: saved as f64 / r_off.shuffle_bytes().max(1) as f64,
+        outputs_match,
+    }
+}
+
+/// The recovery-path costs on the LSH-DDP pipeline: a clean run, a run
+/// under ~10% injected task crashes plus 10% stragglers (retries must be
+/// invisible in the outputs), and a run with stage checkpointing on (the
+/// materialization tax a resumable job pays up front).
+fn recovery_overhead(n_per_blob: usize) -> RecoveryBench {
+    use mapreduce::{ChaosPlan, Phase};
+    let ds = blob_dataset(n_per_blob);
+    let base = blob_lsh_with(false).config().pipeline;
+
+    let mut chaos = ChaosPlan::new(100, 42).with_stragglers(100, 2.0, 1);
+    // Make the schedule survivable: a doomed task would kill the bench.
+    while !(0..64).all(|t| {
+        [Phase::Map, Phase::Reduce]
+            .into_iter()
+            .all(|p| chaos.task_wastage(p, t).is_some())
+    }) {
+        chaos.fault.max_attempts += 1;
+    }
+
+    let clean = blob_lsh_cfg(base);
+    let chaotic = blob_lsh_cfg(PipelineConfig {
+        chaos: Some(chaos),
+        ..base
+    });
+    let ckpt = blob_lsh_cfg(PipelineConfig {
+        checkpoints: true,
+        ..base
+    });
+
+    let clean_s = time_calls(3, || clean.run(&ds, BLOB_DC));
+    let chaos_s = time_calls(3, || chaotic.run(&ds, BLOB_DC));
+    let checkpoint_s = time_calls(3, || ckpt.run(&ds, BLOB_DC));
+
+    let r_clean = clean.run(&ds, BLOB_DC);
+    let r_chaos = chaotic.run(&ds, BLOB_DC);
+    let outputs_match = r_clean.result.rho == r_chaos.result.rho
+        && r_clean.result.upslope == r_chaos.result.upslope
+        && r_clean
+            .result
+            .delta
+            .iter()
+            .zip(&r_chaos.result.delta)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    RecoveryBench {
+        description: "lsh_ddp_pipeline workload: clean vs 10% chaos vs stage checkpointing",
+        clean_s,
+        chaos_s,
+        checkpoint_s,
+        checkpoint_overhead_frac: checkpoint_s / clean_s - 1.0,
+        task_retries: r_chaos.jobs.iter().map(|j| j.task_retries).sum(),
+        straggler_delay_ms: r_chaos
+            .jobs
+            .iter()
+            .map(|j| j.straggler_delay_ns)
+            .sum::<u64>() as f64
+            / 1e6,
         outputs_match,
     }
 }
@@ -309,7 +393,7 @@ fn main() {
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 3,
+        schema: 4,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -332,6 +416,7 @@ fn main() {
         lsh_ddp_pipeline: lsh_ddp_pipeline(blob_n),
         kernel_pair_d2: kernel_pair_d2(kernel_n, 8),
         plan_elision: plan_elision(blob_n),
+        recovery_overhead: recovery_overhead(blob_n),
         // Must stay last: installs the process-lifetime chunk observer.
         tracing_overhead: tracing_overhead(blob_n),
     };
@@ -360,6 +445,17 @@ fn main() {
         summary.plan_elision.shuffle_bytes_saved,
         summary.plan_elision.saved_frac * 100.0,
         summary.plan_elision.outputs_match
+    );
+    eprintln!(
+        "recovery: clean {:.3}s chaos {:.3}s ({} retries, {:.1} ms straggler delay), \
+         checkpointing {:.3}s ({:+.1}%), outputs_match={}",
+        summary.recovery_overhead.clean_s,
+        summary.recovery_overhead.chaos_s,
+        summary.recovery_overhead.task_retries,
+        summary.recovery_overhead.straggler_delay_ms,
+        summary.recovery_overhead.checkpoint_s,
+        summary.recovery_overhead.checkpoint_overhead_frac * 100.0,
+        summary.recovery_overhead.outputs_match
     );
     eprintln!(
         "tracing: off {:.3}s on {:.3}s -> {:+.1}% overhead",

@@ -10,7 +10,10 @@
 //!
 //! Reported per configuration: sustained throughput, mean micro-batch
 //! size (the batching win appears as soon as clients outnumber workers),
-//! cache hit rate, and p50/p99 end-to-end latency.
+//! cache hit rate, p50/p99 end-to-end latency, and the two load-shedding
+//! counters — `shed` (submits refused with `Busy` at a deliberately tight
+//! queue) and `timeouts` (requests that outwaited the per-request
+//! deadline and were answered with `Timeout` instead of being served).
 //!
 //! ```text
 //! cargo run --release -p lshddp-bench --bin serve_loadgen [-- --scale f --seed n]
@@ -20,8 +23,9 @@ use ddp::prelude::*;
 use lshddp_bench::{print_table, ExpArgs};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serve::{ClusterModel, QueryEngine, Server, ServerConfig};
-use std::time::Instant;
+use serve::{ClusterModel, QueryEngine, ServeError, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 const QUERIES_PER_CLIENT: usize = 4_000;
 const POOL: usize = 4_096;
@@ -71,18 +75,23 @@ fn main() {
                 engine,
                 ServerConfig {
                     threads,
-                    queue_depth: 1024,
+                    // Tight queue + generous deadline: shedding is visible
+                    // under load, timeouts only under real pathology.
+                    queue_depth: clients.div_ceil(2),
                     max_batch: 32,
                     cache_capacity: cache,
+                    deadline: Some(Duration::from_millis(250)),
                     ..ServerConfig::default()
                 },
             );
 
+            let shed = AtomicU64::new(0);
             let start = Instant::now();
             std::thread::scope(|s| {
                 for c in 0..clients {
                     let client = server.client();
                     let pool = &pool;
+                    let shed = &shed;
                     let mut rng = StdRng::seed_from_u64(args.seed + c as u64);
                     s.spawn(move || {
                         let hot = ((POOL as f64 * HOT_FRACTION) as usize).max(1);
@@ -92,7 +101,20 @@ fn main() {
                             } else {
                                 rng.random_range(0..POOL)
                             };
-                            client.assign(&pool[i]).expect("server alive");
+                            // Open-loop submit with retry: a full queue is
+                            // counted as shed and retried; a timed-out
+                            // request is simply lost (the server already
+                            // counted it).
+                            loop {
+                                match client.try_assign(&pool[i]) {
+                                    Ok(_) | Err(ServeError::Timeout) => break,
+                                    Err(ServeError::Busy) => {
+                                        shed.fetch_add(1, Ordering::Relaxed);
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("server died: {e}"),
+                                }
+                            }
                         }
                     });
                 }
@@ -111,6 +133,8 @@ fn main() {
                 format!("{:.1}%", stats.cache_hit_rate * 100.0),
                 format!("{:.0}", stats.p50_latency_us),
                 format!("{:.0}", stats.p99_latency_us),
+                shed.load(Ordering::Relaxed).to_string(),
+                stats.timed_out.to_string(),
             ]);
         }
     }
@@ -125,6 +149,8 @@ fn main() {
             "hit rate",
             "p50 µs",
             "p99 µs",
+            "shed",
+            "timeouts",
         ],
         &rows,
     );

@@ -310,11 +310,20 @@ impl BasicDdp {
 
     /// Runs the pipeline with a known `d_c`.
     pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
+        self.run_with_driver(ds, dc, self.config.pipeline.driver())
+    }
+
+    /// Runs the pipeline on a caller-supplied scheduler. This is the
+    /// kill-and-resume entry point: a checkpointing driver whose previous
+    /// run of this pipeline was killed mid-stage still holds the
+    /// materialized stage outputs in its [`Dfs`], so the rerun resumes
+    /// from the last checkpoint instead of recomputing from scratch.
+    pub fn run_with_driver(&self, ds: &Dataset, dc: f64, driver: Driver) -> RunReport {
         let snap = point_snapshot(ds);
         self.run_tracked(
             ds,
             &snap,
-            self.config.pipeline.driver(),
+            driver,
             dc,
             DistanceTracker::new(),
             Instant::now(),

@@ -27,11 +27,22 @@ pub struct PipelineConfig {
     /// [`mapreduce::JobMetrics::task_retries`]).
     #[serde(default)]
     pub fault: Option<mapreduce::FaultPlan>,
+    /// Optional full chaos injection (crashes + stragglers + corruption +
+    /// partition loss) applied to every job of the pipeline. Takes
+    /// precedence over [`Self::fault`] when both are set.
+    #[serde(default)]
+    pub chaos: Option<mapreduce::ChaosPlan>,
     /// Disables the scheduler's co-partitioned shuffle elision (see
     /// [`mapreduce::plan`]). Outputs are bit-identical either way; the
     /// switch exists for A/B measurement of the shuffle savings.
     #[serde(default)]
     pub disable_elision: bool,
+    /// Enables stage-granular checkpointing on the pipeline's scheduler
+    /// (see [`mapreduce::Driver::with_checkpoints`]): each plan stage
+    /// materializes its output into the driver's DFS so a killed run can
+    /// resume from the last completed stage.
+    #[serde(default)]
+    pub checkpoints: bool,
 }
 
 impl PipelineConfig {
@@ -50,13 +61,23 @@ impl PipelineConfig {
                 self.reduce_tasks
             },
             fault: self.fault,
+            chaos: self.chaos,
         }
     }
 
+    /// The effective chaos plan (explicit [`Self::chaos`], else
+    /// [`Self::fault`] lifted to a crash-only plan, else `None`).
+    pub fn effective_chaos(&self) -> Option<mapreduce::ChaosPlan> {
+        self.chaos.or(self.fault.map(mapreduce::ChaosPlan::from))
+    }
+
     /// A plan scheduler configured by this pipeline config: elision on
-    /// unless [`Self::disable_elision`] is set.
+    /// unless [`Self::disable_elision`] is set, checkpointing on when
+    /// [`Self::checkpoints`] is set.
     pub fn driver(&self) -> Driver {
-        Driver::new().with_elision(!self.disable_elision)
+        Driver::new()
+            .with_elision(!self.disable_elision)
+            .with_checkpoints(self.checkpoints)
     }
 }
 

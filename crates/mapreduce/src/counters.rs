@@ -163,6 +163,31 @@ pub struct JobMetrics {
     /// Task attempts wasted to injected failures and retried
     /// (see [`crate::fault::FaultPlan`]); 0 without fault injection.
     pub task_retries: u64,
+    /// Task attempts whose output failed checksum verification and were
+    /// retried (see [`crate::fault::ChaosPlan`]); 0 without chaos
+    /// injection. Counted separately from `task_retries` so corruption
+    /// and crash rates stay independently observable.
+    #[serde(default)]
+    pub corruption_retries: u64,
+    /// Speculative task clones launched against stragglers.
+    #[serde(default)]
+    pub speculative_launched: u64,
+    /// Speculative clones that finished before their straggling original
+    /// — the wins that shortened the phase's critical path.
+    #[serde(default)]
+    pub speculative_wins: u64,
+    /// Wasted work re-executed by speculative clones, in nanoseconds
+    /// (every clone re-pays its task body, win or lose).
+    #[serde(default)]
+    pub speculative_work_ns: u64,
+    /// Injected straggler delay actually slept, in nanoseconds (delay
+    /// avoided by winning speculative clones is not included).
+    #[serde(default)]
+    pub straggler_delay_ns: u64,
+    /// Bytes written to the DFS as stage checkpoints on behalf of this
+    /// job's plan stage; 0 when checkpointing is off.
+    #[serde(default)]
+    pub checkpoint_bytes: u64,
     /// Wall-clock duration of the job on the host machine.
     #[serde(with = "duration_secs")]
     pub wall_time: Duration,
@@ -221,6 +246,12 @@ impl JobMetrics {
             out.max_reduce_task_records =
                 out.max_reduce_task_records.max(j.max_reduce_task_records);
             out.task_retries += j.task_retries;
+            out.corruption_retries += j.corruption_retries;
+            out.speculative_launched += j.speculative_launched;
+            out.speculative_wins += j.speculative_wins;
+            out.speculative_work_ns += j.speculative_work_ns;
+            out.straggler_delay_ns += j.straggler_delay_ns;
+            out.checkpoint_bytes += j.checkpoint_bytes;
             out.wall_time += j.wall_time;
             out.map_time += j.map_time;
             out.reduce_time += j.reduce_time;
@@ -373,7 +404,16 @@ mod tests {
             .filter(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "shuffle_time" | "map_task_times" | "reduce_task_times" | "shuffle_bytes_saved"
+                    "shuffle_time"
+                        | "map_task_times"
+                        | "reduce_task_times"
+                        | "shuffle_bytes_saved"
+                        | "corruption_retries"
+                        | "speculative_launched"
+                        | "speculative_wins"
+                        | "speculative_work_ns"
+                        | "straggler_delay_ns"
+                        | "checkpoint_bytes"
                 )
             })
             .collect();
@@ -382,6 +422,9 @@ mod tests {
         assert_eq!(loaded.name, "legacy");
         assert_eq!(loaded.shuffle_bytes, 123);
         assert_eq!(loaded.shuffle_bytes_saved, 0);
+        assert_eq!(loaded.corruption_retries, 0);
+        assert_eq!(loaded.speculative_launched, 0);
+        assert_eq!(loaded.checkpoint_bytes, 0);
         assert_eq!(loaded.wall_time, Duration::from_millis(7));
         assert_eq!(loaded.shuffle_time, Duration::ZERO);
         assert_eq!(loaded.map_task_times, TaskTimes::default());

@@ -13,7 +13,7 @@ use crate::cost::ClusterSpec;
 use crate::counters::JobMetrics;
 use crate::dfs::Dfs;
 use crate::job::MapInput;
-use crate::plan::{ExecCtx, PartitionCache, Plan};
+use crate::plan::{CheckpointCtx, ExecCtx, PartitionCache, Plan};
 use std::sync::Arc;
 
 /// Pipeline driver: plan scheduler + DFS handle + job history.
@@ -27,17 +27,19 @@ pub struct Driver {
     history: Vec<JobMetrics>,
     cache: PartitionCache,
     elision: bool,
+    checkpoints: bool,
 }
 
 impl Driver {
-    /// A fresh driver with an empty DFS, empty history, and shuffle
-    /// elision enabled.
+    /// A fresh driver with an empty DFS, empty history, shuffle elision
+    /// enabled, and stage checkpointing disabled.
     pub fn new() -> Self {
         Driver {
             dfs: Arc::new(Dfs::new()),
             history: Vec::new(),
             cache: PartitionCache::default(),
             elision: true,
+            checkpoints: false,
         }
     }
 
@@ -52,6 +54,35 @@ impl Driver {
     /// Whether the scheduler elides co-partitioned shuffles.
     pub fn elision(&self) -> bool {
         self.elision
+    }
+
+    /// Enables or disables stage-granular checkpointing.
+    ///
+    /// When on, every stage of [`Self::run_plan`] materializes its output
+    /// rows into the driver's [`Dfs`] under `ckpt/<plan>/<stage>` right
+    /// after completing, and a stage finding its own checkpoint already
+    /// materialized (because a previous run of the same plan on this
+    /// driver was killed mid-flight) skips execution and resumes from the
+    /// stored rows. Checkpoints only survive *kills*: a plan that runs to
+    /// completion clears its own, so re-running a finished plan recomputes
+    /// from scratch. The bytes written are reported per stage as
+    /// [`JobMetrics::checkpoint_bytes`].
+    pub fn with_checkpoints(mut self, on: bool) -> Self {
+        self.checkpoints = on;
+        self
+    }
+
+    /// Whether stage checkpointing is on.
+    pub fn checkpoints(&self) -> bool {
+        self.checkpoints
+    }
+
+    /// Replaces the driver's DFS with a caller-supplied one. This is how
+    /// a restarted driver sees the checkpoints a killed predecessor left
+    /// behind: both are built over the same shared [`Dfs`].
+    pub fn with_dfs(mut self, dfs: Arc<Dfs>) -> Self {
+        self.dfs = dfs;
+        self
     }
 
     /// The driver's distributed file system.
@@ -75,18 +106,31 @@ impl Driver {
             stages,
             ..
         } = plan;
-        let _plan_span = obsv::span!("plan", name);
+        let _plan_span = obsv::span!("plan", name.clone());
         let mut rows = source;
         let mut source = source_id;
-        for stage in stages {
+        for (idx, stage) in stages.into_iter().enumerate() {
             let mut ctx = ExecCtx {
                 elide: self.elision,
                 cache: &mut self.cache,
                 history: &mut self.history,
+                checkpoint: self.checkpoints.then(|| CheckpointCtx {
+                    dfs: Arc::clone(&self.dfs),
+                    plan: name.clone(),
+                    stage: idx,
+                }),
             };
             let (next, next_source) = stage(&mut ctx, rows, source);
             rows = next;
             source = next_source;
+        }
+        // The plan completed: its checkpoints have served their purpose.
+        // Clearing them here means checkpoints only ever survive a kill,
+        // so a deliberate re-run of a finished plan starts fresh.
+        if self.checkpoints {
+            for path in self.dfs.list(&format!("ckpt/{name}/")) {
+                self.dfs.remove(&path);
+            }
         }
         let out = rows
             .downcast::<MapInput<K, V>>()

@@ -2,15 +2,16 @@
 //! → reduce, with every phase running on the Rayon thread pool.
 
 use crate::counters::{Counters, JobMetrics, TaskTimes};
-use crate::fault::{FaultPlan, Phase};
+use crate::fault::{ChaosPlan, FaultPlan, Phase};
 use crate::record::ShuffleSize;
 use crate::task::{Combiner, Emitter, Mapper, MrKey, Reducer};
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Decides which reduce task receives a key.
 pub trait Partitioner<K>: Send + Sync {
@@ -80,6 +81,10 @@ pub struct JobConfig {
     /// Optional deterministic task-failure injection (retried
     /// transparently; see [`FaultPlan`]).
     pub fault: Option<FaultPlan>,
+    /// Optional full chaos injection — failures plus stragglers,
+    /// corruption, and partition loss (see [`ChaosPlan`]). Takes
+    /// precedence over `fault` when both are set.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for JobConfig {
@@ -89,6 +94,7 @@ impl Default for JobConfig {
             map_tasks: n,
             reduce_tasks: n,
             fault: None,
+            chaos: None,
         }
     }
 }
@@ -101,6 +107,7 @@ impl JobConfig {
             map_tasks: n,
             reduce_tasks: n,
             fault: None,
+            chaos: None,
         }
     }
 }
@@ -122,6 +129,7 @@ where
     config: JobConfig,
     counters: Option<Counters>,
     fault_plan: Option<FaultPlan>,
+    chaos_plan: Option<ChaosPlan>,
 }
 
 impl<M, R> JobBuilder<M, R>
@@ -141,6 +149,7 @@ where
             config: JobConfig::default(),
             counters: None,
             fault_plan: None,
+            chaos_plan: None,
         }
     }
 
@@ -189,6 +198,15 @@ where
         self
     }
 
+    /// Enables full deterministic chaos injection: crash failures plus
+    /// straggler delays (answered by speculative re-execution) and
+    /// checksum-detected record corruption. Wins over
+    /// [`JobBuilder::fault_plan`] and both config-level plans.
+    pub fn chaos_plan(mut self, plan: ChaosPlan) -> Self {
+        self.chaos_plan = Some(plan);
+        self
+    }
+
     /// Runs the job to completion, returning the reduce output (ordered by
     /// reduce-task index, then by key) and the measured [`JobMetrics`].
     ///
@@ -228,11 +246,11 @@ where
         M::InValue: Clone + Sync,
     {
         let mut metrics = self.metrics_shell();
-        let retries = AtomicU64::new(0);
-        let map_outputs = self.map_phase(input, &mut metrics, &retries);
+        let chaos = self.chaos_ctx();
+        let map_outputs = self.map_phase(input, &mut metrics, &chaos);
         let reduce_inputs = self.shuffle_phase(map_outputs, &mut metrics);
-        let output = self.reduce_phase(reduce_inputs, &mut metrics, &retries);
-        self.finish_metrics(&mut metrics, &retries);
+        let output = self.reduce_phase(reduce_inputs, &mut metrics, &chaos);
+        self.finish_metrics(&mut metrics, &chaos);
         (output, metrics)
     }
 
@@ -280,10 +298,20 @@ where
         self
     }
 
-    /// The fault plan in effect: an explicit [`JobBuilder::fault_plan`]
-    /// wins over the config-level one.
-    fn effective_fault_plan(&self) -> Option<FaultPlan> {
-        self.fault_plan.or(self.config.fault)
+    /// The chaos plan in effect: an explicit [`JobBuilder::chaos_plan`]
+    /// wins over an explicit [`JobBuilder::fault_plan`] (promoted to a
+    /// crash-only chaos plan), which wins over the config-level plans.
+    fn effective_chaos_plan(&self) -> Option<ChaosPlan> {
+        self.chaos_plan
+            .or(self.fault_plan.map(ChaosPlan::from))
+            .or(self.config.chaos)
+            .or(self.config.fault.map(ChaosPlan::from))
+    }
+
+    /// A fresh per-job chaos context (attempt accounting + speculation
+    /// state) for the effective plan.
+    pub(crate) fn chaos_ctx(&self) -> ChaosCtx {
+        ChaosCtx::new(self.effective_chaos_plan())
     }
 
     /// Map phase (parallel over map tasks): each task maps its chunk of
@@ -294,7 +322,7 @@ where
         &self,
         input: MapInput<M::InKey, M::InValue>,
         metrics: &mut JobMetrics,
-        retries: &AtomicU64,
+        chaos: &ChaosCtx,
     ) -> Vec<MapTaskOut<M::OutKey, M::OutValue>>
     where
         M::InKey: Clone + Sync,
@@ -306,7 +334,6 @@ where
         let mapper = &self.mapper;
         let combiner = self.combiner.as_deref();
         let partitioner = self.partitioner.as_ref();
-        let fault_plan = self.effective_fault_plan();
         // Per-task attempt durations, recorded unconditionally (tasks are
         // coarse, two clock reads each are noise) and summarized into
         // `JobMetrics::map_task_times`.
@@ -322,7 +349,7 @@ where
                     obsv::with_parent(parent, move || {
                         let attempt = Instant::now();
                         let out = obsv::span!("task", format!("map-{task}") => {
-                            run_task_with_plan(fault_plan, retries, Phase::Map, task, || {
+                            chaos.run_task(Phase::Map, task, || {
                                 map_one_task(mapper, combiner, partitioner, r_tasks, records)
                             })
                         });
@@ -441,10 +468,9 @@ where
         &self,
         reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>>,
         metrics: &mut JobMetrics,
-        retries: &AtomicU64,
+        chaos: &ChaosCtx,
     ) -> Vec<(R::OutKey, R::OutValue)> {
         let reducer = &self.reducer;
-        let fault_plan = self.effective_fault_plan();
         let reduce_task_ns = obsv::Histogram::new();
         // (groups, max group size, output records) per reduce task.
         type TaskOut<K, V> = (u64, u64, Vec<(K, V)>);
@@ -461,9 +487,7 @@ where
                         obsv::with_parent(parent, move || {
                             let attempt = Instant::now();
                             let out = obsv::span!("task", format!("reduce-{task}") => {
-                                run_task_with_plan(
-                                    fault_plan,
-                                    retries,
+                                chaos.run_task(
                                     Phase::Reduce,
                                     task,
                                     move || {
@@ -509,10 +533,32 @@ where
         output
     }
 
-    /// Final metric bookkeeping shared by every execution path: retry
-    /// count and the user-counter snapshot.
-    pub(crate) fn finish_metrics(&self, metrics: &mut JobMetrics, retries: &AtomicU64) {
-        metrics.task_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
+    /// Final metric bookkeeping shared by every execution path: recovery
+    /// counters and the user-counter snapshot. Recovery events also flow
+    /// into the global obsv registry so chaos is visible in `--stats`
+    /// reports without plumbing metrics by hand.
+    pub(crate) fn finish_metrics(&self, metrics: &mut JobMetrics, chaos: &ChaosCtx) {
+        chaos.fill_metrics(metrics);
+        if metrics.task_retries > 0 {
+            obsv::global()
+                .counter("task_retries")
+                .inc(metrics.task_retries);
+        }
+        if metrics.corruption_retries > 0 {
+            obsv::global()
+                .counter("corruption_retries")
+                .inc(metrics.corruption_retries);
+        }
+        if metrics.speculative_launched > 0 {
+            obsv::global()
+                .counter("speculative_launched")
+                .inc(metrics.speculative_launched);
+        }
+        if metrics.speculative_wins > 0 {
+            obsv::global()
+                .counter("speculative_wins")
+                .inc(metrics.speculative_wins);
+        }
         if let Some(c) = &self.counters {
             metrics.user = c.snapshot();
         }
@@ -574,29 +620,163 @@ fn task_times(h: &obsv::Histogram) -> TaskTimes {
     }
 }
 
-/// Runs one task body, accounting injected failures: wasted attempts are
-/// counted into `retries` (tasks are deterministic, so the successful
-/// attempt's output equals what re-execution would produce); a task whose
-/// every attempt fails kills the job.
-fn run_task_with_plan<T>(
-    plan: Option<FaultPlan>,
-    retries: &std::sync::atomic::AtomicU64,
-    phase: Phase,
-    task: usize,
-    work: impl FnOnce() -> T,
-) -> T {
-    if let Some(plan) = plan {
-        match plan.attempts_before_success(phase, task) {
-            Some(wasted) => {
-                retries.fetch_add(wasted as u64, std::sync::atomic::Ordering::Relaxed);
-            }
-            None => panic!(
-                "{phase:?} task {task} failed {} consecutive attempts; job killed                  (like Hadoop after mapred.max.attempts)",
-                plan.max_attempts
-            ),
+/// Speculation fires only after this many tasks of the phase completed
+/// (the quantile is meaningless on fewer samples).
+const SPECULATION_MIN_SAMPLES: usize = 3;
+/// A task is declared a straggler for speculation once its projected
+/// runtime exceeds this multiple of the phase's median completed-task
+/// duration (Hadoop's speculative-execution heuristic, quantile form).
+const SPECULATION_FACTOR: f64 = 2.0;
+
+/// Per-job chaos state: the effective plan, recovery counters, and the
+/// completed-task duration samples speculation thresholds are derived
+/// from.
+///
+/// Attempt accounting works like the original fault path: tasks are
+/// deterministic, so wasted attempts (crashes *and* checksum-detected
+/// corruption) are charged to counters without re-running bodies, and a
+/// task that exhausts its attempt budget kills the job. Straggler delays
+/// are physically slept (capped by the plan) so recovery behavior is
+/// observable in wall-clock metrics; a speculative clone that wins the
+/// race against a straggler's injected delay cuts the sleep short.
+pub(crate) struct ChaosCtx {
+    plan: Option<ChaosPlan>,
+    task_retries: AtomicU64,
+    corruption_retries: AtomicU64,
+    speculative_launched: AtomicU64,
+    speculative_wins: AtomicU64,
+    speculative_work_ns: AtomicU64,
+    straggler_delay_ns: AtomicU64,
+    /// Completed-task durations (ns) per phase, feeding the speculation
+    /// threshold. Index 0 = map, 1 = reduce.
+    completed_ns: [Mutex<Vec<u64>>; 2],
+}
+
+impl ChaosCtx {
+    pub(crate) fn new(plan: Option<ChaosPlan>) -> Self {
+        ChaosCtx {
+            plan,
+            task_retries: AtomicU64::new(0),
+            corruption_retries: AtomicU64::new(0),
+            speculative_launched: AtomicU64::new(0),
+            speculative_wins: AtomicU64::new(0),
+            speculative_work_ns: AtomicU64::new(0),
+            straggler_delay_ns: AtomicU64::new(0),
+            completed_ns: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
         }
     }
-    work()
+
+    fn phase_slot(phase: Phase) -> usize {
+        match phase {
+            Phase::Map => 0,
+            Phase::Reduce => 1,
+        }
+    }
+
+    /// Speculation threshold for a phase: `SPECULATION_FACTOR` × the
+    /// median completed-task duration, once enough samples exist.
+    fn speculation_threshold(&self, phase: Phase) -> Option<Duration> {
+        let done = self.completed_ns[Self::phase_slot(phase)].lock();
+        if done.len() < SPECULATION_MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted = done.clone();
+        drop(done);
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        Some(Duration::from_nanos(
+            (median as f64 * SPECULATION_FACTOR) as u64,
+        ))
+    }
+
+    /// Runs one task body under the plan.
+    ///
+    /// 1. Wasted attempts (crashes, checksum-detected corruption) are
+    ///    charged to the counters; exhausting the budget kills the job.
+    /// 2. If the task is a scheduled straggler, it owes an injected delay.
+    ///    Once the phase has enough completed samples and the projected
+    ///    runtime crosses the quantile threshold, a speculative clone is
+    ///    launched: the clone re-executes the (deterministic) body on a
+    ///    healthy worker in roughly the task's natural time, and whichever
+    ///    finishes first wins. The loser's burned work is charged to
+    ///    `speculative_work_ns`.
+    pub(crate) fn run_task<T>(&self, phase: Phase, task: usize, work: impl FnOnce() -> T) -> T {
+        let Some(plan) = self.plan else {
+            return work();
+        };
+        match plan.task_wastage(phase, task) {
+            Some(w) => {
+                if w.failed > 0 {
+                    self.task_retries
+                        .fetch_add(w.failed as u64, Ordering::Relaxed);
+                }
+                if w.corrupt > 0 {
+                    self.corruption_retries
+                        .fetch_add(w.corrupt as u64, Ordering::Relaxed);
+                }
+            }
+            None => panic!(
+                "{phase:?} task {task} failed {} consecutive attempts; job killed \
+                 (like Hadoop after mapred.max.attempts)",
+                plan.fault.max_attempts
+            ),
+        }
+        let start = Instant::now();
+        let out = work();
+        let natural = start.elapsed();
+        if plan.is_straggler(phase, task) {
+            let extra = plan.straggler_delay(natural);
+            if !extra.is_zero() {
+                self.handle_straggler(phase, natural, extra);
+            }
+        }
+        self.completed_ns[Self::phase_slot(phase)]
+            .lock()
+            .push(natural.as_nanos() as u64);
+        out
+    }
+
+    /// Serves a straggler's injected delay, racing a speculative clone
+    /// against it when the threshold allows.
+    fn handle_straggler(&self, phase: Phase, natural: Duration, extra: Duration) {
+        let speculate = self
+            .speculation_threshold(phase)
+            .is_some_and(|threshold| natural + extra > threshold);
+        if speculate {
+            self.speculative_launched.fetch_add(1, Ordering::Relaxed);
+            // The clone re-runs the deterministic body from scratch on a
+            // healthy worker: it needs ~`natural` from launch, while the
+            // original still owes `extra`. First result wins; the loser
+            // is killed and its burned work is wasted.
+            let clone_time = natural;
+            if clone_time < extra {
+                self.speculative_wins.fetch_add(1, Ordering::Relaxed);
+                self.speculative_work_ns
+                    .fetch_add(clone_time.as_nanos() as u64, Ordering::Relaxed);
+                std::thread::sleep(clone_time);
+            } else {
+                self.speculative_work_ns
+                    .fetch_add(extra.as_nanos() as u64, Ordering::Relaxed);
+                self.straggler_delay_ns
+                    .fetch_add(extra.as_nanos() as u64, Ordering::Relaxed);
+                std::thread::sleep(extra);
+            }
+        } else {
+            self.straggler_delay_ns
+                .fetch_add(extra.as_nanos() as u64, Ordering::Relaxed);
+            std::thread::sleep(extra);
+        }
+    }
+
+    /// Copies the recovery counters into a job's metrics.
+    pub(crate) fn fill_metrics(&self, metrics: &mut JobMetrics) {
+        metrics.task_retries = self.task_retries.load(Ordering::Relaxed);
+        metrics.corruption_retries = self.corruption_retries.load(Ordering::Relaxed);
+        metrics.speculative_launched = self.speculative_launched.load(Ordering::Relaxed);
+        metrics.speculative_wins = self.speculative_wins.load(Ordering::Relaxed);
+        metrics.speculative_work_ns = self.speculative_work_ns.load(Ordering::Relaxed);
+        metrics.straggler_delay_ns = self.straggler_delay_ns.load(Ordering::Relaxed);
+    }
 }
 
 /// Groups a map task's output by key and applies the combiner per group.
@@ -763,6 +943,7 @@ mod tests {
                 map_tasks: 4,
                 reduce_tasks: 1,
                 fault: None,
+                chaos: None,
             })
             .run(input);
         let keys: Vec<u32> = out.iter().map(|(k, _)| *k).collect();
@@ -815,6 +996,7 @@ mod tests {
                 map_tasks: 2,
                 reduce_tasks: 4,
                 fault: None,
+                chaos: None,
             })
             .run(input);
         // All keys land in bucket 0, so the output is globally key-sorted.
@@ -836,6 +1018,7 @@ mod tests {
                 map_tasks: 4,
                 reduce_tasks: 2,
                 fault: None,
+                chaos: None,
             })
             .run(input);
         assert_eq!(metrics.max_reduce_group, 90);
@@ -921,5 +1104,106 @@ mod tests {
             assert!(b < 7);
             assert_eq!(b, p.partition(&key, 7), "partition must be deterministic");
         }
+    }
+
+    #[test]
+    fn chaos_injection_preserves_output_and_counts_events() {
+        use crate::fault::ChaosPlan;
+        let run = |chaos: Option<ChaosPlan>| {
+            let input: Vec<(u32, u32)> = (0..400).map(|i| (i, i)).collect();
+            let m = FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u32>| {
+                out.emit(k % 32, v);
+            });
+            let r = FnReducer::new(|k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u32>| {
+                out.emit(*k, vs.into_iter().sum());
+            });
+            let b = JobBuilder::new("chaotic", m, r).config(JobConfig::uniform(8));
+            let b = if let Some(c) = chaos {
+                b.chaos_plan(c)
+            } else {
+                b
+            };
+            b.run(input)
+        };
+        let (mut clean, m_clean) = run(None);
+        let chaos = ChaosPlan::new(100, 77)
+            .with_stragglers(400, 4.0, 2)
+            .with_corruption(150);
+        let (mut chaotic, m_chaotic) = run(Some(chaos));
+        clean.sort();
+        chaotic.sort();
+        assert_eq!(clean, chaotic, "chaos recovery must be invisible in output");
+        assert_eq!(m_clean.task_retries + m_clean.corruption_retries, 0);
+        assert!(
+            m_chaotic.task_retries > 0,
+            "10% crash rate over 16 tasks should retry"
+        );
+        assert!(
+            m_chaotic.corruption_retries > 0,
+            "15% corruption rate over 16 tasks should retry"
+        );
+        assert!(
+            m_chaotic.straggler_delay_ns > 0 || m_chaotic.speculative_launched > 0,
+            "40% straggler rate must charge delay or trigger speculation"
+        );
+    }
+
+    #[test]
+    fn speculative_clones_win_against_stragglers() {
+        use crate::fault::ChaosPlan;
+        // Heavy per-task work plus every task a straggler at 10× slowdown:
+        // once the first few tasks complete, the quantile threshold exists
+        // and later stragglers must race (and beat) their injected delay.
+        let input: Vec<(u32, u32)> = (0..64).map(|i| (i, i)).collect();
+        let m = FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u32>| {
+            // ~100µs of real work so natural duration dominates noise.
+            let mut acc = v;
+            for i in 0..20_000u32 {
+                acc = acc.wrapping_mul(1664525).wrapping_add(i);
+            }
+            out.emit(k % 4, acc);
+        });
+        let r = FnReducer::new(|k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u32>| {
+            out.emit(*k, vs.into_iter().fold(0u32, u32::wrapping_add));
+        });
+        let chaos = ChaosPlan::new(0, 3).with_stragglers(1000, 10.0, 50);
+        let (_, metrics) = JobBuilder::new("spec", m, r)
+            .chaos_plan(chaos)
+            .config(JobConfig {
+                map_tasks: 16,
+                reduce_tasks: 4,
+                fault: None,
+                chaos: None,
+            })
+            .run(input);
+        assert!(
+            metrics.speculative_launched > 0,
+            "every task straggling at 10x must cross the 2x-median threshold"
+        );
+        assert!(
+            metrics.speculative_wins > 0,
+            "clone at 1x beats original owing 9x its runtime"
+        );
+        assert!(metrics.speculative_work_ns > 0);
+        assert!(metrics.speculative_wins <= metrics.speculative_launched);
+    }
+
+    #[test]
+    fn config_level_chaos_is_honored() {
+        use crate::fault::ChaosPlan;
+        let input: Vec<(u32, u32)> = (0..100).map(|i| (i, i)).collect();
+        let m = FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u32>| out.emit(k % 8, v));
+        let r = FnReducer::new(|k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u32>| {
+            out.emit(*k, vs.len() as u32);
+        });
+        let (_, metrics) = JobBuilder::new("cfg-chaos", m, r)
+            .config(JobConfig {
+                map_tasks: 8,
+                reduce_tasks: 8,
+                fault: None,
+                chaos: Some(ChaosPlan::new(300, 99)),
+            })
+            .run(input);
+        assert!(metrics.task_retries > 0, "config-level chaos must inject");
     }
 }

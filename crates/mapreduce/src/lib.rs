@@ -71,9 +71,9 @@ pub use cost::ClusterSpec;
 pub use counters::{Counters, JobMetrics, TaskTimes};
 pub use dfs::Dfs;
 pub use driver::Driver;
-pub use fault::{FaultPlan, Phase};
+pub use fault::{AttemptOutcome, ChaosPlan, FaultPlan, Phase, TaskWastage};
 pub use job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
 pub use plan::{plan, IdentityMap, MapChain, Plan, PlanBuilder, ReduceStage, Snapshot, Stage};
-pub use record::ShuffleSize;
+pub use record::{checksum64, ShuffleSize};
 pub use task::{Combiner, Emitter, FnMapper, FnReducer, Mapper, Reducer};
-pub use wire::{decode, encode, Wire, WireError};
+pub use wire::{decode, decode_framed, encode, encode_framed, Wire, WireError};

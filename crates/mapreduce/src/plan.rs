@@ -39,7 +39,9 @@
 //! [`JobBuilder::run`]: crate::job::JobBuilder::run
 
 use crate::counters::{Counters, JobMetrics};
+use crate::dfs::Dfs;
 use crate::job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
+use crate::record::ShuffleSize;
 use crate::task::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -425,11 +427,41 @@ type TakenBuckets<K, V> = (Vec<Vec<(K, V)>>, u64);
 type StageRun = Box<dyn FnOnce(&mut ExecCtx<'_>, Rows, u64) -> (Rows, u64)>;
 
 /// What the scheduler hands each stage: the elision switch, the retained
-/// partition cache, and the metrics history to append to.
+/// partition cache, the metrics history to append to, and (when stage
+/// checkpointing is on) where to materialize this stage's output.
 pub(crate) struct ExecCtx<'a> {
     pub(crate) elide: bool,
     pub(crate) cache: &'a mut PartitionCache,
     pub(crate) history: &'a mut Vec<JobMetrics>,
+    pub(crate) checkpoint: Option<CheckpointCtx>,
+}
+
+/// Where a stage materializes its output when checkpointing is enabled:
+/// the driver's DFS, under `ckpt/<plan>/<stage index>`.
+pub(crate) struct CheckpointCtx {
+    pub(crate) dfs: Arc<Dfs>,
+    pub(crate) plan: String,
+    pub(crate) stage: usize,
+}
+
+impl CheckpointCtx {
+    fn path(&self) -> String {
+        format!("ckpt/{}/{}", self.plan, self.stage)
+    }
+}
+
+/// A stage's checkpointed output rows, stored as one DFS record so the
+/// key/value types only need `Send + Sync + Clone`, not per-type
+/// [`ShuffleSize`] impls. The reported size is a `size_of`-based estimate —
+/// good enough for recovery-overhead accounting.
+struct CheckpointRows<K, V> {
+    rows: Vec<(K, V)>,
+}
+
+impl<K, V> ShuffleSize for CheckpointRows<K, V> {
+    fn shuffle_bytes(&self) -> u64 {
+        (self.rows.len() * std::mem::size_of::<(K, V)>()) as u64
+    }
 }
 
 /// The verified half of a co-partitioning contract: intermediate key/value
@@ -588,8 +620,8 @@ impl<K, V, P> PlanBuilder<K, V, P> {
         V: Clone + Send + Sync + 'static,
         M::OutKey: 'static,
         M::OutValue: Clone + 'static,
-        R::OutKey: 'static,
-        R::OutValue: 'static,
+        R::OutKey: Clone + Send + Sync + 'static,
+        R::OutValue: Clone + Send + Sync + 'static,
     {
         let fused = self.pending.fuse(stage.mapper);
         push_stage::<P::Fused, R>(
@@ -628,8 +660,8 @@ impl<K, V, P> PlanBuilder<K, V, P> {
         V: Clone + Send + Sync + 'static,
         R::InKey: 'static,
         R::InValue: Clone + 'static,
-        R::OutKey: 'static,
-        R::OutValue: 'static,
+        R::OutKey: Clone + Send + Sync + 'static,
+        R::OutValue: Clone + Send + Sync + 'static,
     {
         let mapper = self.pending.into_mapper();
         push_stage::<P::M, R>(
@@ -690,10 +722,30 @@ fn push_stage<M, R>(
     M::OutKey: 'static,
     M::OutValue: Clone + 'static,
     R: Reducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
-    R::OutKey: 'static,
-    R::OutValue: 'static,
+    R::OutKey: Clone + Send + Sync + 'static,
+    R::OutValue: Clone + Send + Sync + 'static,
 {
     stages.push(Box::new(move |ctx, rows, source| {
+        // Resume path: a materialized checkpoint for this stage means a
+        // previous (killed) run already completed it. Skip execution
+        // entirely and continue from the stored output; downstream
+        // co-partitioning contracts see a fresh source id and fall back
+        // to full execution, which keeps them correct.
+        if let Some(ck) = ctx.checkpoint.as_ref() {
+            if let Ok(stored) = ck
+                .dfs
+                .get::<CheckpointRows<R::OutKey, R::OutValue>>(&ck.path())
+            {
+                let mut metrics = JobMetrics {
+                    name: name.clone(),
+                    ..Default::default()
+                };
+                metrics.user.insert("resumed_from_checkpoint".into(), 1);
+                ctx.history.push(metrics);
+                let out = stored[0].rows.clone();
+                return (Box::new(MapInput::Owned(out)) as Rows, fresh_source_id());
+            }
+        }
         let input = *rows
             .downcast::<MapInput<M::InKey, M::InValue>>()
             .unwrap_or_else(|_| panic!("plan stage '{name}': input row type mismatch"));
@@ -709,6 +761,17 @@ fn push_stage<M, R>(
         let (out, mut metrics) = execute_stage(ctx, builder, contract.as_deref(), input, source);
         if let Some(f) = finalize {
             f(&mut metrics);
+        }
+        if let Some(ck) = ctx.checkpoint.as_ref() {
+            let data = CheckpointRows { rows: out.clone() };
+            let bytes = data.shuffle_bytes();
+            let path = ck.path();
+            ck.dfs.remove(&path);
+            ck.dfs
+                .put(&path, vec![data])
+                .expect("checkpoint namespace is driver-owned");
+            metrics.checkpoint_bytes = bytes;
+            obsv::global().counter("checkpoint_bytes").inc(bytes);
         }
         ctx.history.push(metrics);
         (Box::new(MapInput::Owned(out)) as Rows, fresh_source_id())
@@ -745,7 +808,7 @@ where
         || name.clone(),
         move || {
             let mut metrics = builder.metrics_shell();
-            let retries = AtomicU64::new(0);
+            let chaos = builder.chaos_ctx();
             let ckey = ContractKey {
                 kv: (TypeId::of::<M::OutKey>(), TypeId::of::<M::OutValue>()),
                 map_tasks: builder.job_config().map_tasks,
@@ -765,10 +828,10 @@ where
                     metrics.shuffle_bytes_saved = saved_bytes;
                     metrics.max_reduce_task_records =
                         buckets.iter().map(|b| b.len() as u64).max().unwrap_or(0);
-                    builder.reduce_phase(buckets, &mut metrics, &retries)
+                    builder.reduce_phase(buckets, &mut metrics, &chaos)
                 }
                 None => {
-                    let map_out = builder.map_phase(input, &mut metrics, &retries);
+                    let map_out = builder.map_phase(input, &mut metrics, &chaos);
                     let buckets = builder.shuffle_phase(map_out, &mut metrics);
                     if let (Some(token), true) = (contract, elide) {
                         cache.retain::<M::OutKey, M::OutValue>(
@@ -778,10 +841,10 @@ where
                             metrics.shuffle_bytes,
                         );
                     }
-                    builder.reduce_phase(buckets, &mut metrics, &retries)
+                    builder.reduce_phase(buckets, &mut metrics, &chaos)
                 }
             };
-            builder.finish_metrics(&mut metrics, &retries);
+            builder.finish_metrics(&mut metrics, &chaos);
             (out, metrics)
         },
     );
@@ -1053,6 +1116,80 @@ mod tests {
             .build();
         driver.run_plan(p);
         assert_eq!(driver.history()[0].user["custom"], 42);
+    }
+
+    #[test]
+    fn checkpoints_materialize_and_clear_on_success() {
+        let mut driver = Driver::new().with_checkpoints(true);
+        let p = plan("ckpt")
+            .rows(input_rows(50))
+            .stage(Stage::new("s1", mod_key_mapper(), sum_reducer()).config(JobConfig::uniform(2)))
+            .build();
+        driver.run_plan(p);
+        // The stage reported the bytes it materialized, and the completed
+        // plan cleared its checkpoints (they only survive kills).
+        assert!(driver.history()[0].checkpoint_bytes > 0);
+        assert!(driver.dfs().list("ckpt/").is_empty());
+    }
+
+    fn resume_plan(rows: &[(u32, u32)], stage2_fault: Option<crate::FaultPlan>) -> Plan<u32, u64> {
+        let mut cfg2 = JobConfig::uniform(2);
+        cfg2.fault = stage2_fault;
+        plan("resume")
+            .rows(rows.to_vec())
+            .stage(Stage::new("s1", mod_key_mapper(), sum_reducer()).config(JobConfig::uniform(3)))
+            .stage(
+                Stage::new(
+                    "s2",
+                    FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u32, u64>| out.emit(k % 2, v)),
+                    sum_reducer(),
+                )
+                .config(cfg2),
+            )
+            .build()
+    }
+
+    #[test]
+    fn killed_plan_resumes_from_last_checkpoint() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let rows = input_rows(80);
+        let mut want = {
+            let mut clean = Driver::new();
+            clean.run_plan(resume_plan(&rows, None))
+        };
+
+        let mut driver = Driver::new().with_checkpoints(true);
+        // First attempt: stage 2 has zero allowed attempts, so the job is
+        // killed — after stage 1 materialized its checkpoint.
+        let doomed = resume_plan(
+            &rows,
+            Some(crate::FaultPlan {
+                fail_per_mille: 999,
+                max_attempts: 0,
+                seed: 7,
+            }),
+        );
+        let killed = catch_unwind(AssertUnwindSafe(|| driver.run_plan(doomed)));
+        assert!(killed.is_err());
+        assert_eq!(driver.dfs().list("ckpt/resume/").len(), 1);
+
+        // Retry of the identical (now healthy) plan resumes stage 1 from
+        // its checkpoint instead of recomputing it.
+        let mut got = driver.run_plan(resume_plan(&rows, None));
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        let resumed: Vec<_> = driver
+            .history()
+            .iter()
+            .filter(|m| m.user.get("resumed_from_checkpoint") == Some(&1))
+            .collect();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].name, "s1");
+        assert_eq!(resumed[0].map_input_records, 0);
+        // Success clears the surviving checkpoints.
+        assert!(driver.dfs().list("ckpt/").is_empty());
     }
 
     #[test]

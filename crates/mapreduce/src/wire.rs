@@ -28,6 +28,14 @@ pub enum WireError {
     Corrupt(&'static str),
     /// Extra bytes after the value when decoding with [`decode`].
     TrailingBytes(usize),
+    /// Frame checksum did not verify ([`decode_framed`]): the payload was
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum carried in the frame trailer.
+        expected: u64,
+        /// Checksum recomputed over the received payload.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -36,6 +44,10 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated wire data"),
             WireError::Corrupt(what) => write!(f, "corrupt wire data: {what}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "frame checksum mismatch: trailer says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
         }
     }
 }
@@ -81,6 +93,48 @@ pub fn decode<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
     } else {
         Err(WireError::TrailingBytes(input.len()))
     }
+}
+
+/// Encodes a value as a checksummed frame: the value's wire bytes
+/// followed by an 8-byte little-endian FNV-1a trailer
+/// ([`crate::record::checksum64`]).
+///
+/// This is the shuffle-integrity framing chaos injection exercises: a
+/// record corrupted between map and reduce fails [`decode_framed`] with
+/// [`WireError::ChecksumMismatch`], so the engine can detect the bad
+/// attempt and retry it instead of silently reducing garbage.
+///
+/// ```
+/// use mapreduce::{encode_framed, decode_framed, WireError};
+/// let record = (7u32, vec![1.0f64, 2.0]);
+/// let mut frame = encode_framed(&record);
+/// assert_eq!(decode_framed::<(u32, Vec<f64>)>(&frame).unwrap(), record);
+/// frame[2] ^= 0x40; // bit flip in flight
+/// assert!(matches!(
+///     decode_framed::<(u32, Vec<f64>)>(&frame),
+///     Err(WireError::ChecksumMismatch { .. })
+/// ));
+/// ```
+pub fn encode_framed<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = encode(value);
+    let sum = crate::record::checksum64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes a frame produced by [`encode_framed`], verifying the
+/// checksum trailer before touching the payload.
+pub fn decode_framed<T: Wire>(frame: &[u8]) -> Result<T, WireError> {
+    if frame.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let (payload, trailer) = frame.split_at(frame.len() - 8);
+    let expected = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let found = crate::record::checksum64(payload);
+    if expected != found {
+        return Err(WireError::ChecksumMismatch { expected, found });
+    }
+    decode(payload)
 }
 
 fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
@@ -282,6 +336,34 @@ mod tests {
         assert_eq!(r, Err(WireError::Corrupt("option tag")));
         let r: Result<String, _> = decode(&[2, 0, 0, 0, 0xFF, 0xFE]);
         assert_eq!(r, Err(WireError::Corrupt("utf-8")));
+    }
+
+    #[test]
+    fn framed_round_trip_and_length() {
+        let v = (3u16, vec![-4i64, 2, 0]);
+        let frame = encode_framed(&v);
+        assert_eq!(frame.len() as u64, v.shuffle_bytes() + 8);
+        assert_eq!(decode_framed::<(u16, Vec<i64>)>(&frame).unwrap(), v);
+    }
+
+    #[test]
+    fn framed_detects_any_single_byte_corruption() {
+        let v = (7u32, vec![1.0f64, 2.0, 3.0]);
+        let frame = encode_framed(&v);
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            let r = decode_framed::<(u32, Vec<f64>)>(&bad);
+            assert!(r.is_err(), "corruption at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn framed_rejects_short_frames() {
+        for n in 0..8 {
+            let r = decode_framed::<u32>(&vec![0u8; n]);
+            assert_eq!(r, Err(WireError::Truncated));
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!   [`ServerConfig::queue_depth`]. A blocking [`Client::assign`] waits
 //!   for a slot (closed-loop clients self-throttle); [`Client::try_assign`]
 //!   surfaces [`ServeError::Busy`] instead, for open-loop callers that
-//!   would rather shed load than queue it.
+//!   would rather shed load than queue it. An optional per-request
+//!   deadline ([`ServerConfig::deadline`]) sheds requests from the other
+//!   side: a worker that picks up a request which already outwaited its
+//!   deadline answers [`ServeError::Timeout`] without doing the work.
 //! * **Micro-batching** — a worker blocks for one request, then greedily
 //!   drains up to [`ServerConfig::max_batch`]` - 1` more without blocking.
 //!   Under load the queue is never empty, batches fill up, and the whole
@@ -50,6 +53,11 @@ pub struct ServerConfig {
     /// Coordinate quantization step for cache keys: queries closer than
     /// this per coordinate share an entry.
     pub cache_quantum: f64,
+    /// Per-request deadline, enforced at worker pickup: a request that
+    /// already waited longer than this in the queue is shed with
+    /// [`ServeError::Timeout`] before any work is spent on it. `None`
+    /// disables the deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +69,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             cache_quantum: 1e-6,
+            deadline: None,
         }
     }
 }
@@ -70,6 +79,9 @@ impl Default for ServerConfig {
 pub enum ServeError {
     /// The bounded queue is full (only from [`Client::try_assign`]).
     Busy,
+    /// The request sat in the queue past [`ServerConfig::deadline`] and
+    /// was shed without being served.
+    Timeout,
     /// The server has shut down.
     Closed,
 }
@@ -78,6 +90,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Busy => write!(f, "request queue is full"),
+            ServeError::Timeout => write!(f, "request deadline exceeded while queued"),
             ServeError::Closed => write!(f, "server is shut down"),
         }
     }
@@ -97,6 +110,7 @@ struct Metrics {
     batches: Arc<Counter>,
     batched_points: Arc<Counter>,
     bad_dimension: Arc<Counter>,
+    timed_out: Arc<Counter>,
     stats_queries: Arc<Counter>,
     /// End-to-end latency (enqueue → reply), nanoseconds.
     latency_ns: Arc<Histogram>,
@@ -117,6 +131,7 @@ impl Metrics {
             batches: registry.counter("batches"),
             batched_points: registry.counter("batched_points"),
             bad_dimension: registry.counter("bad_dimension"),
+            timed_out: registry.counter("timed_out"),
             stats_queries: registry.counter("stats_queries"),
             latency_ns: registry.histogram("latency_ns"),
             queue_wait_ns: registry.histogram("queue_wait_ns"),
@@ -151,6 +166,9 @@ pub struct ServiceStats {
     pub p99_queue_wait_us: f64,
     /// Queries answered by the exact nearest-center fallback.
     pub fallbacks: u64,
+    /// Requests shed at worker pickup because they outwaited
+    /// [`ServerConfig::deadline`] (not counted as queries).
+    pub timed_out: u64,
     /// Time since the server started.
     pub uptime: Duration,
     /// The raw counter snapshot.
@@ -161,11 +179,12 @@ impl std::fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "queries {}  qps {:.0}  cache hit rate {:.1}%  fallbacks {}",
+            "queries {}  qps {:.0}  cache hit rate {:.1}%  fallbacks {}  timed out {}",
             self.queries,
             self.qps,
             self.cache_hit_rate * 100.0,
-            self.fallbacks
+            self.fallbacks,
+            self.timed_out
         )?;
         writeln!(
             f,
@@ -184,7 +203,7 @@ enum Request {
     Assign {
         point: Vec<f64>,
         enqueued: Instant,
-        reply: SyncSender<Assignment>,
+        reply: SyncSender<Result<Assignment, ServeError>>,
     },
     Stats {
         reply: SyncSender<ServiceStats>,
@@ -246,6 +265,7 @@ struct Shared {
     metrics: Metrics,
     shards: Vec<Mutex<LruShard>>,
     quantum: f64,
+    deadline: Option<Duration>,
     started: Instant,
 }
 
@@ -304,6 +324,7 @@ impl Shared {
             p50_queue_wait_us: us(wait.p50),
             p99_queue_wait_us: us(wait.p99),
             fallbacks: m.fallbacks.get(),
+            timed_out: m.timed_out.get(),
             uptime,
             counters: m.registry.snapshot().counters,
         }
@@ -329,7 +350,7 @@ impl Client {
                 reply,
             })
             .map_err(|_| ServeError::Closed)?;
-        rx.recv().map_err(|_| ServeError::Closed)
+        rx.recv().map_err(|_| ServeError::Closed)?
     }
 
     /// Non-blocking submit: fails with [`ServeError::Busy`] instead of
@@ -342,7 +363,7 @@ impl Client {
             reply,
         };
         match self.tx.try_send(req) {
-            Ok(()) => rx.recv().map_err(|_| ServeError::Closed),
+            Ok(()) => rx.recv().map_err(|_| ServeError::Closed)?,
             Err(TrySendError::Full(_)) => Err(ServeError::Busy),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
@@ -387,6 +408,7 @@ impl Server {
             metrics: Metrics::new(),
             shards,
             quantum: config.cache_quantum.max(f64::MIN_POSITIVE),
+            deadline: config.deadline,
             started: Instant::now(),
         });
 
@@ -483,7 +505,12 @@ fn worker_loop(rx: &Mutex<Receiver<Request>>, shared: &Shared, max_batch: usize)
 
 /// An assign request unpacked for batching: (point, enqueue time, reply
 /// channel, cache key).
-type PendingAssign = (Vec<f64>, Instant, SyncSender<Assignment>, Vec<i64>);
+type PendingAssign = (
+    Vec<f64>,
+    Instant,
+    SyncSender<Result<Assignment, ServeError>>,
+    Vec<i64>,
+);
 
 /// Clamp a duration to a non-zero nanosecond count: sub-nanosecond reads
 /// still count as one observation above zero, so quantiles of a fast
@@ -503,8 +530,16 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
                 enqueued,
                 reply,
             } => {
-                m.queue_wait_ns
-                    .record(nonzero_ns(picked_up.duration_since(enqueued)));
+                let waited = picked_up.duration_since(enqueued);
+                m.queue_wait_ns.record(nonzero_ns(waited));
+                if shared.deadline.is_some_and(|d| waited > d) {
+                    // Shed before any work: a caller past its deadline has
+                    // given up, so serving it only steals capacity from
+                    // requests that can still be answered in time.
+                    m.timed_out.inc(1);
+                    let _ = reply.send(Err(ServeError::Timeout));
+                    continue;
+                }
                 let key = shared.cache_key(&point);
                 assigns.push((point, enqueued, reply, key));
             }
@@ -532,8 +567,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
     let mut answers: Vec<Option<Assignment>> = vec![None; assigns.len()];
     for (i, (point, _, _, key)) in assigns.iter().enumerate() {
         if point.len() != dim {
-            // Dimension mismatches get the nearest thing to an error the
-            // reply channel can carry: drop the reply, the client sees
+            // Dimension mismatches drop the reply, so the client sees
             // `Closed`. Counted so operators can spot misuse.
             m.bad_dimension.inc(1);
             continue;
@@ -562,7 +596,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
     for ((_, enqueued, reply, _), answer) in assigns.iter().zip(answers) {
         if let Some(answer) = answer {
             m.latency_ns.record(nonzero_ns(enqueued.elapsed()));
-            let _ = reply.send(answer);
+            let _ = reply.send(Ok(answer));
         }
     }
 }
@@ -645,6 +679,54 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.queries, 6 * 50);
         assert!(stats.p50_latency_us > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_requests_are_shed_with_timeout() {
+        let server = Server::start(
+            QueryEngine::new(fitted_model(50, 21)),
+            ServerConfig {
+                threads: 1,
+                queue_depth: 64,
+                cache_capacity: 0,
+                // Every request expires: the worker handoff always takes
+                // longer than a zero deadline.
+                deadline: Some(Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        let q = server.shared.engine.model().point(0).to_vec();
+        for _ in 0..10 {
+            assert_eq!(client.assign(&q), Err(ServeError::Timeout));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.timed_out, 10);
+        assert_eq!(stats.queries, 0, "shed requests are not queries");
+        assert_eq!(stats.counters["timed_out"], 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_leaves_answers_intact() {
+        let model = fitted_model(50, 21);
+        let engine = QueryEngine::new(model.clone());
+        let server = Server::start(
+            QueryEngine::new(model.clone()),
+            ServerConfig {
+                threads: 2,
+                cache_capacity: 0,
+                deadline: Some(Duration::from_secs(30)),
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        for id in (0..model.len() as u32).step_by(7) {
+            let got = client.assign(model.point(id)).expect("within deadline");
+            assert_eq!(got, engine.assign(model.point(id)), "point {id}");
+        }
+        assert_eq!(server.stats().timed_out, 0);
         server.shutdown();
     }
 

@@ -74,7 +74,13 @@ GLOBAL:
   --trace <file>   capture a span timeline of the run: every pipeline,
       job, phase, and task attempt. Writes chrome://tracing JSON (load
       in ui.perfetto.dev), or a JSONL event log if <file> ends in
-      .jsonl. LSHDDP_TRACE=<file> does the same without the flag.";
+      .jsonl. LSHDDP_TRACE=<file> does the same without the flag.
+  --fault-rate <n>      chaos: fail n/1000 of task attempts (cluster
+      pipelines; retried transparently, results unchanged)
+  --straggler-rate <n>  chaos: slow n/1000 of tasks 4x (speculative
+      clones race them; see the recovery counters under --stats)
+  --chaos-seed <n>      seed of the injected chaos schedule
+      (default: --seed)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -142,6 +148,9 @@ struct Opts {
     pi: usize,
     model: Option<String>,
     trace: Option<String>,
+    fault_rate: u32,
+    straggler_rate: u32,
+    chaos_seed: Option<u64>,
     exactness: String,
     threads: usize,
     batch: usize,
@@ -173,6 +182,9 @@ impl Opts {
             pi: 3,
             model: None,
             trace: None,
+            fault_rate: 0,
+            straggler_rate: 0,
+            chaos_seed: None,
             exactness: "hybrid".into(),
             threads: 0,
             batch: 32,
@@ -206,6 +218,13 @@ impl Opts {
                 "--pi" => o.pi = parse_num(value("--pi")?, "--pi")?,
                 "--model" => o.model = Some(value("--model")?.clone()),
                 "--trace" => o.trace = Some(value("--trace")?.clone()),
+                "--fault-rate" => o.fault_rate = parse_num(value("--fault-rate")?, "--fault-rate")?,
+                "--straggler-rate" => {
+                    o.straggler_rate = parse_num(value("--straggler-rate")?, "--straggler-rate")?
+                }
+                "--chaos-seed" => {
+                    o.chaos_seed = Some(parse_num(value("--chaos-seed")?, "--chaos-seed")?)
+                }
                 "--exactness" => o.exactness = value("--exactness")?.clone(),
                 "--threads" => o.threads = parse_num(value("--threads")?, "--threads")?,
                 "--batch" => o.batch = parse_num(value("--batch")?, "--batch")?,
@@ -226,6 +245,28 @@ impl Opts {
             ld.data.normalize_min_max();
         }
         Ok(ld)
+    }
+
+    /// The chaos plan the `--fault-rate`/`--straggler-rate`/`--chaos-seed`
+    /// flags describe, `None` when chaos injection is off.
+    fn chaos(&self) -> Option<mapreduce::ChaosPlan> {
+        if self.fault_rate == 0 && self.straggler_rate == 0 {
+            return None;
+        }
+        let seed = self.chaos_seed.unwrap_or(self.seed);
+        let mut plan = mapreduce::ChaosPlan::new(self.fault_rate, seed);
+        if self.straggler_rate > 0 {
+            plan = plan.with_stragglers(self.straggler_rate, 4.0, 20);
+        }
+        Some(plan)
+    }
+
+    /// A pipeline config carrying the chaos flags.
+    fn pipeline(&self) -> ddp::common::PipelineConfig {
+        ddp::common::PipelineConfig {
+            chaos: self.chaos(),
+            ..Default::default()
+        }
     }
 
     fn resolve_dc(&self, ds: &Dataset) -> f64 {
@@ -295,16 +336,23 @@ fn cluster(o: &Opts) -> Result<(), String> {
         "exact" => (compute_exact(ds, dc), None),
         "kernel" => (dp_core::compute_gaussian(ds, dc).result, None),
         "basic" => {
-            let r = BasicDdp::new(BasicConfig::default()).run(ds, dc);
+            let cfg = BasicConfig {
+                pipeline: o.pipeline(),
+                ..Default::default()
+            };
+            let r = BasicDdp::new(cfg).run(ds, dc);
             (r.result.clone(), Some(r))
         }
         "eddpc" => {
-            let r = Eddpc::new(EddpcConfig::for_size(ds.len(), o.seed)).run(ds, dc);
+            let mut cfg = EddpcConfig::for_size(ds.len(), o.seed);
+            cfg.pipeline = o.pipeline();
+            let r = Eddpc::new(cfg).run(ds, dc);
             (r.result.clone(), Some(r))
         }
         "lsh" => {
             let r = LshDdp::with_accuracy(o.accuracy, o.m, o.pi, dc, o.seed)
                 .map_err(|e| e.to_string())?
+                .with_pipeline(o.pipeline())
                 .run(ds, dc);
             (r.result.clone(), Some(r))
         }
@@ -332,6 +380,19 @@ fn cluster(o: &Opts) -> Result<(), String> {
             "ARI vs input labels: {:.4}",
             dp_core::quality::adjusted_rand_index(outcome.clustering.labels(), &ld.labels)
         );
+    }
+    if o.chaos().is_some() {
+        if let Some(r) = report.as_ref() {
+            let sum = |f: fn(&mapreduce::JobMetrics) -> u64| r.jobs.iter().map(f).sum::<u64>();
+            println!(
+                "chaos: {} task retries, {} speculative launches ({} won), \
+                 {:.1} ms straggler delay absorbed",
+                sum(|j| j.task_retries),
+                sum(|j| j.speculative_launched),
+                sum(|j| j.speculative_wins),
+                sum(|j| j.straggler_delay_ns) as f64 / 1e6,
+            );
+        }
     }
     if o.stats {
         if let Some(r) = report {

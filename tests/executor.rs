@@ -45,7 +45,9 @@ fn pinned_pipeline() -> PipelineConfig {
         map_tasks: 4,
         reduce_tasks: 4,
         fault: None,
+        chaos: None,
         disable_elision: false,
+        checkpoints: false,
     }
 }
 

@@ -1,8 +1,15 @@
 //! End-to-end fault tolerance: whole DDP pipelines run under task-failure
-//! injection and produce results identical to clean runs.
+//! injection — and full chaos plans layering stragglers, record
+//! corruption, and mid-flight kills on top — and produce results
+//! identical to clean runs.
 
 use lsh_ddp::prelude::*;
-use mapreduce::{FaultPlan, Phase};
+use mapreduce::{
+    plan, ChaosPlan, Dfs, Driver, Emitter, FaultPlan, FnMapper, FnReducer, JobConfig, Phase, Stage,
+};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 fn workload() -> Dataset {
     datasets::generators::blob_grid(4, 4, 25, 20.0, 0.6, 3).data
@@ -13,7 +20,9 @@ fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: Some(FaultPlan::new(rate_per_mille, 777)),
+        chaos: None,
         disable_elision: false,
+        checkpoints: false,
     }
 }
 
@@ -62,7 +71,9 @@ fn lsh_ddp_survives_task_failures_bit_exactly() {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        chaos: None,
         disable_elision: false,
+        checkpoints: false,
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -85,7 +96,9 @@ fn eddpc_survives_task_failures_bit_exactly() {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        chaos: None,
         disable_elision: false,
+        checkpoints: false,
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -152,5 +165,271 @@ fn retries_scale_with_the_failure_rate() {
     assert!(
         high > low,
         "50% failure rate must retry more than 5% (got {low} vs {high})"
+    );
+}
+
+// --------------------------------------------------------------- chaos
+
+/// Raises `max_attempts` until no task either phase could plausibly run
+/// (ids 0..64 comfortably cover every map chunk and reduce partition the
+/// pipelines use) is doomed by the schedule, making the chaos survivable
+/// by construction. Crash and corruption rates both consume attempts, so
+/// the check goes through [`ChaosPlan::task_wastage`].
+fn survivable(mut chaos: ChaosPlan) -> ChaosPlan {
+    let all_live = |c: &ChaosPlan| {
+        (0..64).all(|t| {
+            [Phase::Map, Phase::Reduce]
+                .into_iter()
+                .all(|p| c.task_wastage(p, t).is_some())
+        })
+    };
+    while !all_live(&chaos) {
+        chaos.fault.max_attempts += 1;
+        assert!(
+            chaos.fault.max_attempts <= 64,
+            "rates too hot for any retry budget"
+        );
+    }
+    chaos
+}
+
+/// Runs all five distributed pipelines — basic DDP, LSH-DDP, EDDPC, the
+/// halo job, and iterative assignment — once clean and once under
+/// `chaos`, asserts every output is bit-identical, and returns the total
+/// number of recovery events the chaotic runs absorbed.
+fn assert_chaos_is_invisible(ds: &Dataset, dc: f64, chaos: ChaosPlan) -> u64 {
+    let clean_pipe = PipelineConfig {
+        map_tasks: 6,
+        reduce_tasks: 6,
+        fault: None,
+        chaos: None,
+        disable_elision: false,
+        checkpoints: false,
+    };
+    let chaos_pipe = PipelineConfig {
+        chaos: Some(chaos),
+        ..clean_pipe
+    };
+    let mut recoveries = 0u64;
+    let mut note = |jobs: &[mapreduce::JobMetrics]| {
+        recoveries += jobs
+            .iter()
+            .map(|j| j.task_retries + j.corruption_retries + j.speculative_wins)
+            .sum::<u64>();
+    };
+
+    let run_basic = |p: PipelineConfig| {
+        BasicDdp::new(BasicConfig {
+            block_size: 40,
+            pipeline: p,
+        })
+        .run(ds, dc)
+    };
+    let (clean, chaotic) = (run_basic(clean_pipe), run_basic(chaos_pipe));
+    assert_eq!(clean.result, chaotic.result, "basic");
+    note(&chaotic.jobs);
+
+    let params = lsh::LshParams::for_accuracy(0.95, 6, 3, dc).expect("valid");
+    let run_lsh = |p: PipelineConfig| {
+        LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
+            params,
+            seed: 5,
+            pipeline: p,
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        })
+        .run(ds, dc)
+    };
+    let (clean, chaotic) = (run_lsh(clean_pipe), run_lsh(chaos_pipe));
+    assert_eq!(clean.result, chaotic.result, "lsh-ddp");
+    note(&chaotic.jobs);
+
+    let run_eddpc = |p: PipelineConfig| {
+        Eddpc::new(EddpcConfig {
+            n_pivots: 10,
+            seed: 2,
+            pipeline: p,
+        })
+        .run(ds, dc)
+    };
+    let (clean, chaotic) = (run_eddpc(clean_pipe), run_eddpc(chaos_pipe));
+    assert_eq!(clean.result, chaotic.result, "eddpc");
+    note(&chaotic.jobs);
+
+    let r = compute_exact(ds, dc);
+    let peaks = dp_core::decision::select_top_k(&r, 3);
+    let clustering = dp_core::decision::assign(&r, &peaks);
+    let cfg = ddp::lsh_ddp::LshDdpConfig {
+        params,
+        seed: 5,
+        pipeline: clean_pipe,
+        partition_cap: None,
+        rho_aggregation: Default::default(),
+    };
+    let halo_clean = ddp::halo_mr::compute_halo_distributed(ds, &r, &clustering, &cfg, &clean_pipe);
+    let halo_chaos = ddp::halo_mr::compute_halo_distributed(ds, &r, &clustering, &cfg, &chaos_pipe);
+    assert_eq!(halo_clean.halo, halo_chaos.halo, "halo");
+    assert_eq!(halo_clean.border_rho, halo_chaos.border_rho, "border rho");
+    note(std::slice::from_ref(&halo_chaos.job));
+
+    let asg_clean = ddp::assign_mr::assign_distributed(&r, &peaks, &clean_pipe);
+    let asg_chaos = ddp::assign_mr::assign_distributed(&r, &peaks, &chaos_pipe);
+    assert_eq!(
+        asg_clean.clustering.labels(),
+        asg_chaos.clustering.labels(),
+        "assign"
+    );
+    note(&asg_chaos.rounds);
+    recoveries
+}
+
+#[test]
+fn all_five_pipelines_survive_full_chaos_bit_exactly() {
+    let ds = workload();
+    let chaos = survivable(
+        ChaosPlan::new(150, 4242)
+            .with_stragglers(150, 3.0, 1)
+            .with_corruption(100),
+    );
+    let recoveries = assert_chaos_is_invisible(&ds, 0.9, chaos);
+    assert!(
+        recoveries > 0,
+        "15% crashes + 10% corruption must trigger recoveries"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// *Any* survivable chaos plan — crashes, stragglers, and record
+    /// corruption at arbitrary rates and seeds — is invisible in the
+    /// outputs of every pipeline.
+    #[test]
+    fn chaos_never_changes_any_pipeline_output(
+        fail in 0u32..300,
+        strag in 0u32..200,
+        corrupt in 0u32..200,
+        seed in any::<u64>(),
+    ) {
+        let ds = datasets::generators::blob_grid(3, 3, 10, 20.0, 0.6, 3).data;
+        let chaos = survivable(
+            ChaosPlan::new(fail, seed)
+                .with_stragglers(strag, 2.0, 1)
+                .with_corruption(corrupt),
+        );
+        assert_chaos_is_invisible(&ds, 0.9, chaos);
+    }
+}
+
+// ---------------------------------------------- checkpointing + resume
+
+#[test]
+fn checkpointing_is_invisible_in_pipeline_results() {
+    let ds = workload();
+    let dc = 0.9;
+    let run = |checkpoints: bool| {
+        let pipeline = PipelineConfig {
+            checkpoints,
+            ..Default::default()
+        };
+        let ddp = BasicDdp::new(BasicConfig {
+            block_size: 40,
+            pipeline,
+        });
+        let dfs = Arc::new(Dfs::new());
+        let report = ddp.run_with_driver(&ds, dc, pipeline.driver().with_dfs(Arc::clone(&dfs)));
+        (report, dfs)
+    };
+    let (clean, _) = run(false);
+    let (checkpointed, dfs) = run(true);
+    assert_eq!(clean.result, checkpointed.result);
+    let bytes: u64 = checkpointed.jobs.iter().map(|j| j.checkpoint_bytes).sum();
+    assert!(bytes > 0, "every stage must have materialized its output");
+    assert_eq!(
+        clean.jobs.iter().map(|j| j.checkpoint_bytes).sum::<u64>(),
+        0
+    );
+    assert!(
+        dfs.list("ckpt/").is_empty(),
+        "a completed run clears its checkpoints"
+    );
+}
+
+/// The kill-and-restart drill, across *separate* driver instances sharing
+/// one DFS — the unit tests cover resume within a single driver; this is
+/// the operational story where the master restarts from storage.
+#[test]
+fn restarted_driver_resumes_a_killed_plan_from_the_checkpoint() {
+    let rows: Vec<(u32, u32)> = (0..120u32)
+        .map(|i| (i, i.wrapping_mul(2654435761)))
+        .collect();
+    let mod_key = || {
+        FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u64>| {
+            out.emit(k % 7, v as u64);
+        })
+    };
+    let halve_key = || {
+        FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u32, u64>| {
+            out.emit(k / 2, v);
+        })
+    };
+    let sum = || {
+        FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+            out.emit(*k, vs.into_iter().sum());
+        })
+    };
+    let build = |stage2_fault: Option<FaultPlan>| {
+        let mut cfg2 = JobConfig::uniform(2);
+        cfg2.fault = stage2_fault;
+        plan("restart-drill")
+            .rows(rows.clone())
+            .stage(Stage::new("s1", mod_key(), sum()).config(JobConfig::uniform(3)))
+            .stage(Stage::new("s2", halve_key(), sum()).config(cfg2))
+            .build()
+    };
+    // `max_attempts: 0` dooms every stage-2 task: the job is killed on
+    // its first failure, after stage 1 completed and checkpointed.
+    let doom = FaultPlan {
+        fail_per_mille: 999,
+        max_attempts: 0,
+        seed: 7,
+    };
+
+    let dfs = Arc::new(Dfs::new());
+    let mut killed_driver = Driver::new()
+        .with_checkpoints(true)
+        .with_dfs(Arc::clone(&dfs));
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        killed_driver.run_plan(build(Some(doom)))
+    }));
+    assert!(killed.is_err(), "stage 2 must kill the first run");
+    assert_eq!(
+        dfs.list("ckpt/restart-drill/"),
+        ["ckpt/restart-drill/0"],
+        "exactly the completed stage is materialized"
+    );
+    drop(killed_driver); // the master process dies with its in-memory state
+
+    // A fresh driver over the same DFS, with the fault fixed: stage 1
+    // resumes from storage, stage 2 recomputes, output is bit-identical
+    // to a never-killed run.
+    let mut restarted = Driver::new()
+        .with_checkpoints(true)
+        .with_dfs(Arc::clone(&dfs));
+    let mut resumed = restarted.run_plan(build(None));
+    let mut clean = Driver::new().run_plan(build(None));
+    resumed.sort_unstable();
+    clean.sort_unstable();
+    assert_eq!(resumed, clean);
+    let markers: Vec<&str> = restarted
+        .history()
+        .iter()
+        .filter(|j| j.user.get("resumed_from_checkpoint") == Some(&1))
+        .map(|j| j.name.as_str())
+        .collect();
+    assert_eq!(markers, ["s1"], "only the checkpointed stage resumes");
+    assert!(
+        dfs.list("ckpt/").is_empty(),
+        "the successful rerun clears the checkpoints"
     );
 }

@@ -116,7 +116,9 @@ fn pipelines_are_deterministic_across_runs_and_task_counts() {
                 map_tasks: tasks,
                 reduce_tasks: tasks,
                 fault: None,
+                chaos: None,
                 disable_elision: false,
+                checkpoints: false,
             },
             partition_cap: None,
             rho_aggregation: Default::default(),

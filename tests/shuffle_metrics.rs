@@ -30,6 +30,7 @@ fn wordcount(reduce_tasks: usize) -> (Vec<(String, u64)>, JobMetrics) {
             map_tasks: 5,
             reduce_tasks,
             fault: None,
+            chaos: None,
         })
         .run(input);
     out.sort();
@@ -104,7 +105,9 @@ fn lsh_ddp_per_job_metrics_invariant_to_reduce_task_count() {
                 map_tasks: 4,
                 reduce_tasks,
                 fault: None,
+                chaos: None,
                 disable_elision: false,
+                checkpoints: false,
             },
             ..base.config().clone()
         });
