@@ -18,6 +18,7 @@
 
 use ddp::{LshDdp, PipelineConfig};
 use dp_core::{for_each_pair_d2, Dataset};
+use lshddp_bench::swap::{swap_under_load, SwapBench};
 use mapreduce::{Emitter, FnMapper, FnReducer, JobBuilder, JobConfig};
 use rayon::prelude::*;
 use serde::Serialize;
@@ -101,6 +102,7 @@ struct Summary {
     kernel_pair_d2: KernelBench,
     plan_elision: ElisionBench,
     recovery_overhead: RecoveryBench,
+    hot_swap: SwapBench,
     tracing_overhead: OverheadBench,
 }
 
@@ -208,6 +210,7 @@ fn blob_lsh_with(disable_elision: bool) -> LshDdp {
         map_tasks: 8,
         reduce_tasks: 8,
         fault: None,
+        fault_stage: None,
         chaos: None,
         disable_elision,
         checkpoints: false,
@@ -385,15 +388,15 @@ fn main() {
     }
     let threads = rayon::current_num_threads();
 
-    let (calls, engine_records, blob_n, kernel_n) = if smoke {
-        (50, 20_000, 300, 500)
+    let (calls, engine_records, blob_n, kernel_n, swap_queries) = if smoke {
+        (50, 20_000, 300, 500, 400)
     } else {
-        (400, 100_000, 1_500, 2_000)
+        (400, 100_000, 1_500, 2_000, 2_000)
     };
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 4,
+        schema: 5,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -417,6 +420,9 @@ fn main() {
         kernel_pair_d2: kernel_pair_d2(kernel_n, 8),
         plan_elision: plan_elision(blob_n),
         recovery_overhead: recovery_overhead(blob_n),
+        // Serving correctness across model hot-swaps under load; gated
+        // by scripts/check_swap.py (>= 3 swaps, 0 dropped, 0 incorrect).
+        hot_swap: swap_under_load(42, if smoke { 120 } else { 400 }, 4, 4, swap_queries),
         // Must stay last: installs the process-lifetime chunk observer.
         tracing_overhead: tracing_overhead(blob_n),
     };
@@ -456,6 +462,18 @@ fn main() {
         summary.recovery_overhead.checkpoint_s,
         summary.recovery_overhead.checkpoint_overhead_frac * 100.0,
         summary.recovery_overhead.outputs_match
+    );
+    eprintln!(
+        "hot swap: {} swaps over {} queries at {:.0} qps — {} dropped, {} incorrect \
+         (gen A {} / gen B {}, {} busy-retries)",
+        summary.hot_swap.swaps,
+        summary.hot_swap.queries_total,
+        summary.hot_swap.qps,
+        summary.hot_swap.dropped,
+        summary.hot_swap.incorrect,
+        summary.hot_swap.matched_gen_a,
+        summary.hot_swap.matched_gen_b,
+        summary.hot_swap.shed_retries
     );
     eprintln!(
         "tracing: off {:.3}s on {:.3}s -> {:+.1}% overhead",

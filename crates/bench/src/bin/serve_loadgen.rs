@@ -15,6 +15,12 @@
 //! queue) and `timeouts` (requests that outwaited the per-request
 //! deadline and were answered with `Timeout` instead of being served).
 //!
+//! A final scenario hammers the server while hot-swapping between two
+//! model generations (base fit vs ingested successor) and checks every
+//! response against both generations' precomputed ground truth: across
+//! the swaps, zero requests may be dropped and zero answers may match
+//! neither generation. CI gates the same run via `scripts/check_swap.py`.
+//!
 //! ```text
 //! cargo run --release -p lshddp-bench --bin serve_loadgen [-- --scale f --seed n]
 //! ```
@@ -154,4 +160,32 @@ fn main() {
         ],
         &rows,
     );
+
+    // Swap-under-sustained-traffic: 5 hot-swaps spaced through the run,
+    // every answer checked against both generations' ground truth.
+    let swap = lshddp_bench::swap::swap_under_load(
+        args.seed,
+        ((800.0 * args.scale) as usize).max(100),
+        4,
+        5,
+        QUERIES_PER_CLIENT / 2,
+    );
+    println!();
+    println!(
+        "hot-swap under load — {} clients on {} workers, {} swaps mid-traffic",
+        swap.clients, swap.threads, swap.swaps
+    );
+    println!(
+        "  {} queries at {:.0} qps: {} dropped, {} incorrect \
+         ({} answered by gen A, {} by gen B, {} busy-retries)",
+        swap.queries_total,
+        swap.qps,
+        swap.dropped,
+        swap.incorrect,
+        swap.matched_gen_a,
+        swap.matched_gen_b,
+        swap.shed_retries
+    );
+    assert_eq!(swap.dropped, 0, "hot-swap dropped requests");
+    assert_eq!(swap.incorrect, 0, "hot-swap served a torn answer");
 }

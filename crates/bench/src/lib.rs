@@ -24,6 +24,8 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+pub mod swap;
+
 /// Common experiment CLI arguments.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {

@@ -27,6 +27,15 @@ pub struct PipelineConfig {
     /// [`mapreduce::JobMetrics::task_retries`]).
     #[serde(default)]
     pub fault: Option<mapreduce::FaultPlan>,
+    /// Restricts [`Self::fault`] to the single named stage (see
+    /// [`Self::job_config_for`]). The failure schedule is a pure
+    /// function of `(seed, phase, task, attempt)` with no job identity,
+    /// so an unrestricted doomed plan always dies at the *first* stage —
+    /// kill-and-restart drills scope the doom to a later stage with this
+    /// so earlier stages complete (and checkpoint) first. `None` applies
+    /// the fault everywhere.
+    #[serde(with = "fault_stage_serde", default)]
+    pub fault_stage: Option<&'static str>,
     /// Optional full chaos injection (crashes + stragglers + corruption +
     /// partition loss) applied to every job of the pipeline. Takes
     /// precedence over [`Self::fault`] when both are set.
@@ -43,6 +52,22 @@ pub struct PipelineConfig {
     /// resume from the last completed stage.
     #[serde(default)]
     pub checkpoints: bool,
+}
+
+/// `Option<&'static str>` under the vendored serde: written as an
+/// optional string, leaked back to `'static` on read (configs are
+/// deserialized a handful of times per process, and the field is a short
+/// stage name).
+mod fault_stage_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &Option<&'static str>, s: S) -> Result<S::Ok, S::Error> {
+        v.map(str::to_owned).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Option<&'static str>, D::Error> {
+        Ok(Option::<String>::deserialize(d)?.map(|s| &*s.leak()))
+    }
 }
 
 impl PipelineConfig {
@@ -63,6 +88,20 @@ impl PipelineConfig {
             fault: self.fault,
             chaos: self.chaos,
         }
+    }
+
+    /// [`Self::job_config`] scoped to the stage named `stage`: when
+    /// [`Self::fault_stage`] names a different stage, the fault plan is
+    /// stripped so only the targeted stage can die. Chaos plans are
+    /// unaffected (they model environment-wide weather, not a drill).
+    pub fn job_config_for(&self, stage: &str) -> JobConfig {
+        let mut cfg = self.job_config();
+        if let Some(only) = self.fault_stage {
+            if only != stage {
+                cfg.fault = None;
+            }
+        }
+        cfg
     }
 
     /// The effective chaos plan (explicit [`Self::chaos`], else

@@ -362,11 +362,23 @@ impl LshDdp {
 
     /// Runs the four-job pipeline with a known `d_c`.
     pub fn run(&self, ds: &Dataset, dc: f64) -> RunReport {
+        self.run_with_driver(ds, dc, self.config.pipeline.driver())
+    }
+
+    /// Runs the four-job pipeline on a caller-supplied scheduler. Like
+    /// [`BasicDdp::run_with_driver`](crate::BasicDdp::run_with_driver),
+    /// this is the kill-and-resume entry point: a checkpointing driver
+    /// whose previous run of this pipeline was killed mid-stage still
+    /// holds the materialized stage outputs in its [`Dfs`](mapreduce::Dfs),
+    /// so the rerun resumes from the last checkpoint instead of
+    /// recomputing from scratch. The ingest crate's compaction leans on
+    /// exactly this to make a restarted refit cheap.
+    pub fn run_with_driver(&self, ds: &Dataset, dc: f64, driver: Driver) -> RunReport {
         let snap = point_snapshot(ds);
         self.run_tracked(
             ds,
             &snap,
-            self.config.pipeline.driver(),
+            driver,
             dc,
             DistanceTracker::new(),
             Instant::now(),
@@ -406,7 +418,6 @@ impl LshDdp {
         assert!(!ds.is_empty(), "cannot cluster an empty dataset");
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
         let n = ds.len();
-        let job_cfg = self.config.pipeline.job_config();
         let multi = Arc::new(MultiLsh::new(
             ds.dim(),
             &self.config.params,
@@ -433,7 +444,7 @@ impl LshDdp {
                 tracker: tracker.clone(),
             },
         )
-        .config(job_cfg)
+        .config(self.config.pipeline.job_config_for("lsh/rho-local"))
         .co_partitioned(LSH_LAYOUT_CONTRACT)
         .finalize(dist_snapshot(&tracker));
         let rho_plan = match self.config.rho_aggregation {
@@ -447,7 +458,7 @@ impl LshDdp {
                 .reduce_stage(
                     ReduceStage::new("lsh/rho-aggregate", MaxReducer)
                         .combiner(MaxCombiner)
-                        .config(job_cfg)
+                        .config(self.config.pipeline.job_config_for("lsh/rho-aggregate"))
                         .finalize(dist_snapshot(&tracker)),
                 )
                 .build(),
@@ -460,7 +471,11 @@ impl LshDdp {
                 .reduce_stage(local_rho)
                 .reduce_stage(
                     ReduceStage::new("lsh/rho-aggregate-mean", MeanReducer)
-                        .config(job_cfg)
+                        .config(
+                            self.config
+                                .pipeline
+                                .job_config_for("lsh/rho-aggregate-mean"),
+                        )
                         .finalize(dist_snapshot(&tracker)),
                 )
                 .build(),
@@ -493,14 +508,14 @@ impl LshDdp {
                         tracker: tracker.clone(),
                     },
                 )
-                .config(job_cfg)
+                .config(self.config.pipeline.job_config_for("lsh/delta-local"))
                 .co_partitioned(LSH_LAYOUT_CONTRACT)
                 .finalize(dist_snapshot(&tracker)),
             )
             .reduce_stage(
                 ReduceStage::new("lsh/delta-aggregate", MinReducer)
                     .combiner(MinCombiner)
-                    .config(job_cfg)
+                    .config(self.config.pipeline.job_config_for("lsh/delta-aggregate"))
                     .finalize(dist_snapshot(&tracker)),
             )
             .build();

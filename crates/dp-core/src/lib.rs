@@ -26,7 +26,9 @@
 //! * [`dp`] — the exact O(N²) sequential algorithm;
 //! * [`decision`] — decision graph, peak selection, cluster assignment;
 //! * [`quality`] — external cluster validation (ARI, NMI, purity, pairwise
-//!   F-measure) and the paper's approximation metrics `tau1`/`tau2` (§VI-C).
+//!   F-measure) and the paper's approximation metrics `tau1`/`tau2` (§VI-C);
+//! * [`update`] — localized `rho`/`delta` update kernels backing the
+//!   incremental ingest path.
 //!
 //! ## Quick example
 //!
@@ -56,6 +58,7 @@ pub mod fast;
 pub mod kernel;
 pub mod point;
 pub mod quality;
+pub mod update;
 
 pub use decision::{
     assign, compute_halo, select_by_threshold, select_top_k, Clustering, DecisionGraph,

@@ -1,0 +1,150 @@
+//! The [`DeltaBatch`] wire codec: the unit of mutation the ingest path
+//! accepts, logs to the WAL, and replays on recovery.
+//!
+//! A batch is versioned twice over: the *format* revision guards the
+//! byte layout, and the embedded `model_version`/`seq` pair pins the
+//! batch to the model lineage it was applied against — a WAL written
+//! against one model cannot silently replay onto another.
+
+use mapreduce::wire::{Wire, WireError};
+use mapreduce::ShuffleSize;
+
+/// Magic number opening every serialized batch ("LDPB" little-endian).
+const MAGIC: u32 = 0x4250_444c;
+/// Format revision; bump on any layout change.
+const FORMAT: u32 = 1;
+
+/// One mutation against the model's point set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Add a point at these coordinates; the session assigns it the next
+    /// external key.
+    Insert(Vec<f64>),
+    /// Remove the point with this external key (base-model points carry
+    /// keys `0..n`; inserts continue the sequence).
+    Delete(u64),
+}
+
+impl ShuffleSize for DeltaOp {
+    fn shuffle_bytes(&self) -> u64 {
+        1 + match self {
+            DeltaOp::Insert(coords) => coords.shuffle_bytes(),
+            DeltaOp::Delete(_) => 8,
+        }
+    }
+}
+
+impl Wire for DeltaOp {
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            DeltaOp::Insert(coords) => {
+                0u8.write(out);
+                coords.write(out);
+            }
+            DeltaOp::Delete(key) => {
+                1u8.write(out);
+                key.write(out);
+            }
+        }
+    }
+
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::read(input)? {
+            0 => Ok(DeltaOp::Insert(Vec::<f64>::read(input)?)),
+            1 => Ok(DeltaOp::Delete(u64::read(input)?)),
+            _ => Err(WireError::Corrupt("delta op tag")),
+        }
+    }
+}
+
+/// An ordered group of mutations applied (and versioned) atomically:
+/// one batch = one model-version bump = one WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBatch {
+    /// The model lineage version this batch applies *on top of*.
+    pub model_version: u64,
+    /// Position in the session's batch sequence, starting at 0.
+    pub seq: u64,
+    /// The mutations, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl ShuffleSize for DeltaBatch {
+    fn shuffle_bytes(&self) -> u64 {
+        // magic + format + model_version + seq + ops
+        4 + 4 + 8 + 8 + self.ops.shuffle_bytes()
+    }
+}
+
+impl Wire for DeltaBatch {
+    fn write(&self, out: &mut Vec<u8>) {
+        MAGIC.write(out);
+        FORMAT.write(out);
+        self.model_version.write(out);
+        self.seq.write(out);
+        self.ops.write(out);
+    }
+
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        if u32::read(input)? != MAGIC {
+            return Err(WireError::Corrupt("batch magic"));
+        }
+        if u32::read(input)? != FORMAT {
+            return Err(WireError::Corrupt("batch format"));
+        }
+        Ok(DeltaBatch {
+            model_version: u64::read(input)?,
+            seq: u64::read(input)?,
+            ops: Vec::<DeltaOp>::read(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::wire;
+
+    fn sample() -> DeltaBatch {
+        DeltaBatch {
+            model_version: 3,
+            seq: 7,
+            ops: vec![
+                DeltaOp::Insert(vec![1.0, -2.5]),
+                DeltaOp::Delete(42),
+                DeltaOp::Insert(vec![0.0, 0.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_sizes_exactly() {
+        let batch = sample();
+        let bytes = wire::encode(&batch);
+        assert_eq!(bytes.len() as u64, batch.shuffle_bytes());
+        assert_eq!(wire::decode::<DeltaBatch>(&bytes).unwrap(), batch);
+    }
+
+    #[test]
+    fn rejects_bad_magic_format_and_tag() {
+        let mut bytes = wire::encode(&sample());
+        let mut flipped = bytes.clone();
+        flipped[0] ^= 0xff;
+        assert!(matches!(
+            wire::decode::<DeltaBatch>(&flipped),
+            Err(WireError::Corrupt("batch magic"))
+        ));
+        bytes[4] = 0x66;
+        assert!(matches!(
+            wire::decode::<DeltaBatch>(&bytes),
+            Err(WireError::Corrupt("batch format"))
+        ));
+        let op = wire::encode(&DeltaOp::Delete(1));
+        let mut bad = op.clone();
+        bad[0] = 9;
+        assert!(matches!(
+            wire::decode::<DeltaOp>(&bad),
+            Err(WireError::Corrupt("delta op tag"))
+        ));
+    }
+}

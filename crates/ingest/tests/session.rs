@@ -1,0 +1,261 @@
+//! Behavioral tests for [`IngestSession`]: localized updates, batch
+//! validation atomicity, WAL-backed recovery, and compaction resetting
+//! the session onto an exact artifact.
+
+use ddp::prelude::*;
+use ingest::{DeltaOp, IngestConfig, IngestError, IngestSession};
+use mapreduce::wire;
+use serve::ClusterModel;
+use std::path::PathBuf;
+
+/// Fits a small 3-blob model end to end (mirrors serve's test fixture).
+fn fitted(n_per: usize, seed: u64) -> ClusterModel {
+    let ld = datasets::gaussian_mixture(2, 3, n_per, 40.0, 1.0, seed);
+    let ds = &ld.data;
+    let dc = dp_core::cutoff::estimate_dc_exact(ds, 0.05);
+    let ddp = LshDdp::with_accuracy(0.99, 8, 3, dc, seed).expect("valid LSH params");
+    let params = ddp.config().params;
+    let report = ddp.run(ds, dc);
+    let outcome = CentralizedStep::new(PeakSelection::TopK(3)).run(&report.result);
+    ClusterModel::from_run(ds, &report, &outcome, &params, seed)
+}
+
+fn config() -> IngestConfig {
+    IngestConfig {
+        selection: PeakSelection::TopK(3),
+        ..IngestConfig::default()
+    }
+}
+
+/// A tiny hand-built model: cluster 0 = {p0 (peak), p1}, cluster 1 =
+/// {p2 (peak)} — small enough to reason about validation exactly.
+fn two_cluster_line() -> ClusterModel {
+    ClusterModel::from_parts(
+        1,
+        "test".to_string(),
+        1,
+        2.0,
+        lsh::LshParams {
+            m: 2,
+            pi: 2,
+            w: 8.0,
+        },
+        7,
+        vec![0.0, 1.0, 10.0],
+        vec![2, 1, 1],
+        vec![10.0, 1.0, 9.0],
+        vec![dp_core::NO_UPSLOPE, 0, dp_core::NO_UPSLOPE],
+        vec![0, 0, 1],
+        vec![0, 2],
+        vec![false, false, false],
+    )
+}
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ingest-session-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+#[test]
+fn insert_bumps_neighbor_density_and_versions_the_model() {
+    let model = fitted(20, 11);
+    let n = model.len();
+    let mut session = IngestSession::new(&model, config());
+    assert_eq!(session.version(), 1);
+    assert_eq!(session.len(), n);
+    assert_eq!(session.stale_points(), 0);
+
+    // A duplicate of point 0 shares its signatures, so point 0 is a
+    // within-dc bucket-mate and must gain density.
+    let dup = model.point(0).to_vec();
+    let applied = session.apply(vec![DeltaOp::Insert(dup)]).unwrap();
+    assert_eq!(applied.version, 2);
+    assert_eq!(session.version(), 2);
+    assert!(
+        applied.newly_stale > 0,
+        "localized updates mark points stale"
+    );
+    assert_eq!(session.len(), n + 1);
+
+    let published = session.publish();
+    assert_eq!(published.version(), 2);
+    assert_eq!(published.len(), n + 1);
+    assert_eq!(
+        published.rhos()[0],
+        model.rhos()[0] + 1,
+        "the duplicated point gains one within-dc neighbor"
+    );
+    assert!((published.n_clusters()) == model.n_clusters());
+
+    // Deleting the insert restores the neighbor's density.
+    let key = n as u64; // base points hold 0..n, the insert took n
+    session.apply(vec![DeltaOp::Delete(key)]).unwrap();
+    assert_eq!(session.len(), n);
+    assert_eq!(session.publish().rhos()[0], model.rhos()[0]);
+    assert_eq!(session.version(), 3);
+}
+
+#[test]
+fn rejected_batches_leave_the_session_untouched() {
+    let model = two_cluster_line();
+    let mut session = IngestSession::new(&model, config());
+
+    // Wrong dimensionality.
+    let err = session
+        .apply(vec![DeltaOp::Insert(vec![1.0, 2.0])])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        IngestError::DimMismatch {
+            expected: 1,
+            got: 2
+        }
+    ));
+
+    // Unknown / repeated keys.
+    let err = session.apply(vec![DeltaOp::Delete(99)]).unwrap_err();
+    assert!(matches!(err, IngestError::UnknownKey(99)));
+    let err = session
+        .apply(vec![DeltaOp::Delete(1), DeltaOp::Delete(1)])
+        .unwrap_err();
+    assert!(matches!(err, IngestError::UnknownKey(1)));
+
+    // Emptying a cluster — directly, or across the batch.
+    let err = session.apply(vec![DeltaOp::Delete(2)]).unwrap_err();
+    assert!(matches!(err, IngestError::WouldEmptyCluster(1)));
+    let err = session
+        .apply(vec![DeltaOp::Delete(0), DeltaOp::Delete(1)])
+        .unwrap_err();
+    assert!(matches!(err, IngestError::WouldEmptyCluster(0)));
+
+    // Nothing above changed any state: full-batch validation runs
+    // before the first op is applied.
+    assert_eq!(session.version(), 1);
+    assert_eq!(session.len(), 3);
+    assert_eq!(session.stale_points(), 0);
+    assert_eq!(session.batches_applied(), 0);
+
+    // The same deletes succeed one at a time when legal.
+    session.apply(vec![DeltaOp::Delete(1)]).unwrap();
+    assert_eq!(session.len(), 2);
+}
+
+#[test]
+fn deleting_a_peak_hands_the_cluster_to_the_densest_survivor() {
+    let model = two_cluster_line();
+    let mut session = IngestSession::new(&model, config());
+    session.apply(vec![DeltaOp::Delete(0)]).unwrap();
+    let published = session.publish();
+    assert_eq!(published.len(), 2);
+    assert_eq!(published.n_clusters(), 2);
+    // p1 (dense id 0 after the squeeze) inherits cluster 0's peak slot.
+    assert_eq!(published.labels()[published.peaks()[0] as usize], 0);
+    assert_eq!(published.labels()[published.peaks()[1] as usize], 1);
+}
+
+#[test]
+fn wal_replay_reconstructs_the_exact_session_state() {
+    let model = fitted(15, 23);
+    let path = wal_path("replay-session.wal");
+
+    let (mut session, replayed) = IngestSession::with_wal(&model, config(), &path).unwrap();
+    assert_eq!(replayed, 0);
+    session
+        .apply(vec![
+            DeltaOp::Insert(vec![1.5, -0.5]),
+            DeltaOp::Insert(model.point(3).to_vec()),
+        ])
+        .unwrap();
+    session.apply(vec![DeltaOp::Delete(2)]).unwrap();
+    let before = wire::encode(&session.publish());
+    let version = session.version();
+    drop(session);
+
+    // Reopen against the same base artifact: the log replays both
+    // batches and lands on byte-identical published state.
+    let (session, replayed) = IngestSession::with_wal(&model, config(), &path).unwrap();
+    assert_eq!(replayed, 2);
+    assert_eq!(session.version(), version);
+    assert_eq!(wire::encode(&session.publish()), before);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wal_from_a_different_lineage_is_rejected() {
+    let model = fitted(15, 23);
+    let path = wal_path("lineage-mismatch.wal");
+    let (mut session, _) = IngestSession::with_wal(&model, config(), &path).unwrap();
+    session.apply(vec![DeltaOp::Delete(0)]).unwrap();
+    drop(session);
+
+    // The same log replayed onto a *newer* artifact must refuse.
+    let newer = model.clone().with_version(5);
+    let Err(err) = IngestSession::with_wal(&newer, config(), &path) else {
+        panic!("a foreign WAL must be rejected");
+    };
+    assert!(matches!(
+        err,
+        IngestError::WalMismatch {
+            expected: 5,
+            got: 1
+        }
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compaction_folds_the_wal_and_clears_staleness() {
+    let model = fitted(15, 31);
+    let path = wal_path("compact-folds.wal");
+    let (mut session, _) = IngestSession::with_wal(&model, config(), &path).unwrap();
+    session
+        .apply(vec![DeltaOp::Insert(vec![0.5, 0.5]), DeltaOp::Delete(4)])
+        .unwrap();
+    assert!(session.stale_points() > 0);
+    let degraded = session.staleness();
+    assert!(degraded.accuracy_after < degraded.accuracy_before);
+
+    let version_before = session.version();
+    let compaction = session.compact();
+    assert_eq!(compaction.model.version(), version_before + 1);
+    assert_eq!(session.version(), version_before + 1);
+    assert_eq!(session.stale_points(), 0, "compaction is exact");
+    let healed = session.staleness();
+    assert_eq!(healed.accuracy_after, healed.accuracy_before);
+
+    // External keys survive: base keys minus the delete, plus the
+    // insert's fresh key.
+    let keys = session.live_keys();
+    assert!(!keys.contains(&4));
+    assert!(keys.contains(&(model.len() as u64)));
+
+    // The folded log is empty on reopen.
+    drop(session);
+    let (restored, replayed) = IngestSession::with_wal(&compaction.model, config(), &path).unwrap();
+    assert_eq!(replayed, 0);
+    assert_eq!(restored.version(), version_before + 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lifecycle_counters_are_metered() {
+    let reg = obsv::global();
+    let batches = reg.counter("ingest_batches");
+    let stale = reg.counter("stale_points");
+    let compactions = reg.counter("model_compactions");
+    let (b0, s0, c0) = (batches.get(), stale.get(), compactions.get());
+
+    let model = fitted(15, 47);
+    let mut session = IngestSession::new(&model, config());
+    session
+        .apply(vec![DeltaOp::Insert(model.point(1).to_vec())])
+        .unwrap();
+    session.compact();
+
+    assert!(batches.get() > b0);
+    assert!(stale.get() > s0);
+    assert!(compactions.get() > c0);
+}

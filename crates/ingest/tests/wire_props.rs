@@ -1,0 +1,96 @@
+//! Property tests for the lifecycle wire formats: the versioned model
+//! header and the delta-batch codec must round-trip arbitrary values,
+//! honor the `encoded length == shuffle_bytes()` size contract, and
+//! error on every truncated prefix rather than misread one.
+
+use ingest::{DeltaBatch, DeltaOp};
+use mapreduce::wire::{decode, encode, Wire};
+use mapreduce::ShuffleSize;
+use proptest::prelude::*;
+use serve::ModelHeader;
+
+fn check_roundtrip<T: Wire + ShuffleSize + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = encode(value);
+    assert_eq!(
+        bytes.len() as u64,
+        value.shuffle_bytes(),
+        "size contract for {value:?}"
+    );
+    let back: T = decode(&bytes).expect("well-formed buffer must decode");
+    assert_eq!(&back, value);
+}
+
+fn check_truncations<T: Wire + ShuffleSize>(value: &T) {
+    let bytes = encode(value);
+    for cut in 0..bytes.len() {
+        assert!(
+            decode::<T>(&bytes[..cut]).is_err(),
+            "decoding a {cut}-byte prefix of a {}-byte encoding must fail",
+            bytes.len()
+        );
+    }
+}
+
+fn delta_op() -> impl Strategy<Value = DeltaOp> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(-1e9f64..1e9, 0..8),
+        any::<u64>(),
+    )
+        .prop_map(|(insert, coords, key)| {
+            if insert {
+                DeltaOp::Insert(coords)
+            } else {
+                DeltaOp::Delete(key)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_headers_round_trip(
+        version in any::<u64>(),
+        algorithm in any::<String>(),
+        dim in any::<u64>(),
+        n_points in any::<u64>(),
+        n_clusters in any::<u64>(),
+    ) {
+        let header = ModelHeader {
+            format: 2,
+            version,
+            algorithm,
+            dim,
+            n_points,
+            n_clusters,
+        };
+        check_roundtrip(&header);
+        check_truncations(&header);
+    }
+
+    #[test]
+    fn delta_batches_round_trip(
+        model_version in any::<u64>(),
+        seq in any::<u64>(),
+        ops in proptest::collection::vec(delta_op(), 0..12),
+    ) {
+        let batch = DeltaBatch { model_version, seq, ops };
+        check_roundtrip(&batch);
+        check_truncations(&batch);
+    }
+
+    #[test]
+    fn corrupt_leading_bytes_never_decode(
+        seq in any::<u64>(),
+        flip in 0usize..8,
+    ) {
+        // The magic/format prefix guards both codecs: flipping any of
+        // the first eight bytes must be caught (magic mismatch, format
+        // mismatch, or a checksummed layer above).
+        let batch = DeltaBatch { model_version: 1, seq, ops: vec![DeltaOp::Delete(3)] };
+        let mut bytes = encode(&batch);
+        bytes[flip] ^= 0xa5;
+        prop_assert!(decode::<DeltaBatch>(&bytes).is_err());
+    }
+}

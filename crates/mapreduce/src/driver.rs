@@ -141,15 +141,6 @@ impl Driver {
         }
     }
 
-    /// Records one completed job.
-    #[deprecated(
-        note = "build a dataflow plan and let `run_plan` auto-record stage metrics; \
-                manual recording remains for externally-run jobs"
-    )]
-    pub fn record(&mut self, metrics: JobMetrics) {
-        self.history.push(metrics);
-    }
-
     /// Consumes the driver, returning the recorded job history.
     pub fn into_history(self) -> Vec<JobMetrics> {
         self.history
@@ -212,7 +203,6 @@ impl Default for Driver {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
@@ -232,9 +222,11 @@ mod tests {
 
     #[test]
     fn history_and_totals() {
+        // `run_plan` is the only public recording path; these unit tests
+        // of the history/aggregation mechanics seed it directly.
         let mut d = Driver::new();
-        d.record(job("a", 100, 10));
-        d.record(job("b", 300, 25));
+        d.history.push(job("a", 100, 10));
+        d.history.push(job("b", 300, 25));
         assert_eq!(d.history().len(), 2);
         assert_eq!(d.total_shuffle_bytes(), 400);
         assert_eq!(d.totals().shuffle_bytes, 400);
@@ -243,8 +235,8 @@ mod tests {
     #[test]
     fn cumulative_counter_differencing() {
         let mut d = Driver::new();
-        d.record(job("a", 0, 10));
-        d.record(job("b", 0, 25)); // +15 in job b
+        d.history.push(job("a", 0, 10));
+        d.history.push(job("b", 0, 25)); // +15 in job b
         let spec = ClusterSpec {
             workers: 1,
             distances_per_sec: 1.0,

@@ -4,7 +4,7 @@
 //! crate answers the question that follows in any deployment: *"which
 //! cluster is this new point in?"* — without re-running the pipeline.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`ClusterModel`] — an immutable artifact snapshotting a finished run
 //!   (coordinates, `rho`/`delta`/upslope, labels, peaks, halo flags,
@@ -15,6 +15,10 @@
 //!   nearest higher-density neighbor (the serving-time upslope rule), and
 //!   fall back to an exact nearest-center scan for out-of-distribution
 //!   points, policed by the [`Exactness`] knob;
+//! * [`ModelStore`] — an atomic, versioned publication point for
+//!   engines: batches resolve the current engine per micro-batch, so a
+//!   hot-swap lets readers on version N drain while N+1 serves every
+//!   later batch (the ingest path publishes here);
 //! * [`Server`] — a concurrent runtime wrapping the engine: a bounded
 //!   request queue for backpressure, worker threads that drain the queue
 //!   in micro-batches to feed the batched distance kernels in
@@ -50,10 +54,12 @@
 pub mod engine;
 pub mod model;
 pub mod server;
+pub mod store;
 
 pub use engine::{Assignment, Exactness, QueryEngine};
-pub use model::{ClusterModel, ModelError};
+pub use model::{ClusterModel, ModelError, ModelHeader};
 pub use server::{Client, ServeError, Server, ServerConfig, ServiceStats};
+pub use store::ModelStore;
 
 #[cfg(test)]
 pub(crate) mod test_support {

@@ -20,8 +20,71 @@ use mapreduce::ShuffleSize;
 
 /// Magic number opening every serialized model ("LDPM" little-endian).
 const MAGIC: u32 = 0x4d50_444c;
-/// Format version; bump on any layout change.
-const VERSION: u32 = 1;
+/// Format version; bump on any layout change. Format 2 added the
+/// monotonically increasing *model* version (the ingest/compaction
+/// lineage counter) and a peekable header carrying the point and
+/// cluster counts.
+const FORMAT: u32 = 2;
+
+/// The peekable prefix of every serialized model: enough to identify an
+/// artifact (format, lineage version, shape) without decoding the
+/// coordinate block. Written by [`ClusterModel`]'s `Wire` impl as the
+/// first bytes of the encoding, so [`ClusterModel::peek_header`] can
+/// read it straight off a file prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelHeader {
+    /// On-disk format revision (always [`FORMAT`] when written here).
+    pub format: u32,
+    /// The model's lineage version: 1 after a fresh fit, +1 per ingest
+    /// batch or compaction. Distinguishes artifacts for cache keying and
+    /// hot-swap metering.
+    pub version: u64,
+    /// Which pipeline produced the densities.
+    pub algorithm: String,
+    /// Point dimensionality.
+    pub dim: u64,
+    /// Number of training points.
+    pub n_points: u64,
+    /// Number of clusters (= number of peaks).
+    pub n_clusters: u64,
+}
+
+impl ShuffleSize for ModelHeader {
+    fn shuffle_bytes(&self) -> u64 {
+        // magic + format + version + algorithm + dim + n_points + n_clusters
+        4 + 4 + 8 + self.algorithm.shuffle_bytes() + 8 + 8 + 8
+    }
+}
+
+impl Wire for ModelHeader {
+    fn write(&self, out: &mut Vec<u8>) {
+        MAGIC.write(out);
+        self.format.write(out);
+        self.version.write(out);
+        self.algorithm.write(out);
+        self.dim.write(out);
+        self.n_points.write(out);
+        self.n_clusters.write(out);
+    }
+
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        if u32::read(input)? != MAGIC {
+            return Err(WireError::Corrupt("model magic"));
+        }
+        let format = u32::read(input)?;
+        if format != FORMAT {
+            return Err(WireError::Corrupt("model format"));
+        }
+        Ok(ModelHeader {
+            format,
+            version: u64::read(input)?,
+            algorithm: String::read(input)?,
+            dim: u64::read(input)?,
+            n_points: u64::read(input)?,
+            n_clusters: u64::read(input)?,
+        })
+    }
+}
 
 /// An immutable, queryable snapshot of a finished clustering run.
 ///
@@ -30,6 +93,10 @@ const VERSION: u32 = 1;
 /// consumed by [`crate::QueryEngine`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterModel {
+    /// Lineage version: 1 after a fresh fit, bumped by every ingest
+    /// batch and compaction. Strictly metadata — two models that differ
+    /// only in `version` answer queries identically.
+    version: u64,
     /// Which pipeline produced the densities (`RunReport::algorithm`).
     algorithm: String,
     /// Point dimensionality.
@@ -118,6 +185,7 @@ impl ClusterModel {
         );
         let halo = dp_core::compute_halo(ds, result, &outcome.clustering);
         ClusterModel {
+            version: 1,
             algorithm: report.algorithm.clone(),
             dim: ds.dim(),
             dc: result.dc,
@@ -131,6 +199,92 @@ impl ClusterModel {
             peaks: outcome.peaks.clone(),
             halo,
         }
+    }
+
+    /// Assembles a model directly from its fields — the constructor the
+    /// ingest path uses to publish incrementally updated state without
+    /// re-running a batch pipeline.
+    ///
+    /// # Panics
+    /// Panics if the fields are not mutually consistent: mismatched
+    /// lengths, an empty peak set, out-of-range peak/upslope ids, or a
+    /// peak whose label is not its cluster id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        version: u64,
+        algorithm: String,
+        dim: usize,
+        dc: f64,
+        params: LshParams,
+        seed: u64,
+        coords: Vec<f64>,
+        rho: Vec<u32>,
+        delta: Vec<f64>,
+        upslope: Vec<PointId>,
+        labels: Vec<u32>,
+        peaks: Vec<PointId>,
+        halo: Vec<bool>,
+    ) -> Self {
+        let n = rho.len();
+        assert!(dim > 0, "model dim must be positive");
+        assert!(n > 0, "model must hold at least one point");
+        assert_eq!(coords.len(), n * dim, "coords length mismatch");
+        assert_eq!(delta.len(), n, "delta length mismatch");
+        assert_eq!(upslope.len(), n, "upslope length mismatch");
+        assert_eq!(labels.len(), n, "labels length mismatch");
+        assert_eq!(halo.len(), n, "halo length mismatch");
+        assert!(!peaks.is_empty(), "model must keep at least one peak");
+        for (c, &p) in peaks.iter().enumerate() {
+            assert!((p as usize) < n, "peak id out of range");
+            assert_eq!(labels[p as usize], c as u32, "peak label != cluster id");
+        }
+        ClusterModel {
+            version,
+            algorithm,
+            dim,
+            dc,
+            params,
+            seed,
+            coords,
+            rho,
+            delta,
+            upslope,
+            labels,
+            peaks,
+            halo,
+        }
+    }
+
+    /// The model's lineage version (1 after a fresh fit).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The same model stamped with a different lineage version — used by
+    /// the ingest path when publishing, and by equivalence tests that
+    /// compare payloads modulo lineage.
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// The peekable header this model serializes under.
+    pub fn header(&self) -> ModelHeader {
+        ModelHeader {
+            format: FORMAT,
+            version: self.version,
+            algorithm: self.algorithm.clone(),
+            dim: self.dim as u64,
+            n_points: self.len() as u64,
+            n_clusters: self.peaks.len() as u64,
+        }
+    }
+
+    /// Decodes just the header from the front of a serialized model —
+    /// identification without paying for the coordinate block.
+    pub fn peek_header(bytes: &[u8]) -> Result<ModelHeader, WireError> {
+        let mut input = bytes;
+        ModelHeader::read(&mut input)
     }
 
     /// Serializes to the wire encoding and writes the file atomically
@@ -257,10 +411,8 @@ impl ClusterModel {
 
 impl ShuffleSize for ClusterModel {
     fn shuffle_bytes(&self) -> u64 {
-        // magic + version + algorithm + dim + dc + (m, pi, w) + seed
-        4 + 4
-            + self.algorithm.shuffle_bytes()
-            + 8
+        // header + dc + (m, pi, w) + seed + payload vectors
+        self.header().shuffle_bytes()
             + 8
             + (8 + 8 + 8)
             + 8
@@ -276,10 +428,7 @@ impl ShuffleSize for ClusterModel {
 
 impl Wire for ClusterModel {
     fn write(&self, out: &mut Vec<u8>) {
-        MAGIC.write(out);
-        VERSION.write(out);
-        self.algorithm.write(out);
-        (self.dim as u64).write(out);
+        self.header().write(out);
         self.dc.write(out);
         (self.params.m as u64).write(out);
         (self.params.pi as u64).write(out);
@@ -295,14 +444,8 @@ impl Wire for ClusterModel {
     }
 
     fn read(input: &mut &[u8]) -> Result<Self, WireError> {
-        if u32::read(input)? != MAGIC {
-            return Err(WireError::Corrupt("model magic"));
-        }
-        if u32::read(input)? != VERSION {
-            return Err(WireError::Corrupt("model version"));
-        }
-        let algorithm = String::read(input)?;
-        let dim = u64::read(input)? as usize;
+        let header = ModelHeader::read(input)?;
+        let dim = header.dim as usize;
         let dc = f64::read(input)?;
         let m = u64::read(input)? as usize;
         let pi = u64::read(input)? as usize;
@@ -318,6 +461,8 @@ impl Wire for ClusterModel {
 
         let n = rho.len();
         if dim == 0
+            || n as u64 != header.n_points
+            || peaks.len() as u64 != header.n_clusters
             || coords.len() != n * dim
             || delta.len() != n
             || upslope.len() != n
@@ -329,7 +474,8 @@ impl Wire for ClusterModel {
             return Err(WireError::Corrupt("model field lengths"));
         }
         Ok(ClusterModel {
-            algorithm,
+            version: header.version,
+            algorithm: header.algorithm,
             dim,
             dc,
             params: LshParams { m, pi, w },
@@ -384,6 +530,39 @@ mod tests {
         assert!(matches!(
             wire::decode::<ClusterModel>(&bytes),
             Err(WireError::Corrupt("model magic"))
+        ));
+    }
+
+    #[test]
+    fn header_peeks_without_decoding_the_body() {
+        let model = fitted_model(50, 9);
+        let bytes = wire::encode(&model);
+        // A prefix far shorter than the payload is enough for the header.
+        let head = ClusterModel::peek_header(&bytes[..64.min(bytes.len())]).expect("peek");
+        assert_eq!(head, model.header());
+        assert_eq!(head.version, 1, "a fresh fit starts at version 1");
+        assert_eq!(head.n_points, model.len() as u64);
+        assert_eq!(head.n_clusters, model.n_clusters() as u64);
+        assert_eq!(head.dim, model.dim() as u64);
+    }
+
+    #[test]
+    fn version_is_lineage_metadata_only() {
+        let model = fitted_model(40, 10);
+        let bumped = model.clone().with_version(7);
+        assert_eq!(bumped.version(), 7);
+        assert_ne!(bumped, model, "version participates in equality");
+        assert_eq!(bumped.with_version(1), model, "payload is unchanged");
+    }
+
+    #[test]
+    fn rejects_an_unknown_format_revision() {
+        let model = fitted_model(40, 21);
+        let mut bytes = wire::encode(&model);
+        bytes[4] = 0xee; // format field follows the 4-byte magic
+        assert!(matches!(
+            wire::decode::<ClusterModel>(&bytes),
+            Err(WireError::Corrupt("model format"))
         ));
     }
 

@@ -30,7 +30,8 @@
 //!   snapshot from [`Server::registry`] (the `lshddp stats` view).
 
 use crate::engine::{Assignment, QueryEngine};
-use obsv::{Counter, Histogram, Registry};
+use crate::store::ModelStore;
+use obsv::{Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -112,6 +113,10 @@ struct Metrics {
     bad_dimension: Arc<Counter>,
     timed_out: Arc<Counter>,
     stats_queries: Arc<Counter>,
+    /// Successful hot-swaps ([`Server::swap`]) over the server's life.
+    model_swaps: Arc<Counter>,
+    /// Lineage version of the model currently being served.
+    model_version: Arc<Gauge>,
     /// End-to-end latency (enqueue → reply), nanoseconds.
     latency_ns: Arc<Histogram>,
     /// Queue wait (enqueue → worker pickup), nanoseconds.
@@ -133,6 +138,8 @@ impl Metrics {
             bad_dimension: registry.counter("bad_dimension"),
             timed_out: registry.counter("timed_out"),
             stats_queries: registry.counter("stats_queries"),
+            model_swaps: registry.counter("model_swaps"),
+            model_version: registry.gauge("model_version"),
             latency_ns: registry.histogram("latency_ns"),
             queue_wait_ns: registry.histogram("queue_wait_ns"),
             batch_size: registry.histogram("batch_size"),
@@ -261,7 +268,7 @@ impl LruShard {
 }
 
 struct Shared {
-    engine: QueryEngine,
+    store: Arc<ModelStore>,
     metrics: Metrics,
     shards: Vec<Mutex<LruShard>>,
     quantum: f64,
@@ -270,11 +277,14 @@ struct Shared {
 }
 
 impl Shared {
-    fn cache_key(&self, point: &[f64]) -> Vec<i64> {
-        point
-            .iter()
-            .map(|&x| (x / self.quantum).round() as i64)
-            .collect()
+    /// Cache keys lead with the model's lineage version, so a hot-swap
+    /// structurally invalidates every answer cached under the previous
+    /// model — a version-N entry can never satisfy a version-N+1 query.
+    fn cache_key(&self, version: u64, point: &[f64]) -> Vec<i64> {
+        let mut key = Vec::with_capacity(point.len() + 1);
+        key.push(version as i64);
+        key.extend(point.iter().map(|&x| (x / self.quantum).round() as i64));
+        key
     }
 
     fn shard_of(&self, key: &[i64]) -> usize {
@@ -387,8 +397,17 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool over `engine`.
+    /// Starts the worker pool over `engine`, wrapped in a fresh
+    /// single-generation [`ModelStore`]. Use [`Server::start_with_store`]
+    /// to share a store with an external publisher (the ingest path).
     pub fn start(engine: QueryEngine, config: ServerConfig) -> Server {
+        Server::start_with_store(Arc::new(ModelStore::new(engine)), config)
+    }
+
+    /// Starts the worker pool over an existing store; swaps published
+    /// through the store (or [`Server::swap`]) take effect on the next
+    /// micro-batch without draining the queue.
+    pub fn start_with_store(store: Arc<ModelStore>, config: ServerConfig) -> Server {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map_or(4, usize::from)
         } else {
@@ -403,9 +422,11 @@ impl Server {
                 .map(|_| Mutex::new(LruShard::new(per_shard)))
                 .collect()
         };
+        let metrics = Metrics::new();
+        metrics.model_version.set(store.version() as i64);
         let shared = Arc::new(Shared {
-            engine,
-            metrics: Metrics::new(),
+            store,
+            metrics,
             shards,
             quantum: config.cache_quantum.max(f64::MIN_POSITIVE),
             deadline: config.deadline,
@@ -430,6 +451,28 @@ impl Server {
             workers,
             shared,
         }
+    }
+
+    /// Hot-swaps the served model: publishes `engine` to the store and
+    /// meters the transition (`model_swaps` counter, `model_version`
+    /// gauge). Queued and in-flight requests finish on the engine their
+    /// micro-batch resolved; every batch picked up afterwards serves the
+    /// new version. Returns the new version.
+    ///
+    /// # Panics
+    /// Panics if the replacement changes the query dimensionality.
+    pub fn swap(&self, engine: QueryEngine) -> u64 {
+        let fresh = self.shared.store.publish(engine);
+        let version = fresh.model().version();
+        self.shared.metrics.model_swaps.inc(1);
+        self.shared.metrics.model_version.set(version as i64);
+        version
+    }
+
+    /// The store this server resolves its engine from — share it with an
+    /// ingest pipeline to publish new versions from outside.
+    pub fn store(&self) -> Arc<ModelStore> {
+        Arc::clone(&self.shared.store)
     }
 
     /// A new client handle.
@@ -522,6 +565,12 @@ fn nonzero_ns(d: Duration) -> u64 {
 fn serve_batch(shared: &Shared, batch: Vec<Request>) {
     let m = &shared.metrics;
     let picked_up = Instant::now();
+    // Resolve the engine once per micro-batch: the whole batch is served
+    // and cached under one model version, even if a hot-swap lands
+    // mid-batch. The Arc keeps a swapped-out engine alive until the
+    // batch drains.
+    let engine = shared.store.current();
+    let version = engine.model().version();
     let mut assigns: Vec<PendingAssign> = Vec::new();
     for req in batch {
         match req {
@@ -540,7 +589,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
                     let _ = reply.send(Err(ServeError::Timeout));
                     continue;
                 }
-                let key = shared.cache_key(&point);
+                let key = shared.cache_key(version, &point);
                 assigns.push((point, enqueued, reply, key));
             }
             Request::Stats { reply } => {
@@ -561,7 +610,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
 
     // Cache pass: answer hits immediately, gather misses into one flat
     // block for the batched engine call.
-    let dim = shared.engine.model().dim();
+    let dim = engine.model().dim();
     let mut misses: Vec<usize> = Vec::new();
     let mut block: Vec<f64> = Vec::new();
     let mut answers: Vec<Option<Assignment>> = vec![None; assigns.len()];
@@ -583,7 +632,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
     }
 
     if !misses.is_empty() {
-        let fresh = shared.engine.assign_batch(&block);
+        let fresh = engine.assign_batch(&block);
         for (&i, answer) in misses.iter().zip(fresh) {
             if answer.fallback {
                 m.fallbacks.inc(1);
@@ -645,7 +694,7 @@ mod tests {
     fn repeated_queries_hit_the_cache() {
         let server = small_server(512, 2);
         let client = server.client();
-        let q = server.shared.engine.model().point(3).to_vec();
+        let q = server.shared.store.current().model().point(3).to_vec();
         let first = client.assign(&q).expect("answer");
         for _ in 0..20 {
             assert_eq!(client.assign(&q).expect("answer"), first);
@@ -697,7 +746,7 @@ mod tests {
             },
         );
         let client = server.client();
-        let q = server.shared.engine.model().point(0).to_vec();
+        let q = server.shared.store.current().model().point(0).to_vec();
         for _ in 0..10 {
             assert_eq!(client.assign(&q), Err(ServeError::Timeout));
         }
@@ -734,10 +783,98 @@ mod tests {
     fn shutdown_closes_clients() {
         let server = small_server(0, 2);
         let client = server.client();
-        let q = server.shared.engine.model().point(0).to_vec();
+        let q = server.shared.store.current().model().point(0).to_vec();
         assert!(client.assign(&q).is_ok());
         server.shutdown();
         assert_eq!(client.assign(&q), Err(ServeError::Closed));
+    }
+
+    /// The same fitted model with every cluster label rotated by one —
+    /// observationally different answers over identical geometry, which
+    /// is exactly what a stale cache entry would leak.
+    fn rotated_labels(model: &crate::ClusterModel, version: u64) -> crate::ClusterModel {
+        let k = model.n_clusters() as u32;
+        let labels = model.labels().iter().map(|&l| (l + 1) % k).collect();
+        let peaks = (0..k)
+            .map(|c| model.peaks()[((c + k - 1) % k) as usize])
+            .collect();
+        crate::ClusterModel::from_parts(
+            version,
+            model.algorithm().to_string(),
+            model.dim(),
+            model.dc(),
+            *model.params(),
+            model.seed(),
+            model.coords().to_vec(),
+            model.rhos().to_vec(),
+            model.deltas().to_vec(),
+            model.upslopes().to_vec(),
+            labels,
+            peaks,
+            model.halos().to_vec(),
+        )
+    }
+
+    #[test]
+    fn hot_swap_never_serves_a_stale_cached_assignment() {
+        let model = fitted_model(50, 23);
+        let server = small_server_with(model.clone(), 512, 1);
+        let client = server.client();
+        let q = model.point(0).to_vec();
+
+        // Warm the cache on version 1.
+        let v1 = client.assign(&q).expect("v1 answer");
+        for _ in 0..5 {
+            assert_eq!(client.assign(&q).expect("cached"), v1);
+        }
+        let before = server.stats();
+        assert!(before.counters["cache_hits"] >= 5);
+        assert_eq!(before.counters["cache_misses"], 1);
+        assert_eq!(before.counters["model_swaps"], 0);
+
+        // Swap to a model that answers the same query differently.
+        let k = model.n_clusters() as u32;
+        let new_version = server.swap(QueryEngine::new(rotated_labels(&model, 2)));
+        assert_eq!(new_version, 2);
+
+        // The version-1 cache entry must not answer: the same query
+        // misses the cache and gets the version-2 label.
+        let v2 = client.assign(&q).expect("v2 answer");
+        assert_eq!(
+            v2.cluster,
+            (v1.cluster + 1) % k,
+            "served from the new model"
+        );
+        let after = server.stats();
+        assert_eq!(
+            after.counters["cache_misses"], 2,
+            "the post-swap query cannot hit a version-1 entry"
+        );
+        assert_eq!(after.counters["model_swaps"], 1);
+
+        // And the new version's own entry caches normally.
+        assert_eq!(client.assign(&q).expect("cached v2"), v2);
+        assert_eq!(server.stats().counters["cache_misses"], 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn swaps_take_effect_for_queued_work_without_a_drain() {
+        let model = fitted_model(40, 24);
+        let server = small_server_with(model.clone(), 0, 2);
+        let client = server.client();
+        let q = model.point(0).to_vec();
+        let v1 = client.assign(&q).expect("v1");
+        let m2 = rotated_labels(&model, 2);
+        let m3 = rotated_labels(&m2, 3);
+        server.swap(QueryEngine::new(m2));
+        server.swap(QueryEngine::new(m3));
+        // Two swaps, each rotating by one: labels moved by two in total.
+        let v3 = client.assign(&q).expect("v3");
+        let k = model.n_clusters() as u32;
+        assert_eq!(v3.cluster, (v1.cluster + 2) % k);
+        assert_eq!(server.stats().counters["model_swaps"], 2);
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! The versioned [`ModelStore`]: an atomic publication point for
+//! [`QueryEngine`]s, enabling hot-swap between model versions while
+//! queries are in flight.
+//!
+//! The store holds the *current* engine behind an `Arc` and a short
+//! read-lock. Epoch-based reclamation falls out of the `Arc` semantics:
+//! a worker resolves the current engine once per micro-batch and holds
+//! its own reference for the duration of the batch, so a concurrent
+//! [`ModelStore::publish`] never invalidates in-flight work — readers
+//! on version `N` drain at their own pace while version `N+1` serves
+//! every batch that starts after the swap. The last reference dropped
+//! frees the old engine; there is no wait, no generation counter to
+//! scan, and no torn state to observe.
+//!
+//! Publication is strict about compatibility: a replacement model must
+//! keep the query dimensionality, because every queued request was
+//! shaped against it. Everything else — point count, clusters, `d_c`,
+//! even the LSH layout parameters — may change freely across versions.
+
+use crate::engine::QueryEngine;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An atomically swappable, versioned holder of the serving engine.
+pub struct ModelStore {
+    current: RwLock<Arc<QueryEngine>>,
+    /// Number of successful [`publish`](Self::publish) calls.
+    swaps: AtomicU64,
+}
+
+impl ModelStore {
+    /// A store serving `engine` as its first generation.
+    pub fn new(engine: QueryEngine) -> Self {
+        ModelStore {
+            current: RwLock::new(Arc::new(engine)),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine new work should use. Callers keep the returned `Arc`
+    /// for the duration of one unit of work (a micro-batch); holding it
+    /// longer only delays reclamation of a swapped-out model, never
+    /// correctness.
+    pub fn current(&self) -> Arc<QueryEngine> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically replaces the served engine. Batches that already
+    /// resolved the old engine finish on it; every later batch sees the
+    /// new one. Returns the newly installed engine.
+    ///
+    /// # Panics
+    /// Panics if the replacement model's dimensionality differs from
+    /// the current one — in-flight and queued queries were shaped
+    /// against it.
+    pub fn publish(&self, engine: QueryEngine) -> Arc<QueryEngine> {
+        let fresh = Arc::new(engine);
+        let mut slot = self.current.write();
+        assert_eq!(
+            fresh.model().dim(),
+            slot.model().dim(),
+            "hot-swap cannot change the query dimensionality"
+        );
+        *slot = Arc::clone(&fresh);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        fresh
+    }
+
+    /// How many times [`publish`](Self::publish) has succeeded.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// The lineage version of the currently served model.
+    pub fn version(&self) -> u64 {
+        self.current().model().version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fitted_model;
+
+    #[test]
+    fn publish_swaps_atomically_and_counts() {
+        let store = ModelStore::new(QueryEngine::new(fitted_model(40, 31)));
+        assert_eq!(store.swaps(), 0);
+        assert_eq!(store.version(), 1);
+
+        let old = store.current();
+        store.publish(QueryEngine::new(fitted_model(40, 31).with_version(2)));
+        assert_eq!(store.swaps(), 1);
+        assert_eq!(store.version(), 2);
+        // The drained reader still sees its own generation.
+        assert_eq!(old.model().version(), 1);
+    }
+
+    #[test]
+    fn readers_on_the_old_version_drain_unharmed() {
+        let store = Arc::new(ModelStore::new(QueryEngine::new(fitted_model(40, 32))));
+        let held = store.current();
+        let q = held.model().point(0).to_vec();
+        let before = held.assign(&q);
+
+        store.publish(QueryEngine::new(fitted_model(40, 33).with_version(2)));
+        // The old engine answers identically after the swap: its model
+        // is untouched, only unreachable from the store.
+        assert_eq!(held.assign(&q), before);
+        assert_eq!(store.current().model().version(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn publish_rejects_a_dimension_change() {
+        let store = ModelStore::new(QueryEngine::new(fitted_model(40, 34)));
+        // A 3-dim model cannot replace a 2-dim one mid-flight.
+        let ld = datasets::gaussian_mixture(3, 3, 30, 40.0, 1.0, 35);
+        let ds = &ld.data;
+        let dc = dp_core::cutoff::estimate_dc_exact(ds, 0.05);
+        let ddp = ddp::prelude::LshDdp::with_accuracy(0.99, 8, 3, dc, 35).unwrap();
+        let params = ddp.config().params;
+        let report = ddp.run(ds, dc);
+        let outcome = ddp::prelude::CentralizedStep::new(ddp::prelude::PeakSelection::TopK(3))
+            .run(&report.result);
+        let other = crate::ClusterModel::from_run(ds, &report, &outcome, &params, 35);
+        store.publish(QueryEngine::new(other));
+    }
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""CI hot-swap gate.
+
+Reads the `hot_swap` scenario out of a BENCH_perf.json produced by
+`bench_summary` and fails unless
+
+* at least `min_swaps` model hot-swaps landed while client traffic was
+  in flight (default 3),
+* zero requests were dropped (every submit got an answer), and
+* zero responses were incorrect — every answer was bit-equal to what
+  one of the two model generations would have said offline, so no torn
+  read or cross-version cache hit slipped through,
+* both generations actually answered queries (the swaps were not all
+  clustered before or after the traffic).
+
+Usage: check_swap.py <BENCH_perf.json> [min_swaps]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [min_swaps]", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_swaps = int(sys.argv[2]) if len(sys.argv) == 3 else 3
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    scenario = doc.get("hot_swap")
+    if not isinstance(scenario, dict):
+        print(f"{path}: no hot_swap scenario (schema {doc.get('schema')})",
+              file=sys.stderr)
+        return 1
+    swaps = scenario["swaps"]
+    if swaps < min_swaps:
+        print(f"{path}: only {swaps} hot-swaps landed under load, "
+              f"need >= {min_swaps}", file=sys.stderr)
+        return 1
+    if scenario["dropped"] != 0:
+        print(f"{path}: {scenario['dropped']} requests dropped across the swaps",
+              file=sys.stderr)
+        return 1
+    if scenario["incorrect"] != 0:
+        print(f"{path}: {scenario['incorrect']} responses matched neither "
+              f"generation's ground truth", file=sys.stderr)
+        return 1
+    if scenario["matched_gen_a"] == 0 or scenario["matched_gen_b"] == 0:
+        print(f"{path}: one generation never answered "
+              f"(A={scenario['matched_gen_a']}, B={scenario['matched_gen_b']}) — "
+              f"the swaps did not interleave with traffic", file=sys.stderr)
+        return 1
+    print(f"{path}: {swaps} hot-swaps under {scenario['queries_total']} queries "
+          f"at {scenario['qps']:.0f} qps — 0 dropped, 0 incorrect "
+          f"(gen A {scenario['matched_gen_a']} / gen B {scenario['matched_gen_b']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,11 @@
 //!   queryable `ClusterModel` artifact;
 //! * `query` — assign new points against a fitted model, one per line;
 //! * `serve` — push a query stream through the concurrent micro-batching
-//!   server and report service metrics.
+//!   server and report service metrics;
+//! * `ingest` — apply a batch of point inserts/deletes to a fitted model
+//!   through the WAL-backed incremental path;
+//! * `compact` — fold the pending WAL into a fresh exact refit and write
+//!   the compacted artifact.
 
 use lsh_ddp::prelude::*;
 use std::process::ExitCode;
@@ -69,6 +73,18 @@ USAGE:
   lshddp stats --model <model> --input <file> [serve flags]
       drive the serve stream, then print the full metrics registry —
       counters, pool gauges, latency/queue-wait/batch-size histograms
+  lshddp ingest --model <model> [--input <file>] [--delete k,k,..]
+      [--wal <file>] [--out <model>] [--stats]
+      apply one batch of inserts (CSV rows) and/or deletes (external
+      keys: base points are 0..n, inserts continue the sequence) with
+      updates localized to the touched LSH buckets; bumps the model
+      version and reports the staleness estimate. With --wal, batches
+      are logged before acknowledgement and pending ones replay on open.
+  lshddp compact --model <model> [--wal <file>] [--out <model>]
+      [--k n | --auto] [--stats]
+      re-run the full LSH-DDP plan over the live points (bit-identical
+      to a from-scratch refit), fold + clear the WAL, write the
+      compacted artifact
 
 GLOBAL:
   --trace <file>   capture a span timeline of the run: every pipeline,
@@ -108,6 +124,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => query(&opts),
         "serve" => serve_stream(&opts, false),
         "stats" => serve_stream(&opts, true),
+        "ingest" => ingest(&opts),
+        "compact" => compact(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -147,6 +165,8 @@ struct Opts {
     m: usize,
     pi: usize,
     model: Option<String>,
+    wal: Option<String>,
+    delete: Option<String>,
     trace: Option<String>,
     fault_rate: u32,
     straggler_rate: u32,
@@ -181,6 +201,8 @@ impl Opts {
             m: 10,
             pi: 3,
             model: None,
+            wal: None,
+            delete: None,
             trace: None,
             fault_rate: 0,
             straggler_rate: 0,
@@ -217,6 +239,8 @@ impl Opts {
                 "--m" => o.m = parse_num(value("--m")?, "--m")?,
                 "--pi" => o.pi = parse_num(value("--pi")?, "--pi")?,
                 "--model" => o.model = Some(value("--model")?.clone()),
+                "--wal" => o.wal = Some(value("--wal")?.clone()),
+                "--delete" => o.delete = Some(value("--delete")?.clone()),
                 "--trace" => o.trace = Some(value("--trace")?.clone()),
                 "--fault-rate" => o.fault_rate = parse_num(value("--fault-rate")?, "--fault-rate")?,
                 "--straggler-rate" => {
@@ -653,6 +677,137 @@ fn serve_stream(o: &Opts, full_report: bool) -> Result<(), String> {
             stats.qps,
             stats.cache_hit_rate * 100.0
         );
+    }
+    Ok(())
+}
+
+/// Opens an ingest session over `--model`, WAL-backed when `--wal` is
+/// given (replaying any batches pending since the last compaction).
+fn open_session(o: &Opts, model: &ClusterModel) -> Result<IngestSession, String> {
+    let config = IngestConfig {
+        pipeline: o.pipeline(),
+        selection: match (o.auto, o.k) {
+            (false, Some(k)) => PeakSelection::DeltaOutliers {
+                k,
+                rho_quantile: 0.25,
+            },
+            _ => PeakSelection::Auto,
+        },
+    };
+    match o.wal.as_deref() {
+        Some(path) => {
+            let (session, replayed) =
+                IngestSession::with_wal(model, config, path).map_err(|e| e.to_string())?;
+            if replayed > 0 {
+                eprintln!("wal: replayed {replayed} pending batch(es) from {path}");
+            }
+            Ok(session)
+        }
+        None => Ok(IngestSession::new(model, config)),
+    }
+}
+
+fn print_lifecycle_stats(session: &IngestSession) {
+    let reg = obsv::global();
+    println!(
+        "counters: ingest_batches {}  stale_points {}  model_compactions {}",
+        reg.counter("ingest_batches").get(),
+        reg.counter("stale_points").get(),
+        reg.counter("model_compactions").get(),
+    );
+    let d = session.staleness();
+    println!(
+        "staleness: {} of {} points stale; expected accuracy {:.4} -> {:.4}",
+        session.stale_points(),
+        session.len(),
+        d.accuracy_before,
+        d.accuracy_after,
+    );
+}
+
+fn ingest(o: &Opts) -> Result<(), String> {
+    let path = o.model.as_ref().ok_or("--model is required")?;
+    let model = ClusterModel::load(path).map_err(|e| e.to_string())?;
+    let mut session = open_session(o, &model)?;
+
+    let mut ops: Vec<DeltaOp> = Vec::new();
+    if let Some(input) = o.input.as_deref() {
+        let flat = read_queries(Some(input), model.dim())?;
+        for point in flat.chunks(model.dim()) {
+            ops.push(DeltaOp::Insert(point.to_vec()));
+        }
+    }
+    if let Some(keys) = o.delete.as_deref() {
+        for key in keys.split(',') {
+            ops.push(DeltaOp::Delete(parse_num(key.trim(), "--delete")?));
+        }
+    }
+    if ops.is_empty() && o.wal.is_none() {
+        return Err("nothing to ingest: give --input points and/or --delete keys".into());
+    }
+
+    // With a WAL the base artifact is the replay anchor: durable state =
+    // base model + log, and overwriting the base would make the pending
+    // batches replay onto themselves. Snapshots then need their own
+    // path — checked before the batch is applied, so a refused command
+    // leaves both the session and the log untouched.
+    let out = match (o.out.as_deref(), o.wal.is_some()) {
+        (Some(out), true) if out == path => {
+            return Err(format!(
+                "--out {out} would overwrite the WAL's base artifact; \
+                 pick a different snapshot path or run `compact`"
+            ));
+        }
+        (out, true) => out,
+        (out, false) => Some(out.unwrap_or(path)),
+    };
+
+    let mut newly_stale = 0;
+    let (inserts, deletes) = ops.iter().fold((0, 0), |(i, d), op| match op {
+        DeltaOp::Insert(_) => (i + 1, d),
+        DeltaOp::Delete(_) => (i, d + 1),
+    });
+    if !ops.is_empty() {
+        let applied = session.apply(ops).map_err(|e| e.to_string())?;
+        newly_stale = applied.newly_stale;
+    }
+    let destination = match out {
+        Some(out) => {
+            session.publish().save(out).map_err(|e| e.to_string())?;
+            out
+        }
+        None => o.wal.as_deref().expect("snapshot elided only with a WAL"),
+    };
+    println!(
+        "ingest: +{inserts} -{deletes} -> {} live points, model v{} -> {destination} \
+         ({newly_stale} newly stale)",
+        session.len(),
+        session.version(),
+    );
+    if o.stats {
+        print_lifecycle_stats(&session);
+    }
+    Ok(())
+}
+
+fn compact(o: &Opts) -> Result<(), String> {
+    let path = o.model.as_ref().ok_or("--model is required")?;
+    let model = ClusterModel::load(path).map_err(|e| e.to_string())?;
+    let mut session = open_session(o, &model)?;
+
+    let stale_before = session.stale_points();
+    let compaction = session.compact();
+    let out = o.out.as_deref().unwrap_or(path);
+    compaction.model.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "compact: {} live points refit exactly ({stale_before} stale healed), \
+         model v{} -> {out}",
+        session.len(),
+        compaction.model.version(),
+    );
+    if o.stats {
+        print_lifecycle_stats(&session);
+        println!("{}", compaction.report.summary_row());
     }
     Ok(())
 }

@@ -19,7 +19,11 @@
 //!   sets plus shaped generators and CSV IO;
 //! * [`serve`] — the online layer: snapshot a finished run as a
 //!   [`serve::ClusterModel`] artifact and answer `assign(point)` queries
-//!   through a concurrent micro-batching server.
+//!   through a concurrent micro-batching server;
+//! * [`ingest`] — the model lifecycle: batched incremental inserts and
+//!   deletes through a write-ahead log with bucket-localized updates,
+//!   staleness accounting, and checkpoint-reusing compaction back to an
+//!   exact refit, hot-swapped into the server via [`serve::ModelStore`].
 //!
 //! ## Five-minute tour
 //!
@@ -52,6 +56,7 @@ pub use baselines;
 pub use datasets;
 pub use ddp;
 pub use dp_core;
+pub use ingest;
 pub use lsh;
 pub use mapreduce;
 pub use serve;
@@ -64,7 +69,8 @@ pub mod prelude {
     pub use dp_core::{
         self, compute_exact, Clustering, Dataset, DecisionGraph, DistanceTracker, DpResult,
     };
+    pub use ingest::{DeltaBatch, DeltaOp, IngestConfig, IngestSession, Wal};
     pub use lsh::{LshParams, MultiLsh};
     pub use mapreduce::{ClusterSpec, JobBuilder, JobConfig};
-    pub use serve::{ClusterModel, Exactness, QueryEngine, Server, ServerConfig};
+    pub use serve::{ClusterModel, Exactness, ModelStore, QueryEngine, Server, ServerConfig};
 }

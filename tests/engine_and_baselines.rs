@@ -5,43 +5,46 @@ use lsh_ddp::prelude::*;
 use mapreduce::{Driver, Emitter};
 
 #[test]
-#[allow(deprecated)] // exercises manual Driver::record for externally-run jobs
 fn driver_runs_a_two_job_pipeline_through_dfs() {
+    use mapreduce::plan::{plan, Stage};
     use mapreduce::task::{FnMapper, FnReducer};
 
     let mut driver = Driver::new();
     let input: Vec<(u32, u32)> = (0..1000).map(|i| (i, i % 10)).collect();
-    driver.dfs().put("input/points", input.clone()).unwrap();
+    driver.dfs().put("input/points", input).unwrap();
 
-    // Job 1: histogram of values.
+    // Both jobs ride one dataflow plan; the driver records each stage's
+    // metrics into the history automatically.
     let read: Vec<(u32, u32)> = (*driver.dfs().get::<(u32, u32)>("input/points").unwrap()).clone();
-    let (hist, m1) = JobBuilder::new(
-        "histogram",
-        FnMapper::new(|_k: u32, v: u32, out: &mut Emitter<u32, u64>| out.emit(v, 1)),
-        FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
-            out.emit(*k, vs.into_iter().sum())
-        }),
-    )
-    .config(JobConfig::uniform(4))
-    .run(read);
-    driver.record(m1);
-    driver.dfs().put("job1/hist", hist).unwrap();
-
-    // Job 2: find the max bucket.
-    let hist = (*driver.dfs().get::<(u32, u64)>("job1/hist").unwrap()).clone();
-    let (maxes, m2) = JobBuilder::new(
-        "argmax",
-        FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u8, (u32, u64)>| out.emit(0, (k, v))),
-        FnReducer::new(
-            |_k: &u8, vs: Vec<(u32, u64)>, out: &mut Emitter<u32, u64>| {
-                let (k, v) = vs.into_iter().max_by_key(|(_, v)| *v).expect("non-empty");
-                out.emit(k, v);
-            },
-        ),
-    )
-    .config(JobConfig::uniform(2))
-    .run(hist);
-    driver.record(m2);
+    let pipeline = plan("histogram-argmax")
+        .rows(read)
+        .stage(
+            Stage::new(
+                "histogram",
+                FnMapper::new(|_k: u32, v: u32, out: &mut Emitter<u32, u64>| out.emit(v, 1)),
+                FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+                    out.emit(*k, vs.into_iter().sum())
+                }),
+            )
+            .config(JobConfig::uniform(4)),
+        )
+        .stage(
+            Stage::new(
+                "argmax",
+                FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u8, (u32, u64)>| {
+                    out.emit(0, (k, v))
+                }),
+                FnReducer::new(
+                    |_k: &u8, vs: Vec<(u32, u64)>, out: &mut Emitter<u32, u64>| {
+                        let (k, v) = vs.into_iter().max_by_key(|(_, v)| *v).expect("non-empty");
+                        out.emit(k, v);
+                    },
+                ),
+            )
+            .config(JobConfig::uniform(2)),
+        )
+        .build();
+    let maxes = driver.run_plan(pipeline);
 
     assert_eq!(maxes.len(), 1);
     assert_eq!(maxes[0].1, 100, "each of 10 buckets holds 100");

@@ -45,6 +45,7 @@ fn pinned_pipeline() -> PipelineConfig {
         map_tasks: 4,
         reduce_tasks: 4,
         fault: None,
+        fault_stage: None,
         chaos: None,
         disable_elision: false,
         checkpoints: false,

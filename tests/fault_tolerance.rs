@@ -20,6 +20,7 @@ fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: Some(FaultPlan::new(rate_per_mille, 777)),
+        fault_stage: None,
         chaos: None,
         disable_elision: false,
         checkpoints: false,
@@ -71,6 +72,7 @@ fn lsh_ddp_survives_task_failures_bit_exactly() {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        fault_stage: None,
         chaos: None,
         disable_elision: false,
         checkpoints: false,
@@ -96,6 +98,7 @@ fn eddpc_survives_task_failures_bit_exactly() {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        fault_stage: None,
         chaos: None,
         disable_elision: false,
         checkpoints: false,
@@ -202,6 +205,7 @@ fn assert_chaos_is_invisible(ds: &Dataset, dc: f64, chaos: ChaosPlan) -> u64 {
         map_tasks: 6,
         reduce_tasks: 6,
         fault: None,
+        fault_stage: None,
         chaos: None,
         disable_elision: false,
         checkpoints: false,
@@ -431,5 +435,113 @@ fn restarted_driver_resumes_a_killed_plan_from_the_checkpoint() {
     assert!(
         dfs.list("ckpt/").is_empty(),
         "the successful rerun clears the checkpoints"
+    );
+}
+
+/// The ingest-era kill-and-restart drill: a compaction (full LSH-DDP
+/// refit) dies mid-pipeline, the session survives, and the *next*
+/// `compact` call on the same session resumes from the checkpointed
+/// stages in the shared DFS — producing a model bit-identical to a
+/// from-scratch refit, as if the kill never happened.
+#[test]
+fn killed_compaction_resumes_from_its_checkpoint_bit_exactly() {
+    use ingest::{DeltaOp, IngestConfig, IngestSession};
+    use mapreduce::wire;
+
+    // Fit a base model.
+    let ld = datasets::gaussian_mixture(2, 3, 25, 40.0, 1.0, 77);
+    let ds = &ld.data;
+    let dc = dp_core::cutoff::estimate_dc_exact(ds, 0.05);
+    let fitter = LshDdp::with_accuracy(0.99, 8, 3, dc, 77).unwrap();
+    let params = fitter.config().params;
+    let report = fitter.run(ds, dc);
+    let outcome = CentralizedStep::new(PeakSelection::TopK(3)).run(&report.result);
+    let model = ClusterModel::from_run(ds, &report, &outcome, &params, 77);
+
+    // Mutate it, then doom the compaction's LAST stage (`fault_stage`
+    // scopes the fault so every earlier stage completes and checkpoints
+    // first): the rho plan finishes whole, the delta plan checkpoints
+    // its fused map+local stage, and dies in the aggregate.
+    let mut session = IngestSession::new(
+        &model,
+        IngestConfig {
+            pipeline: PipelineConfig {
+                map_tasks: 4,
+                reduce_tasks: 4,
+                checkpoints: true,
+                ..Default::default()
+            },
+            selection: PeakSelection::TopK(3),
+        },
+    );
+    session
+        .apply(vec![
+            DeltaOp::Insert(vec![0.5, -0.5]),
+            DeltaOp::Insert(model.point(3).to_vec()),
+            DeltaOp::Delete(7),
+        ])
+        .unwrap();
+    let doom = FaultPlan {
+        fail_per_mille: 999,
+        max_attempts: 0,
+        seed: 7,
+    };
+    session.config_mut().pipeline.fault = Some(doom);
+    session.config_mut().pipeline.fault_stage = Some("lsh/delta-aggregate");
+
+    let killed = catch_unwind(AssertUnwindSafe(|| session.compact()));
+    assert!(killed.is_err(), "the doomed refit must die mid-pipeline");
+    assert_eq!(
+        session.dfs().list("ckpt/"),
+        ["ckpt/lsh/delta/0"],
+        "the delta plan's completed stage is checkpointed; the rho \
+         plan succeeded whole and cleared its own"
+    );
+    assert!(
+        session.stale_points() > 0,
+        "a killed compaction rolls nothing back: the session still serves"
+    );
+
+    // Restart: fix the fault, compact again on the same session. The
+    // checkpointed stages resume from the DFS instead of recomputing.
+    session.config_mut().pipeline.fault = None;
+    session.config_mut().pipeline.fault_stage = None;
+    let compaction = session.compact();
+    let resumed: Vec<&str> = compaction
+        .report
+        .jobs
+        .iter()
+        .filter(|j| j.user.get("resumed_from_checkpoint") == Some(&1))
+        .map(|j| j.name.as_str())
+        .collect();
+    assert_eq!(
+        resumed,
+        ["lsh/delta-local"],
+        "exactly the checkpointed stage resumes from the killed run"
+    );
+    assert!(
+        session.dfs().list("ckpt/").is_empty(),
+        "the successful compaction clears the checkpoints"
+    );
+    assert_eq!(session.stale_points(), 0);
+
+    // Bit-identity: the resumed compaction equals a from-scratch refit
+    // on the same live points with no faults and no checkpoints.
+    let live = session.live_dataset();
+    let scratch_runner = LshDdp::new(LshDdpConfig {
+        params,
+        seed: 77,
+        pipeline: PipelineConfig::default(),
+        partition_cap: None,
+        rho_aggregation: Default::default(),
+    });
+    let scratch_report = scratch_runner.run(&live, dc);
+    let scratch_outcome = CentralizedStep::new(PeakSelection::TopK(3)).run(&scratch_report.result);
+    let scratch = ClusterModel::from_run(&live, &scratch_report, &scratch_outcome, &params, 77)
+        .with_version(compaction.model.version());
+    assert_eq!(
+        wire::encode(&compaction.model),
+        wire::encode(&scratch),
+        "resume must be invisible in the artifact"
     );
 }

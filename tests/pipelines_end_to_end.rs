@@ -116,6 +116,7 @@ fn pipelines_are_deterministic_across_runs_and_task_counts() {
                 map_tasks: tasks,
                 reduce_tasks: tasks,
                 fault: None,
+                fault_stage: None,
                 chaos: None,
                 disable_elision: false,
                 checkpoints: false,

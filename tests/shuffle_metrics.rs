@@ -105,6 +105,7 @@ fn lsh_ddp_per_job_metrics_invariant_to_reduce_task_count() {
                 map_tasks: 4,
                 reduce_tasks,
                 fault: None,
+                fault_stage: None,
                 chaos: None,
                 disable_elision: false,
                 checkpoints: false,
