@@ -11,9 +11,10 @@
 //!   [`staleness`](IngestSession::staleness) estimate (built on
 //!   [`dp_core::quality::staleness_degradation`]) quantifies the
 //!   expected accuracy drift and tells operators when compaction is due.
-//! * **A write-ahead log** — batches are durably logged ([`Wal`])
-//!   before acknowledgement and replayed on reopen, so a crash between
-//!   compactions loses at most a torn in-flight batch.
+//! * **A write-ahead log** — batches are durably logged ([`Wal`],
+//!   fsynced per append) before acknowledgement and replayed on reopen,
+//!   so a crash between compactions loses at most a torn in-flight
+//!   batch.
 //! * **Compaction** — [`IngestSession::compact`] re-runs the *full*
 //!   LSH-DDP plan over the live point set on a driver that shares the
 //!   session's [`Dfs`](mapreduce::Dfs). With checkpointing enabled in
@@ -21,7 +22,12 @@
 //!   resumes from the last completed stage (`ckpt/<plan>/<stage>`) on
 //!   the next attempt — and the result is **bit-identical** to a
 //!   from-scratch refit on the same points, which is the subsystem's
-//!   central invariant (enforced by proptest).
+//!   central invariant (enforced by proptest). The WAL outlives the
+//!   compaction itself: the caller persists the returned artifact
+//!   durably first and only then calls
+//!   [`retire_wal`](IngestSession::retire_wal), so at every instant the
+//!   logged batches are held by *some* durable state (old artifact +
+//!   log, or new artifact).
 //!
 //! Published models are versioned: every applied batch and every
 //! compaction bumps the lineage counter carried by
@@ -48,7 +54,7 @@ use lsh::{LshParams, MultiLsh, Signature};
 use mapreduce::Dfs;
 use obsv::Counter;
 use serve::ClusterModel;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -91,7 +97,10 @@ pub enum IngestError {
     /// with a different peak selection to retire a cluster.
     WouldEmptyCluster(u32),
     /// The WAL's recorded lineage does not match the model being opened
-    /// (e.g. the artifact was replaced underneath the log).
+    /// (e.g. the artifact was replaced underneath the log, or a crash
+    /// interrupted compaction after the new artifact landed but before
+    /// the log was retired — the batches are already folded into the
+    /// artifact; retire or remove the stale log to proceed).
     WalMismatch {
         /// Version the session is at.
         expected: u64,
@@ -144,6 +153,9 @@ pub struct Applied {
 
 /// The outcome of a compaction: the fresh artifact plus the refit's
 /// pipeline report (whose stage metrics reveal checkpoint resumes).
+///
+/// Lifecycle contract: persist [`model`](Compaction::model) durably,
+/// *then* call [`IngestSession::retire_wal`] to drop the folded log.
 pub struct Compaction {
     /// The compacted model, versioned one past the session's last state.
     pub model: ClusterModel,
@@ -341,10 +353,12 @@ impl IngestSession {
     /// Up-front whole-batch validation. Deletes are checked against the
     /// *pre-batch* live set (inserts within the same batch cannot prop
     /// up a cluster the batch also empties — conservative, and keeps
-    /// validation side-effect free).
+    /// validation side-effect free). Per-cluster live counts are built
+    /// once, on the first delete, so a batch of `k` deletes over `n`
+    /// points validates in O(n + k) instead of O(n·k + k²).
     fn validate(&self, ops: &[DeltaOp]) -> Result<(), IngestError> {
-        let mut dead: Vec<u64> = Vec::new();
-        let mut removed_per_cluster: HashMap<u32, usize> = HashMap::new();
+        let mut dead: HashSet<u64> = HashSet::new();
+        let mut remaining: Option<HashMap<u32, usize>> = None;
         for op in ops {
             match op {
                 DeltaOp::Insert(coords) => {
@@ -360,17 +374,24 @@ impl IngestSession {
                         Some(&s) if self.live[s as usize] => s,
                         _ => return Err(IngestError::UnknownKey(*key)),
                     };
-                    if dead.contains(key) {
+                    if !dead.insert(*key) {
                         return Err(IngestError::UnknownKey(*key));
                     }
-                    dead.push(*key);
+                    let remaining = remaining.get_or_insert_with(|| {
+                        let mut counts: HashMap<u32, usize> = HashMap::new();
+                        for i in 0..self.live.len() {
+                            if self.live[i] {
+                                *counts.entry(self.labels[i]).or_insert(0) += 1;
+                            }
+                        }
+                        counts
+                    });
                     let c = self.labels[slot as usize];
-                    let gone = removed_per_cluster.entry(c).or_insert(0);
-                    *gone += 1;
-                    let members = (0..self.live.len())
-                        .filter(|&i| self.live[i] && self.labels[i] == c)
-                        .count();
-                    if *gone >= members {
+                    let left = remaining
+                        .get_mut(&c)
+                        .expect("a live point's cluster is counted");
+                    *left -= 1;
+                    if *left == 0 {
                         return Err(IngestError::WouldEmptyCluster(c));
                     }
                 }
@@ -648,9 +669,13 @@ impl IngestSession {
     /// `compact` call resumes from them instead of recomputing. Output
     /// is bit-identical to a from-scratch refit either way.
     ///
-    /// On success the WAL is cleared (its batches are folded into the
-    /// artifact), staleness drops to zero, external keys carry over,
-    /// and the version advances by one.
+    /// On success staleness drops to zero, external keys carry over,
+    /// and the version advances by one. The WAL is **not** touched:
+    /// durably persist [`Compaction::model`] first (e.g.
+    /// [`ClusterModel::save`], which writes atomically), then call
+    /// [`retire_wal`](Self::retire_wal). Clearing the log any earlier
+    /// would open a window where a crash leaves the old artifact and an
+    /// empty log — every acknowledged batch lost.
     pub fn compact(&mut self) -> Compaction {
         let ds = self.live_dataset();
         let ddp = LshDdp::new(LshDdpConfig {
@@ -670,19 +695,33 @@ impl IngestSession {
         let model = ClusterModel::from_run(&ds, &report, &outcome, &self.params, self.lsh_seed)
             .with_version(self.version + 1);
 
-        // Point-of-no-return: the refit succeeded. Re-seed the session
-        // and only then retire the log.
+        // The refit succeeded: re-seed the session onto it. The WAL is
+        // deliberately left intact — its batches are only *durably*
+        // folded once the caller persists the artifact and retires the
+        // log (`retire_wal`).
         let keys: Vec<u64> = (0..self.live.len())
             .filter(|&s| self.live[s])
             .map(|s| self.keys[s])
             .collect();
         self.algorithm = model.algorithm().to_string();
         self.seed_from(&model, Some(keys));
-        if let Some(wal) = &mut self.wal {
-            wal.clear().expect("truncate WAL after compaction");
-        }
         self.compactions_ctr.inc(1);
         Compaction { model, report }
+    }
+
+    /// Retires the WAL after a compaction: truncates (and fsyncs) the
+    /// log. Call this only once the compacted artifact durably holds
+    /// the logged batches — i.e. after [`Compaction::model`] has been
+    /// written to its final path. A crash *before* this call is safe
+    /// either way: old artifact + full log if the save never landed, or
+    /// new artifact + stale log (whose out-of-lineage batches are
+    /// refused on open, never replayed twice) if it did. No-op without
+    /// a WAL.
+    pub fn retire_wal(&mut self) -> Result<(), IngestError> {
+        if let Some(wal) = &mut self.wal {
+            wal.clear()?;
+        }
+        Ok(())
     }
 
     /// Expected-accuracy estimate for the current staleness level: the

@@ -9,9 +9,12 @@
 //! Recovery contract: [`Wal::open`] replays every intact record and
 //! *truncates* a torn or corrupt tail — the classic WAL convention that
 //! a crash mid-append loses at most the batch being appended, never a
-//! previously acknowledged one. The log is truncated whole only after a
-//! successful compaction folds its batches into a fresh artifact, so a
-//! crash *during* compaction leaves every batch replayable.
+//! previously acknowledged one. Appends (and truncations) are fsynced
+//! before returning, so acknowledged batches survive power loss, not
+//! just process death. The log is truncated whole only by
+//! [`Wal::clear`], which the session invokes *after* a compacted
+//! artifact durably holds its batches — a crash any earlier leaves
+//! every batch replayable.
 
 use crate::batch::DeltaBatch;
 use mapreduce::wire::{decode_framed, encode_framed};
@@ -66,6 +69,7 @@ impl Wal {
         let torn_bytes = (bytes.len() - good) as u64;
         if torn_bytes > 0 {
             file.set_len(good as u64)?;
+            file.sync_data()?;
         }
         file.seek(SeekFrom::End(0))?;
         Ok((
@@ -77,21 +81,25 @@ impl Wal {
         ))
     }
 
-    /// Appends one batch and flushes it to the OS before returning —
-    /// the acknowledgement point of the write path.
+    /// Appends one batch and fsyncs it to stable storage before
+    /// returning — the acknowledgement point of the write path. (A
+    /// plain flush would only reach the OS page cache; power loss could
+    /// then drop an acknowledged batch.)
     pub fn append(&mut self, batch: &DeltaBatch) -> std::io::Result<()> {
         let frame = encode_framed(batch);
         let mut record = Vec::with_capacity(4 + frame.len());
         record.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         record.extend_from_slice(&frame);
         self.file.write_all(&record)?;
-        self.file.flush()
+        self.file.sync_data()
     }
 
-    /// Drops every record — called only after compaction has durably
-    /// folded the log into a new model artifact.
+    /// Drops every record — called only after compaction's artifact
+    /// durably holds the log's batches. The truncation itself is
+    /// fsynced so retired batches cannot resurface after power loss.
     pub fn clear(&mut self) -> std::io::Result<()> {
         self.file.set_len(0)?;
+        self.file.sync_data()?;
         self.file.seek(SeekFrom::Start(0))?;
         Ok(())
     }

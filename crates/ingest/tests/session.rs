@@ -232,7 +232,23 @@ fn compaction_folds_the_wal_and_clears_staleness() {
     assert!(!keys.contains(&4));
     assert!(keys.contains(&(model.len() as u64)));
 
-    // The folded log is empty on reopen.
+    // Compaction does NOT retire the log by itself: until the caller
+    // durably persists the artifact and acknowledges, the batches stay
+    // replayable against the old base (crash-between-save-and-retire
+    // leaves new artifact + stale log, which is refused, not replayed).
+    {
+        let (unretired, replayed) = IngestSession::with_wal(&model, config(), &path).unwrap();
+        assert_eq!(replayed, 1, "unretired batches still replay on the old base");
+        assert_eq!(unretired.version(), version_before);
+    }
+    match IngestSession::with_wal(&compaction.model, config(), &path) {
+        Err(IngestError::WalMismatch { .. }) => {}
+        Err(other) => panic!("expected WalMismatch, got {other:?}"),
+        Ok(_) => panic!("a stale log never replays onto the compacted artifact"),
+    }
+
+    // After the acknowledge step the folded log is empty on reopen.
+    session.retire_wal().unwrap();
     drop(session);
     let (restored, replayed) = IngestSession::with_wal(&compaction.model, config(), &path).unwrap();
     assert_eq!(replayed, 0);

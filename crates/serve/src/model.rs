@@ -23,7 +23,9 @@ const MAGIC: u32 = 0x4d50_444c;
 /// Format version; bump on any layout change. Format 2 added the
 /// monotonically increasing *model* version (the ingest/compaction
 /// lineage counter) and a peekable header carrying the point and
-/// cluster counts.
+/// cluster counts. Format-1 artifacts (pre-lineage) are still
+/// readable: their version defaults to 1 and the counts are derived
+/// from the payload.
 const FORMAT: u32 = 2;
 
 /// The peekable prefix of every serialized model: enough to identify an
@@ -71,18 +73,32 @@ impl Wire for ModelHeader {
         if u32::read(input)? != MAGIC {
             return Err(WireError::Corrupt("model magic"));
         }
-        let format = u32::read(input)?;
-        if format != FORMAT {
-            return Err(WireError::Corrupt("model format"));
+        match u32::read(input)? {
+            // Legacy pre-lineage artifacts: no version or shape counts
+            // in the prefix. Lineage defaults to 1 (a fresh fit); the
+            // counts read 0 here and are backfilled from the payload by
+            // `ClusterModel::read`. The body after the prefix is
+            // byte-identical to format 2's.
+            1 => Ok(ModelHeader {
+                format: 1,
+                version: 1,
+                algorithm: String::read(input)?,
+                dim: u64::read(input)?,
+                n_points: 0,
+                n_clusters: 0,
+            }),
+            FORMAT => Ok(ModelHeader {
+                format: FORMAT,
+                version: u64::read(input)?,
+                algorithm: String::read(input)?,
+                dim: u64::read(input)?,
+                n_points: u64::read(input)?,
+                n_clusters: u64::read(input)?,
+            }),
+            _ => Err(WireError::Corrupt(
+                "unsupported model format (newer than this build); re-fit or upgrade",
+            )),
         }
-        Ok(ModelHeader {
-            format,
-            version: u64::read(input)?,
-            algorithm: String::read(input)?,
-            dim: u64::read(input)?,
-            n_points: u64::read(input)?,
-            n_clusters: u64::read(input)?,
-        })
     }
 }
 
@@ -287,11 +303,31 @@ impl ClusterModel {
         ModelHeader::read(&mut input)
     }
 
-    /// Serializes to the wire encoding and writes the file atomically
-    /// enough for a single writer (write then rename is overkill here; the
-    /// artifact is written once after a fit).
+    /// Serializes to the wire encoding and writes the file durably and
+    /// atomically: encode to `<path>.tmp`, fsync, rename over `path`,
+    /// fsync the directory. A crash mid-save leaves the previous
+    /// artifact intact — compaction overwrites its base artifact in
+    /// place and relies on never observing a torn or missing model.
     pub fn save(&self, path: &str) -> Result<(), ModelError> {
-        std::fs::write(path, wire::encode(self))?;
+        use std::io::Write;
+        let tmp = format!("{path}.tmp");
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&wire::encode(self))?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let dir = if dir.as_os_str().is_empty() {
+                std::path::Path::new(".")
+            } else {
+                dir
+            };
+            // Make the rename itself durable; best-effort on platforms
+            // where directories cannot be opened.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
@@ -460,9 +496,16 @@ impl Wire for ClusterModel {
         let halo = Vec::<bool>::read(input)?;
 
         let n = rho.len();
+        // Format 1 carried no shape counts in its prefix; trust the
+        // payload's own (internally cross-checked) lengths.
+        let (n_points, n_clusters) = if header.format >= 2 {
+            (header.n_points, header.n_clusters)
+        } else {
+            (n as u64, peaks.len() as u64)
+        };
         if dim == 0
-            || n as u64 != header.n_points
-            || peaks.len() as u64 != header.n_clusters
+            || n as u64 != n_points
+            || peaks.len() as u64 != n_clusters
             || coords.len() != n * dim
             || delta.len() != n
             || upslope.len() != n
@@ -556,14 +599,49 @@ mod tests {
     }
 
     #[test]
-    fn rejects_an_unknown_format_revision() {
+    fn rejects_an_unknown_format_revision_distinctly() {
         let model = fitted_model(40, 21);
         let mut bytes = wire::encode(&model);
         bytes[4] = 0xee; // format field follows the 4-byte magic
-        assert!(matches!(
-            wire::decode::<ClusterModel>(&bytes),
-            Err(WireError::Corrupt("model format"))
-        ));
+        match wire::decode::<ClusterModel>(&bytes) {
+            Err(WireError::Corrupt(msg)) => assert!(
+                msg.contains("unsupported model format"),
+                "a future format must not read as generic corruption: {msg}"
+            ),
+            other => panic!("expected an unsupported-format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loads_a_legacy_format_1_artifact() {
+        let model = fitted_model(40, 22); // fresh fit: version 1
+        // Hand-encode the pre-lineage layout: magic, format 1,
+        // algorithm, dim — no version or shape counts — then the same
+        // body format 2 writes.
+        let mut bytes = Vec::new();
+        MAGIC.write(&mut bytes);
+        1u32.write(&mut bytes);
+        model.algorithm().to_string().write(&mut bytes);
+        (model.dim() as u64).write(&mut bytes);
+        model.dc().write(&mut bytes);
+        (model.params().m as u64).write(&mut bytes);
+        (model.params().pi as u64).write(&mut bytes);
+        model.params().w.write(&mut bytes);
+        model.seed().write(&mut bytes);
+        model.coords().to_vec().write(&mut bytes);
+        model.rhos().to_vec().write(&mut bytes);
+        model.deltas().to_vec().write(&mut bytes);
+        model.upslopes().to_vec().write(&mut bytes);
+        model.labels().to_vec().write(&mut bytes);
+        model.peaks().to_vec().write(&mut bytes);
+        model.halos().to_vec().write(&mut bytes);
+
+        let head = ClusterModel::peek_header(&bytes).expect("legacy header peeks");
+        assert_eq!(head.format, 1);
+        assert_eq!(head.version, 1, "legacy artifacts default to lineage 1");
+
+        let back: ClusterModel = wire::decode(&bytes).expect("legacy artifact decodes");
+        assert_eq!(back, model, "payload and defaulted version both match");
     }
 
     #[test]

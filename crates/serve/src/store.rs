@@ -14,8 +14,13 @@
 //!
 //! Publication is strict about compatibility: a replacement model must
 //! keep the query dimensionality, because every queued request was
-//! shaped against it. Everything else — point count, clusters, `d_c`,
-//! even the LSH layout parameters — may change freely across versions.
+//! shaped against it, and must carry a *strictly newer* lineage
+//! version, because the server's response cache is keyed by version —
+//! re-serving a version number would let cached answers from the
+//! earlier same-version epoch satisfy new queries. Everything else —
+//! point count, clusters, `d_c`, even the LSH layout parameters — may
+//! change freely across versions. (To roll back, re-stamp the old
+//! model with a fresh version via `ClusterModel::with_version`.)
 
 use crate::engine::QueryEngine;
 use parking_lot::RwLock;
@@ -53,7 +58,10 @@ impl ModelStore {
     /// # Panics
     /// Panics if the replacement model's dimensionality differs from
     /// the current one — in-flight and queued queries were shaped
-    /// against it.
+    /// against it — or if its lineage version is not strictly newer:
+    /// version-keyed response caches rely on a version never naming two
+    /// different epochs, so a rollback must be re-stamped
+    /// (`ClusterModel::with_version`) before publication.
     pub fn publish(&self, engine: QueryEngine) -> Arc<QueryEngine> {
         let fresh = Arc::new(engine);
         let mut slot = self.current.write();
@@ -61,6 +69,13 @@ impl ModelStore {
             fresh.model().dim(),
             slot.model().dim(),
             "hot-swap cannot change the query dimensionality"
+        );
+        assert!(
+            fresh.model().version() > slot.model().version(),
+            "hot-swap requires a strictly newer model version ({} is not past {}); \
+             re-stamp the model with a fresh version to republish it",
+            fresh.model().version(),
+            slot.model().version(),
         );
         *slot = Arc::clone(&fresh);
         self.swaps.fetch_add(1, Ordering::Relaxed);
@@ -109,6 +124,17 @@ mod tests {
         // is untouched, only unreachable from the store.
         assert_eq!(held.assign(&q), before);
         assert_eq!(store.current().model().version(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly newer model version")]
+    fn publish_rejects_a_non_increasing_version() {
+        let store = ModelStore::new(QueryEngine::new(fitted_model(40, 36)));
+        store.publish(QueryEngine::new(fitted_model(40, 36).with_version(3)));
+        // Re-publishing an already-served version number (a rollback or
+        // a parallel lineage) would let the version-keyed response
+        // cache serve the earlier epoch's answers as this one's.
+        store.publish(QueryEngine::new(fitted_model(40, 36).with_version(3)));
     }
 
     #[test]

@@ -83,8 +83,8 @@ USAGE:
   lshddp compact --model <model> [--wal <file>] [--out <model>]
       [--k n | --auto] [--stats]
       re-run the full LSH-DDP plan over the live points (bit-identical
-      to a from-scratch refit), fold + clear the WAL, write the
-      compacted artifact
+      to a from-scratch refit), durably write the compacted artifact,
+      then retire the folded WAL
 
 GLOBAL:
   --trace <file>   capture a span timeline of the run: every pipeline,
@@ -798,7 +798,12 @@ fn compact(o: &Opts) -> Result<(), String> {
     let stale_before = session.stale_points();
     let compaction = session.compact();
     let out = o.out.as_deref().unwrap_or(path);
+    // Order matters: the WAL is retired only once the compacted
+    // artifact durably holds its batches (save is atomic + fsynced).
+    // If the save fails or we crash here, the log still replays onto
+    // the old base artifact — nothing acknowledged is lost.
     compaction.model.save(out).map_err(|e| e.to_string())?;
+    session.retire_wal().map_err(|e| e.to_string())?;
     println!(
         "compact: {} live points refit exactly ({stale_before} stale healed), \
          model v{} -> {out}",
