@@ -2,7 +2,7 @@
 //! construction, and the sampled `d_c` preprocessing job (paper §III-A).
 
 use dp_core::dp::NO_UPSLOPE;
-use dp_core::{Dataset, DistanceKind, DistanceTracker, PointId};
+use dp_core::{Dataset, DistanceKind, DistanceTracker, KernelStrategy, PointId};
 use mapreduce::task::{MrKey, MrValue};
 use mapreduce::{
     plan, Combiner, Driver, Emitter, JobConfig, JobMetrics, Mapper, Reducer, Snapshot, Stage,
@@ -52,6 +52,13 @@ pub struct PipelineConfig {
     /// resume from the last completed stage.
     #[serde(default)]
     pub checkpoints: bool,
+    /// Which local rho/delta kernel the reducers use: the blocked
+    /// `O(n_p^2)` pair loops, the pruned spatial-index kernels, or
+    /// size-based auto selection (the default). Outputs are bit-identical
+    /// either way; the `LSHDDP_KERNEL` environment variable overrides this
+    /// at run start (see [`dp_core::KernelStrategy::resolve`]).
+    #[serde(default)]
+    pub kernel: KernelStrategy,
 }
 
 /// `Option<&'static str>` under the vendored serde: written as an
@@ -299,10 +306,20 @@ impl Mapper for SampleMapper {
     }
 }
 
-/// Reducer of the `d_c` sampling job: all-pairs distances of the sample,
-/// `percentile`-quantile out.
+/// Largest number of pairwise distances the `d_c` quantile reducer will
+/// materialize. A sample of `k` pairs estimates a quantile with standard
+/// error `O(1/sqrt(k))`; at 2^17 pairs that is far below the estimator's
+/// own point-sampling noise, so the cap costs no accuracy while bounding
+/// memory and time at a constant instead of O(n²).
+const DC_PAIR_CAP: usize = 1 << 17;
+
+/// Reducer of the `d_c` sampling job: pairwise distances of the sample
+/// (all pairs when that is at most [`DC_PAIR_CAP`], otherwise a seeded
+/// deterministic pair sample of exactly that size), `percentile`-quantile
+/// out.
 struct QuantileReducer {
     percentile: f64,
+    seed: u64,
     tracker: DistanceTracker,
 }
 impl Reducer for QuantileReducer {
@@ -314,9 +331,39 @@ impl Reducer for QuantileReducer {
         debug_assert_euclidean(&self.tracker);
         let n = points.len();
         let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
-        let mut dists = Vec::with_capacity(n * (n - 1) / 2);
-        dp_core::for_each_pair_d2(&flat, dim, |_i, _j, d2| dists.push(d2.sqrt()));
-        self.tracker.add((n * n.saturating_sub(1) / 2) as u64);
+        let total_pairs = n * n.saturating_sub(1) / 2;
+        let mut dists;
+        if total_pairs <= DC_PAIR_CAP {
+            // Small sample: the exact all-pairs quantile, bit-identical to
+            // the pre-cap behavior.
+            dists = Vec::with_capacity(total_pairs);
+            dp_core::for_each_pair_d2(&flat, dim, |_i, _j, d2| dists.push(d2.sqrt()));
+            self.tracker.add(total_pairs as u64);
+        } else {
+            // Large sample: a seeded uniform draw of DC_PAIR_CAP pairs.
+            // Same splitmix generator as `sample_hash`, so the estimate is
+            // a pure function of (points, seed) — independent of map task
+            // layout and thread count.
+            dists = Vec::with_capacity(DC_PAIR_CAP);
+            let mut counter = 0u32;
+            let mut draw = |bound: usize| {
+                counter += 1;
+                sample_hash(counter, self.seed) % bound as u64
+            };
+            while dists.len() < DC_PAIR_CAP {
+                let i = draw(n) as usize;
+                let j = draw(n) as usize;
+                if i == j {
+                    continue;
+                }
+                let d2 = dp_core::distance::squared_euclidean(
+                    &flat[i * dim..][..dim],
+                    &flat[j * dim..][..dim],
+                );
+                dists.push(d2.sqrt());
+            }
+            self.tracker.add(DC_PAIR_CAP as u64);
+        }
         assert!(
             !dists.is_empty(),
             "d_c sample produced no distances — increase sample"
@@ -354,6 +401,7 @@ pub fn dc_sampling_stage(
     };
     let reducer = QuantileReducer {
         percentile,
+        seed,
         tracker: tracker.clone(),
     };
     let t = tracker.clone();
@@ -458,6 +506,32 @@ mod tests {
         assert!(rel < 0.25, "sampled dc {dc} vs exact {exact}");
         assert!(metrics.shuffle_records > 0);
         assert!(tracker.total() > 0);
+    }
+
+    #[test]
+    fn dc_pair_cap_is_deterministic_accurate_and_pinned() {
+        // 1000 points -> 499_500 pairs, well over DC_PAIR_CAP: the reducer
+        // takes the seeded pair-sampling path instead of materializing
+        // every pair.
+        let ds = line(1000);
+        let cfg = PipelineConfig::default();
+        let tracker = DistanceTracker::new();
+        let (dc, _) = dc_sampling_job(&ds, 0.05, usize::MAX, 9, &cfg, &tracker);
+        assert_eq!(
+            tracker.total(),
+            DC_PAIR_CAP as u64,
+            "capped path must evaluate exactly DC_PAIR_CAP distances"
+        );
+        // Deterministic: a rerun reproduces the same bits.
+        let (dc2, _) = dc_sampling_job(&ds, 0.05, usize::MAX, 9, &cfg, &tracker);
+        assert_eq!(dc.to_bits(), dc2.to_bits());
+        // Accurate: within a few percent of the exact all-pairs quantile.
+        let exact = dp_core::cutoff::estimate_dc_exact(&ds, 0.05);
+        let rel = (dc - exact).abs() / exact;
+        assert!(rel < 0.05, "sampled dc {dc} vs exact {exact} (rel {rel})");
+        // Pinned on the reference dataset: any change to the sampling
+        // scheme must be deliberate and show up here.
+        assert_eq!(dc, 26.0, "pinned d_c drifted");
     }
 
     #[test]

@@ -30,8 +30,12 @@ use crate::common::{
     DeltaPartial, IdentityMapper, MinDeltaCombiner, MinDeltaReducer, PipelineConfig,
 };
 use crate::stats::RunReport;
+use dp_core::distance::squared_euclidean;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
-use dp_core::{for_each_cross_d2, for_each_pair_d2, Dataset, DistanceTracker, PointId};
+use dp_core::{
+    for_each_cross_d2, for_each_pair_d2, Dataset, DistanceTracker, KernelStrategy, PointId,
+    SpatialIndex,
+};
 use mapreduce::{plan, Emitter, JobBuilder, JobMetrics, Mapper, ReduceStage, Reducer, Stage};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -178,6 +182,7 @@ impl Mapper for RhoVoronoiMapper {
 /// Reducer of the rho job: exact density for the cell's owners.
 struct RhoVoronoiReducer {
     dc: f64,
+    kernel: KernelStrategy,
     tracker: DistanceTracker,
 }
 
@@ -202,15 +207,29 @@ impl Reducer for RhoVoronoiReducer {
         let (owner_flat, _) = flatten_coords(owner_idx.iter().map(|&i| points[i].1.as_slice()));
         let dc2 = self.dc * self.dc;
         let mut rho = vec![0u32; owner_idx.len()];
-        for_each_cross_d2(&owner_flat, &all_flat, dim, |o, j, d2| {
-            // Each owner appears exactly once in the cell, so the single
-            // id match is its self-pair.
-            if points[owner_idx[o]].0 != points[j].0 && d2 < dc2 {
-                rho[o] += 1;
+        if self.kernel.use_indexed(points.len()) {
+            // Indexed kernel: ball counts over the whole cell; the owner's
+            // self-match (its unique id in the cell, at distance zero) is
+            // subtracted back out.
+            let index = SpatialIndex::build(&all_flat, dim, self.dc);
+            let mut evals = 0u64;
+            for (o, &i) in owner_idx.iter().enumerate() {
+                let (count, e) = index.range_count_d2(&all_flat[i * dim..][..dim], dc2);
+                evals += e;
+                rho[o] = count.saturating_sub(1);
             }
-        });
-        self.tracker
-            .add((owner_idx.len() * points.len().saturating_sub(1)) as u64);
+            self.tracker.add(evals);
+        } else {
+            for_each_cross_d2(&owner_flat, &all_flat, dim, |o, j, d2| {
+                // Each owner appears exactly once in the cell, so the single
+                // id match is its self-pair.
+                if points[owner_idx[o]].0 != points[j].0 && d2 < dc2 {
+                    rho[o] += 1;
+                }
+            });
+            self.tracker
+                .add((owner_idx.len() * points.len().saturating_sub(1)) as u64);
+        }
         for (&i, r) in owner_idx.iter().zip(rho) {
             out.emit(points[i].0, r);
         }
@@ -239,6 +258,8 @@ impl Mapper for OwnerMapper {
 /// in [`Eddpc::run`] instead.
 struct DeltaRound1Reducer {
     rho: Arc<Vec<u32>>,
+    dc: f64,
+    kernel: KernelStrategy,
     tracker: DistanceTracker,
 }
 
@@ -257,6 +278,52 @@ impl Reducer for DeltaRound1Reducer {
         debug_assert_euclidean(&self.tracker);
         let mut best: Vec<DeltaPartial> = vec![(f64::INFINITY, NO_UPSLOPE, 0.0); points.len()];
         let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
+        if self.kernel.use_indexed(points.len()) && !points.is_empty() {
+            // Indexed kernel: nearest-denser searches seeded by the
+            // descending canonical density order (the fast.rs scan). The
+            // `maxd` slot is only consumed downstream when every partial
+            // ends [`NO_UPSLOPE`], so the exact farthest distance is
+            // computed only for empty-handed searches.
+            let index = SpatialIndex::build(&flat, dim, self.dc);
+            let mut evals = 0u64;
+            let mut order: Vec<u32> = (0..points.len() as u32).collect();
+            order.sort_by(|&a, &b| {
+                let (ia, ib) = (points[a as usize].0, points[b as usize].0);
+                if denser(self.rho[ia as usize], ia, self.rho[ib as usize], ib) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            for (pos, &oi) in order.iter().enumerate() {
+                let id = points[oi as usize].0;
+                let q = &flat[oi as usize * dim..][..dim];
+                let mut init = (f64::INFINITY, NO_UPSLOPE);
+                if pos > 0 {
+                    let si = order[pos - 1] as usize;
+                    init = (
+                        squared_euclidean(q, &flat[si * dim..][..dim]).sqrt(),
+                        points[si].0,
+                    );
+                    evals += 1;
+                }
+                let (b, e) = index.nearest_denser_d2(q, init, f64::INFINITY, |pi| {
+                    let cand = points[pi as usize].0;
+                    denser(self.rho[cand as usize], cand, self.rho[id as usize], id).then_some(cand)
+                });
+                evals += e;
+                let maxd = if b.1 == NO_UPSLOPE {
+                    let (m, e) = index.max_distance(q);
+                    evals += e;
+                    m
+                } else {
+                    0.0
+                };
+                out.emit(id, (b.0, b.1, maxd));
+            }
+            self.tracker.add(evals);
+            return;
+        }
         // One batched pass over unordered pairs updates both endpoints —
         // equivalent to the per-point scan (updates are symmetric in d).
         for_each_pair_d2(&flat, dim, |i, j, d2| {
@@ -334,6 +401,8 @@ impl Mapper for DeltaRound2Mapper {
 /// Reducer of round 2: finish each visitor's search among the cell owners.
 struct DeltaRound2Reducer {
     rho: Arc<Vec<u32>>,
+    dc: f64,
+    kernel: KernelStrategy,
     tracker: DistanceTracker,
 }
 
@@ -355,6 +424,34 @@ impl Reducer for DeltaRound2Reducer {
         let (visitor_flat, dim) = flatten_coords(visitors.iter().map(|(_, c, _, _)| c.as_slice()));
         let (owner_flat, _) = flatten_coords(owners.iter().map(|(_, c, _, _)| c.as_slice()));
         let mut best: Vec<DeltaPartial> = vec![(f64::INFINITY, NO_UPSLOPE, 0.0); visitors.len()];
+        if self.kernel.use_indexed(owners.len()) && !owners.is_empty() {
+            // Indexed kernel: each visitor finishes its search over the
+            // cell owners, capped at its round-1 upper bound. As in round
+            // 1, the exact farthest distance is only computed when the
+            // search ends empty-handed.
+            let index = SpatialIndex::build(&owner_flat, dim, self.dc);
+            let mut evals = 0u64;
+            for (v, (vid, _, _, ub)) in visitors.iter().enumerate() {
+                let vid = *vid;
+                let q = &visitor_flat[v * dim..][..dim];
+                let (b, e) = index.nearest_denser_d2(q, (f64::INFINITY, NO_UPSLOPE), *ub, |pi| {
+                    let cand = owners[pi as usize].0;
+                    denser(self.rho[cand as usize], cand, self.rho[vid as usize], vid)
+                        .then_some(cand)
+                });
+                evals += e;
+                let maxd = if b.1 == NO_UPSLOPE {
+                    let (m, e) = index.max_distance(q);
+                    evals += e;
+                    m
+                } else {
+                    0.0
+                };
+                out.emit(vid, (b.0, b.1, maxd));
+            }
+            self.tracker.add(evals);
+            return;
+        }
         for_each_cross_d2(&visitor_flat, &owner_flat, dim, |v, q, d2| {
             let d = d2.sqrt();
             let (vid, ub) = (visitors[v].0, visitors[v].3);
@@ -398,6 +495,7 @@ impl Eddpc {
         let start = Instant::now();
         let n = ds.len();
         let job_cfg = self.config.pipeline.job_config();
+        let kernel = self.config.pipeline.kernel.resolve();
         let pivots = sample_pivots(ds, self.config.n_pivots, self.config.seed);
         let snap = point_snapshot(ds);
         let mut driver = self.config.pipeline.driver();
@@ -426,6 +524,7 @@ impl Eddpc {
                         },
                         RhoVoronoiReducer {
                             dc,
+                            kernel,
                             tracker: tracker.clone(),
                         },
                     )
@@ -453,6 +552,8 @@ impl Eddpc {
                         },
                         DeltaRound1Reducer {
                             rho: rho.clone(),
+                            dc,
+                            kernel,
                             tracker: tracker.clone(),
                         },
                     )
@@ -495,6 +596,8 @@ impl Eddpc {
                         },
                         DeltaRound2Reducer {
                             rho: rho.clone(),
+                            dc,
+                            kernel,
                             tracker: tracker.clone(),
                         },
                     )
@@ -546,6 +649,7 @@ impl Eddpc {
         let start = Instant::now();
         let n = ds.len();
         let job_cfg = self.config.pipeline.job_config();
+        let kernel = self.config.pipeline.kernel.resolve();
         let pivots = sample_pivots(ds, self.config.n_pivots, self.config.seed);
         let mut jobs: Vec<JobMetrics> = Vec::with_capacity(4);
         let snap = |m: &mut JobMetrics, t: &DistanceTracker| {
@@ -562,6 +666,7 @@ impl Eddpc {
             },
             RhoVoronoiReducer {
                 dc,
+                kernel,
                 tracker: tracker.clone(),
             },
         )
@@ -583,6 +688,8 @@ impl Eddpc {
             },
             DeltaRound1Reducer {
                 rho: rho.clone(),
+                dc,
+                kernel,
                 tracker: tracker.clone(),
             },
         )
@@ -617,6 +724,8 @@ impl Eddpc {
             },
             DeltaRound2Reducer {
                 rho: rho.clone(),
+                dc,
+                kernel,
                 tracker: tracker.clone(),
             },
         )
@@ -714,6 +823,33 @@ mod tests {
                     "delta[{i}] mismatch with {pivots} pivots: {a} vs {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn indexed_kernels_bit_identical_to_blocked() {
+        let ds = blobs(50, 7); // 150 points, 9 Voronoi cells
+        let dc = 0.6;
+        let run = |kernel| {
+            Eddpc::new(EddpcConfig {
+                n_pivots: 9,
+                seed: 3,
+                pipeline: PipelineConfig {
+                    kernel,
+                    ..PipelineConfig::default()
+                },
+            })
+            .run(&ds, dc)
+        };
+        let blocked = run(KernelStrategy::Blocked);
+        let indexed = run(KernelStrategy::Indexed);
+        assert_eq!(blocked.result.rho, indexed.result.rho, "rho must match");
+        assert_eq!(
+            blocked.result.upslope, indexed.result.upslope,
+            "upslope must match"
+        );
+        for (a, b) in blocked.result.delta.iter().zip(&indexed.result.delta) {
+            assert_eq!(a.to_bits(), b.to_bits(), "delta must be bit-identical");
         }
     }
 

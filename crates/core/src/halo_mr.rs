@@ -24,7 +24,7 @@ use crate::common::{
 use crate::lsh_ddp::LshDdpConfig;
 use dp_core::decision::Clustering;
 use dp_core::dp::DpResult;
-use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, PointId};
+use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, KernelStrategy, PointId, SpatialIndex};
 use lsh::{MultiLsh, Signature};
 use mapreduce::{plan, Emitter, JobBuilder, JobMetrics, Mapper, Reducer, Stage};
 use std::sync::Arc;
@@ -54,6 +54,7 @@ struct BorderReducer {
     dc: f64,
     rho: Arc<Vec<u32>>,
     labels: Arc<Vec<u32>>,
+    kernel: KernelStrategy,
     tracker: DistanceTracker,
 }
 
@@ -74,6 +75,32 @@ impl Reducer for BorderReducer {
         let mut border = vec![0u32; k_clusters];
         let (flat, dim) = flatten_coords(points.iter().map(|(_, c)| c.as_slice()));
         let dc2 = self.dc * self.dc;
+        if self.kernel.use_indexed(points.len()) && !points.is_empty() {
+            // Indexed kernel: per-point ball queries replace the all-pairs
+            // sweep. Each cross-cluster pair is visited from both endpoints;
+            // the max update is idempotent, so the duplicate is harmless.
+            let index = SpatialIndex::build(&flat, dim, self.dc);
+            let mut evals = 0u64;
+            for (i, (pi, _)) in points.iter().enumerate() {
+                let ci = self.labels[*pi as usize];
+                evals += index.for_each_within_d2(&flat[i * dim..][..dim], dc2, |j, _| {
+                    let pj = points[j as usize].0;
+                    let cj = self.labels[pj as usize];
+                    if ci != cj {
+                        let avg = (self.rho[*pi as usize] + self.rho[pj as usize]) / 2;
+                        border[ci as usize] = border[ci as usize].max(avg);
+                        border[cj as usize] = border[cj as usize].max(avg);
+                    }
+                });
+            }
+            self.tracker.add(evals);
+            for (c, b) in border.into_iter().enumerate() {
+                if b > 0 {
+                    out.emit(c as u32, b);
+                }
+            }
+            return;
+        }
         // Only cross-cluster pairs are distance measurements (same-cluster
         // pairs are skipped before the metric in the scalar formulation).
         let mut measured = 0u64;
@@ -129,6 +156,7 @@ pub fn compute_halo_distributed(
         "clustering must cover the dataset"
     );
     let tracker = DistanceTracker::new();
+    let kernel = pipeline.kernel.resolve();
     let multi = Arc::new(MultiLsh::new(ds.dim(), &config.params, config.seed));
     let rho = Arc::new(result.rho.clone());
     let labels = Arc::new(clustering.labels().to_vec());
@@ -147,6 +175,7 @@ pub fn compute_halo_distributed(
                         dc: result.dc,
                         rho: rho.clone(),
                         labels: labels.clone(),
+                        kernel,
                         tracker: tracker.clone(),
                     },
                 )
@@ -198,6 +227,7 @@ pub fn compute_halo_distributed_reference(
         "clustering must cover the dataset"
     );
     let tracker = DistanceTracker::new();
+    let kernel = pipeline.kernel.resolve();
     let multi = Arc::new(MultiLsh::new(ds.dim(), &config.params, config.seed));
     let rho = Arc::new(result.rho.clone());
     let labels = Arc::new(clustering.labels().to_vec());
@@ -210,6 +240,7 @@ pub fn compute_halo_distributed_reference(
             dc: result.dc,
             rho: rho.clone(),
             labels: labels.clone(),
+            kernel,
             tracker: tracker.clone(),
         },
     )
@@ -305,6 +336,29 @@ mod tests {
         assert!(
             dist.halo[30..34].iter().any(|&h| h),
             "bridge points flagged"
+        );
+    }
+
+    #[test]
+    fn indexed_kernels_match_blocked() {
+        let ds = bridged();
+        let dc = 0.6;
+        let r = compute_exact(&ds, dc);
+        let peaks = select_top_k(&r, 2);
+        let c = assign(&r, &peaks);
+        let run = |kernel| {
+            let pipeline = PipelineConfig {
+                kernel,
+                ..PipelineConfig::default()
+            };
+            compute_halo_distributed(&ds, &r, &c, &lsh_config(dc), &pipeline)
+        };
+        let blocked = run(dp_core::KernelStrategy::Blocked);
+        let indexed = run(dp_core::KernelStrategy::Indexed);
+        assert_eq!(blocked.halo, indexed.halo, "halo flags must match");
+        assert_eq!(
+            blocked.border_rho, indexed.border_rho,
+            "border densities must match"
         );
     }
 

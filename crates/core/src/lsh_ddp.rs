@@ -25,7 +25,7 @@ use crate::common::{
 };
 use crate::stats::RunReport;
 use dp_core::dp::{denser, DpResult, NO_UPSLOPE};
-use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, PointId};
+use dp_core::{for_each_pair_d2, Dataset, DistanceTracker, KernelStrategy, PointId, SpatialIndex};
 use lsh::tuning::TuningError;
 use lsh::{LshParams, MultiLsh, Signature};
 use mapreduce::{
@@ -126,11 +126,14 @@ impl Mapper for LshPartitionMapper {
     }
 }
 
-/// Reducer of job 1: local all-pairs density within one partition,
-/// processed in memory-bounded chunks when a `partition_cap` is set.
+/// Reducer of job 1: local density within one partition, processed in
+/// memory-bounded chunks when a `partition_cap` is set. Per chunk, either
+/// the blocked all-pairs kernel or a pruned spatial-index range count —
+/// the results are bit-identical; only the distance-eval count differs.
 struct LocalRhoReducer {
     dc: f64,
     cap: usize,
+    kernel: KernelStrategy,
     tracker: DistanceTracker,
 }
 
@@ -144,8 +147,21 @@ impl Reducer for LocalRhoReducer {
         debug_assert_euclidean(&self.tracker);
         let dc2 = self.dc * self.dc;
         for chunk in points.chunks(self.cap) {
-            let mut rho = vec![0u32; chunk.len()];
             let (flat, dim) = flatten_coords(chunk.iter().map(|(_, c)| c.as_slice()));
+            if self.kernel.use_indexed(chunk.len()) {
+                // rho as a ball count at d_c: the index counts the query
+                // point itself (d² = 0 < d_c²), so subtract it back out.
+                let index = SpatialIndex::build(&flat, dim, self.dc);
+                let mut evals = 0u64;
+                for (i, (id, _)) in chunk.iter().enumerate() {
+                    let (count, e) = index.range_count_d2(&flat[i * dim..][..dim], dc2);
+                    evals += e;
+                    out.emit(*id, count.saturating_sub(1));
+                }
+                self.tracker.add(evals);
+                continue;
+            }
+            let mut rho = vec![0u32; chunk.len()];
             // Same strict `d² < d_c²` predicate as `DistanceTracker::within`,
             // batched through the blocked kernel.
             for_each_pair_d2(&flat, dim, |i, j, d2| {
@@ -205,9 +221,14 @@ type LocalDelta = (f64, PointId);
 
 /// Reducer of job 3: nearest locally-denser point under the broadcast
 /// `rho_hat`, processed in memory-bounded chunks when a cap is set.
+/// Per chunk, either the blocked all-pairs kernel or a best-first
+/// nearest-denser search over a spatial index, seeded by the
+/// sorted-descending-`rho` scan — bit-identical outputs either way.
 struct LocalDeltaReducer {
+    dc: f64,
     rho: Arc<Vec<u32>>,
     cap: usize,
+    kernel: KernelStrategy,
     tracker: DistanceTracker,
 }
 
@@ -225,8 +246,49 @@ impl Reducer for LocalDeltaReducer {
     ) {
         debug_assert_euclidean(&self.tracker);
         for chunk in points.chunks(self.cap) {
-            let mut best: Vec<LocalDelta> = vec![(f64::INFINITY, NO_UPSLOPE); chunk.len()];
             let (flat, dim) = flatten_coords(chunk.iter().map(|(_, c)| c.as_slice()));
+            if self.kernel.use_indexed(chunk.len()) {
+                let index = SpatialIndex::build(&flat, dim, self.dc);
+                let mut evals = 0u64;
+                // Descending canonical density order (the fast.rs scan):
+                // each point's predecessor is guaranteed denser and seeds
+                // the search with a finite bound; the densest point of the
+                // chunk stays at (∞, NO_UPSLOPE), exactly like the blocked
+                // loop, which never updates its slot.
+                let mut order: Vec<u32> = (0..chunk.len() as u32).collect();
+                order.sort_by(|&a, &b| {
+                    let (pa, pb) = (chunk[a as usize].0, chunk[b as usize].0);
+                    if denser(self.rho[pa as usize], pa, self.rho[pb as usize], pb) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                });
+                for (pos, &i) in order.iter().enumerate() {
+                    let (id, _) = chunk[i as usize];
+                    if pos == 0 {
+                        out.emit(id, (f64::INFINITY, NO_UPSLOPE));
+                        continue;
+                    }
+                    let q = &flat[i as usize * dim..][..dim];
+                    let seed = order[pos - 1] as usize;
+                    let seed_id = chunk[seed].0;
+                    let seed_d =
+                        dp_core::distance::squared_euclidean(q, &flat[seed * dim..][..dim]).sqrt();
+                    evals += 1;
+                    let (b, e) =
+                        index.nearest_denser_d2(q, (seed_d, seed_id), f64::INFINITY, |pi| {
+                            let pid = chunk[pi as usize].0;
+                            denser(self.rho[pid as usize], pid, self.rho[id as usize], id)
+                                .then_some(pid)
+                        });
+                    evals += e;
+                    out.emit(id, b);
+                }
+                self.tracker.add(evals);
+                continue;
+            }
+            let mut best: Vec<LocalDelta> = vec![(f64::INFINITY, NO_UPSLOPE); chunk.len()];
             // `d2.sqrt()` is bit-identical to the tracker's Euclidean
             // `distance`, which is itself `squared_euclidean(..).sqrt()`.
             for_each_pair_d2(&flat, dim, |i, j, d2| {
@@ -424,6 +486,7 @@ impl LshDdp {
             self.config.seed,
         ));
         let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
+        let kernel = self.config.pipeline.kernel.resolve();
         let lost = self.lost_layouts();
         let layouts_lost = lost.iter().filter(|&&l| l).count();
         let dist_snapshot = |t: &DistanceTracker| {
@@ -441,6 +504,7 @@ impl LshDdp {
             LocalRhoReducer {
                 dc,
                 cap,
+                kernel,
                 tracker: tracker.clone(),
             },
         )
@@ -503,8 +567,10 @@ impl LshDdp {
                 ReduceStage::new(
                     "lsh/delta-local",
                     LocalDeltaReducer {
+                        dc,
                         rho: rho.clone(),
                         cap,
+                        kernel,
                         tracker: tracker.clone(),
                     },
                 )
@@ -587,6 +653,7 @@ impl LshDdp {
             self.config.seed,
         ));
         let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
+        let kernel = self.config.pipeline.kernel.resolve();
         let lost = self.lost_layouts();
         let mut jobs: Vec<JobMetrics> = Vec::with_capacity(4);
         let snap = |m: &mut JobMetrics, t: &DistanceTracker| {
@@ -602,6 +669,7 @@ impl LshDdp {
             LocalRhoReducer {
                 dc,
                 cap,
+                kernel,
                 tracker: tracker.clone(),
             },
         )
@@ -640,8 +708,10 @@ impl LshDdp {
             "lsh/delta-local",
             LshPartitionMapper { multi, lost },
             LocalDeltaReducer {
+                dc,
                 rho: rho.clone(),
                 cap,
+                kernel,
                 tracker: tracker.clone(),
             },
         )
@@ -863,6 +933,23 @@ mod tests {
         assert_eq!(on.result.upslope, off.result.upslope);
         let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&on.result.delta), bits(&off.result.delta));
+    }
+
+    #[test]
+    fn indexed_kernels_bit_identical_to_blocked() {
+        let ds = blobs(60, 9);
+        let dc = 0.5;
+        let mk = |kernel| {
+            let mut cfg = accurate_config(dc);
+            cfg.pipeline.kernel = kernel;
+            LshDdp::new(cfg).run(&ds, dc)
+        };
+        let blocked = mk(KernelStrategy::Blocked);
+        let indexed = mk(KernelStrategy::Indexed);
+        assert_eq!(blocked.result.rho, indexed.result.rho);
+        assert_eq!(blocked.result.upslope, indexed.result.upslope);
+        let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&blocked.result.delta), bits(&indexed.result.delta));
     }
 
     #[test]

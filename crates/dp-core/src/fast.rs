@@ -220,6 +220,74 @@ mod tests {
         }
     }
 
+    mod properties {
+        use super::*;
+        use crate::distance::DistanceKind;
+        use proptest::prelude::*;
+
+        /// Tight, far-apart blobs in `dim` dimensions (offset along the
+        /// first axis), deterministic in `seed` — shaped so the pivot
+        /// bounds actually prune.
+        fn blob_dataset(dim: usize, n_per: usize, seed: u64) -> Dataset {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut ds = Dataset::new(dim);
+            let mut p = vec![0.0f64; dim];
+            for blob in 0..3 {
+                for _ in 0..n_per {
+                    for (d, slot) in p.iter_mut().enumerate() {
+                        let center = if d == 0 { blob as f64 * 40.0 } else { 0.0 };
+                        *slot = center + next() * 2.0 - 1.0;
+                    }
+                    ds.push(&p);
+                }
+            }
+            ds
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Across dimensionalities and metrics, the pivot-pruned path
+            /// is bit-identical to the exhaustive reference and performs
+            /// strictly fewer distance evaluations.
+            #[test]
+            fn pruned_path_is_identical_and_strictly_cheaper(
+                seed in 1u64..10_000,
+                dim_idx in 0usize..4,
+                kind_idx in 0usize..2,
+                n_per in 20usize..40,
+                n_pivots in 2usize..10,
+            ) {
+                let dim = [1usize, 2, 8, 32][dim_idx];
+                let kind = [DistanceKind::Euclidean, DistanceKind::Manhattan][kind_idx];
+                let ds = blob_dataset(dim, n_per, seed);
+                let dc = 0.8;
+
+                let t_slow = DistanceTracker::with_kind(kind);
+                let slow = crate::dp::compute_exact_tracked(&ds, dc, &t_slow);
+                let t_fast = DistanceTracker::with_kind(kind);
+                let fast = compute_exact_fast_tracked(&ds, dc, n_pivots, &t_fast);
+
+                prop_assert_eq!(&fast.rho, &slow.rho, "dim={} kind={:?}", dim, kind);
+                prop_assert_eq!(&fast.upslope, &slow.upslope, "dim={} kind={:?}", dim, kind);
+                for (a, b) in fast.delta.iter().zip(&slow.delta) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "dim={} kind={:?}", dim, kind);
+                }
+                prop_assert!(
+                    t_fast.total() < t_slow.total(),
+                    "pruning must strictly reduce evals: fast {} vs slow {} (dim={} kind={:?})",
+                    t_fast.total(), t_slow.total(), dim, kind
+                );
+            }
+        }
+    }
+
     #[test]
     fn works_on_tiny_inputs() {
         let ds = Dataset::from_flat(1, vec![0.0, 5.0]);

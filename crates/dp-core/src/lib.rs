@@ -55,6 +55,7 @@ pub mod decision;
 pub mod distance;
 pub mod dp;
 pub mod fast;
+pub mod index;
 pub mod kernel;
 pub mod point;
 pub mod quality;
@@ -69,6 +70,7 @@ pub use distance::{
 };
 pub use dp::{compute_exact, denser, DpResult, NO_UPSLOPE};
 pub use fast::compute_exact_fast;
+pub use index::{KernelStrategy, SpatialIndex};
 pub use kernel::{compute_gaussian, KernelDpResult};
 pub use point::{Dataset, PointId};
 

@@ -238,7 +238,10 @@ fn compaction_folds_the_wal_and_clears_staleness() {
     // leaves new artifact + stale log, which is refused, not replayed).
     {
         let (unretired, replayed) = IngestSession::with_wal(&model, config(), &path).unwrap();
-        assert_eq!(replayed, 1, "unretired batches still replay on the old base");
+        assert_eq!(
+            replayed, 1,
+            "unretired batches still replay on the old base"
+        );
         assert_eq!(unretired.version(), version_before);
     }
     match IngestSession::with_wal(&compaction.model, config(), &path) {

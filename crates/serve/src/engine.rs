@@ -10,6 +10,7 @@
 
 use crate::model::ClusterModel;
 use dp_core::distance::{nearest_in_block, squared_euclidean};
+use dp_core::{KernelStrategy, SpatialIndex, NO_UPSLOPE};
 use lsh::{bucket_tables, MultiLsh, Signature};
 use std::collections::HashMap;
 
@@ -72,6 +73,11 @@ pub struct QueryEngine {
     tables: Vec<HashMap<Signature, Vec<u32>>>,
     centers: Vec<f64>,
     exactness: Exactness,
+    /// Spatial index over the training points, built once at construction
+    /// when the exact path runs under [`KernelStrategy::use_indexed`]. The
+    /// training ids double as index positions (coords are stored in id
+    /// order), so index hits map straight back to model ids.
+    index: Option<SpatialIndex>,
 }
 
 impl QueryEngine {
@@ -80,8 +86,15 @@ impl QueryEngine {
         Self::with_exactness(model, Exactness::default())
     }
 
-    /// Builds the engine with an explicit exactness policy.
+    /// Builds the engine with an explicit exactness policy. The kernel
+    /// strategy for the exact scans defaults to `auto` (overridable via
+    /// `LSHDDP_KERNEL`).
     pub fn with_exactness(model: ClusterModel, exactness: Exactness) -> Self {
+        Self::with_kernel(model, exactness, KernelStrategy::default())
+    }
+
+    /// Builds the engine with explicit exactness and kernel strategy.
+    pub fn with_kernel(model: ClusterModel, exactness: Exactness, kernel: KernelStrategy) -> Self {
         let multi = MultiLsh::new(model.dim(), model.params(), model.seed());
         let n = model.len();
         let dim = model.dim();
@@ -90,12 +103,15 @@ impl QueryEngine {
             (0..n).map(|i| &model.coords()[i * dim..(i + 1) * dim]),
         );
         let centers = model.center_block();
+        let index = (exactness == Exactness::Exact && kernel.resolve().use_indexed(n) && n > 0)
+            .then(|| SpatialIndex::build(model.coords(), dim, model.dc()));
         QueryEngine {
             model,
             multi,
             tables,
             centers,
             exactness,
+            index,
         }
     }
 
@@ -196,6 +212,15 @@ impl QueryEngine {
             let d2 = squared_euclidean(query, self.model.point(id));
             d2 > 0.0 && d2 < dc2
         };
+        if let Some(idx) = &self.index {
+            let mut count = 0u32;
+            idx.for_each_within_d2(query, dc2, |_, d2| {
+                if d2 > 0.0 {
+                    count += 1;
+                }
+            });
+            return count;
+        }
         match self.exactness {
             Exactness::Exact => (0..self.model.len() as u32).filter(|&i| within(i)).count() as u32,
             _ => self
@@ -227,6 +252,10 @@ impl QueryEngine {
         let dc = self.model.dc();
         let dc2 = dc * dc;
         let m_layouts = self.multi.layouts() as f64;
+
+        if let Some(idx) = &self.index {
+            return Some(self.probe_indexed(idx, query, dc, dc2));
+        }
 
         // Candidate set and collision multiplicities under the policy.
         let candidates: Vec<(u32, u32)> = match self.exactness {
@@ -307,6 +336,45 @@ impl QueryEngine {
             halo: self.model.is_halo(id),
         })
     }
+
+    /// The exact anchor search over the spatial index: one ball query
+    /// yields the density estimate and the zero-distance twin; the anchor
+    /// comes from a pruned nearest search comparing raw squared distances
+    /// with the same smallest-id tie-break as the scalar scan.
+    fn probe_indexed(&self, idx: &SpatialIndex, query: &[f64], dc: f64, dc2: f64) -> Assignment {
+        let mut rho_est = 0u32;
+        let mut twin: Option<u32> = None;
+        idx.for_each_within_d2(query, dc2, |id, d2| {
+            if d2 > 0.0 {
+                rho_est += 1;
+            } else {
+                twin = Some(twin.map_or(id, |t| t.min(id)));
+            }
+        });
+        if let Some(id) = twin {
+            // A zero-distance candidate IS the query (cf. the scalar path).
+            return Assignment {
+                cluster: self.model.label(id),
+                confidence: 1.0,
+                fallback: false,
+                rho_estimate: rho_est,
+                halo: self.model.is_halo(id),
+            };
+        }
+        let ((mut d2, mut id), _) =
+            idx.nearest_by_d2(query, |pi| (self.model.rho(pi) >= rho_est).then_some(pi));
+        if id == NO_UPSLOPE {
+            // No candidate at least as dense as the query: plain nearest.
+            ((d2, id), _) = idx.nearest_by_d2(query, Some);
+        }
+        Assignment {
+            cluster: self.model.label(id),
+            confidence: proximity(dc, d2.sqrt()),
+            fallback: false,
+            rho_estimate: rho_est,
+            halo: self.model.is_halo(id),
+        }
+    }
 }
 
 /// Smooth proximity score in `(0, 1]`: 1 at distance 0, 0.5 at `d_c`.
@@ -341,6 +409,29 @@ mod tests {
             let a = engine.assign(m.point(id));
             assert_eq!(a.cluster, m.label(id), "point {id}");
             assert_eq!(a.confidence, 1.0);
+        }
+    }
+
+    #[test]
+    fn exact_indexed_probe_matches_blocked_bitwise() {
+        let model = fitted_model(120, 17);
+        let blocked =
+            QueryEngine::with_kernel(model.clone(), Exactness::Exact, KernelStrategy::Blocked);
+        let indexed = QueryEngine::with_kernel(model, Exactness::Exact, KernelStrategy::Indexed);
+        assert!(
+            indexed.index.is_some(),
+            "indexed engine must build an index"
+        );
+        assert!(blocked.index.is_none(), "blocked engine must not");
+        let m = blocked.model().clone();
+        for id in (0..m.len() as u32).step_by(5) {
+            let mut q = m.point(id).to_vec();
+            assert_eq!(blocked.assign(&q), indexed.assign(&q), "held-in {id}");
+            for (k, v) in q.iter_mut().enumerate() {
+                *v += 0.37 + k as f64 * 0.11;
+            }
+            assert_eq!(blocked.assign(&q), indexed.assign(&q), "perturbed {id}");
+            assert_eq!(blocked.density_at(&q), indexed.density_at(&q));
         }
     }
 

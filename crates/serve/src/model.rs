@@ -614,7 +614,8 @@ mod tests {
 
     #[test]
     fn loads_a_legacy_format_1_artifact() {
-        let model = fitted_model(40, 22); // fresh fit: version 1
+        // fresh fit: version 1
+        let model = fitted_model(40, 22);
         // Hand-encode the pre-lineage layout: magic, format 1,
         // algorithm, dim — no version or shape counts — then the same
         // body format 2 writes.

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI spatial-index kernel gate.
+
+Reads the `indexed_kernels` scenario out of a BENCH_perf.json produced by
+`bench_summary` and fails unless the indexed kernels
+
+* produced bit-identical `(rho, delta, upslope)` to the blocked kernels
+  (`outputs_match` — pruning must change which distances are evaluated,
+  never what comes out),
+* actually skipped distance evaluations (`evals_skipped_frac > 0`), and
+* ran at least `min_speedup` faster than the blocked kernels
+  (default 2x, stated at n_p = 10k, dim = 8).
+
+Usage: check_kernels.py <BENCH_perf.json> [min_speedup]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [min_speedup]",
+              file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_speedup = float(sys.argv[2]) if len(sys.argv) == 3 else 2.0
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    scenario = doc.get("indexed_kernels")
+    if not isinstance(scenario, dict):
+        print(f"{path}: no indexed_kernels scenario (schema {doc.get('schema')})",
+              file=sys.stderr)
+        return 1
+    if not scenario["outputs_match"]:
+        print(f"{path}: indexed kernels changed the pipeline output bits",
+              file=sys.stderr)
+        return 1
+    skipped = scenario["evals_skipped_frac"]
+    if skipped <= 0:
+        print(f"{path}: index skipped no distance evaluations "
+              f"({scenario['blocked_evals']} -> {scenario['indexed_evals']})",
+              file=sys.stderr)
+        return 1
+    speedup = scenario["speedup"]
+    if speedup < min_speedup:
+        print(f"{path}: indexed kernels only {speedup:.2f}x faster at "
+              f"n_p={scenario['points']} dim={scenario['dim']}, "
+              f"need >= {min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    print(f"{path}: indexed kernels {speedup:.1f}x faster at "
+          f"n_p={scenario['points']} dim={scenario['dim']}, "
+          f"{skipped:.1%} of {scenario['blocked_evals']} evals skipped, "
+          f"outputs bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@
 //! --include-ignored`) and compare the digests the helpers print.
 
 use ddp::{LshDdp, PipelineConfig};
-use dp_core::Dataset;
+use dp_core::{Dataset, KernelStrategy};
 use mapreduce::{Emitter, FnMapper, FnReducer, JobBuilder, JobConfig};
 use rayon::prelude::*;
 use std::process::Command;
@@ -49,12 +49,17 @@ fn pinned_pipeline() -> PipelineConfig {
         chaos: None,
         disable_elision: false,
         checkpoints: false,
+        kernel: Default::default(),
     }
 }
 
 /// Digest of a wordcount run (output + shuffle metrics) and a full
 /// LSH-DDP pipeline run (rho/delta/upslope bits + per-job metrics).
 fn run_digest() -> u64 {
+    run_digest_with(KernelStrategy::Blocked)
+}
+
+fn run_digest_with(kernel: KernelStrategy) -> u64 {
     let mut transcript = String::new();
 
     let m = FnMapper::new(|_k: u64, line: String, out: &mut Emitter<String, u64>| {
@@ -81,7 +86,10 @@ fn run_digest() -> u64 {
     let dc = 0.8;
     let mut lsh = LshDdp::with_accuracy(0.99, 10, 3, dc, 42).expect("valid params");
     let cfg = ddp::LshDdpConfig {
-        pipeline: pinned_pipeline(),
+        pipeline: PipelineConfig {
+            kernel,
+            ..pinned_pipeline()
+        },
         ..lsh.config().clone()
     };
     lsh = LshDdp::new(cfg);
@@ -142,6 +150,15 @@ fn extract(output: &str, key: &str) -> String {
 #[ignore = "helper: spawned as a subprocess with a pinned LSHDDP_THREADS"]
 fn helper_print_digest() {
     println!("DIGEST={:016x}", run_digest());
+}
+
+#[test]
+#[ignore = "helper: spawned as a subprocess with a pinned LSHDDP_THREADS"]
+fn helper_print_digest_indexed() {
+    println!(
+        "IDXDIGEST={:016x}",
+        run_digest_with(KernelStrategy::Indexed)
+    );
 }
 
 #[test]
@@ -231,6 +248,25 @@ fn results_identical_across_thread_counts() {
     assert_eq!(
         digests[0], digests[2],
         "LSHDDP_THREADS=1 vs 7 must produce bit-identical results"
+    );
+}
+
+#[test]
+fn indexed_results_identical_across_thread_counts() {
+    // The spatial-index build runs on the work-stealing pool, so the
+    // digest (which includes the distance-eval counters) must not move
+    // with the thread count.
+    let digests: Vec<String> = ["1", "2", "7"]
+        .iter()
+        .map(|t| extract(&run_helper("helper_print_digest_indexed", t), "IDXDIGEST="))
+        .collect();
+    assert_eq!(
+        digests[0], digests[1],
+        "indexed kernels: LSHDDP_THREADS=1 vs 2 must produce bit-identical results"
+    );
+    assert_eq!(
+        digests[0], digests[2],
+        "indexed kernels: LSHDDP_THREADS=1 vs 7 must produce bit-identical results"
     );
 }
 

@@ -24,6 +24,7 @@ fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
         chaos: None,
         disable_elision: false,
         checkpoints: false,
+        kernel: Default::default(),
     }
 }
 
@@ -76,6 +77,7 @@ fn lsh_ddp_survives_task_failures_bit_exactly() {
         chaos: None,
         disable_elision: false,
         checkpoints: false,
+        kernel: Default::default(),
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -102,6 +104,7 @@ fn eddpc_survives_task_failures_bit_exactly() {
         chaos: None,
         disable_elision: false,
         checkpoints: false,
+        kernel: Default::default(),
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -209,6 +212,7 @@ fn assert_chaos_is_invisible(ds: &Dataset, dc: f64, chaos: ChaosPlan) -> u64 {
         chaos: None,
         disable_elision: false,
         checkpoints: false,
+        kernel: Default::default(),
     };
     let chaos_pipe = PipelineConfig {
         chaos: Some(chaos),
@@ -299,6 +303,51 @@ fn all_five_pipelines_survive_full_chaos_bit_exactly() {
     assert!(
         recoveries > 0,
         "15% crashes + 10% corruption must trigger recoveries"
+    );
+}
+
+#[test]
+fn indexed_kernels_under_chaos_match_the_clean_blocked_run_bit_exactly() {
+    let ds = workload();
+    let dc = 0.9;
+    let params = lsh::LshParams::for_accuracy(0.95, 8, 3, dc).expect("valid");
+    let base = PipelineConfig {
+        map_tasks: 6,
+        reduce_tasks: 6,
+        fault: None,
+        fault_stage: None,
+        chaos: None,
+        disable_elision: false,
+        checkpoints: false,
+        kernel: dp_core::KernelStrategy::Blocked,
+    };
+    let run = |pipeline: PipelineConfig| {
+        LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
+            params,
+            seed: 5,
+            pipeline,
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        })
+        .run(&ds, dc)
+    };
+    let blocked_clean = run(base);
+    // 10% chaos on top of the indexed kernels: retried tasks rebuild their
+    // spatial indexes from scratch and must still reproduce the clean
+    // blocked results bit for bit.
+    let chaos = survivable(
+        ChaosPlan::new(100, 777)
+            .with_stragglers(100, 3.0, 1)
+            .with_corruption(100),
+    );
+    let indexed_chaotic = run(PipelineConfig {
+        chaos: Some(chaos),
+        kernel: dp_core::KernelStrategy::Indexed,
+        ..base
+    });
+    assert_eq!(
+        blocked_clean.result, indexed_chaotic.result,
+        "indexed kernels under chaos must match the clean blocked run"
     );
 }
 

@@ -1,0 +1,208 @@
+//! Kernel-strategy equivalence: every distributed pipeline must produce
+//! identical `rho` and tie-break-identical (bitwise) `delta`/`upslope`
+//! under [`KernelStrategy::Indexed`] as under [`KernelStrategy::Blocked`].
+//!
+//! This is the contract that makes the spatial-index kernels a pure
+//! performance optimization: pruning changes *which distances are
+//! evaluated*, never what comes out. The `distances` counters are
+//! deliberately NOT compared — shrinking them is the whole point.
+
+use dp_core::KernelStrategy;
+use lsh_ddp::prelude::*;
+use proptest::prelude::*;
+
+fn pipe(kernel: KernelStrategy) -> PipelineConfig {
+    PipelineConfig {
+        kernel,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Asserts the indexed run reproduces the blocked run bit for bit.
+fn assert_results_match(blocked: &dp_core::DpResult, indexed: &dp_core::DpResult, tag: &str) {
+    assert_eq!(blocked.rho, indexed.rho, "{tag}: rho");
+    assert_eq!(blocked.upslope, indexed.upslope, "{tag}: upslope");
+    assert_eq!(blocked.delta.len(), indexed.delta.len(), "{tag}: length");
+    for (i, (a, b)) in blocked.delta.iter().zip(&indexed.delta).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{tag}: delta[{i}] differs in bits"
+        );
+    }
+}
+
+fn workload() -> Dataset {
+    datasets::gaussian_mixture(2, 3, 60, 30.0, 1.0, 23).data
+}
+
+#[test]
+fn basic_ddp_indexed_matches_blocked() {
+    let ds = workload();
+    let dc = 1.2;
+    let run = |kernel| {
+        BasicDdp::new(BasicConfig {
+            block_size: 24,
+            pipeline: pipe(kernel),
+        })
+        .run(&ds, dc)
+    };
+    assert_results_match(
+        &run(KernelStrategy::Blocked).result,
+        &run(KernelStrategy::Indexed).result,
+        "basic",
+    );
+}
+
+#[test]
+fn lsh_ddp_indexed_matches_blocked() {
+    let ds = workload();
+    let dc = 1.2;
+    let run = |kernel| {
+        LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
+            params: lsh::LshParams::for_accuracy(0.97, 6, 3, dc).expect("valid"),
+            seed: 13,
+            pipeline: pipe(kernel),
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        })
+        .run(&ds, dc)
+    };
+    assert_results_match(
+        &run(KernelStrategy::Blocked).result,
+        &run(KernelStrategy::Indexed).result,
+        "lsh-ddp",
+    );
+}
+
+#[test]
+fn eddpc_indexed_matches_blocked() {
+    let ds = workload();
+    let dc = 1.2;
+    let run = |kernel| {
+        Eddpc::new(EddpcConfig {
+            n_pivots: 10,
+            seed: 4,
+            pipeline: pipe(kernel),
+        })
+        .run(&ds, dc)
+    };
+    assert_results_match(
+        &run(KernelStrategy::Blocked).result,
+        &run(KernelStrategy::Indexed).result,
+        "eddpc",
+    );
+}
+
+#[test]
+fn halo_indexed_matches_blocked() {
+    let ds = workload();
+    let dc = 1.2;
+    let r = compute_exact(&ds, dc);
+    let peaks = dp_core::decision::select_top_k(&r, 3);
+    let clustering = dp_core::decision::assign(&r, &peaks);
+    let cfg = ddp::lsh_ddp::LshDdpConfig {
+        params: lsh::LshParams::for_accuracy(0.97, 6, 3, dc).expect("valid"),
+        seed: 13,
+        pipeline: PipelineConfig::default(),
+        partition_cap: None,
+        rho_aggregation: Default::default(),
+    };
+    let run =
+        |kernel| ddp::halo_mr::compute_halo_distributed(&ds, &r, &clustering, &cfg, &pipe(kernel));
+    let blocked = run(KernelStrategy::Blocked);
+    let indexed = run(KernelStrategy::Indexed);
+    assert_eq!(blocked.halo, indexed.halo, "halo flags");
+    assert_eq!(blocked.border_rho, indexed.border_rho, "border densities");
+}
+
+#[test]
+fn reference_paths_honor_the_kernel_strategy_too() {
+    // The retained JobBuilder reference paths resolve the same knob, so
+    // the plan-equivalence suite stays meaningful under either strategy.
+    let ds = workload();
+    let dc = 1.2;
+    let basic = BasicDdp::new(BasicConfig {
+        block_size: 24,
+        pipeline: pipe(KernelStrategy::Indexed),
+    });
+    assert_results_match(
+        &basic.run(&ds, dc).result,
+        &basic.run_reference(&ds, dc).result,
+        "basic plan-vs-reference under indexed",
+    );
+    let eddpc = Eddpc::new(EddpcConfig {
+        n_pivots: 10,
+        seed: 4,
+        pipeline: pipe(KernelStrategy::Indexed),
+    });
+    assert_results_match(
+        &eddpc.run(&ds, dc).result,
+        &eddpc.run_reference(&ds, dc).result,
+        "eddpc plan-vs-reference under indexed",
+    );
+}
+
+/// Strategy: a small random dataset (4–40 points, 1–3 dims) in a bounded
+/// box, plus a valid dc. Mirrors the plan-equivalence suite so both the
+/// grid fast path (low dim, moderate dc) and the kd-tree get exercised.
+fn dataset_strategy() -> impl Strategy<Value = (Dataset, f64)> {
+    (1usize..=3, 4usize..=40)
+        .prop_flat_map(|(dim, n)| {
+            (
+                proptest::collection::vec(-30.0f64..30.0, dim * n),
+                Just(dim),
+                0.5f64..10.0,
+            )
+        })
+        .prop_map(|(flat, dim, dc)| (Dataset::from_flat(dim, flat), dc))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Indexed/blocked equivalence for every pipeline on arbitrary small
+    /// datasets — duplicates, collinear points, ties and all.
+    #[test]
+    fn all_pipelines_indexed_matches_blocked_on_random_data((ds, dc) in dataset_strategy()) {
+        let basic = |kernel| {
+            BasicDdp::new(BasicConfig { block_size: 7, pipeline: pipe(kernel) }).run(&ds, dc)
+        };
+        let b = basic(KernelStrategy::Blocked).result;
+        let i = basic(KernelStrategy::Indexed).result;
+        prop_assert_eq!(&b.rho, &i.rho);
+        prop_assert_eq!(&b.upslope, &i.upslope);
+        for (a, c) in b.delta.iter().zip(&i.delta) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+
+        let lsh = |kernel| {
+            LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
+                params: lsh::LshParams::for_accuracy(0.9, 4, 2, dc).unwrap(),
+                seed: 7,
+                pipeline: pipe(kernel),
+                partition_cap: None,
+                rho_aggregation: Default::default(),
+            })
+            .run(&ds, dc)
+        };
+        let b = lsh(KernelStrategy::Blocked).result;
+        let i = lsh(KernelStrategy::Indexed).result;
+        prop_assert_eq!(&b.rho, &i.rho);
+        prop_assert_eq!(&b.upslope, &i.upslope);
+        for (a, c) in b.delta.iter().zip(&i.delta) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+
+        let eddpc = |kernel| {
+            Eddpc::new(EddpcConfig { n_pivots: 5, seed: 4, pipeline: pipe(kernel) }).run(&ds, dc)
+        };
+        let b = eddpc(KernelStrategy::Blocked).result;
+        let i = eddpc(KernelStrategy::Indexed).result;
+        prop_assert_eq!(&b.rho, &i.rho);
+        prop_assert_eq!(&b.upslope, &i.upslope);
+        for (a, c) in b.delta.iter().zip(&i.delta) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+}

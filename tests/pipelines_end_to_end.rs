@@ -120,6 +120,7 @@ fn pipelines_are_deterministic_across_runs_and_task_counts() {
                 chaos: None,
                 disable_elision: false,
                 checkpoints: false,
+                kernel: Default::default(),
             },
             partition_cap: None,
             rho_aggregation: Default::default(),

@@ -109,6 +109,7 @@ fn lsh_ddp_per_job_metrics_invariant_to_reduce_task_count() {
                 chaos: None,
                 disable_elision: false,
                 checkpoints: false,
+                kernel: Default::default(),
             },
             ..base.config().clone()
         });
