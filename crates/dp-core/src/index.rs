@@ -312,6 +312,12 @@ const GRID_W_FACTOR: f64 = 1.001;
 /// the cell-coordinate computation.
 const GRID_LB_SLACK: f64 = 0.999_999;
 
+/// Queries whose cell lies farther than this (Chebyshev, in cells) from
+/// the grid box skip shell enumeration for a linear scan of all entries.
+/// Well below any saturation point of the `f64 -> i64` cell cast, and far
+/// enough that such a query is out-of-distribution anyway.
+const GRID_FAR_QUERY_CELLS: i64 = 1 << 40;
+
 /// A uniform grid over up to 3 dimensions, CSR cell storage. Unused
 /// dimensions are padded with a single cell so traversal is uniform.
 struct Grid {
@@ -416,44 +422,83 @@ impl Grid {
         (((c[0] * self.cells[1]) + c[1]) * self.cells[2] + c[2]) as usize
     }
 
-    fn in_range(&self, c: [i64; 3]) -> bool {
-        (0..3).all(|d| (0..self.cells[d]).contains(&c[d]))
-    }
-
     fn cell_entries(&self, c: [i64; 3]) -> &[u32] {
         let id = self.cell_id(c);
         &self.entries[self.starts[id] as usize..self.starts[id + 1] as usize]
     }
 
-    /// Visits every cell at Chebyshev cell-distance exactly `r` from `c`,
-    /// clipped to the grid, in a fixed deterministic order. `dims` is the
-    /// real dimensionality (padded dims stay at offset 0).
-    fn for_shell(&self, c: [i64; 3], r: i64, dims: usize, mut visit: impl FnMut(&[u32])) {
-        let range = |d: usize| -> (i64, i64) {
-            if d < dims {
-                (-r, r)
-            } else {
-                (0, 0)
+    /// Chebyshev cell-distance from `c` to the grid box (0 when inside).
+    /// Saturating, so arbitrarily far (even cast-saturated) cells are safe.
+    fn dist_to_box(&self, c: [i64; 3]) -> i64 {
+        (0..3)
+            .map(|d| {
+                c[d].saturating_neg()
+                    .max(c[d].saturating_sub(self.cells[d] - 1))
+                    .max(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Visits every *in-grid* cell at Chebyshev cell-distance exactly `r`
+    /// from `c`, in a fixed deterministic order. Per-dimension windows are
+    /// clamped to the grid box up front, so a shell never enumerates cells
+    /// outside the grid and only the shell's clamped faces are walked —
+    /// O(visited cells) work, not O(r^2) box scans. Padded dimensions
+    /// (`cells[d] == 1`, `c[d] == 0`) clamp to offset 0 automatically.
+    /// All bound arithmetic saturates: a saturated bound lands on
+    /// `i64::MIN`/`i64::MAX`, which no in-grid coordinate equals, so the
+    /// clamps stay conservative for arbitrarily far query cells.
+    fn for_shell(&self, c: [i64; 3], r: i64, mut visit: impl FnMut(&[u32])) {
+        let mut lo = [0i64; 3];
+        let mut hi = [0i64; 3];
+        for d in 0..3 {
+            lo[d] = c[d].saturating_sub(r).max(0);
+            hi[d] = c[d].saturating_add(r).min(self.cells[d] - 1);
+            if lo[d] > hi[d] {
+                return; // the shell misses the grid entirely
             }
+        }
+        if r == 0 {
+            visit(self.cell_entries(c)); // non-empty windows: c is in-grid
+            return;
+        }
+        // The two in-window face coordinates of dim `d` (|x - c[d]| == r).
+        let faces = move |d: usize| {
+            [c[d].saturating_sub(r), c[d].saturating_add(r)]
+                .into_iter()
+                .filter(move |&x| lo[d] <= x && x <= hi[d])
         };
-        let (lo0, hi0) = range(0);
-        for d0 in lo0..=hi0 {
-            let (lo1, hi1) = range(1);
-            for d1 in lo1..=hi1 {
-                let (lo2, hi2) = range(2);
-                let on_shell = d0.abs().max(d1.abs()) == r;
-                let mut d2v = lo2;
-                while d2v <= hi2 {
-                    if on_shell || d2v.abs() == r {
-                        let cell = [c[0] + d0, c[1] + d1, c[2] + d2v];
-                        if self.in_range(cell) {
-                            visit(self.cell_entries(cell));
-                        }
-                        d2v += 1;
-                    } else {
-                        // Interior in d0/d1: only the two shell faces in d2.
-                        d2v = if d2v < r { r } else { d2v + 1 };
-                    }
+        // The in-window interior of dim `d` (|x - c[d]| < r).
+        let interior = move |d: usize| {
+            (
+                lo[d].max(c[d].saturating_sub(r - 1)),
+                hi[d].min(c[d].saturating_add(r - 1)),
+            )
+        };
+        // Partition the shell by the first dimension at offset +-r:
+        // |x0| == r, then |x0| < r && |x1| == r, then interior/interior
+        // with |x2| == r. Each in-grid shell cell is visited exactly once.
+        for x0 in faces(0) {
+            for x1 in lo[1]..=hi[1] {
+                for x2 in lo[2]..=hi[2] {
+                    visit(self.cell_entries([x0, x1, x2]));
+                }
+            }
+        }
+        let (ilo0, ihi0) = interior(0);
+        for x1 in faces(1) {
+            for x0 in ilo0..=ihi0 {
+                for x2 in lo[2]..=hi[2] {
+                    visit(self.cell_entries([x0, x1, x2]));
+                }
+            }
+        }
+        let (ilo1, ihi1) = interior(1);
+        for x2 in faces(2) {
+            for x0 in ilo0..=ihi0 {
+                for x1 in ilo1..=ihi1 {
+                    visit(self.cell_entries([x0, x1, x2]));
                 }
             }
         }
@@ -564,7 +609,7 @@ impl SpatialIndex {
                 let mut count = 0u32;
                 let mut evals = 0u64;
                 for r in 0..=1 {
-                    g.for_shell(c, r, self.dim, |cell| {
+                    g.for_shell(c, r, |cell| {
                         for &pi in cell {
                             let d2 = squared_euclidean(q, self.point(pi));
                             evals += 1;
@@ -626,7 +671,7 @@ impl SpatialIndex {
                 debug_assert!(dc2 <= g.w * g.w, "grid built for a smaller radius");
                 let c = g.cell_coords(q);
                 for r in 0..=1 {
-                    g.for_shell(c, r, self.dim, &mut scan);
+                    g.for_shell(c, r, &mut scan);
                 }
             }
             Rep::Kd(kd) => {
@@ -726,25 +771,36 @@ impl SpatialIndex {
         match &self.rep {
             Rep::Grid(g) => {
                 let c = g.cell_coords(q);
-                let r_max = (0..self.dim)
-                    .map(|d| c[d].max(g.cells[d] - 1 - c[d]))
-                    .max()
-                    .unwrap_or(0)
-                    .max(0);
-                for r in 0..=r_max {
-                    if r >= 2 {
-                        // Every point in shell r is at least (r-1)*w away
-                        // (shrunk for rounding); equal bounds still scan so
-                        // ties keep their smaller-id resolution.
-                        let lb = (r - 1) as f64 * g.w * GRID_LB_SLACK;
-                        let key_lb = if sqrt_domain { lb } else { lb * lb };
-                        if key_lb > best.min(cap) {
-                            break;
+                // First shell that can hold a grid cell. Starting there
+                // skips the empty shells below it, so a query far outside
+                // the grid costs O(grid diameter) shells, never O(distance).
+                let r0 = g.dist_to_box(c);
+                if r0 > GRID_FAR_QUERY_CELLS {
+                    // So far out that cell arithmetic may have saturated
+                    // (e.g. a cast-clamped coordinate): shell geometry is
+                    // no longer trustworthy, and a linear scan costs no
+                    // more than the blocked kernel for the same query.
+                    scan(&g.entries, &mut best, &mut best_id, &mut evals);
+                } else {
+                    // Last shell holding any grid cell: the farthest corner.
+                    let r_max = (0..self.dim)
+                        .map(|d| c[d].max(g.cells[d] - 1 - c[d]))
+                        .max()
+                        .unwrap_or(0)
+                        .max(r0);
+                    for r in r0..=r_max {
+                        if r >= 2 {
+                            // Every point in shell r is at least (r-1)*w away
+                            // (shrunk for rounding); equal bounds still scan so
+                            // ties keep their smaller-id resolution.
+                            let lb = (r - 1) as f64 * g.w * GRID_LB_SLACK;
+                            let key_lb = if sqrt_domain { lb } else { lb * lb };
+                            if key_lb > best.min(cap) {
+                                break;
+                            }
                         }
+                        g.for_shell(c, r, |pts| scan(pts, &mut best, &mut best_id, &mut evals));
                     }
-                    g.for_shell(c, r, self.dim, |pts| {
-                        scan(pts, &mut best, &mut best_id, &mut evals)
-                    });
                 }
             }
             Rep::Kd(kd) => {
@@ -1034,6 +1090,84 @@ mod tests {
                 let want = brute_nearest(&flat, 2, &rho, i, init, cap);
                 assert_eq!(got, want, "i={i} cap={cap}");
             }
+        }
+    }
+
+    /// Regression for the grid nearest-search availability hang: queries
+    /// far outside the grid box (including coordinates that saturate the
+    /// f64 -> i64 cell cast) must terminate promptly and still match the
+    /// exhaustive scan bit-for-bit; NaN queries must terminate with "no
+    /// candidate" instead of looping or panicking.
+    #[test]
+    fn grid_nearest_handles_far_and_nonfinite_queries() {
+        let flat = blobs(400, 2, 7);
+        let dc = 1.0;
+        let idx = SpatialIndex::build(&flat, 2, dc);
+        assert!(idx.is_grid());
+        let brute = |q: &[f64]| {
+            let mut best = (f64::INFINITY, NO_UPSLOPE);
+            for j in 0..400u32 {
+                let d2 = squared_euclidean(q, &flat[j as usize * 2..][..2]);
+                if d2 < best.0 || (d2 == best.0 && j < best.1) {
+                    best = (d2, j);
+                }
+            }
+            best
+        };
+        for q in [
+            [1e9, 1e9],      // bounded shell walk from the box distance
+            [-1e9, 3.0],     // far in one dimension only
+            [1e300, -1e300], // saturates the cell cast: linear fallback
+            [f64::MAX, f64::MAX],
+        ] {
+            let ((d2, id), _) = idx.nearest_by_d2(&q, Some);
+            let want = brute(&q);
+            assert_eq!(d2.to_bits(), want.0.to_bits(), "q={q:?}");
+            assert_eq!(id, want.1, "q={q:?}");
+            assert_eq!(idx.range_count_d2(&q, dc * dc), (0, 0), "q={q:?}");
+        }
+        let ((d, id), _) = idx.nearest_by_d2(&[f64::NAN, 0.5], Some);
+        assert!(d.is_infinite());
+        assert_eq!(id, NO_UPSLOPE);
+        assert_eq!(idx.range_count_d2(&[f64::NAN, 0.5], dc * dc).0, 0);
+    }
+
+    /// Shells from the box distance to the farthest corner visit every
+    /// point exactly once, for query cells inside and outside the grid —
+    /// the partition invariant the nearest search's enumeration relies on.
+    #[test]
+    fn for_shell_partitions_entries_by_chebyshev_distance() {
+        let flat = blobs(300, 2, 21);
+        let idx = SpatialIndex::build(&flat, 2, 1.0);
+        let Rep::Grid(g) = &idx.rep else {
+            panic!("expected the grid representation")
+        };
+        for c in [
+            [3i64, 5, 0],
+            [0, 0, 0],
+            [-4, 2, 0],
+            [7, -9, 0],
+            [100, 1000, 0],
+        ] {
+            let r_max = (0..2)
+                .map(|d| c[d].max(g.cells[d] - 1 - c[d]))
+                .max()
+                .unwrap()
+                .max(g.dist_to_box(c));
+            let mut visited = 0usize;
+            // From 0, not dist_to_box: shells below the box distance must
+            // visit nothing (their clamped windows are empty).
+            for r in 0..=r_max {
+                g.for_shell(c, r, |pts| visited += pts.len());
+            }
+            assert_eq!(visited, 300, "c={c:?}");
+        }
+        // Saturated cells never reach in-grid coordinates.
+        assert!(g.dist_to_box([i64::MAX, i64::MIN, 0]) > GRID_FAR_QUERY_CELLS);
+        for r in [0, 1, i64::MAX] {
+            g.for_shell([i64::MAX, i64::MIN, 0], r, |_| {
+                panic!("saturated cell visited the grid")
+            });
         }
     }
 

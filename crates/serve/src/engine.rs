@@ -254,7 +254,7 @@ impl QueryEngine {
         let m_layouts = self.multi.layouts() as f64;
 
         if let Some(idx) = &self.index {
-            return Some(self.probe_indexed(idx, query, dc, dc2));
+            return self.probe_indexed(idx, query, dc, dc2);
         }
 
         // Candidate set and collision multiplicities under the policy.
@@ -340,8 +340,16 @@ impl QueryEngine {
     /// The exact anchor search over the spatial index: one ball query
     /// yields the density estimate and the zero-distance twin; the anchor
     /// comes from a pruned nearest search comparing raw squared distances
-    /// with the same smallest-id tie-break as the scalar scan.
-    fn probe_indexed(&self, idx: &SpatialIndex, query: &[f64], dc: f64, dc2: f64) -> Assignment {
+    /// with the same smallest-id tie-break as the scalar scan. `None`
+    /// defers to the batched nearest-center fallback (only a non-finite
+    /// query, whose distance keys defeat every comparison, gets there).
+    fn probe_indexed(
+        &self,
+        idx: &SpatialIndex,
+        query: &[f64],
+        dc: f64,
+        dc2: f64,
+    ) -> Option<Assignment> {
         let mut rho_est = 0u32;
         let mut twin: Option<u32> = None;
         idx.for_each_within_d2(query, dc2, |id, d2| {
@@ -353,13 +361,13 @@ impl QueryEngine {
         });
         if let Some(id) = twin {
             // A zero-distance candidate IS the query (cf. the scalar path).
-            return Assignment {
+            return Some(Assignment {
                 cluster: self.model.label(id),
                 confidence: 1.0,
                 fallback: false,
                 rho_estimate: rho_est,
                 halo: self.model.is_halo(id),
-            };
+            });
         }
         let ((mut d2, mut id), _) =
             idx.nearest_by_d2(query, |pi| (self.model.rho(pi) >= rho_est).then_some(pi));
@@ -367,13 +375,19 @@ impl QueryEngine {
             // No candidate at least as dense as the query: plain nearest.
             ((d2, id), _) = idx.nearest_by_d2(query, Some);
         }
-        Assignment {
+        if id == NO_UPSLOPE {
+            // Even unrestricted nearest found nothing: a NaN coordinate
+            // fails every `key <= cap` test. Never index the model with
+            // the sentinel — hand the query to the center fallback.
+            return None;
+        }
+        Some(Assignment {
             cluster: self.model.label(id),
             confidence: proximity(dc, d2.sqrt()),
             fallback: false,
             rho_estimate: rho_est,
             halo: self.model.is_halo(id),
-        }
+        })
     }
 }
 
@@ -433,6 +447,28 @@ mod tests {
             assert_eq!(blocked.assign(&q), indexed.assign(&q), "perturbed {id}");
             assert_eq!(blocked.density_at(&q), indexed.density_at(&q));
         }
+    }
+
+    /// Regression: far out-of-distribution queries against the indexed
+    /// exact engine must return promptly (the grid's shell walk is bounded
+    /// by the box, never by the query's distance) and agree with the
+    /// blocked scalar path bit-for-bit.
+    #[test]
+    fn exact_indexed_probe_survives_far_and_nonfinite_queries() {
+        let model = fitted_model(120, 17);
+        let blocked =
+            QueryEngine::with_kernel(model.clone(), Exactness::Exact, KernelStrategy::Blocked);
+        let indexed = QueryEngine::with_kernel(model, Exactness::Exact, KernelStrategy::Indexed);
+        assert!(indexed.index.is_some());
+        for q in [[1e9, 1e9], [-1e12, 4.0], [1e300, -1e300]] {
+            assert_eq!(blocked.assign(&q), indexed.assign(&q), "q={q:?}");
+        }
+        // A NaN query defeats every distance comparison: the indexed path
+        // must hand it to the nearest-center fallback, not panic on the
+        // NO_UPSLOPE sentinel.
+        let a = indexed.assign(&[f64::NAN, 0.0]);
+        assert!(a.fallback, "non-finite query must use the center fallback");
+        assert!((a.cluster as usize) < indexed.model().n_clusters());
     }
 
     #[test]
