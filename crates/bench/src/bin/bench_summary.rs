@@ -23,7 +23,8 @@ use mapreduce::{Emitter, FnMapper, FnReducer, JobBuilder, JobConfig};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 #[derive(Serialize)]
 struct ExecutorBench {
@@ -76,6 +77,44 @@ struct OverheadBench {
     tracing_on_s: f64,
     /// `on/off - 1`; negative values are timing noise.
     overhead_frac: f64,
+    /// Wall with the whole telemetry plane live: span capture, executor
+    /// observer, heap accounting, and an HTTP scraper hammering
+    /// `/metrics` throughout the run.
+    telemetry_on_s: f64,
+    /// `telemetry_on/off - 1`; gated with `overhead_frac` by
+    /// scripts/check_overhead.py.
+    telemetry_overhead_frac: f64,
+    /// `/metrics` scrapes served while the telemetry-on runs timed.
+    scrapes: u64,
+    /// Bit-identical `(rho, delta, upslope)` between the telemetry-off
+    /// and fully-instrumented runs.
+    outputs_match: bool,
+}
+
+#[derive(Serialize)]
+struct TelemetryBench {
+    description: &'static str,
+    /// SLO objective handed to the burn-rate monitor (ms).
+    slo_objective_ms: f64,
+    /// The monitor flipped the server into degraded mode under overload.
+    slo_degraded_triggered: bool,
+    /// Requests shed purely by the SLO feedback (subset of timeouts).
+    slo_shed: u64,
+    /// Requests answered normally during the drill.
+    served: u64,
+    /// p99 end-to-end latency of *served* requests (ms).
+    served_p99_ms: f64,
+    /// The deadline the SLO must protect (ms); shedding has to keep
+    /// `served_p99_ms` under this.
+    deadline_ms: f64,
+    /// Worst per-micro-batch peak resident heap during the drill.
+    batch_peak_bytes: u64,
+    /// Peak resident heap of the whole process so far.
+    peak_resident_bytes: u64,
+    /// Live `/metrics` scrapes during the drill: attempts and how many
+    /// returned 200 with a well-formed exposition body.
+    scrapes: u64,
+    scrapes_ok: u64,
 }
 
 #[derive(Serialize)]
@@ -124,6 +163,7 @@ struct Summary {
     recovery_overhead: RecoveryBench,
     hot_swap: SwapBench,
     tracing_overhead: OverheadBench,
+    telemetry: TelemetryBench,
 }
 
 /// Best-of-3 mean per call, after one warmup call.
@@ -348,28 +388,210 @@ fn recovery_overhead(n_per_blob: usize) -> RecoveryBench {
     }
 }
 
+/// One raw HTTP GET against the exposition listener; `Some(body)` only
+/// for a 200 response.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).ok()?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .ok()?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).ok()?;
+    let (head, body) = buf.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_string())
+}
+
+/// A background scraper hammering `/metrics` until told to stop;
+/// returns `(attempts, well-formed 200 responses)` on join.
+struct Scraper {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<(u64, u64)>,
+}
+
+impl Scraper {
+    fn start(addr: std::net::SocketAddr) -> Scraper {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let (mut tries, mut ok) = (0u64, 0u64);
+            while !flag.load(Ordering::Relaxed) {
+                tries += 1;
+                if http_get(addr, "/metrics").is_some_and(|b| b.contains("_up{source=")) {
+                    ok += 1;
+                }
+                // Prometheus-ish cadence scaled down for bench runtimes;
+                // faster than this and the scraper's render CPU contends
+                // measurably with the pipeline it is observing.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            (tries, ok)
+        });
+        Scraper { stop, handle }
+    }
+
+    fn finish(self) -> (u64, u64) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("scraper thread")
+    }
+}
+
 /// The full LSH-DDP pipeline with span capture off, then on (capture +
-/// executor chunk observer — everything `--trace` enables). The on-run
-/// is a strict upper bound on the cost of the always-compiled-in
-/// instrumentation while disabled, so gating `overhead_frac` also gates
-/// the tracing-off cost. Must run last: the chunk observer, once
-/// installed, stays installed for the life of the process.
+/// executor chunk observer — everything `--trace` enables), then with
+/// the whole telemetry plane live (heap accounting + an active
+/// `/metrics` scraper on top — everything `--metrics-addr` enables).
+/// The on-runs are a strict upper bound on the cost of the
+/// always-compiled-in instrumentation while disabled, so gating the
+/// overhead fractions also gates the telemetry-off cost. Must run late:
+/// the chunk observer and heap accounting, once on, stay on for the
+/// life of the process.
 fn tracing_overhead(n_per_blob: usize) -> OverheadBench {
     let ds = blob_dataset(n_per_blob);
     let lsh = blob_lsh();
+    let r_off = lsh.run(&ds, BLOB_DC);
     let off = time_calls(3, || lsh.run(&ds, BLOB_DC));
     obsv::enable_capture();
     obsv::install_executor_metrics(obsv::global());
     // The ring buffers drop-oldest at fixed cost, so letting them wrap
     // across calls measures steady-state recording, not allocation.
     let on = time_calls(3, || lsh.run(&ds, BLOB_DC));
+
+    // Full plane: allocator accounting plus a live scraper. One-way
+    // enables — nothing timed after this point runs unaccounted.
+    obsv::alloc::enable_accounting();
+    let exposer = obsv::Exposition::new()
+        .source("lshddp", obsv::RegistryRef::Static(obsv::global()))
+        .collector(|| obsv::snapshot_pool_stats(obsv::global()))
+        .serve("127.0.0.1:0")
+        .expect("bind exposition listener");
+    let scraper = Scraper::start(exposer.addr());
+    let telemetry_on = time_calls(3, || lsh.run(&ds, BLOB_DC));
+    let r_tel = lsh.run(&ds, BLOB_DC);
+    let (scrapes, scrapes_ok) = scraper.finish();
+    drop(exposer);
     obsv::disable_capture();
     obsv::clear_events();
+
+    let outputs_match = scrapes == scrapes_ok
+        && r_off.result.rho == r_tel.result.rho
+        && r_off.result.upslope == r_tel.result.upslope
+        && r_off
+            .result
+            .delta
+            .iter()
+            .zip(&r_tel.result.delta)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
     OverheadBench {
-        description: "lsh_ddp_pipeline workload, span capture off vs on",
+        description: "lsh_ddp_pipeline workload: capture off vs on vs full telemetry plane",
         tracing_off_s: off,
         tracing_on_s: on,
         overhead_frac: on / off - 1.0,
+        telemetry_on_s: telemetry_on,
+        telemetry_overhead_frac: telemetry_on / off - 1.0,
+        scrapes: scrapes_ok,
+        outputs_match,
+    }
+}
+
+/// The SLO drill: a deliberately overloaded single-worker server with an
+/// unreachable latency objective, scraped live over HTTP while the
+/// burn-rate monitor degrades it. Checks the feedback loop end to end —
+/// burn gauges flip `slo.degraded`, degraded mode sheds queued work
+/// (`slo_shed`), and the p99 of the requests actually *served* stays
+/// under the protective deadline. Gated by scripts/check_telemetry.py.
+fn telemetry_drill(n_per_blob: usize, queries: usize) -> TelemetryBench {
+    use serve::{ClusterModel, Server, ServerConfig};
+    let ds = blob_dataset(n_per_blob);
+    let lsh = blob_lsh();
+    let report = lsh.run(&ds, BLOB_DC);
+    let outcome = ddp::CentralizedStep::new(ddp::PeakSelection::Auto).run(&report.result);
+    let model = ClusterModel::from_run(&ds, &report, &outcome, &blob_lsh().config().params, 42);
+
+    // 1 µs objective: every in-process request breaches, so the windows
+    // saturate deterministically. The deadline is what the SLO protects.
+    let slo_objective_ms = 0.001;
+    let deadline_ms = 250.0;
+    let server = Server::start(
+        serve::QueryEngine::new(model),
+        ServerConfig {
+            threads: 1,
+            queue_depth: 64,
+            max_batch: 8,
+            cache_capacity: 0,
+            deadline: Some(Duration::from_millis(deadline_ms as u64)),
+            slo: Some(obsv::SloConfig {
+                objective_ns: (slo_objective_ms * 1e6) as u64,
+                target: 0.9,
+                fast_window: Duration::from_millis(20),
+                slow_window: Duration::from_millis(100),
+                burn_threshold: 1.0,
+                tick: Duration::from_millis(5),
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    let exposer = obsv::Exposition::new()
+        .source("lshddp", obsv::RegistryRef::Static(obsv::global()))
+        .source("serve", obsv::RegistryRef::Shared(server.registry_arc()))
+        .collector(|| obsv::snapshot_pool_stats(obsv::global()))
+        .serve("127.0.0.1:0")
+        .expect("bind exposition listener");
+    let scraper = Scraper::start(exposer.addr());
+
+    let q = {
+        let engine = server.store().current();
+        engine.model().point(0).to_vec()
+    };
+    let mut degraded_seen = false;
+    let give_up = Instant::now() + Duration::from_secs(30);
+    let clients = 4;
+    let done = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let client = server.client();
+            let (q, done) = (&q, &done);
+            s.spawn(move || {
+                for _ in 0..queries {
+                    // Timeouts are the expected answer while degraded;
+                    // only a wall-clock blowout ends a client early.
+                    if client.assign(q).is_err() && Instant::now() > give_up {
+                        break;
+                    }
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Poll the degraded flag from the drill thread while clients run.
+        while Instant::now() < give_up && done.load(Ordering::Relaxed) < clients {
+            if server.slo_degraded() {
+                degraded_seen = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    degraded_seen |= server.slo_degraded();
+
+    let snap = server.registry().snapshot();
+    let stats = server.stats();
+    let (scrapes, scrapes_ok) = scraper.finish();
+    drop(exposer);
+    server.shutdown();
+
+    TelemetryBench {
+        description: "overloaded 1-worker serve drill: SLO burn-rate feedback + live scrape",
+        slo_objective_ms,
+        slo_degraded_triggered: degraded_seen || snap.counters["slo_shed"] > 0,
+        slo_shed: snap.counters["slo_shed"],
+        served: stats.queries,
+        served_p99_ms: stats.p99_latency_us / 1e3,
+        deadline_ms,
+        batch_peak_bytes: snap.gauges["mem.batch_peak_bytes"].max(0) as u64,
+        peak_resident_bytes: obsv::alloc::peak_bytes(),
+        scrapes,
+        scrapes_ok,
     }
 }
 
@@ -490,7 +712,7 @@ fn main() {
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 6,
+        schema: 7,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -518,8 +740,11 @@ fn main() {
         // Serving correctness across model hot-swaps under load; gated
         // by scripts/check_swap.py (>= 3 swaps, 0 dropped, 0 incorrect).
         hot_swap: swap_under_load(42, if smoke { 120 } else { 400 }, 4, 4, swap_queries),
-        // Must stay last: installs the process-lifetime chunk observer.
+        // The last two scenarios flip process-lifetime switches (chunk
+        // observer, heap accounting) and must stay last, in this order:
+        // tracing_overhead times its telemetry-off baseline first.
         tracing_overhead: tracing_overhead(blob_n),
+        telemetry: telemetry_drill(blob_n, if smoke { 400 } else { 1_500 }),
     };
 
     for (name, b) in [
@@ -582,10 +807,27 @@ fn main() {
         summary.hot_swap.shed_retries
     );
     eprintln!(
-        "tracing: off {:.3}s on {:.3}s -> {:+.1}% overhead",
+        "tracing: off {:.3}s on {:.3}s ({:+.1}%), full telemetry {:.3}s ({:+.1}%, \
+         {} live scrapes), outputs_match={}",
         summary.tracing_overhead.tracing_off_s,
         summary.tracing_overhead.tracing_on_s,
-        summary.tracing_overhead.overhead_frac * 100.0
+        summary.tracing_overhead.overhead_frac * 100.0,
+        summary.tracing_overhead.telemetry_on_s,
+        summary.tracing_overhead.telemetry_overhead_frac * 100.0,
+        summary.tracing_overhead.scrapes,
+        summary.tracing_overhead.outputs_match
+    );
+    eprintln!(
+        "telemetry drill: degraded={} slo_shed={} served={} p99 {:.2} ms (deadline {} ms), \
+         batch peak {} B, scrapes {}/{} ok",
+        summary.telemetry.slo_degraded_triggered,
+        summary.telemetry.slo_shed,
+        summary.telemetry.served,
+        summary.telemetry.served_p99_ms,
+        summary.telemetry.deadline_ms,
+        summary.telemetry.batch_peak_bytes,
+        summary.telemetry.scrapes_ok,
+        summary.telemetry.scrapes
     );
 
     let path =

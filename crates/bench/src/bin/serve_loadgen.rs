@@ -188,4 +188,96 @@ fn main() {
     );
     assert_eq!(swap.dropped, 0, "hot-swap dropped requests");
     assert_eq!(swap.incorrect, 0, "hot-swap served a torn answer");
+
+    // SLO burn-rate drill: one worker, an unreachable 1 µs objective, so
+    // every request breaches and both burn windows saturate. The monitor
+    // must flip the server into degraded mode, degraded shedding must
+    // kick in (`slo shed`), and the p99 of requests actually served must
+    // stay under the 250 ms deadline the SLO protects.
+    let objective_ms = 0.001;
+    let deadline = Duration::from_millis(250);
+    let server = Server::start(
+        QueryEngine::new(model.clone()),
+        ServerConfig {
+            threads: 1,
+            queue_depth: 64,
+            max_batch: 32,
+            cache_capacity: 0,
+            deadline: Some(deadline),
+            slo: Some(obsv::SloConfig {
+                objective_ns: (objective_ms * 1e6) as u64,
+                target: 0.9,
+                fast_window: Duration::from_millis(20),
+                slow_window: Duration::from_millis(100),
+                burn_threshold: 1.0,
+                tick: Duration::from_millis(5),
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    let mut degraded = false;
+    let give_up = Instant::now() + Duration::from_secs(30);
+    let done = AtomicU64::new(0);
+    let drill_clients = 4u64;
+    std::thread::scope(|s| {
+        for c in 0..drill_clients {
+            let client = server.client();
+            let (pool, done) = (&pool, &done);
+            s.spawn(move || {
+                for i in 0..QUERIES_PER_CLIENT / 4 {
+                    // Timeouts are the expected answer while degraded;
+                    // only a wall-clock blowout ends a client early.
+                    let q = &pool[(c as usize + i * 7) % POOL];
+                    if client.assign(q).is_err() && Instant::now() > give_up {
+                        break;
+                    }
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while Instant::now() < give_up && done.load(Ordering::Relaxed) < drill_clients {
+            if server.slo_degraded() {
+                degraded = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    degraded |= server.slo_degraded();
+    let snap = server.registry().snapshot();
+    let stats = server.stats();
+    server.shutdown();
+
+    println!();
+    println!("SLO burn-rate drill — 1 worker, {objective_ms} ms objective (unreachable)");
+    print_table(
+        &[
+            "objective ms",
+            "degraded",
+            "slo shed",
+            "timeouts",
+            "served",
+            "p99 ms",
+            "fast burn",
+            "slow burn",
+        ],
+        &[vec![
+            format!("{objective_ms}"),
+            degraded.to_string(),
+            snap.counters["slo_shed"].to_string(),
+            stats.timed_out.to_string(),
+            stats.queries.to_string(),
+            format!("{:.2}", stats.p99_latency_us / 1e3),
+            format!("{:.1}", snap.gauges["slo.fast_burn_milli"] as f64 / 1e3),
+            format!("{:.1}", snap.gauges["slo.slow_burn_milli"] as f64 / 1e3),
+        ]],
+    );
+    assert!(
+        degraded || snap.counters["slo_shed"] > 0,
+        "burn-rate monitor never degraded the overloaded server"
+    );
+    assert!(
+        stats.p99_latency_us / 1e3 <= deadline.as_millis() as f64,
+        "SLO shedding failed to keep served p99 under the deadline"
+    );
 }

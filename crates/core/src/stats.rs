@@ -54,6 +54,17 @@ impl RunReport {
         self.jobs.iter().map(|j| j.shuffle_bytes_saved).sum()
     }
 
+    /// Worst per-stage peak resident heap footprint across the pipeline
+    /// (stages run sequentially against one heap, so the pipeline peak
+    /// is a max, not a sum). 0 when heap accounting was disabled.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.peak_resident_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Simulated runtime of the pipeline on a modeled cluster.
     /// `dims_factor` scales per-distance CPU cost with dimensionality
     /// (`dim / 4`, at least 1).
@@ -92,12 +103,14 @@ mod tests {
         let mut j1 = JobMetrics {
             name: "a".into(),
             shuffle_bytes: 100,
+            peak_resident_bytes: 4096,
             ..Default::default()
         };
         j1.user.insert("distances".into(), 10);
         let mut j2 = JobMetrics {
             name: "b".into(),
             shuffle_bytes: 50,
+            peak_resident_bytes: 9000,
             ..Default::default()
         };
         j2.user = BTreeMap::from([("distances".to_string(), 30u64)]);
@@ -119,6 +132,11 @@ mod tests {
     fn shuffle_totals() {
         let r = report();
         assert_eq!(r.shuffle_bytes(), 150);
+    }
+
+    #[test]
+    fn peak_resident_bytes_is_worst_stage_not_a_sum() {
+        assert_eq!(report().peak_resident_bytes(), 9000);
     }
 
     #[test]

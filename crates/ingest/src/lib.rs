@@ -677,6 +677,10 @@ impl IngestSession {
     /// would open a window where a crash leaves the old artifact and an
     /// empty log — every acknowledged batch lost.
     pub fn compact(&mut self) -> Compaction {
+        // Heap-accounted (inert unless `obsv::alloc::enable_accounting`
+        // ran): a refit materializes the full live dataset plus the plan's
+        // intermediates, and its footprint bounds the streaming budget.
+        let mem = obsv::alloc::scope();
         let ds = self.live_dataset();
         let ddp = LshDdp::new(LshDdpConfig {
             params: self.params,
@@ -706,6 +710,9 @@ impl IngestSession {
         self.algorithm = model.algorithm().to_string();
         self.seed_from(&model, Some(keys));
         self.compactions_ctr.inc(1);
+        obsv::global()
+            .gauge("ingest.compact_peak_bytes")
+            .set(mem.peak() as i64);
         Compaction { model, report }
     }
 

@@ -188,6 +188,12 @@ pub struct JobMetrics {
     /// job's plan stage; 0 when checkpointing is off.
     #[serde(default)]
     pub checkpoint_bytes: u64,
+    /// Peak resident heap bytes observed while the job (stage) ran, as
+    /// measured by the instrumenting global allocator
+    /// (`obsv::alloc`). 0 when heap accounting is disabled or for
+    /// metric dumps that predate the telemetry plane.
+    #[serde(default)]
+    pub peak_resident_bytes: u64,
     /// Wall-clock duration of the job on the host machine.
     #[serde(with = "duration_secs")]
     pub wall_time: Duration,
@@ -252,6 +258,9 @@ impl JobMetrics {
             out.speculative_work_ns += j.speculative_work_ns;
             out.straggler_delay_ns += j.straggler_delay_ns;
             out.checkpoint_bytes += j.checkpoint_bytes;
+            // Stages run sequentially against the same heap, so the
+            // pipeline's peak is the worst single stage, not a sum.
+            out.peak_resident_bytes = out.peak_resident_bytes.max(j.peak_resident_bytes);
             out.wall_time += j.wall_time;
             out.map_time += j.map_time;
             out.reduce_time += j.reduce_time;
@@ -414,6 +423,7 @@ mod tests {
                         | "speculative_work_ns"
                         | "straggler_delay_ns"
                         | "checkpoint_bytes"
+                        | "peak_resident_bytes"
                 )
             })
             .collect();
@@ -425,6 +435,7 @@ mod tests {
         assert_eq!(loaded.corruption_retries, 0);
         assert_eq!(loaded.speculative_launched, 0);
         assert_eq!(loaded.checkpoint_bytes, 0);
+        assert_eq!(loaded.peak_resident_bytes, 0);
         assert_eq!(loaded.wall_time, Duration::from_millis(7));
         assert_eq!(loaded.shuffle_time, Duration::ZERO);
         assert_eq!(loaded.map_task_times, TaskTimes::default());

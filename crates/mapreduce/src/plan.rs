@@ -803,6 +803,11 @@ where
     let name = builder.job_name().to_string();
     let elide = ctx.elide;
     let cache = &mut *ctx.cache;
+    // Scope the heap accountant around the whole stage body (map,
+    // shuffle, reduce, contract bookkeeping) so the stage's metrics can
+    // report its peak resident footprint. Inert (returns 0) unless
+    // `obsv::alloc::enable_accounting` ran.
+    let mem = obsv::alloc::scope();
     let ((out, mut metrics), wall) = obsv::timed_span(
         "job",
         || name.clone(),
@@ -849,6 +854,7 @@ where
         },
     );
     metrics.wall_time = wall;
+    metrics.peak_resident_bytes = mem.peak();
     (out, metrics)
 }
 

@@ -1,7 +1,9 @@
 //! Glue wiring the work-stealing executor's chunk observer into a
 //! metrics [`Registry`](crate::metrics::Registry).
 
-use crate::metrics::Registry;
+use crate::metrics::{Gauge, Registry};
+use crate::tracer::{self, SpanCtx};
+use std::sync::{Arc, OnceLock};
 
 /// Installs a chunk observer on the global executor pool that records,
 /// into `reg`:
@@ -9,6 +11,12 @@ use crate::metrics::Registry;
 /// * `executor.chunk_run_ns` — histogram of per-chunk run times;
 /// * `executor.chunks_stolen` — chunks claimed by parked pool workers;
 /// * `executor.chunks_local` — chunks run by the submitting thread.
+///
+/// It also installs the executor's chunk-tag provider so that, while
+/// span capture is on, every chunk is recorded as a `chunk` span
+/// parented under whatever span the *submitting* thread had open —
+/// which is how the stage profiler attributes executor time to plan
+/// stages (see [`crate::profile`]).
 ///
 /// The observer is process-global and installs at most once; returns
 /// `false` if one was already present. Until installed, the executor
@@ -19,27 +27,75 @@ pub fn install_executor_metrics(reg: &'static Registry) -> bool {
     let hist = reg.histogram("executor.chunk_run_ns");
     let stolen = reg.counter("executor.chunks_stolen");
     let local = reg.counter("executor.chunks_local");
-    rayon::set_chunk_observer(Box::new(move |dur_ns, was_stolen| {
+    rayon::set_chunk_tag_provider(|| tracer::current_span().raw());
+    rayon::set_chunk_observer(Box::new(move |dur_ns, was_stolen, tag| {
         hist.record(dur_ns);
         if was_stolen {
             stolen.inc(1);
         } else {
             local.inc(1);
         }
+        tracer::record_external(
+            "chunk",
+            || (if was_stolen { "stolen" } else { "local" }).to_string(),
+            SpanCtx::from_raw(tag),
+            dur_ns,
+        );
     }))
+}
+
+/// Pre-resolved gauge handles for [`snapshot_pool_stats`] on the global
+/// registry: per-worker gauge names are formatted exactly once for the
+/// pool's lifetime instead of re-`format!`ing on every export.
+struct PoolGauges {
+    threads: Arc<Gauge>,
+    jobs_submitted: Arc<Gauge>,
+    chunks_run: Arc<Gauge>,
+    chunks_stolen: Arc<Gauge>,
+    per_worker: Vec<Arc<Gauge>>,
+}
+
+static GLOBAL_POOL_GAUGES: OnceLock<PoolGauges> = OnceLock::new();
+
+fn intern_pool_gauges(reg: &Registry, workers: usize) -> PoolGauges {
+    PoolGauges {
+        threads: reg.gauge("pool.threads"),
+        jobs_submitted: reg.gauge("pool.jobs_submitted"),
+        chunks_run: reg.gauge("pool.chunks_run"),
+        chunks_stolen: reg.gauge("pool.chunks_stolen"),
+        per_worker: (0..workers)
+            .map(|i| reg.gauge(&format!("pool.worker_{i}.chunks")))
+            .collect(),
+    }
+}
+
+fn write_pool_stats(g: &PoolGauges, s: &rayon::PoolStats) {
+    g.threads.set(s.threads as i64);
+    g.jobs_submitted.set(s.jobs_submitted as i64);
+    g.chunks_run.set(s.chunks_run as i64);
+    g.chunks_stolen.set(s.chunks_stolen as i64);
+    for (g, n) in g.per_worker.iter().zip(&s.per_worker_chunks) {
+        g.set(*n as i64);
+    }
 }
 
 /// Copies the executor's always-on pool statistics (thread count, jobs,
 /// chunks run, steal counts, per-worker chunk totals) into gauges and
 /// counters of `reg` under the `pool.` prefix.
+///
+/// For the process-global registry — the one live exposition scrapes
+/// repeatedly — the gauge handles (including the formatted per-worker
+/// names) are interned on first use, which is safe because both the
+/// registry and the pool's worker count live for the whole process.
+/// Other registries resolve by name per call, as before.
 pub fn snapshot_pool_stats(reg: &Registry) {
     let s = rayon::pool_stats();
-    reg.gauge("pool.threads").set(s.threads as i64);
-    reg.gauge("pool.jobs_submitted")
-        .set(s.jobs_submitted as i64);
-    reg.gauge("pool.chunks_run").set(s.chunks_run as i64);
-    reg.gauge("pool.chunks_stolen").set(s.chunks_stolen as i64);
-    for (i, n) in s.per_worker_chunks.iter().enumerate() {
-        reg.gauge(&format!("pool.worker_{i}.chunks")).set(*n as i64);
+    if std::ptr::eq(reg, crate::metrics::global()) {
+        let g =
+            GLOBAL_POOL_GAUGES.get_or_init(|| intern_pool_gauges(reg, s.per_worker_chunks.len()));
+        write_pool_stats(g, &s);
+        return;
     }
+    let g = intern_pool_gauges(reg, s.per_worker_chunks.len());
+    write_pool_stats(&g, &s);
 }

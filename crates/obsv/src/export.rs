@@ -12,7 +12,7 @@ use crate::tracer::SpanEvent;
 use std::fmt::Write as _;
 
 /// Escapes `s` into `out` as a JSON string body (no surrounding quotes).
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

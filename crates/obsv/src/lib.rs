@@ -14,6 +14,11 @@
 //!    `trace.json` timeline, a JSONL event log, and a human text report;
 //!    plus a [`json`] parser so tests (and smoke checks) can validate
 //!    the emitted documents.
+//! 4. **Live telemetry** — heap accounting via an instrumenting global
+//!    allocator ([`alloc`]), an HTTP exposition endpoint serving
+//!    Prometheus text and strict JSON ([`expose`]), multi-window SLO
+//!    burn-rate monitoring ([`slo`]), and folded-stack stage profiles
+//!    ([`profile`]).
 //!
 //! ## Usage
 //!
@@ -46,18 +51,24 @@
 //! submitting thread and wrap the task body in [`with_parent`] — see the
 //! mapreduce engine's task spans for the pattern.
 
+pub mod alloc;
 pub mod export;
+pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
 pub mod tracer;
 
 mod executor;
 
 pub use executor::{install_executor_metrics, snapshot_pool_stats};
+pub use expose::{Exposition, MetricsServer, RegistryRef};
 pub use metrics::{global, Counter, Gauge, Histogram, HistogramSummary, Registry};
+pub use slo::{SloConfig, SloMonitor, SloVerdict};
 pub use tracer::{
     capture_enabled, clear_events, current_span, disable_capture, drain_events, enable_capture,
-    timed_span, with_parent, SpanCtx, SpanEvent, SpanGuard,
+    record_external, timed_span, with_parent, SpanCtx, SpanEvent, SpanGuard,
 };
 
 /// Opens a span in category `$cat` named `$name`.

@@ -133,6 +133,49 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (exact).
+    pub fn max_value(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Observations `<= v`, rounded up to the enclosing bucket boundary:
+    /// the whole bucket containing `v` is included, so the result may
+    /// over-count by observations within `1/SUB_BUCKETS` relative of `v`.
+    pub fn count_le(&self, v: u64) -> u64 {
+        self.buckets[..=bucket_index(v)]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs in
+    /// ascending bound order. Both components are monotone
+    /// non-decreasing by construction (a single pass accumulates the
+    /// counts), and the final cumulative count is the total observed
+    /// during that pass — use it, rather than a separate [`count`]
+    /// read, wherever a sum-to-total invariant must hold (Prometheus
+    /// `_bucket`/`_count` exposition). The catch-all top bucket is
+    /// reported with bound `u64::MAX`.
+    ///
+    /// [`count`]: Histogram::count
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_high(idx), cum));
+            }
+        }
+        out
+    }
+
     /// Upper bound of the bucket holding the `q`-quantile observation
     /// (`0.0 < q <= 1.0`); 0 when empty. The bound over-estimates the
     /// exact order statistic by at most `1/SUB_BUCKETS` relative.
@@ -235,6 +278,17 @@ impl Registry {
         m.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new()))
             .clone()
+    }
+
+    /// Live histogram handles, name-ordered — for exposition formats
+    /// that need raw buckets rather than [`HistogramSummary`] views.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Snapshots every instrument, name-ordered.
@@ -368,5 +422,42 @@ mod tests {
     fn empty_histogram_summarizes_to_zero() {
         let s = Histogram::new().summary();
         assert_eq!(s, HistogramSummary::default());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 3, 100, 5_000, u64::MAX] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert!(!cum.is_empty());
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds ascend");
+            assert!(w[0].1 <= w[1].1, "counts never decrease");
+        }
+        assert_eq!(cum.last().unwrap().1, h.count());
+        assert_eq!(cum.last().unwrap().0, u64::MAX, "top bucket holds u64::MAX");
+        assert_eq!(h.max_value(), u64::MAX);
+        let small = Histogram::new();
+        small.record(7);
+        small.record(9);
+        assert_eq!(small.sum(), 16);
+    }
+
+    #[test]
+    fn count_le_includes_the_enclosing_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(u64::MAX), 1_000);
+        // Exact range: values < SUB_BUCKETS sit in singleton buckets.
+        assert_eq!(h.count_le(10), 10);
+        // Bucketed range: count_le(v) >= true count, within one bucket.
+        let le500 = h.count_le(500);
+        assert!(le500 >= 500);
+        assert!(le500 <= 500 + 500 / SUB_BUCKETS + 1);
     }
 }

@@ -1,0 +1,207 @@
+//! Folded-stack (flamegraph-collapsed) export of the span tree.
+//!
+//! Each buffered [`SpanEvent`] contributes its **self time** — its
+//! duration minus the time covered by its direct children — to one
+//! folded line `root;child;leaf <microseconds>` keyed by its ancestor
+//! path. The output is the `stackcollapse` format consumed directly by
+//! `flamegraph.pl` and <https://www.speedscope.app>.
+//!
+//! Child coverage is the length of the *interval union* of the
+//! children, not the sum of their durations: parallel children (map
+//! tasks fanned out by one phase, chunks stolen by several workers) and
+//! duplicated views of the same wall time (a task span and the executor
+//! chunk that ran it) overlap, and summing them would drive parent self
+//! time negative while double-counting leaves.
+//!
+//! Executor `chunk` spans (recorded by the chunk observer with their
+//! submit-time parent) are suppressed under parents that also have
+//! `task` children: there the task spans *are* the logical view of the
+//! same chunks. Where no task layer exists — a `par_iter` inside a task
+//! body, straight library use — the chunk spans remain and split the
+//! parent's time across the executor's actual work units.
+
+use crate::tracer::SpanEvent;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Category the executor's chunk observer records under.
+const CHUNK_CAT: &str = "chunk";
+/// Category the mapreduce engine records per-task spans under.
+const TASK_CAT: &str = "task";
+
+/// One frame: `cat:name` with folded-format separators stripped.
+fn frame(cat: &str, name: &str) -> String {
+    format!("{cat}:{name}")
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() || c.is_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Wall-clock length of the union of `[start, start+dur)` intervals.
+fn interval_union_ns(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in iv {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    covered += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    covered
+}
+
+/// Aggregates span self-time into sorted folded-stack lines
+/// (`path;frames value`), value in whole microseconds (ceiled, so no
+/// observed span vanishes). Deterministic for a given event set.
+pub fn folded_stacks(events: &[SpanEvent]) -> String {
+    let idx: HashMap<u64, usize> = events.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); events.len()];
+    for (i, e) in events.iter().enumerate() {
+        if e.parent != 0 && e.parent != e.id {
+            if let Some(&p) = idx.get(&e.parent) {
+                children[p].push(i);
+            }
+        }
+    }
+    // Suppress executor chunk spans where a task layer shadows them.
+    let keep: Vec<bool> = events
+        .iter()
+        .map(|e| {
+            if e.cat != CHUNK_CAT {
+                return true;
+            }
+            match idx.get(&e.parent) {
+                Some(&p) => !children[p].iter().any(|&c| events[c].cat == TASK_CAT),
+                None => true,
+            }
+        })
+        .collect();
+
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let covered = interval_union_ns(
+            children[i]
+                .iter()
+                .filter(|&&c| keep[c])
+                .map(|&c| {
+                    let k = &events[c];
+                    (k.start_ns, k.start_ns.saturating_add(k.dur_ns))
+                })
+                .collect(),
+        );
+        let self_ns = e.dur_ns.saturating_sub(covered);
+        if self_ns == 0 {
+            continue;
+        }
+        // Ancestor path, root first. Parent links always point at older
+        // (smaller) ids, so this cannot cycle; the hop cap only guards
+        // pathological synthetic inputs.
+        let mut path = vec![frame(e.cat, &e.name)];
+        let mut cur = e.parent;
+        let mut hops = 0;
+        while cur != 0 && hops < 128 {
+            let Some(&p) = idx.get(&cur) else { break };
+            path.push(frame(events[p].cat, &events[p].name));
+            cur = events[p].parent;
+            hops += 1;
+        }
+        path.reverse();
+        *agg.entry(path.join(";")).or_default() += self_ns;
+    }
+
+    let mut out = String::new();
+    for (path, ns) in agg {
+        let _ = writeln!(out, "{path} {}", ns.div_ceil(1_000));
+    }
+    out
+}
+
+/// Writes [`folded_stacks`] of `events` to `path`.
+pub fn write_folded(path: &str, events: &[SpanEvent]) -> std::io::Result<()> {
+    std::fs::write(path, folded_stacks(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64, parent: u64, cat: &'static str, name: &str, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            seq: id,
+            id,
+            parent,
+            tid: 0,
+            cat,
+            name: name.into(),
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_child_union_not_sum() {
+        // Parent 0..100us with two parallel children 10..60 and 30..80:
+        // union covers 70us, self = 30us (a plain sum would claim 0).
+        let events = [
+            ev(1, 0, "job", "j", 0, 100_000),
+            ev(2, 1, "task", "a", 10_000, 50_000),
+            ev(3, 1, "task", "b", 30_000, 50_000),
+        ];
+        let out = folded_stacks(&events);
+        assert!(out.contains("job:j 30\n"), "got:\n{out}");
+        assert!(out.contains("job:j;task:a 50\n"));
+        assert!(out.contains("job:j;task:b 50\n"));
+    }
+
+    #[test]
+    fn chunk_spans_are_shadowed_by_task_siblings() {
+        let events = [
+            ev(1, 0, "phase", "map", 0, 100_000),
+            ev(2, 1, "task", "map-0", 0, 90_000),
+            // Executor's view of the same work — must not double-count.
+            ev(3, 1, "chunk", "local", 0, 90_000),
+        ];
+        let out = folded_stacks(&events);
+        assert!(out.contains("phase:map;task:map-0 90\n"), "got:\n{out}");
+        assert!(!out.contains("chunk"), "got:\n{out}");
+        assert!(out.contains("phase:map 10\n"));
+    }
+
+    #[test]
+    fn chunks_survive_without_a_task_layer() {
+        let events = [
+            ev(1, 0, "task", "kernel", 0, 100_000),
+            ev(2, 1, "chunk", "local", 0, 40_000),
+            ev(3, 1, "chunk", "stolen", 40_000, 40_000),
+        ];
+        let out = folded_stacks(&events);
+        assert!(out.contains("task:kernel;chunk:local 40\n"), "got:\n{out}");
+        assert!(out.contains("task:kernel;chunk:stolen 40\n"));
+        assert!(out.contains("task:kernel 20\n"));
+    }
+
+    #[test]
+    fn frames_never_leak_separators() {
+        let events = [ev(1, 0, "job", "a;b c\nd", 0, 5_000)];
+        let out = folded_stacks(&events);
+        assert_eq!(out, "job:a_b_c_d 5\n");
+    }
+}

@@ -1,0 +1,286 @@
+//! Multi-window SLO burn-rate monitoring over a latency histogram.
+//!
+//! The monitor samples `(total, breaching)` cumulative counts from a
+//! [`Histogram`] on every tick and computes the **burn rate** — the
+//! fraction of requests breaching the latency objective inside a
+//! trailing window, divided by the SLO's error budget `1 - target` — for
+//! two windows at once. Burn 1.0 means the budget is being consumed
+//! exactly as fast as it accrues; well-known practice (and the reason
+//! for two windows) is to alert only when a *fast* window shows the
+//! spike and a *slow* window confirms it is sustained, which filters
+//! single-batch blips without waiting minutes to react.
+//!
+//! The verdict is exported as gauges (`slo.fast_burn_milli`,
+//! `slo.slow_burn_milli`, `slo.degraded`) and drives the serve path's
+//! degraded mode: while degraded, the server sheds queued work earlier
+//! than its configured deadline so the latency of *served* requests
+//! recovers before p99 breaches. Breach counts come from
+//! [`Histogram::count_le`], inheriting the registry's bounded
+//! `1/SUB_BUCKETS` bucket error.
+
+use crate::metrics::{Gauge, Histogram, Registry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Burn-rate configuration for one latency SLO.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Per-request latency objective in nanoseconds.
+    pub objective_ns: u64,
+    /// Target fraction of requests meeting the objective (e.g. 0.99);
+    /// the error budget is `1 - target`. Must be < 1.
+    pub target: f64,
+    /// Short window that detects a burn spike quickly.
+    pub fast_window: Duration,
+    /// Long window that confirms the burn is sustained.
+    pub slow_window: Duration,
+    /// Degrade when **both** windows burn above this rate; recover when
+    /// both fall below half of it (hysteresis against flapping).
+    pub burn_threshold: f64,
+    /// Cadence of the background monitor thread.
+    pub tick: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        // Windows are short by production standards because the serve
+        // benches run for seconds, not hours; the ratios (1:10 windows,
+        // threshold 1.0) are the conventional part.
+        SloConfig {
+            objective_ns: 50_000_000,
+            target: 0.99,
+            fast_window: Duration::from_secs(1),
+            slow_window: Duration::from_secs(10),
+            burn_threshold: 1.0,
+            tick: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One burn-rate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloVerdict {
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Whether the monitor is in the degraded state after this tick.
+    pub degraded: bool,
+}
+
+struct Sample {
+    at: Instant,
+    total: u64,
+    breaching: u64,
+}
+
+/// Evaluates a latency histogram against an [`SloConfig`], exporting
+/// burn gauges and a degraded flag the serve path polls per batch.
+pub struct SloMonitor {
+    cfg: SloConfig,
+    hist: Arc<Histogram>,
+    samples: Mutex<VecDeque<Sample>>,
+    fast_g: Arc<Gauge>,
+    slow_g: Arc<Gauge>,
+    degraded_g: Arc<Gauge>,
+    degraded: AtomicBool,
+}
+
+impl SloMonitor {
+    /// A monitor over `hist`, registering its gauges in `reg`.
+    pub fn new(cfg: SloConfig, hist: Arc<Histogram>, reg: &Registry) -> Self {
+        assert!(cfg.target < 1.0, "a target of 1.0 leaves no error budget");
+        reg.gauge("slo.objective_ns").set(cfg.objective_ns as i64);
+        SloMonitor {
+            fast_g: reg.gauge("slo.fast_burn_milli"),
+            slow_g: reg.gauge("slo.slow_burn_milli"),
+            degraded_g: reg.gauge("slo.degraded"),
+            degraded: AtomicBool::new(false),
+            samples: Mutex::new(VecDeque::new()),
+            cfg,
+            hist,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn cfg(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Whether the last tick left the monitor degraded (relaxed read,
+    /// safe on the batch hot path).
+    #[inline]
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Samples the histogram and re-evaluates both windows at `now`.
+    /// Exposed with an explicit clock so tests can replay a timeline.
+    pub fn tick_at(&self, now: Instant) -> SloVerdict {
+        let total = self.hist.count();
+        let breaching = total.saturating_sub(self.hist.count_le(self.cfg.objective_ns));
+        let budget = 1.0 - self.cfg.target;
+        let mut s = self.samples.lock().unwrap();
+        let fast_burn = window_burn(&s, now, self.cfg.fast_window, total, breaching, budget);
+        let slow_burn = window_burn(&s, now, self.cfg.slow_window, total, breaching, budget);
+        s.push_back(Sample {
+            at: now,
+            total,
+            breaching,
+        });
+        // Retain exactly one sample at or beyond the slow window as the
+        // base of future diffs.
+        while s.len() >= 2 && now.duration_since(s[1].at) >= self.cfg.slow_window {
+            s.pop_front();
+        }
+        drop(s);
+
+        let was = self.degraded.load(Ordering::Relaxed);
+        let thr = self.cfg.burn_threshold;
+        let degraded = if was {
+            !(fast_burn < thr * 0.5 && slow_burn < thr * 0.5)
+        } else {
+            fast_burn > thr && slow_burn > thr
+        };
+        self.degraded.store(degraded, Ordering::Relaxed);
+        self.fast_g.set((fast_burn * 1000.0) as i64);
+        self.slow_g.set((slow_burn * 1000.0) as i64);
+        self.degraded_g.set(degraded as i64);
+        SloVerdict {
+            fast_burn,
+            slow_burn,
+            degraded,
+        }
+    }
+
+    /// [`SloMonitor::tick_at`] with the real clock.
+    pub fn tick(&self) -> SloVerdict {
+        self.tick_at(Instant::now())
+    }
+}
+
+/// Burn rate between `now`'s cumulative counts and the newest retained
+/// sample at least `window` old (falling back to the oldest sample — a
+/// shorter effective window — early in a run, and to process start when
+/// no sample exists yet).
+fn window_burn(
+    samples: &VecDeque<Sample>,
+    now: Instant,
+    window: Duration,
+    total: u64,
+    breaching: u64,
+    budget: f64,
+) -> f64 {
+    let (base_total, base_breaching) = samples
+        .iter()
+        .rev()
+        .find(|s| now.duration_since(s.at) >= window)
+        .or_else(|| samples.front())
+        .map_or((0, 0), |s| (s.total, s.breaching));
+    let dt = total.saturating_sub(base_total);
+    if dt == 0 {
+        return 0.0;
+    }
+    let db = breaching.saturating_sub(base_breaching);
+    (db as f64 / dt as f64) / budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            objective_ns: 1_000,
+            target: 0.9, // budget = 0.1
+            fast_window: Duration::from_secs(1),
+            slow_window: Duration::from_secs(10),
+            burn_threshold: 1.0,
+            tick: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_degrades() {
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        let m = SloMonitor::new(cfg(), h.clone(), &reg);
+        let t0 = Instant::now();
+        for step in 0..20 {
+            for _ in 0..100 {
+                h.record(10); // well under the objective
+            }
+            let v = m.tick_at(t0 + Duration::from_millis(500 * step));
+            assert!(!v.degraded);
+            assert_eq!(v.fast_burn, 0.0);
+        }
+        assert_eq!(reg.gauge("slo.degraded").get(), 0);
+    }
+
+    #[test]
+    fn sustained_burn_degrades_and_recovers_with_hysteresis() {
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        let m = SloMonitor::new(cfg(), h.clone(), &reg);
+        let t0 = Instant::now();
+        m.tick_at(t0);
+        // 50% of requests breach a 10% budget => burn 5.0 in both windows.
+        for step in 1..=20u64 {
+            for _ in 0..50 {
+                h.record(10);
+                h.record(1_000_000);
+            }
+            m.tick_at(t0 + Duration::from_millis(500 * step));
+        }
+        assert!(m.degraded(), "sustained breach must degrade");
+        assert!(reg.gauge("slo.fast_burn_milli").get() >= 4000);
+        assert_eq!(reg.gauge("slo.degraded").get(), 1);
+
+        // Clean traffic: fast window clears first, but recovery needs
+        // both windows under threshold/2.
+        let mut recovered_at = None;
+        for step in 21..=80u64 {
+            for _ in 0..500 {
+                h.record(10);
+            }
+            let v = m.tick_at(t0 + Duration::from_millis(500 * step));
+            if !v.degraded {
+                recovered_at = Some((step, v));
+                break;
+            }
+        }
+        let (step, v) = recovered_at.expect("clean traffic must eventually recover");
+        assert!(v.fast_burn < 0.5 && v.slow_burn < 0.5);
+        assert!(
+            step > 22,
+            "the slow window must hold the degraded state for a while"
+        );
+    }
+
+    #[test]
+    fn short_spike_does_not_degrade() {
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        let mut c = cfg();
+        c.slow_window = Duration::from_secs(30);
+        let m = SloMonitor::new(c, h.clone(), &reg);
+        let t0 = Instant::now();
+        // Build a long healthy history first.
+        for step in 0..60u64 {
+            for _ in 0..100 {
+                h.record(10);
+            }
+            m.tick_at(t0 + Duration::from_millis(500 * step));
+        }
+        // One bad half-second blip: fast window spikes, slow stays calm.
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let v = m.tick_at(t0 + Duration::from_millis(500 * 61));
+        assert!(v.fast_burn > 1.0, "fast window must see the spike");
+        assert!(v.slow_burn < 1.0, "slow window must absorb it");
+        assert!(!v.degraded);
+    }
+}

@@ -59,6 +59,17 @@ pub struct SpanCtx(u64);
 impl SpanCtx {
     /// The "no parent" context.
     pub const NONE: SpanCtx = SpanCtx(0);
+
+    /// The raw span id, for transport through layers that cannot carry a
+    /// `SpanCtx` (the executor's opaque chunk tags). 0 means "no parent".
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a context from a [`SpanCtx::raw`] value.
+    pub fn from_raw(v: u64) -> SpanCtx {
+        SpanCtx(v)
+    }
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -246,6 +257,36 @@ fn record(open: OpenSpan, dur: Duration) {
         name: open.name,
         start_ns: open.start.duration_since(epoch()).as_nanos() as u64,
         dur_ns: dur.as_nanos() as u64,
+    };
+    RINGS[tid as usize % SHARDS].lock().unwrap().push(ev);
+}
+
+/// Records an externally-timed span that closed "now": the start is
+/// back-dated by `dur_ns` and the event is parented under `parent`
+/// directly, bypassing the thread-local stack. Used by the executor's
+/// chunk observer, which measures chunk run time itself and learns its
+/// logical parent from the submit-time tag. No-op (and `name` is never
+/// invoked) while capture is off.
+pub fn record_external(
+    cat: &'static str,
+    name: impl FnOnce() -> String,
+    parent: SpanCtx,
+    dur_ns: u64,
+) {
+    if !capture_enabled() {
+        return;
+    }
+    let now_ns = epoch().elapsed().as_nanos() as u64;
+    let tid = thread_id();
+    let ev = SpanEvent {
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        parent: parent.0,
+        tid,
+        cat,
+        name: name(),
+        start_ns: now_ns.saturating_sub(dur_ns),
+        dur_ns,
     };
     RINGS[tid as usize % SHARDS].lock().unwrap().push(ev);
 }

@@ -1,0 +1,273 @@
+//! Property tests for the live exposition formats: `/metrics` must be
+//! valid Prometheus text (legal names, escaped help/labels, cumulative
+//! monotone histogram buckets ending in a `+Inf` that equals `_count`)
+//! and `/metrics.json` must round-trip through the crate's own strict
+//! JSON parser — for arbitrary metric names, prefixes, and values.
+
+use obsv::expose::{metrics_json, prometheus_text};
+use obsv::Registry;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn is_valid_metric_name(s: &str) -> bool {
+    let mut ch = s.chars();
+    match ch.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    ch.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// One parsed sample line: name, labels, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses a non-comment exposition line, asserting well-formedness
+/// (label quoting and escaping included) along the way.
+fn parse_sample(line: &str) -> Sample {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let mut name = String::new();
+    while i < chars.len() && chars[i] != '{' && chars[i] != ' ' {
+        name.push(chars[i]);
+        i += 1;
+    }
+    assert!(is_valid_metric_name(&name), "bad metric name in {line:?}");
+    let mut labels = Vec::new();
+    if i < chars.len() && chars[i] == '{' {
+        i += 1;
+        while chars[i] != '}' {
+            let mut key = String::new();
+            while chars[i] != '=' {
+                key.push(chars[i]);
+                i += 1;
+            }
+            assert!(is_valid_metric_name(&key), "bad label name in {line:?}");
+            i += 1; // '='
+            assert_eq!(chars[i], '"', "label value must be quoted: {line:?}");
+            i += 1;
+            let mut val = String::new();
+            loop {
+                match chars[i] {
+                    '"' => break,
+                    '\n' => panic!("raw newline in label value: {line:?}"),
+                    '\\' => {
+                        i += 1;
+                        match chars[i] {
+                            'n' => val.push('\n'),
+                            c @ ('\\' | '"') => val.push(c),
+                            c => panic!("invalid label escape \\{c} in {line:?}"),
+                        }
+                    }
+                    c => val.push(c),
+                }
+                i += 1;
+            }
+            i += 1; // closing quote
+            labels.push((key, val));
+            if chars[i] == ',' {
+                i += 1;
+            }
+        }
+        i += 1; // '}'
+    }
+    let rest: String = chars[i..].iter().collect();
+    let value = rest
+        .trim()
+        .parse::<f64>()
+        .unwrap_or_else(|_| panic!("bad sample value in {line:?}"));
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Validates a whole Prometheus text document and returns the samples.
+fn validate_prometheus(text: &str) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut toks = rest.splitn(3, ' ');
+            let kind = toks.next().unwrap_or("");
+            assert!(
+                kind == "HELP" || kind == "TYPE",
+                "unknown comment kind in {line:?}"
+            );
+            let name = toks.next().unwrap_or("");
+            assert!(is_valid_metric_name(name), "bad name in {line:?}");
+            let tail = toks.next().unwrap_or("");
+            if kind == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&tail),
+                    "bad type in {line:?}"
+                );
+            } else {
+                // HELP escaping: a backslash may only precede '\' or 'n'.
+                let tcs: Vec<char> = tail.chars().collect();
+                let mut j = 0;
+                while j < tcs.len() {
+                    if tcs[j] == '\\' {
+                        assert!(
+                            matches!(tcs.get(j + 1), Some('\\' | 'n')),
+                            "invalid help escape in {line:?}"
+                        );
+                        j += 1;
+                    }
+                    j += 1;
+                }
+            }
+            continue;
+        }
+        assert!(!line.starts_with('#'), "malformed comment {line:?}");
+        samples.push(parse_sample(line));
+    }
+
+    // Histogram invariants: per series, le ascends, cumulative counts
+    // never decrease, and the +Inf bucket equals _count.
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for s in &samples {
+        let le_label = s.labels.iter().find(|(k, _)| k == "le");
+        // An arbitrary *counter* may legitimately be named `..._bucket`;
+        // only le-labelled series are histogram buckets.
+        if let (Some(base), Some((_, le))) = (s.name.strip_suffix("_bucket"), le_label) {
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().expect("numeric le")
+            };
+            buckets
+                .entry(base.to_string())
+                .or_default()
+                .push((le, s.value));
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            counts.insert(base.to_string(), s.value);
+        }
+    }
+    for (base, series) in &buckets {
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0, "{base}: le must ascend");
+            assert!(
+                w[0].1 <= w[1].1,
+                "{base}: cumulative counts must not decrease"
+            );
+        }
+        let (last_le, last_count) = *series.last().unwrap();
+        assert_eq!(last_le, f64::INFINITY, "{base}: series must end at +Inf");
+        assert_eq!(
+            Some(&last_count),
+            counts.get(base),
+            "{base}: +Inf bucket must equal _count"
+        );
+    }
+    samples
+}
+
+fn tiny_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..10).prop_map(String::from_iter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prometheus_text_is_valid_for_arbitrary_instruments(
+        prefix in tiny_string(),
+        counters in proptest::collection::vec((tiny_string(), any::<u32>()), 0..6),
+        gauges in proptest::collection::vec((tiny_string(), any::<i32>()), 0..6),
+        hists in proptest::collection::vec(
+            (tiny_string(), proptest::collection::vec(any::<u64>(), 0..20)),
+            0..4
+        ),
+    ) {
+        let reg = Registry::new();
+        for (name, v) in &counters {
+            reg.counter(name).inc(u64::from(*v));
+        }
+        for (name, v) in &gauges {
+            reg.gauge(name).set(i64::from(*v));
+        }
+        for (name, vals) in &hists {
+            let h = reg.histogram(name);
+            for &v in vals {
+                h.record(v);
+            }
+        }
+        let text = prometheus_text(&[(prefix.as_str(), &reg)]);
+        let samples = validate_prometheus(&text);
+        // The identity series must carry the original prefix, unmangled,
+        // through label escaping.
+        let up = samples
+            .iter()
+            .find(|s| s.name.ends_with("_up"))
+            .expect("identity series present");
+        prop_assert_eq!(&up.labels[0].1, &prefix);
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_strict_parser(
+        prefix in tiny_string(),
+        counters in proptest::collection::vec((tiny_string(), any::<u32>()), 0..6),
+        gauges in proptest::collection::vec((tiny_string(), any::<i32>()), 0..6),
+        hist_vals in proptest::collection::vec(0u64..1_000_000, 0..20),
+        hist_name in tiny_string(),
+    ) {
+        let reg = Registry::new();
+        // Duplicate generated names accumulate in the registry; build the
+        // expected view the same way.
+        let mut want_counters: BTreeMap<&str, u64> = BTreeMap::new();
+        for (name, v) in &counters {
+            reg.counter(name).inc(u64::from(*v));
+            *want_counters.entry(name).or_default() += u64::from(*v);
+        }
+        let mut want_gauges: BTreeMap<&str, i64> = BTreeMap::new();
+        for (name, v) in &gauges {
+            reg.gauge(name).set(i64::from(*v));
+            want_gauges.insert(name, i64::from(*v));
+        }
+        let h = reg.histogram(&hist_name);
+        for &v in &hist_vals {
+            h.record(v);
+        }
+
+        let doc = metrics_json(&[(prefix.as_str(), &reg)]);
+        let parsed = obsv::json::parse(&doc).expect("strict JSON must parse");
+        let src = parsed
+            .get("sources")
+            .and_then(|s| s.get(&prefix))
+            .expect("prefix key survives escaping");
+        for (name, v) in &want_counters {
+            let got = src
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(|n| n.as_num());
+            prop_assert_eq!(got, Some(*v as f64), "counter {}", name);
+        }
+        for (name, v) in &want_gauges {
+            let got = src
+                .get("gauges")
+                .and_then(|c| c.get(name))
+                .and_then(|n| n.as_num());
+            prop_assert_eq!(got, Some(*v as f64), "gauge {}", name);
+        }
+        let hist = src
+            .get("histograms")
+            .and_then(|hs| hs.get(&hist_name))
+            .expect("histogram key");
+        prop_assert_eq!(
+            hist.get("count").and_then(|n| n.as_num()),
+            Some(hist_vals.len() as f64)
+        );
+        prop_assert_eq!(
+            hist.get("sum").and_then(|n| n.as_num()),
+            Some(hist_vals.iter().sum::<u64>() as f64)
+        );
+    }
+}

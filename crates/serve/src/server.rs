@@ -31,9 +31,10 @@
 
 use crate::engine::{Assignment, QueryEngine};
 use crate::store::ModelStore;
-use obsv::{Counter, Gauge, Histogram, Registry};
+use obsv::{Counter, Gauge, Histogram, Registry, SloConfig, SloMonitor};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -59,6 +60,14 @@ pub struct ServerConfig {
     /// [`ServeError::Timeout`] before any work is spent on it. `None`
     /// disables the deadline.
     pub deadline: Option<Duration>,
+    /// Latency SLO to monitor over the served-latency histogram. When
+    /// set, a background thread evaluates multi-window burn rates
+    /// ([`obsv::SloMonitor`]); while both windows burn hot the server
+    /// enters a degraded mode that sheds queued requests older than
+    /// half the objective — trading error responses for keeping the
+    /// latency of *served* requests inside the objective, before p99
+    /// breaches. `None` disables SLO feedback.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +80,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_quantum: 1e-6,
             deadline: None,
+            slo: None,
         }
     }
 }
@@ -103,7 +113,7 @@ impl std::error::Error for ServeError {}
 /// startup, so recording on the serve path is pure atomics (no name
 /// lookups, no registry lock).
 struct Metrics {
-    registry: Registry,
+    registry: Arc<Registry>,
     queries: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
@@ -112,6 +122,12 @@ struct Metrics {
     batched_points: Arc<Counter>,
     bad_dimension: Arc<Counter>,
     timed_out: Arc<Counter>,
+    /// Requests shed *only* because SLO-degraded mode tightened the
+    /// effective deadline (a strict subset of `timed_out`).
+    slo_shed: Arc<Counter>,
+    /// Worst per-micro-batch peak resident heap bytes seen so far
+    /// (0 until `obsv::alloc::enable_accounting` runs).
+    batch_peak_bytes: Arc<Gauge>,
     stats_queries: Arc<Counter>,
     /// Successful hot-swaps ([`Server::swap`]) over the server's life.
     model_swaps: Arc<Counter>,
@@ -127,7 +143,7 @@ struct Metrics {
 
 impl Metrics {
     fn new() -> Self {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         Metrics {
             queries: registry.counter("queries"),
             cache_hits: registry.counter("cache_hits"),
@@ -137,6 +153,8 @@ impl Metrics {
             batched_points: registry.counter("batched_points"),
             bad_dimension: registry.counter("bad_dimension"),
             timed_out: registry.counter("timed_out"),
+            slo_shed: registry.counter("slo_shed"),
+            batch_peak_bytes: registry.gauge("mem.batch_peak_bytes"),
             stats_queries: registry.counter("stats_queries"),
             model_swaps: registry.counter("model_swaps"),
             model_version: registry.gauge("model_version"),
@@ -267,12 +285,21 @@ impl LruShard {
     }
 }
 
+/// SLO feedback state shared between the monitor thread and the batch
+/// path: the monitor plus the pre-computed degraded-mode deadline
+/// (half the latency objective).
+struct SloGate {
+    monitor: Arc<SloMonitor>,
+    tight: Duration,
+}
+
 struct Shared {
     store: Arc<ModelStore>,
     metrics: Metrics,
     shards: Vec<Mutex<LruShard>>,
     quantum: f64,
     deadline: Option<Duration>,
+    slo: Option<SloGate>,
     started: Instant,
 }
 
@@ -394,6 +421,8 @@ pub struct Server {
     tx: Option<SyncSender<Request>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
+    slo_stop: Arc<AtomicBool>,
+    slo_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -424,13 +453,40 @@ impl Server {
         };
         let metrics = Metrics::new();
         metrics.model_version.set(store.version() as i64);
+        let slo = config.slo.clone().map(|cfg| SloGate {
+            tight: Duration::from_nanos(cfg.objective_ns / 2),
+            monitor: Arc::new(SloMonitor::new(
+                cfg,
+                Arc::clone(&metrics.latency_ns),
+                &metrics.registry,
+            )),
+        });
         let shared = Arc::new(Shared {
             store,
             metrics,
             shards,
             quantum: config.cache_quantum.max(f64::MIN_POSITIVE),
             deadline: config.deadline,
+            slo,
             started: Instant::now(),
+        });
+
+        // The burn-rate evaluator runs off the serve path, on its own
+        // cadence; workers only read the monitor's degraded flag.
+        let slo_stop = Arc::new(AtomicBool::new(false));
+        let slo_thread = shared.slo.as_ref().map(|gate| {
+            let monitor = Arc::clone(&gate.monitor);
+            let stop = Arc::clone(&slo_stop);
+            std::thread::Builder::new()
+                .name("serve-slo".into())
+                .spawn(move || {
+                    let tick = monitor.cfg().tick;
+                    while !stop.load(Ordering::Relaxed) {
+                        monitor.tick();
+                        std::thread::park_timeout(tick);
+                    }
+                })
+                .expect("spawn slo monitor")
         });
 
         let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth.max(1));
@@ -450,6 +506,8 @@ impl Server {
             tx: Some(tx),
             workers,
             shared,
+            slo_stop,
+            slo_thread,
         }
     }
 
@@ -493,6 +551,22 @@ impl Server {
         &self.shared.metrics.registry
     }
 
+    /// An owning handle to the same registry, for consumers that outlive
+    /// borrows of the server — e.g. the live `/metrics` exposition
+    /// listener, which scrapes from its own threads.
+    pub fn registry_arc(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics.registry)
+    }
+
+    /// Whether SLO feedback currently has the server in degraded mode
+    /// (always `false` without [`ServerConfig::slo`]).
+    pub fn slo_degraded(&self) -> bool {
+        self.shared
+            .slo
+            .as_ref()
+            .is_some_and(|g| g.monitor.degraded())
+    }
+
     /// Drains the queue, stops the workers, and joins them. Outstanding
     /// client handles error with [`ServeError::Closed`] afterwards.
     pub fn shutdown(mut self) {
@@ -500,6 +574,11 @@ impl Server {
     }
 
     fn stop(&mut self) {
+        self.slo_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.slo_thread.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
         let Some(tx) = self.tx.take() else { return };
         for _ in 0..self.workers.len() {
             // One sentinel per worker; each worker consumes exactly one.
@@ -564,7 +643,22 @@ fn nonzero_ns(d: Duration) -> u64 {
 
 fn serve_batch(shared: &Shared, batch: Vec<Request>) {
     let m = &shared.metrics;
+    let mem = obsv::alloc::scope();
     let picked_up = Instant::now();
+    // SLO feedback: while the burn-rate monitor holds the server
+    // degraded, queued requests older than half the objective are shed
+    // even if they are still inside the configured deadline — giving up
+    // on work that would land near the objective anyway, so the requests
+    // actually served stay comfortably under it.
+    let slo_degraded = shared
+        .slo
+        .as_ref()
+        .filter(|g| g.monitor.degraded())
+        .map(|g| g.tight);
+    let effective_deadline = match (shared.deadline, slo_degraded) {
+        (Some(d), Some(t)) => Some(d.min(t)),
+        (d, t) => d.or(t),
+    };
     // Resolve the engine once per micro-batch: the whole batch is served
     // and cached under one model version, even if a hot-swap lands
     // mid-batch. The Arc keeps a swapped-out engine alive until the
@@ -581,11 +675,15 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
             } => {
                 let waited = picked_up.duration_since(enqueued);
                 m.queue_wait_ns.record(nonzero_ns(waited));
-                if shared.deadline.is_some_and(|d| waited > d) {
+                if effective_deadline.is_some_and(|d| waited > d) {
                     // Shed before any work: a caller past its deadline has
                     // given up, so serving it only steals capacity from
                     // requests that can still be answered in time.
                     m.timed_out.inc(1);
+                    if shared.deadline.is_none_or(|d| waited <= d) {
+                        // Only the SLO tightening shed this one.
+                        m.slo_shed.inc(1);
+                    }
                     let _ = reply.send(Err(ServeError::Timeout));
                     continue;
                 }
@@ -647,6 +745,13 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
             m.latency_ns.record(nonzero_ns(enqueued.elapsed()));
             let _ = reply.send(Ok(answer));
         }
+    }
+
+    // Worst micro-batch footprint so far (racy max across workers is
+    // fine: a lost update can only under-report by one batch's margin).
+    let peak = mem.peak() as i64;
+    if peak > m.batch_peak_bytes.get() {
+        m.batch_peak_bytes.set(peak);
     }
 }
 
@@ -776,6 +881,56 @@ mod tests {
             assert_eq!(got, engine.assign(model.point(id)), "point {id}");
         }
         assert_eq!(server.stats().timed_out, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slo_burn_degrades_and_sheds_before_the_configured_deadline() {
+        // An unreachable 1 µs objective: every in-process request
+        // breaches, so both burn windows saturate and the monitor must
+        // flip the server into degraded mode, which sheds queued work
+        // with `Timeout` even though no deadline is configured.
+        let server = Server::start(
+            QueryEngine::new(fitted_model(50, 21)),
+            ServerConfig {
+                threads: 1,
+                queue_depth: 64,
+                cache_capacity: 0,
+                deadline: None,
+                slo: Some(SloConfig {
+                    objective_ns: 1_000,
+                    target: 0.9,
+                    fast_window: Duration::from_millis(20),
+                    slow_window: Duration::from_millis(100),
+                    burn_threshold: 1.0,
+                    tick: Duration::from_millis(5),
+                }),
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        let q = server.shared.store.current().model().point(0).to_vec();
+        let give_up = Instant::now() + Duration::from_secs(30);
+        let mut shed = 0;
+        while Instant::now() < give_up {
+            match client.assign(&q) {
+                Ok(_) | Err(ServeError::Timeout) => {}
+                Err(e) => panic!("unexpected serve error {e}"),
+            }
+            shed = server.registry().snapshot().counters["slo_shed"];
+            if shed > 0 {
+                break;
+            }
+        }
+        assert!(shed > 0, "sustained breach must trigger SLO shedding");
+        assert!(
+            server.stats().timed_out >= shed,
+            "SLO sheds are a subset of timed_out"
+        );
+        assert!(
+            server.registry().snapshot().gauges["slo.objective_ns"] == 1_000,
+            "monitor gauges live in the serve registry"
+        );
         server.shutdown();
     }
 

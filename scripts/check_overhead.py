@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""CI tracing-overhead gate.
+"""CI tracing/telemetry overhead gate.
 
 Reads the `tracing_overhead` scenario out of a BENCH_perf.json produced
-by `bench_summary` and fails if enabling capture cost more than the
-budget (default 5%). The capture-on run upper-bounds the cost of the
-disabled instrumentation, so this also gates the tracing-off overhead.
+by `bench_summary` and fails if enabling instrumentation cost more than
+the budget:
 
-Usage: check_overhead.py <BENCH_perf.json> [max_frac]
+  * capture on (span recording + executor chunk observer) vs off —
+    default budget 5%;
+  * full telemetry plane (capture + heap accounting + a live `/metrics`
+    scraper) vs off — default budget 12%, looser because the scraper
+    deliberately contends with the workload;
+  * `outputs_match` must be true: telemetry-on results are bit-identical
+    to telemetry-off and every scrape returned well-formed text.
+
+The on-runs upper-bound the cost of the disabled instrumentation, so
+this also gates the everything-off overhead.
+
+Usage: check_overhead.py <BENCH_perf.json> [max_frac] [max_telemetry_frac]
 """
 
 import json
@@ -14,11 +24,15 @@ import sys
 
 
 def main() -> int:
-    if len(sys.argv) not in (2, 3):
-        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [max_frac]", file=sys.stderr)
+    if len(sys.argv) not in (2, 3, 4):
+        print(
+            f"usage: {sys.argv[0]} <BENCH_perf.json> [max_frac] [max_telemetry_frac]",
+            file=sys.stderr,
+        )
         return 2
     path = sys.argv[1]
-    budget = float(sys.argv[2]) if len(sys.argv) == 3 else 0.05
+    budget = float(sys.argv[2]) if len(sys.argv) >= 3 else 0.05
+    tel_budget = float(sys.argv[3]) if len(sys.argv) == 4 else 0.12
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
 
@@ -29,13 +43,38 @@ def main() -> int:
         return 1
     frac = scenario["overhead_frac"]
     off, on = scenario["tracing_off_s"], scenario["tracing_on_s"]
+    failed = False
     if frac > budget:
         print(f"{path}: tracing overhead {frac:+.1%} exceeds {budget:.0%} "
               f"(off {off:.3f}s, on {on:.3f}s)", file=sys.stderr)
+        failed = True
+    else:
+        print(f"{path}: tracing overhead {frac:+.1%} within {budget:.0%} budget "
+              f"(off {off:.3f}s, on {on:.3f}s)")
+
+    tel_frac = scenario.get("telemetry_overhead_frac")
+    if tel_frac is None:
+        print(f"{path}: no telemetry fields (schema {doc.get('schema')}); "
+              "re-run bench_summary", file=sys.stderr)
         return 1
-    print(f"{path}: tracing overhead {frac:+.1%} within {budget:.0%} budget "
-          f"(off {off:.3f}s, on {on:.3f}s)")
-    return 0
+    tel_on = scenario["telemetry_on_s"]
+    scrapes = scenario.get("scrapes", 0)
+    if tel_frac > tel_budget:
+        print(f"{path}: full-telemetry overhead {tel_frac:+.1%} exceeds "
+              f"{tel_budget:.0%} (off {off:.3f}s, on {tel_on:.3f}s, "
+              f"{scrapes} scrapes)", file=sys.stderr)
+        failed = True
+    else:
+        print(f"{path}: full-telemetry overhead {tel_frac:+.1%} within "
+              f"{tel_budget:.0%} budget (off {off:.3f}s, on {tel_on:.3f}s, "
+              f"{scrapes} scrapes)")
+    if not scenario.get("outputs_match", False):
+        print(f"{path}: outputs_match=false — telemetry changed pipeline "
+              "results or a scrape was malformed", file=sys.stderr)
+        failed = True
+    else:
+        print(f"{path}: telemetry-on outputs bit-identical, all scrapes well-formed")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI telemetry-plane gate.
+
+Validates the `telemetry` scenario out of a BENCH_perf.json produced by
+`bench_summary` (schema >= 7): under deliberate overload with an
+unreachable SLO objective, the burn-rate monitor must flip the server
+into degraded mode, degraded mode must shed queued work, and the p99 of
+the requests actually served must stay under the protective deadline.
+Heap accounting and live scraping must both have produced evidence.
+
+Optionally also lints a saved `/metrics` scrape (second argument, a
+.prom file) as Prometheus exposition text: every non-comment line must
+parse as `name{labels} value`, every series must be preceded by a TYPE
+for its family, and the serve-side SLO gauges must be present.
+
+Usage: check_telemetry.py <BENCH_perf.json> [scrape.prom]
+       check_telemetry.py --scrape <scrape.prom>
+"""
+
+import json
+import re
+import sys
+
+METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def check_summary(path: str) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    t = doc.get("telemetry")
+    if not isinstance(t, dict):
+        print(f"{path}: no telemetry scenario (schema {doc.get('schema')}); "
+              "re-run bench_summary", file=sys.stderr)
+        return 1
+
+    failures = []
+    if not t.get("slo_degraded_triggered"):
+        failures.append("burn-rate monitor never flipped slo.degraded under overload")
+    if t.get("slo_shed", 0) <= 0:
+        failures.append("degraded mode shed no requests (slo_shed == 0)")
+    if t.get("served", 0) <= 0:
+        failures.append("no requests were served during the drill")
+    p99, deadline = t.get("served_p99_ms", -1.0), t.get("deadline_ms", 0.0)
+    if not (0 <= p99 <= deadline):
+        failures.append(
+            f"served p99 {p99:.2f} ms breached the {deadline:.0f} ms deadline "
+            "the SLO feedback is supposed to protect"
+        )
+    scrapes, ok = t.get("scrapes", 0), t.get("scrapes_ok", 0)
+    if scrapes <= 0 or ok != scrapes:
+        failures.append(f"live scraping failed: {ok}/{scrapes} well-formed responses")
+    if t.get("batch_peak_bytes", 0) <= 0:
+        failures.append("no per-batch heap peak recorded (mem.batch_peak_bytes == 0)")
+    if t.get("peak_resident_bytes", 0) <= 0:
+        failures.append("allocator accounting recorded no process heap peak")
+
+    for msg in failures:
+        print(f"{path}: {msg}", file=sys.stderr)
+    if not failures:
+        print(
+            f"{path}: telemetry drill ok — degraded=true, slo_shed={t['slo_shed']}, "
+            f"served={t['served']} at p99 {p99:.2f} ms (deadline {deadline:.0f} ms), "
+            f"{ok}/{scrapes} scrapes, batch peak {t['batch_peak_bytes']} B"
+        )
+    return 1 if failures else 0
+
+
+def check_scrape(path: str) -> int:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    typed, seen = {}, []
+    errors = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {i}: malformed TYPE: {line!r}")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {i}: unknown comment form: {line!r}")
+            continue
+        m = METRIC_LINE.match(line)
+        if not m:
+            errors.append(f"line {i}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and family not in typed:
+            errors.append(f"line {i}: sample {name} has no preceding # TYPE")
+        if m.group("labels"):
+            body = m.group("labels")[1:-1]
+            for pair in filter(None, body.split(",")):
+                if not LABEL.match(pair):
+                    errors.append(f"line {i}: bad label pair {pair!r}")
+        seen.append(name)
+
+    for want in ("serve_slo_degraded", "serve_slo_fast_burn_milli"):
+        if want not in seen:
+            errors.append(f"missing expected SLO series {want}")
+
+    for msg in errors[:20]:
+        print(f"{path}: {msg}", file=sys.stderr)
+    if not errors:
+        print(f"{path}: scrape ok — {len(seen)} samples, "
+              f"{len(typed)} typed families, SLO gauges present")
+    return 1 if errors else 0
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--scrape":
+        return check_scrape(sys.argv[2])
+    if len(sys.argv) not in (2, 3):
+        print(
+            f"usage: {sys.argv[0]} <BENCH_perf.json> [scrape.prom]\n"
+            f"       {sys.argv[0]} --scrape <scrape.prom>",
+            file=sys.stderr,
+        )
+        return 2
+    rc = check_summary(sys.argv[1])
+    if len(sys.argv) == 3:
+        rc |= check_scrape(sys.argv[2])
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,15 @@ GLOBAL:
       job, phase, and task attempt. Writes chrome://tracing JSON (load
       in ui.perfetto.dev), or a JSONL event log if <file> ends in
       .jsonl. LSHDDP_TRACE=<file> does the same without the flag.
+  --profile <file>      capture spans and write an aggregated folded-stack
+      stage profile (flamegraph.pl / inferno input) on exit
+  --metrics-addr <a>    expose live telemetry over HTTP on <a> (e.g.
+      127.0.0.1:9184): /metrics (Prometheus text), /metrics.json,
+      /healthz, /spans. Also enables heap accounting.
+  --linger <ms>         keep the process (and --metrics-addr listener)
+      alive <ms> after the command finishes, for external scrapes
+  --slo-ms <f>          serve/stats: latency SLO objective in ms; burn-rate
+      monitoring sheds queued work while both windows burn hot
   --fault-rate <n>      chaos: fail n/1000 of task attempts (cluster
       pipelines; retried transparently, results unchanged)
   --straggler-rate <n>  chaos: slow n/1000 of tasks 4x (speculative
@@ -104,15 +113,33 @@ fn run(args: &[String]) -> Result<(), String> {
 
     // `--trace <file>` (or LSHDDP_TRACE=<file>) turns span capture on for
     // the whole run and dumps the timeline on the way out. Without it,
-    // tracing costs one atomic load per span.
+    // tracing costs one atomic load per span. `--profile` rides the same
+    // capture; `--metrics-addr` needs only the executor instruments.
     let trace = opts
         .trace
         .clone()
         .or_else(|| std::env::var("LSHDDP_TRACE").ok());
-    if trace.is_some() {
+    if trace.is_some() || opts.profile.is_some() {
         obsv::enable_capture();
+    }
+    if trace.is_some() || opts.profile.is_some() || opts.metrics_addr.is_some() {
         obsv::install_executor_metrics(obsv::global());
     }
+    // Heap accounting powers the per-stage `peak resident` columns and
+    // the `mem.*` gauges; it is one-way for the process, so turn it on
+    // only when some telemetry consumer will read it.
+    if opts.stats || trace.is_some() || opts.profile.is_some() || opts.metrics_addr.is_some() {
+        obsv::alloc::enable_accounting();
+    }
+
+    // Serve-family commands build their own exposition (they add the
+    // serve registry as a second source); every other command exposes
+    // the global registry here.
+    let serve_family = matches!(cmd.as_str(), "serve" | "stats");
+    let mut exposer = match (&opts.metrics_addr, serve_family) {
+        (Some(addr), false) => Some(start_exposer(addr, None)?),
+        _ => None,
+    };
 
     let outcome = match cmd.as_str() {
         "generate" => generate(&opts),
@@ -141,7 +168,47 @@ fn run(args: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
         }
     }
+    if let Some(path) = &opts.profile {
+        let events = obsv::drain_events();
+        match obsv::profile::write_folded(path, &events) {
+            Ok(()) => eprintln!("profile: {} spans folded -> {path}", events.len()),
+            Err(e) => eprintln!("warning: could not write profile {path}: {e}"),
+        }
+    }
+    if let Some(exposer) = exposer.as_mut() {
+        linger(opts.linger_ms, exposer.addr());
+        exposer.shutdown();
+    }
     outcome
+}
+
+/// Binds the `/metrics` exposition listener: the process-global registry
+/// under `lshddp`, plus (for serve commands) the service's own registry
+/// under `serve`. Every scrape refreshes the executor pool gauges first.
+fn start_exposer(
+    addr: &str,
+    serve_reg: Option<std::sync::Arc<obsv::Registry>>,
+) -> Result<obsv::MetricsServer, String> {
+    let mut exp = obsv::Exposition::new()
+        .source("lshddp", obsv::RegistryRef::Static(obsv::global()))
+        .collector(|| obsv::snapshot_pool_stats(obsv::global()));
+    if let Some(reg) = serve_reg {
+        exp = exp.source("serve", obsv::RegistryRef::Shared(reg));
+    }
+    let server = exp
+        .serve(addr)
+        .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    eprintln!("metrics: listening on http://{}/metrics", server.addr());
+    Ok(server)
+}
+
+/// Holds the process open for `--linger <ms>` so external scrapers can
+/// hit the exposition endpoints after the command's work is done.
+fn linger(ms: u64, addr: std::net::SocketAddr) {
+    if ms > 0 {
+        eprintln!("metrics: lingering {ms} ms on http://{addr}/metrics");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
 }
 
 /// Flat option bag for all subcommands.
@@ -168,6 +235,10 @@ struct Opts {
     wal: Option<String>,
     delete: Option<String>,
     trace: Option<String>,
+    profile: Option<String>,
+    metrics_addr: Option<String>,
+    linger_ms: u64,
+    slo_ms: Option<f64>,
     fault_rate: u32,
     straggler_rate: u32,
     chaos_seed: Option<u64>,
@@ -204,6 +275,10 @@ impl Opts {
             wal: None,
             delete: None,
             trace: None,
+            profile: None,
+            metrics_addr: None,
+            linger_ms: 0,
+            slo_ms: None,
             fault_rate: 0,
             straggler_rate: 0,
             chaos_seed: None,
@@ -242,6 +317,10 @@ impl Opts {
                 "--wal" => o.wal = Some(value("--wal")?.clone()),
                 "--delete" => o.delete = Some(value("--delete")?.clone()),
                 "--trace" => o.trace = Some(value("--trace")?.clone()),
+                "--profile" => o.profile = Some(value("--profile")?.clone()),
+                "--metrics-addr" => o.metrics_addr = Some(value("--metrics-addr")?.clone()),
+                "--linger" => o.linger_ms = parse_num(value("--linger")?, "--linger")?,
+                "--slo-ms" => o.slo_ms = Some(parse_num(value("--slo-ms")?, "--slo-ms")?),
                 "--fault-rate" => o.fault_rate = parse_num(value("--fault-rate")?, "--fault-rate")?,
                 "--straggler-rate" => {
                     o.straggler_rate = parse_num(value("--straggler-rate")?, "--straggler-rate")?
@@ -422,22 +501,27 @@ fn cluster(o: &Opts) -> Result<(), String> {
         if let Some(r) = report {
             println!("{}", r.summary_row());
             for job in &r.jobs {
-                if job.shuffle_bytes_saved > 0 {
-                    println!(
-                        "  {:<22} shuffle {:>12} B  records {:>10}  (elided; saved {} B)",
-                        job.name, job.shuffle_bytes, job.shuffle_records, job.shuffle_bytes_saved
-                    );
+                let elided = if job.shuffle_bytes_saved > 0 {
+                    format!("  (elided; saved {} B)", job.shuffle_bytes_saved)
                 } else {
-                    println!(
-                        "  {:<22} shuffle {:>12} B  records {:>10}",
-                        job.name, job.shuffle_bytes, job.shuffle_records
-                    );
-                }
+                    String::new()
+                };
+                println!(
+                    "  {:<22} shuffle {:>12} B  records {:>10}  peak {:>7.1} MB{elided}",
+                    job.name,
+                    job.shuffle_bytes,
+                    job.shuffle_records,
+                    job.peak_resident_bytes as f64 / 1e6,
+                );
             }
             let saved = r.shuffle_bytes_saved();
             if saved > 0 {
                 println!("  shuffle bytes saved by plan elision: {saved}");
             }
+            println!(
+                "  peak resident heap across stages: {:.1} MB",
+                r.peak_resident_bytes() as f64 / 1e6
+            );
         }
     }
     Ok(())
@@ -624,9 +708,20 @@ fn serve_stream(o: &Opts, full_report: bool) -> Result<(), String> {
             queue_depth: o.queue,
             max_batch: o.batch,
             cache_capacity: o.cache,
+            slo: o.slo_ms.map(|ms| obsv::SloConfig {
+                objective_ns: (ms * 1e6) as u64,
+                ..obsv::SloConfig::default()
+            }),
             ..ServerConfig::default()
         },
     );
+
+    // The serve-family exposition carries two sources: the process
+    // registry and the service's own (latency histograms, SLO gauges).
+    let mut exposer = match o.metrics_addr.as_deref() {
+        Some(addr) => Some(start_exposer(addr, Some(server.registry_arc()))?),
+        None => None,
+    };
 
     // Closed-loop clients: split the stream into contiguous slices, one
     // blocking client thread per slice.
@@ -657,10 +752,18 @@ fn serve_stream(o: &Opts, full_report: bool) -> Result<(), String> {
     let stats = server.client().stats().map_err(|e| e.to_string())?;
     let report = if full_report {
         obsv::snapshot_pool_stats(server.registry());
+        obsv::alloc::publish_gauges(server.registry());
         Some(obsv::export::text_report(&server.registry().snapshot()))
     } else {
         None
     };
+    if let Some(exposer) = exposer.as_mut() {
+        // Scrapers probing a live (possibly overloaded) server need the
+        // server up while they curl; shut the service down only after
+        // the linger window closes.
+        linger(o.linger_ms, exposer.addr());
+        exposer.shutdown();
+    }
     server.shutdown();
     println!(
         "serve: {} points through {clients} client(s)",

@@ -94,24 +94,38 @@ pub fn pool_stats() -> PoolStats {
 }
 
 /// Observer called after every executed chunk with `(run_nanos,
-/// was_stolen)`.
-type ChunkObserver = Box<dyn Fn(u64, bool) + Send + Sync>;
+/// was_stolen, submit_tag)`.
+type ChunkObserver = Box<dyn Fn(u64, bool, u64) + Send + Sync>;
 
 static OBSERVER: OnceLock<ChunkObserver> = OnceLock::new();
 /// Fast-path flag: [`JobCore::run_one`] reads the clock only when an
 /// observer is installed, so untraced runs never pay per-chunk timing.
 static OBSERVER_SET: AtomicBool = AtomicBool::new(false);
+/// Called once per job on the *submitting* thread to produce an opaque
+/// tag forwarded to the observer with every chunk of that job (obsv uses
+/// it to parent chunk events under the submitting span).
+static TAG_PROVIDER: OnceLock<fn() -> u64> = OnceLock::new();
 
 /// Installs the process-wide chunk observer (at most once). The observer
 /// runs on the executing thread after each chunk, with the chunk's run
-/// time in nanoseconds and whether it was stolen by a pool worker.
-/// Returns `false` if an observer was already installed.
-pub fn set_chunk_observer(f: Box<dyn Fn(u64, bool) + Send + Sync>) -> bool {
+/// time in nanoseconds, whether it was stolen by a pool worker, and the
+/// submitting thread's tag (see [`set_chunk_tag_provider`]; 0 when no
+/// provider is installed). Returns `false` if an observer was already
+/// installed.
+pub fn set_chunk_observer(f: Box<dyn Fn(u64, bool, u64) + Send + Sync>) -> bool {
     let installed = OBSERVER.set(f).is_ok();
     if installed {
         OBSERVER_SET.store(true, Ordering::Release);
     }
     installed
+}
+
+/// Installs the process-wide chunk tag provider (at most once), invoked
+/// on the submitting thread as each job is created — only while an
+/// observer is installed, so untagged runs pay nothing. Returns `false`
+/// if a provider was already installed.
+pub fn set_chunk_tag_provider(f: fn() -> u64) -> bool {
+    TAG_PROVIDER.set(f).is_ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -197,6 +211,8 @@ struct JobCore {
     completed: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Submitting thread's observer tag (see [`set_chunk_tag_provider`]).
+    tag: u64,
 }
 
 unsafe impl Send for JobCore {}
@@ -233,7 +249,7 @@ impl JobCore {
             slot.get_or_insert(payload);
         }
         if let (Some(start), Some(obs)) = (start, OBSERVER.get()) {
-            obs(start.elapsed().as_nanos() as u64, stolen);
+            obs(start.elapsed().as_nanos() as u64, stolen, self.tag);
         }
         let mut completed = self.completed.lock().unwrap();
         *completed += 1;
@@ -287,6 +303,11 @@ fn run_job(total: usize, run: &(dyn Fn(usize) + Sync)) {
     // claim/complete protocol makes good on — see the `JobCore` docs.
     let run_static: *const (dyn Fn(usize) + Sync + 'static) =
         unsafe { std::mem::transmute(run as *const (dyn Fn(usize) + Sync)) };
+    let tag = if OBSERVER_SET.load(Ordering::Acquire) {
+        TAG_PROVIDER.get().map_or(0, |f| f())
+    } else {
+        0
+    };
     let job = Arc::new(JobCore {
         run: run_static,
         total,
@@ -294,6 +315,7 @@ fn run_job(total: usize, run: &(dyn Fn(usize) + Sync)) {
         completed: Mutex::new(0),
         done: Condvar::new(),
         panic: Mutex::new(None),
+        tag,
     });
     {
         let mut q = p.queue.lock().unwrap();
