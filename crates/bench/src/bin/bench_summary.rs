@@ -149,6 +149,38 @@ struct RecoveryBench {
 }
 
 #[derive(Serialize)]
+struct StreamingBench {
+    description: &'static str,
+    points: usize,
+    dim: usize,
+    /// Raw coordinate volume (`points * dim * 8`); the scenario only
+    /// means anything when this is >= 4x the budget.
+    dataset_bytes: u64,
+    /// The `--mem-budget` handed to the memory governor.
+    budget_bytes: u64,
+    resident_s: f64,
+    budgeted_s: f64,
+    /// FNV-1a over `(rho, delta bits, upslope)` of each run.
+    digest_resident: u64,
+    digest_budgeted: u64,
+    /// The budgeted streaming run reproduced the unbudgeted resident run
+    /// bit for bit.
+    digests_match: bool,
+    /// Shuffle bytes the budgeted run pushed to the disk spill tier.
+    spill_bytes: u64,
+    /// Nanoseconds reduce tasks stalled at the governor's admission gate.
+    backpressure_stall_ns: u64,
+    /// Process heap right before the budgeted run (the spilled input
+    /// snapshot is already on disk at this point).
+    baseline_resident_bytes: u64,
+    /// Worst per-stage absolute peak heap during the budgeted run.
+    peak_resident_bytes: u64,
+    /// `peak - baseline`: the budgeted run's own working set, the number
+    /// scripts/check_streaming.py holds against the budget.
+    peak_over_baseline_bytes: u64,
+}
+
+#[derive(Serialize)]
 struct Summary {
     schema: u32,
     mode: &'static str,
@@ -164,6 +196,7 @@ struct Summary {
     hot_swap: SwapBench,
     tracing_overhead: OverheadBench,
     telemetry: TelemetryBench,
+    streaming: StreamingBench,
 }
 
 /// Best-of-3 mean per call, after one warmup call.
@@ -275,6 +308,7 @@ fn blob_lsh_with(disable_elision: bool) -> LshDdp {
         disable_elision,
         checkpoints: false,
         kernel: Default::default(),
+        mem_budget: None,
     })
 }
 
@@ -613,26 +647,32 @@ fn kernel_pair_d2(points: usize, dim: usize) -> KernelBench {
     }
 }
 
-/// Clustered 8-D blobs: the regime the spatial index targets (small
-/// `d_c` neighborhoods inside well-separated clusters).
+/// Point `i` of blob `b` in the clustered layout, written into `p` — the
+/// shared generator behind [`clustered_dataset`] and the streaming
+/// scenario's batched spill writer, so both produce bit-identical
+/// coordinates for a given `(b, i)`.
+fn clustered_point(b: u64, i: u64, p: &mut [f64]) {
+    for (d, slot) in p.iter_mut().enumerate() {
+        let hc = b
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((d as u64).wrapping_mul(0x517c_c1b7_2722_0a95))
+            >> 17;
+        let center = (hc % 1000) as f64 / 10.0;
+        let hj = i
+            .wrapping_mul(2654435761)
+            .wrapping_add((d as u64).wrapping_mul(40503))
+            >> 7;
+        *slot = center + (hj % 2000) as f64 / 1000.0 - 1.0;
+    }
+}
+
+/// Clustered blobs: the regime the spatial index targets (small `d_c`
+/// neighborhoods inside well-separated clusters).
 fn clustered_dataset(n: usize, dim: usize) -> Dataset {
-    let n_blobs = 20u64;
     let mut ds = Dataset::new(dim);
     let mut p = vec![0.0; dim];
     for i in 0..n as u64 {
-        let b = i % n_blobs;
-        for (d, slot) in p.iter_mut().enumerate() {
-            let hc = b
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add((d as u64).wrapping_mul(0x517c_c1b7_2722_0a95))
-                >> 17;
-            let center = (hc % 1000) as f64 / 10.0;
-            let hj = i
-                .wrapping_mul(2654435761)
-                .wrapping_add((d as u64).wrapping_mul(40503))
-                >> 7;
-            *slot = center + (hj % 2000) as f64 / 1000.0 - 1.0;
-        }
+        clustered_point(i % 20, i, &mut p);
         ds.push(&p);
     }
     ds
@@ -683,6 +723,152 @@ fn indexed_kernels(points: usize, dim: usize) -> IndexedKernelsBench {
     }
 }
 
+/// Order-sensitive FNV-1a over the full `(rho, delta bits, upslope)`
+/// triple: any single bit of divergence between two runs flips it.
+fn digest_result(r: &dp_core::DpResult) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for &v in &r.rho {
+        eat(u64::from(v));
+    }
+    for &d in &r.delta {
+        eat(d.to_bits());
+    }
+    for &u in &r.upslope {
+        eat(u64::from(u));
+    }
+    h
+}
+
+/// Bounded-memory streaming: the LSH-DDP pipeline over a dataset several
+/// times larger than the governor's budget, fed from a spilled input
+/// snapshot (the coordinates are never resident as one `Vec`), checked
+/// bit-identical against a conventional unbudgeted in-memory run. Must
+/// run after heap accounting is on (the tracing scenario flips it) so
+/// per-stage peaks are real. Gated by scripts/check_streaming.py.
+fn streaming_budget(points: usize, dim: usize, budget: u64) -> StreamingBench {
+    use dp_core::PointId;
+    use mapreduce::{Snapshot, SpilledRows};
+
+    let dc = 2.0;
+    // Many small blobs so LSH partitions (and therefore reduce buckets)
+    // are each a modest fraction of the budget — the regime where
+    // admission can overlap work instead of serializing oversized
+    // buckets. Blobs are *contiguous* index ranges (not round-robin):
+    // each map task's points then share a blob, its output lands in a
+    // handful of partitions, and the per-(task, bucket) spill frame
+    // metadata stays negligible instead of scaling with
+    // `map_tasks x reduce_tasks`.
+    let n_blobs = 128u64;
+    let per_blob = (points as u64).div_ceil(n_blobs);
+    let stream_blob = move |i: u64| i / per_blob;
+    let dataset_bytes = (points * dim * std::mem::size_of::<f64>()) as u64;
+    // Wide slots relative to the blob jitter keep whole blobs together:
+    // partitions of ~n/20 points, each a meaningful fraction of the
+    // budget, so admission and retention both feel real pressure.
+    let mk = |mem_budget: Option<u64>| {
+        LshDdp::new(ddp::LshDdpConfig {
+            params: lsh::LshParams {
+                m: 3,
+                pi: 4,
+                w: 50.0,
+            },
+            seed: 42,
+            pipeline: PipelineConfig {
+                map_tasks: 128,
+                reduce_tasks: 256,
+                mem_budget,
+                ..PipelineConfig::default()
+            },
+            partition_cap: None,
+            rho_aggregation: Default::default(),
+        })
+    };
+
+    // Ground truth: the conventional resident run, reduced to a digest so
+    // nothing of it stays on the heap for the budgeted run to inherit.
+    let ds = {
+        let mut ds = Dataset::new(dim);
+        let mut p = vec![0.0; dim];
+        for i in 0..points as u64 {
+            clustered_point(stream_blob(i), i, &mut p);
+            ds.push(&p);
+        }
+        ds
+    };
+    let resident = mk(None);
+    let t0 = Instant::now();
+    let r_resident = resident.run(&ds, dc);
+    let resident_s = t0.elapsed().as_secs_f64();
+    let digest_resident = digest_result(&r_resident.result);
+    drop(r_resident);
+    drop(ds);
+
+    // Stream the same points straight to the spill tier in batches
+    // matching the map-task chunk (points / map_tasks): a map task then
+    // decodes exactly its own frame, never a neighbor's, so the map
+    // phase's transient decode cost is one task's input, not one
+    // oversized frame per thread.
+    let batch = points / 128;
+    let rows = SpilledRows::from_batches(
+        "bench-streaming",
+        (0..points).step_by(batch).map(|lo| {
+            let hi = (lo + batch).min(points);
+            (lo..hi)
+                .map(|i| {
+                    let mut p = vec![0.0; dim];
+                    clustered_point(stream_blob(i as u64), i as u64, &mut p);
+                    (i as PointId, p)
+                })
+                .collect::<Vec<_>>()
+        }),
+    )
+    .expect("write spilled input snapshot");
+    let snap = Snapshot::from_spilled(rows);
+
+    let baseline = obsv::alloc::current_bytes();
+    let budgeted = mk(Some(budget));
+    let t1 = Instant::now();
+    let r_budgeted = budgeted.run_spilled(&snap, dim, dc);
+    let budgeted_s = t1.elapsed().as_secs_f64();
+    let digest_budgeted = digest_result(&r_budgeted.result);
+    let peak = r_budgeted.peak_resident_bytes();
+    if std::env::var_os("LSHDDP_STREAM_DEBUG").is_some() {
+        for j in &r_budgeted.jobs {
+            eprintln!(
+                "  [stream] {}: peak={} spill={} stall_ms={:.1} shuffle={}",
+                j.name,
+                j.peak_resident_bytes,
+                j.spill_bytes,
+                j.backpressure_stall_ns as f64 / 1e6,
+                j.shuffle_bytes
+            );
+        }
+    }
+
+    StreamingBench {
+        description: "LSH-DDP over a 4x-budget dataset: spilled input + memory governor \
+                      vs unbudgeted resident run",
+        points,
+        dim,
+        dataset_bytes,
+        budget_bytes: budget,
+        resident_s,
+        budgeted_s,
+        digest_resident,
+        digest_budgeted,
+        digests_match: digest_resident == digest_budgeted,
+        spill_bytes: r_budgeted.spill_bytes(),
+        backpressure_stall_ns: r_budgeted.backpressure_stall_ns(),
+        baseline_resident_bytes: baseline,
+        peak_resident_bytes: peak,
+        peak_over_baseline_bytes: peak.saturating_sub(baseline),
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out: Option<String> = None;
@@ -709,10 +895,15 @@ fn main() {
     // The kernel gate (check_kernels.py) is stated at n_p = 10k, so the
     // indexed-vs-blocked comparison runs at full size even in smoke mode.
     let indexed_n = 10_000;
+    // The streaming gate (check_streaming.py) is stated at a fixed size —
+    // 8 MiB of coordinates against a 2 MiB budget — so like the kernel
+    // comparison it runs at full size even in smoke mode (the budgeted
+    // run is sub-second).
+    let (stream_n, stream_budget) = (16_384, 2u64 * 1024 * 1024);
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 7,
+        schema: 8,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -740,11 +931,14 @@ fn main() {
         // Serving correctness across model hot-swaps under load; gated
         // by scripts/check_swap.py (>= 3 swaps, 0 dropped, 0 incorrect).
         hot_swap: swap_under_load(42, if smoke { 120 } else { 400 }, 4, 4, swap_queries),
-        // The last two scenarios flip process-lifetime switches (chunk
-        // observer, heap accounting) and must stay last, in this order:
-        // tracing_overhead times its telemetry-off baseline first.
+        // The last three scenarios flip or require process-lifetime
+        // switches (chunk observer, heap accounting) and must stay last,
+        // in this order: tracing_overhead times its telemetry-off
+        // baseline first, and streaming needs accounting already on for
+        // its per-stage peaks.
         tracing_overhead: tracing_overhead(blob_n),
         telemetry: telemetry_drill(blob_n, if smoke { 400 } else { 1_500 }),
+        streaming: streaming_budget(stream_n, 64, stream_budget),
     };
 
     for (name, b) in [
@@ -828,6 +1022,19 @@ fn main() {
         summary.telemetry.batch_peak_bytes,
         summary.telemetry.scrapes_ok,
         summary.telemetry.scrapes
+    );
+
+    eprintln!(
+        "streaming: resident {:.3}s vs budgeted {:.3}s, digests_match={}, \
+         spilled {} B, stalled {:.1} ms, peak {} B over baseline {} B (budget {} B)",
+        summary.streaming.resident_s,
+        summary.streaming.budgeted_s,
+        summary.streaming.digests_match,
+        summary.streaming.spill_bytes,
+        summary.streaming.backpressure_stall_ns as f64 / 1e6,
+        summary.streaming.peak_over_baseline_bytes,
+        summary.streaming.baseline_resident_bytes,
+        summary.streaming.budget_bytes
     );
 
     let path =

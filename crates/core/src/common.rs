@@ -59,6 +59,14 @@ pub struct PipelineConfig {
     /// at run start (see [`dp_core::KernelStrategy::resolve`]).
     #[serde(default)]
     pub kernel: KernelStrategy,
+    /// Optional memory budget in bytes for in-flight shuffle data (see
+    /// [`mapreduce::Driver::with_mem_budget`]): map output over the budget
+    /// spills to the disk tier and reduce decode is admission-gated.
+    /// Outputs are bit-identical with or without a budget. `Some(0)` is
+    /// the deterministic always-spill stress mode; `None` (default) runs
+    /// unbudgeted.
+    #[serde(default)]
+    pub mem_budget: Option<u64>,
 }
 
 /// `Option<&'static str>` under the vendored serde: written as an
@@ -119,11 +127,16 @@ impl PipelineConfig {
 
     /// A plan scheduler configured by this pipeline config: elision on
     /// unless [`Self::disable_elision`] is set, checkpointing on when
-    /// [`Self::checkpoints`] is set.
+    /// [`Self::checkpoints`] is set, and a memory governor when
+    /// [`Self::mem_budget`] is set.
     pub fn driver(&self) -> Driver {
-        Driver::new()
+        let mut d = Driver::new()
             .with_elision(!self.disable_elision)
-            .with_checkpoints(self.checkpoints)
+            .with_checkpoints(self.checkpoints);
+        if let Some(budget) = self.mem_budget {
+            d = d.with_mem_budget(budget);
+        }
+        d
     }
 }
 

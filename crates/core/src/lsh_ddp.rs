@@ -419,7 +419,7 @@ impl LshDdp {
             partition_cap: None,
             rho_aggregation: RhoAggregation::default(),
         });
-        Ok(this.run_tracked(ds, &snap, driver, dc, tracker, start))
+        Ok(this.run_tracked(ds.dim(), &snap, driver, dc, tracker, start))
     }
 
     /// Runs the four-job pipeline with a known `d_c`.
@@ -438,9 +438,33 @@ impl LshDdp {
     pub fn run_with_driver(&self, ds: &Dataset, dc: f64, driver: Driver) -> RunReport {
         let snap = point_snapshot(ds);
         self.run_tracked(
-            ds,
+            ds.dim(),
             &snap,
             driver,
+            dc,
+            DistanceTracker::new(),
+            Instant::now(),
+        )
+    }
+
+    /// Runs the four-job pipeline from a point snapshot whose rows may
+    /// already live on the disk spill tier
+    /// ([`Snapshot::from_spilled`](mapreduce::Snapshot)) — the bounded-
+    /// memory entry point: the coordinates are never materialized as one
+    /// resident `Vec`; map tasks stream their slices off disk and every
+    /// downstream exchange obeys the driver's memory governor. `dim` must
+    /// be the dimensionality of the spilled coordinate rows (a spilled
+    /// snapshot cannot be asked for it).
+    pub fn run_spilled(
+        &self,
+        snap: &Snapshot<PointId, Vec<f64>>,
+        dim: usize,
+        dc: f64,
+    ) -> RunReport {
+        self.run_tracked(
+            dim,
+            snap,
+            self.config.pipeline.driver(),
             dc,
             DistanceTracker::new(),
             Instant::now(),
@@ -469,7 +493,7 @@ impl LshDdp {
 
     fn run_tracked(
         &self,
-        ds: &Dataset,
+        dim: usize,
         snap: &Snapshot<PointId, Vec<f64>>,
         mut driver: Driver,
         dc: f64,
@@ -477,14 +501,10 @@ impl LshDdp {
         start: Instant,
     ) -> RunReport {
         let _pipeline_span = obsv::span!("pipeline", "lsh-ddp");
-        assert!(!ds.is_empty(), "cannot cluster an empty dataset");
+        assert!(!snap.is_empty(), "cannot cluster an empty dataset");
         assert!(dc.is_finite() && dc > 0.0, "d_c must be positive, got {dc}");
-        let n = ds.len();
-        let multi = Arc::new(MultiLsh::new(
-            ds.dim(),
-            &self.config.params,
-            self.config.seed,
-        ));
+        let n = snap.len();
+        let multi = Arc::new(MultiLsh::new(dim, &self.config.params, self.config.seed));
         let cap = self.config.partition_cap.unwrap_or(usize::MAX).max(2);
         let kernel = self.config.pipeline.kernel.resolve();
         let lost = self.lost_layouts();

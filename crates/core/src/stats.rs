@@ -65,6 +65,18 @@ impl RunReport {
             .unwrap_or(0)
     }
 
+    /// Total shuffle bytes the pipeline moved to the disk spill tier
+    /// under memory pressure; 0 without a memory budget.
+    pub fn spill_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spill_bytes).sum()
+    }
+
+    /// Total nanoseconds reduce tasks spent stalled at the memory
+    /// governor's admission gate; 0 without a memory budget.
+    pub fn backpressure_stall_ns(&self) -> u64 {
+        self.jobs.iter().map(|j| j.backpressure_stall_ns).sum()
+    }
+
     /// Simulated runtime of the pipeline on a modeled cluster.
     /// `dims_factor` scales per-distance CPU cost with dimensionality
     /// (`dim / 4`, at least 1).

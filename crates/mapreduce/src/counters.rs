@@ -194,6 +194,15 @@ pub struct JobMetrics {
     /// metric dumps that predate the telemetry plane.
     #[serde(default)]
     pub peak_resident_bytes: u64,
+    /// Shuffle bytes this job moved to the disk spill tier under memory
+    /// pressure (map-side bucket spills plus spilled retention copies);
+    /// 0 without a memory budget.
+    #[serde(default)]
+    pub spill_bytes: u64,
+    /// Nanoseconds this job's reduce tasks spent stalled at the memory
+    /// governor's admission gate; 0 without a memory budget.
+    #[serde(default)]
+    pub backpressure_stall_ns: u64,
     /// Wall-clock duration of the job on the host machine.
     #[serde(with = "duration_secs")]
     pub wall_time: Duration,
@@ -261,6 +270,8 @@ impl JobMetrics {
             // Stages run sequentially against the same heap, so the
             // pipeline's peak is the worst single stage, not a sum.
             out.peak_resident_bytes = out.peak_resident_bytes.max(j.peak_resident_bytes);
+            out.spill_bytes += j.spill_bytes;
+            out.backpressure_stall_ns += j.backpressure_stall_ns;
             out.wall_time += j.wall_time;
             out.map_time += j.map_time;
             out.reduce_time += j.reduce_time;
@@ -424,6 +435,8 @@ mod tests {
                         | "straggler_delay_ns"
                         | "checkpoint_bytes"
                         | "peak_resident_bytes"
+                        | "spill_bytes"
+                        | "backpressure_stall_ns"
                 )
             })
             .collect();
@@ -436,6 +449,8 @@ mod tests {
         assert_eq!(loaded.speculative_launched, 0);
         assert_eq!(loaded.checkpoint_bytes, 0);
         assert_eq!(loaded.peak_resident_bytes, 0);
+        assert_eq!(loaded.spill_bytes, 0);
+        assert_eq!(loaded.backpressure_stall_ns, 0);
         assert_eq!(loaded.wall_time, Duration::from_millis(7));
         assert_eq!(loaded.shuffle_time, Duration::ZERO);
         assert_eq!(loaded.map_task_times, TaskTimes::default());

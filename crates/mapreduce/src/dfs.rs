@@ -6,9 +6,18 @@
 //! writes account bytes so pipelines can report materialization I/O (the
 //! reason Basic-DDP *recomputes* distances in Step 2 instead of storing the
 //! O(N²) distance matrix, §III-A).
+//!
+//! Besides the in-memory namespace, `Dfs` owns a **disk spill tier**: a
+//! lazily created temp directory of [`crate::spill`] segment files where
+//! the memory governor parks shuffle partitions and cached buckets that
+//! exceed the budget. Spilled bytes are metered separately
+//! ([`Dfs::spill_bytes_written`]/[`Dfs::spill_bytes_read`]) from in-memory
+//! materialization, mirroring Hadoop's distinction between HDFS I/O and
+//! local spill I/O.
 
 use crate::record::ShuffleSize;
-use parking_lot::RwLock;
+use crate::spill::{SegmentWriter, SpillDir};
+use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +65,13 @@ pub struct Dfs {
     files: RwLock<BTreeMap<String, File>>,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+    /// Spill-tier directory, created on first spill.
+    spill_dir: Mutex<Option<Arc<SpillDir>>>,
+    spill_seq: AtomicU64,
+    /// Spill accounting is split from the in-memory counters above and
+    /// shared (`Arc`) with the segment handles that do the actual I/O.
+    spill_bytes_written: Arc<AtomicU64>,
+    spill_bytes_read: Arc<AtomicU64>,
 }
 
 impl Dfs {
@@ -141,6 +157,42 @@ impl Dfs {
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.load(Ordering::Relaxed)
     }
+
+    /// Opens a new segment in the spill tier, creating the spill
+    /// directory on first use. The returned writer (and the segment it
+    /// finishes into) carries this namespace's spill byte counters.
+    pub fn spill_segment(&self, label: &str) -> std::io::Result<SegmentWriter> {
+        let dir = {
+            let mut guard = self.spill_dir.lock();
+            match &*guard {
+                Some(d) => Arc::clone(d),
+                None => {
+                    let d = Arc::new(SpillDir::create("dfs")?);
+                    *guard = Some(Arc::clone(&d));
+                    d
+                }
+            }
+        };
+        let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{}-{seq}.seg", label.replace('/', "_"));
+        Ok(
+            SegmentWriter::create(dir.segment_path(&name))?.with_counters(
+                Arc::clone(&self.spill_bytes_written),
+                Arc::clone(&self.spill_bytes_read),
+            ),
+        )
+    }
+
+    /// Record bytes written to the disk spill tier (metered separately
+    /// from in-memory materialization).
+    pub fn spill_bytes_written(&self) -> u64 {
+        self.spill_bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Record bytes read back from the disk spill tier.
+    pub fn spill_bytes_read(&self) -> u64 {
+        self.spill_bytes_read.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +262,24 @@ mod tests {
     fn remove_missing_is_false() {
         let dfs = Dfs::new();
         assert!(!dfs.remove("ghost"));
+    }
+
+    #[test]
+    fn spill_accounting_is_split_from_memory_accounting() {
+        let dfs = Dfs::new();
+        dfs.put("mem", vec![1.0f64; 4]).unwrap(); // 32 in-memory bytes
+        let mut w = dfs.spill_segment("shuffle/job-a").unwrap();
+        let batch = vec![(1u32, 2.0f64), (3, 4.0)]; // 24 record bytes
+        let meta = w.write_frame(&batch).unwrap();
+        let seg = w.finish().unwrap();
+        assert_eq!(dfs.bytes_written(), 32);
+        assert_eq!(dfs.spill_bytes_written(), 24);
+        assert_eq!(dfs.spill_bytes_read(), 0);
+        let back: Vec<(u32, f64)> = seg.read_frame(&meta).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(dfs.spill_bytes_read(), 24);
+        // Distinct segments get distinct paths.
+        let w2 = dfs.spill_segment("shuffle/job-a").unwrap();
+        drop(w2);
     }
 }

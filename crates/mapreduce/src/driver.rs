@@ -8,13 +8,285 @@
 //! and map-stage fusion, see [`crate::plan`] — and reports pipeline-level
 //! aggregates (total shuffle bytes, bytes saved by elision, total distance
 //! computations) and cost-model runtimes.
+//!
+//! ## Bounded-memory execution
+//!
+//! A driver built with [`Driver::with_mem_budget`] carries a
+//! [`MemoryGovernor`]: an admission controller that keeps the resident
+//! footprint of in-flight shuffle data under a byte budget. Map tasks
+//! charge their partitioned output against the budget and spill completed
+//! buckets to the [`Dfs`] disk tier when over it; reduce tasks pass
+//! through an admission gate that delays decoding spilled partitions until
+//! enough charged bytes have been released. The governor never reorders
+//! records — spilling moves a task's output to disk wholesale and streams
+//! it back in the same task/bucket order, so budgeted and unbudgeted runs
+//! are bit-identical.
 
 use crate::cost::ClusterSpec;
 use crate::counters::JobMetrics;
 use crate::dfs::Dfs;
 use crate::job::MapInput;
 use crate::plan::{CheckpointCtx, ExecCtx, PartitionCache, Plan};
-use std::sync::Arc;
+use crate::spill::SegmentWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+/// Admission controller for bounded-memory plan execution.
+///
+/// Tracks the bytes of shuffle data currently resident in memory
+/// ("charged"), decides when map output should spill to the [`Dfs`] disk
+/// tier, and gates reduce-side decode of spilled partitions so that
+/// concurrent reduce tasks cannot collectively blow the budget. A budget
+/// of `0` is a deterministic always-spill mode used by tests: every
+/// governed map task spills and reduce admission serializes.
+///
+/// Exported telemetry (process-global registry): counter
+/// `mem.spill_bytes`, gauge `mem.budget_bytes`, histogram
+/// `mem.backpressure_stall_ns`.
+pub struct MemoryGovernor {
+    budget: u64,
+    dfs: Arc<Dfs>,
+    /// Bytes of shuffle data currently charged as memory-resident.
+    resident: AtomicU64,
+    /// Total bytes moved to the disk tier under pressure.
+    spilled: AtomicU64,
+    /// Total nanoseconds tasks spent stalled at the admission gate.
+    stall_ns: AtomicU64,
+    /// Number of currently admitted reduce tasks; the condvar wakes
+    /// waiters when one retires or charged bytes are released.
+    active: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl MemoryGovernor {
+    /// A governor enforcing `budget` bytes over `dfs`'s spill tier.
+    pub fn new(budget: u64, dfs: Arc<Dfs>) -> Self {
+        MemoryGovernor {
+            budget,
+            dfs,
+            resident: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            active: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configured budget in bytes (0 = always spill).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes of shuffle data currently charged as resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes spilled to disk under pressure so far.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent stalled at the admission gate so far.
+    pub fn stall_ns(&self) -> u64 {
+        self.stall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Charges `bytes` of freshly materialized shuffle data.
+    pub(crate) fn charge(&self, bytes: u64) {
+        if bytes > 0 {
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases `bytes` previously charged (saturating: a release can race
+    /// a concurrent spill of the same logical data, and under-counting
+    /// pressure is safer than wrapping).
+    pub(crate) fn uncharge(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let _ = self
+            .resident
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+        // Released bytes may unblock admission waiters.
+        drop(self.active.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    /// Whether a completed map task's output should move to disk now.
+    /// Spilling starts at the *half-budget* high watermark, not at the
+    /// budget itself: data waiting for the shuffle must leave headroom for
+    /// the reduce phase's decoded buckets and working sets, which is what
+    /// keeps the whole-process peak near the budget instead of at
+    /// `budget + working set`.
+    pub(crate) fn should_spill(&self) -> bool {
+        if self.budget == 0 {
+            return true;
+        }
+        let watermark = self.budget / 2;
+        if self.resident.load(Ordering::Relaxed) > watermark {
+            return true;
+        }
+        // When the heap profiler is live, the whole process heap counts —
+        // it sees allocations (dataset, index structures) the shuffle
+        // accounting can't.
+        obsv::alloc::accounting_enabled() && obsv::alloc::current_bytes() > watermark
+    }
+
+    /// Records `bytes` moved to the disk tier.
+    pub(crate) fn note_spill(&self, bytes: u64) {
+        self.spilled.fetch_add(bytes, Ordering::Relaxed);
+        obsv::metrics::global()
+            .counter("mem.spill_bytes")
+            .inc(bytes);
+    }
+
+    /// Opens a spill segment in the driver DFS's disk tier.
+    pub(crate) fn segment(&self, label: &str) -> std::io::Result<SegmentWriter> {
+        self.dfs.spill_segment(label)
+    }
+
+    /// Admission gate for one reduce task that needs to decode
+    /// `decode_bytes` of spilled data back into memory (and already holds
+    /// `release_mem_bytes` of charged resident parts). Blocks while other
+    /// admitted tasks hold the budget; a lone task is always admitted, so
+    /// the gate cannot deadlock. The returned guard releases both charges
+    /// and retires the admission slot when dropped.
+    ///
+    /// The reservation is `DECODE_HEADROOM x decode_bytes`, not the raw
+    /// decode size: a reduce task's real footprint is the decoded records
+    /// plus the sort/group value copies plus whatever the reducer builds
+    /// from them (flattened coordinate buffers, spatial indexes) — all
+    /// proportional to the decoded bytes. Reserving only the decode size
+    /// would let concurrent tasks collectively overshoot the budget by
+    /// exactly that working-set multiple.
+    pub(crate) fn admit(
+        self: &Arc<Self>,
+        decode_bytes: u64,
+        release_mem_bytes: u64,
+        job_stall: &AtomicU64,
+    ) -> AdmitGuard {
+        /// Empirical resident-bytes-per-decoded-byte of a reduce task:
+        /// the decoded `Vec`, the grouped value copies, one
+        /// reducer-built derived structure of similar size, and slack
+        /// for allocator rounding on the three of them.
+        const DECODE_HEADROOM: u64 = 4;
+        let reserve = decode_bytes.saturating_mul(DECODE_HEADROOM);
+        let start = Instant::now();
+        let mut waited = false;
+        {
+            let mut active = self.active.lock().unwrap();
+            while *active > 0
+                && self
+                    .resident
+                    .load(Ordering::Relaxed)
+                    .saturating_add(reserve)
+                    > self.budget
+            {
+                // Timed wait: releases also arrive via `uncharge` on the
+                // map side, whose notify can race this check.
+                active = self
+                    .cv
+                    .wait_timeout(active, Duration::from_millis(2))
+                    .unwrap()
+                    .0;
+                waited = true;
+            }
+            *active += 1;
+            // Charge under the lock so concurrent waiters see the new
+            // resident total before they re-check.
+            self.charge(reserve);
+        }
+        if waited {
+            let ns = start.elapsed().as_nanos() as u64;
+            job_stall.fetch_add(ns, Ordering::Relaxed);
+            self.stall_ns.fetch_add(ns, Ordering::Relaxed);
+            obsv::metrics::global()
+                .histogram("mem.backpressure_stall_ns")
+                .record(ns);
+        }
+        AdmitGuard {
+            governor: Arc::clone(self),
+            release: reserve.saturating_add(release_mem_bytes),
+        }
+    }
+
+    /// Bounded pacing hook for the executor: briefly delays the next
+    /// chunk while the process is over budget, giving in-flight releases
+    /// a chance to land. Never blocks indefinitely (the scheduler must
+    /// keep making progress to produce those releases).
+    pub fn pace_chunk(&self) {
+        if self.budget == 0 {
+            return;
+        }
+        let start = Instant::now();
+        let mut paced = false;
+        for _ in 0..4 {
+            let over = self.resident.load(Ordering::Relaxed) > self.budget
+                || (obsv::alloc::accounting_enabled()
+                    && obsv::alloc::current_bytes() > self.budget);
+            if !over {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+            paced = true;
+        }
+        if paced {
+            let ns = start.elapsed().as_nanos() as u64;
+            self.stall_ns.fetch_add(ns, Ordering::Relaxed);
+            obsv::metrics::global()
+                .histogram("mem.backpressure_stall_ns")
+                .record(ns);
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryGovernor")
+            .field("budget", &self.budget)
+            .field("resident", &self.resident_bytes())
+            .field("spilled", &self.spill_bytes())
+            .finish()
+    }
+}
+
+/// RAII admission slot handed out by [`MemoryGovernor::admit`].
+pub(crate) struct AdmitGuard {
+    governor: Arc<MemoryGovernor>,
+    release: u64,
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.governor.uncharge(self.release);
+        let mut active = self.governor.active.lock().unwrap();
+        *active = active.saturating_sub(1);
+        drop(active);
+        self.governor.cv.notify_all();
+    }
+}
+
+/// The governor the executor's chunk gate paces against. `Weak` so a
+/// dropped driver stops pacing instead of leaking its governor.
+static ACTIVE_GOVERNOR: std::sync::Mutex<Weak<MemoryGovernor>> = std::sync::Mutex::new(Weak::new());
+static CHUNK_GATE_INSTALLED: OnceLock<()> = OnceLock::new();
+
+fn register_chunk_gate(governor: &Arc<MemoryGovernor>) {
+    *ACTIVE_GOVERNOR.lock().unwrap() = Arc::downgrade(governor);
+    CHUNK_GATE_INSTALLED.get_or_init(|| {
+        rayon::set_chunk_admission_gate(Box::new(|| {
+            let gov = ACTIVE_GOVERNOR.lock().unwrap().upgrade();
+            if let Some(gov) = gov {
+                gov.pace_chunk();
+            }
+        }));
+    });
+}
 
 /// Pipeline driver: plan scheduler + DFS handle + job history.
 ///
@@ -28,11 +300,12 @@ pub struct Driver {
     cache: PartitionCache,
     elision: bool,
     checkpoints: bool,
+    governor: Option<Arc<MemoryGovernor>>,
 }
 
 impl Driver {
     /// A fresh driver with an empty DFS, empty history, shuffle elision
-    /// enabled, and stage checkpointing disabled.
+    /// enabled, stage checkpointing disabled, and no memory budget.
     pub fn new() -> Self {
         Driver {
             dfs: Arc::new(Dfs::new()),
@@ -40,7 +313,28 @@ impl Driver {
             cache: PartitionCache::default(),
             elision: true,
             checkpoints: false,
+            governor: None,
         }
+    }
+
+    /// Bounds the resident footprint of in-flight shuffle data to `bytes`,
+    /// spilling to the DFS disk tier under pressure. `0` means
+    /// always-spill (deterministic stress mode for tests). Outputs are
+    /// bit-identical with or without a budget; only memory residency and
+    /// wall time change.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        let governor = Arc::new(MemoryGovernor::new(bytes, Arc::clone(&self.dfs)));
+        obsv::metrics::global()
+            .gauge("mem.budget_bytes")
+            .set(bytes.min(i64::MAX as u64) as i64);
+        register_chunk_gate(&governor);
+        self.governor = Some(governor);
+        self
+    }
+
+    /// The memory governor, if a budget was configured.
+    pub fn mem_governor(&self) -> Option<&Arc<MemoryGovernor>> {
+        self.governor.as_ref()
     }
 
     /// Enables or disables co-partitioned shuffle elision. Outputs are
@@ -79,9 +373,16 @@ impl Driver {
 
     /// Replaces the driver's DFS with a caller-supplied one. This is how
     /// a restarted driver sees the checkpoints a killed predecessor left
-    /// behind: both are built over the same shared [`Dfs`].
+    /// behind: both are built over the same shared [`Dfs`]. An existing
+    /// memory governor is rebound so its spill tier lands in the new DFS
+    /// regardless of builder-call order.
     pub fn with_dfs(mut self, dfs: Arc<Dfs>) -> Self {
         self.dfs = dfs;
+        if let Some(gov) = self.governor.take() {
+            let rebound = Arc::new(MemoryGovernor::new(gov.budget(), Arc::clone(&self.dfs)));
+            register_chunk_gate(&rebound);
+            self.governor = Some(rebound);
+        }
         self
     }
 
@@ -119,6 +420,7 @@ impl Driver {
                     plan: name.clone(),
                     stage: idx,
                 }),
+                governor: self.governor.clone(),
             };
             let (next, next_source) = stage(&mut ctx, rows, source);
             rows = next;
@@ -138,6 +440,7 @@ impl Driver {
         match *out {
             MapInput::Owned(v) => v,
             MapInput::Shared(arc) => Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()),
+            MapInput::Spilled(rows) => rows.read_all(),
         }
     }
 

@@ -2,9 +2,11 @@
 //! → reduce, with every phase running on the Rayon thread pool.
 
 use crate::counters::{Counters, JobMetrics, TaskTimes};
+use crate::driver::MemoryGovernor;
 use crate::fault::{ChaosPlan, FaultPlan, Phase};
 use crate::record::ShuffleSize;
-use crate::task::{Combiner, Emitter, Mapper, MrKey, Reducer};
+use crate::spill::{FrameMeta, SpillSegment, SpilledRows};
+use crate::task::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::hash_map::DefaultHasher;
@@ -45,15 +47,21 @@ impl<K: Hash> Partitioner<K> for HashPartitioner {
     }
 }
 
-/// Input to a job's map phase: either an owned record list (the classic
-/// `run` path) or a shared immutable snapshot. A shared snapshot is split
-/// into index ranges and records are cloned inside the parallel map tasks,
-/// so one materialization can feed every job of a pipeline.
+/// Input to a job's map phase: an owned record list (the classic `run`
+/// path), a shared immutable snapshot, or a disk-backed spilled segment.
+/// Shared and spilled inputs are split into index ranges with the *same
+/// chunk boundaries* as the owned path — records are cloned (or decoded)
+/// inside the parallel map tasks, so one materialization can feed every
+/// job of a pipeline and a bigger-than-memory dataset never needs to be
+/// resident at once.
 pub enum MapInput<K, V> {
     /// The job consumes these records.
     Owned(Vec<(K, V)>),
     /// The job reads (clones) records out of a shared snapshot.
     Shared(Arc<Vec<(K, V)>>),
+    /// The job decodes records out of a shared on-disk segment, one map
+    /// chunk at a time.
+    Spilled(Arc<SpilledRows<K, V>>),
 }
 
 impl<K, V> MapInput<K, V> {
@@ -62,6 +70,7 @@ impl<K, V> MapInput<K, V> {
         match self {
             MapInput::Owned(v) => v.len(),
             MapInput::Shared(v) => v.len(),
+            MapInput::Spilled(v) => v.len(),
         }
     }
 
@@ -130,6 +139,26 @@ where
     counters: Option<Counters>,
     fault_plan: Option<FaultPlan>,
     chaos_plan: Option<ChaosPlan>,
+    spill: Option<SpillCtx>,
+}
+
+/// Per-job handle on the driver's [`MemoryGovernor`], plus cells
+/// accumulating this job's spill volume and backpressure stall time for
+/// [`JobMetrics`].
+pub(crate) struct SpillCtx {
+    governor: Arc<MemoryGovernor>,
+    job_spill: Arc<AtomicU64>,
+    job_stall: Arc<AtomicU64>,
+}
+
+impl SpillCtx {
+    pub(crate) fn new(governor: Arc<MemoryGovernor>) -> Self {
+        SpillCtx {
+            governor,
+            job_spill: Arc::new(AtomicU64::new(0)),
+            job_stall: Arc::new(AtomicU64::new(0)),
+        }
+    }
 }
 
 impl<M, R> JobBuilder<M, R>
@@ -150,7 +179,17 @@ where
             counters: None,
             fault_plan: None,
             chaos_plan: None,
+            spill: None,
         }
+    }
+
+    /// Attaches the driver's memory governor: map-task outputs spill to
+    /// disk under budget pressure and reduce buckets materialize under
+    /// admission control. Without a governor the job runs the classic
+    /// fully-resident path (outputs are bit-identical either way).
+    pub(crate) fn with_governor(mut self, governor: Arc<MemoryGovernor>) -> Self {
+        self.spill = Some(SpillCtx::new(governor));
+        self
     }
 
     /// Installs a map-side combiner.
@@ -345,6 +384,8 @@ where
             || {
                 let parent = obsv::current_span();
                 let hist = &map_task_ns;
+                let spill = self.spill.as_ref();
+                let name = self.name.as_str();
                 let run_one = |task: usize, records: Vec<(M::InKey, M::InValue)>| {
                     obsv::with_parent(parent, move || {
                         let attempt = Instant::now();
@@ -354,7 +395,14 @@ where
                             })
                         });
                         hist.record(attempt.elapsed().as_nanos() as u64);
-                        out
+                        // Completed task buckets are charged against the
+                        // budget and spilled once it is exceeded; the spill
+                        // decision never changes record content or order,
+                        // only where the bytes wait for the shuffle.
+                        match spill {
+                            Some(ctx) => spill_task_under_pressure(ctx, name, out),
+                            None => out,
+                        }
                     })
                 };
                 match input {
@@ -393,6 +441,20 @@ where
                             .map(|(task, (s, e))| run_one(task, rows[s..e].to_vec()))
                             .collect::<Vec<MapTaskOut<M::OutKey, M::OutValue>>>()
                     }
+                    MapInput::Spilled(rows) => {
+                        // Same boundaries again; each task decodes only its
+                        // own chunk's frames from the segment.
+                        let ranges: Vec<(usize, usize)> = (0..rows.len())
+                            .step_by(chunk)
+                            .map(|s| (s, (s + chunk).min(rows.len())))
+                            .collect();
+                        let rows = &rows;
+                        ranges
+                            .into_par_iter()
+                            .enumerate()
+                            .map(|(task, (s, e))| run_one(task, rows.read_range(s, e)))
+                            .collect::<Vec<MapTaskOut<M::OutKey, M::OutValue>>>()
+                    }
                 }
             },
         );
@@ -401,58 +463,76 @@ where
         map_outputs
     }
 
-    /// Shuffle: merge per-reduce buckets, accounting bytes. Transposing
-    /// the map outputs into per-reducer columns is a cheap sequential pass
-    /// over `Vec` handles; the actual merge (one big concatenation) and
-    /// the per-record `shuffle_bytes` accounting — the expensive parts —
-    /// run in parallel, one task per reducer. Fills the map output /
-    /// combine / shuffle counters and `shuffle_time`.
+    /// Shuffle: transpose the map-task outputs into one parts list per
+    /// reducer, in map-task order — resident buckets move as `Vec`
+    /// handles, spilled buckets as segment frame references, so nothing is
+    /// concatenated (or decoded) here. The actual merge happens lazily in
+    /// the reduce phase, one bucket at a time, which is what lets the
+    /// governor bound how many buckets are resident at once. Byte
+    /// accounting is identical to the old eager merge: resident part bytes
+    /// were summed per record by the map tasks, and a spilled frame's
+    /// on-disk payload length equals its records' `ShuffleSize` sum by the
+    /// wire length contract. Fills the map output / combine / shuffle
+    /// counters and `shuffle_time`.
     #[allow(clippy::type_complexity)]
     pub(crate) fn shuffle_phase(
         &self,
         map_outputs: Vec<MapTaskOut<M::OutKey, M::OutValue>>,
         metrics: &mut JobMetrics,
-    ) -> Vec<Vec<(M::OutKey, M::OutValue)>> {
+    ) -> Vec<ReduceBucket<M::OutKey, M::OutValue>> {
         let r_tasks = self.config.reduce_tasks;
+        let charged = self.spill.is_some();
         let (reduce_inputs, shuffle_dur) = obsv::timed_span(
             "phase",
             || format!("shuffle:{}", self.name),
             || {
-                let mut columns: Vec<Vec<Vec<(M::OutKey, M::OutValue)>>> = (0..r_tasks)
-                    .map(|_| Vec::with_capacity(self.config.map_tasks))
+                let mut reduce_inputs: Vec<ReduceBucket<M::OutKey, M::OutValue>> = (0..r_tasks)
+                    .map(|_| ReduceBucket {
+                        parts: Vec::new(),
+                        records: 0,
+                        mem_bytes: 0,
+                        spill_bytes: 0,
+                        charged,
+                    })
                     .collect();
                 for task_out in map_outputs {
                     metrics.map_output_records += task_out.emitted;
                     metrics.combine_output_records += task_out.combined;
-                    for (r, bucket) in task_out.buckets.into_iter().enumerate() {
-                        columns[r].push(bucket);
+                    match task_out.data {
+                        TaskData::Mem {
+                            buckets,
+                            bucket_bytes,
+                        } => {
+                            for (r, (bucket, bytes)) in
+                                buckets.into_iter().zip(bucket_bytes).enumerate()
+                            {
+                                if bucket.is_empty() {
+                                    continue;
+                                }
+                                let rb = &mut reduce_inputs[r];
+                                rb.records += bucket.len() as u64;
+                                rb.mem_bytes += bytes;
+                                rb.parts.push(BucketPart::Mem(bucket));
+                            }
+                        }
+                        TaskData::Spilled { seg, frames } => {
+                            for (r, frame) in frames {
+                                let rb = &mut reduce_inputs[r as usize];
+                                rb.records += frame.records as u64;
+                                rb.spill_bytes += frame.record_bytes;
+                                rb.parts.push(BucketPart::Spilled {
+                                    seg: Arc::clone(&seg),
+                                    frame,
+                                });
+                            }
+                        }
                     }
                 }
-                let merged: Vec<(u64, Vec<(M::OutKey, M::OutValue)>)> = columns
-                    .into_par_iter()
-                    .map(|parts| {
-                        let total: usize = parts.iter().map(Vec::len).sum();
-                        let mut bucket = Vec::with_capacity(total);
-                        // Concatenate in map-task order so value arrival order
-                        // stays deterministic (the reduce sort below is stable).
-                        for p in parts {
-                            bucket.extend(p);
-                        }
-                        let bytes: u64 = bucket
-                            .iter()
-                            .map(|(k, v)| k.shuffle_bytes() + v.shuffle_bytes())
-                            .sum();
-                        (bytes, bucket)
-                    })
-                    .collect();
-                let mut reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>> =
-                    Vec::with_capacity(r_tasks);
-                for (bytes, bucket) in merged {
-                    metrics.shuffle_records += bucket.len() as u64;
+                for rb in &reduce_inputs {
+                    metrics.shuffle_records += rb.records;
                     metrics.max_reduce_task_records =
-                        metrics.max_reduce_task_records.max(bucket.len() as u64);
-                    metrics.shuffle_bytes += bytes;
-                    reduce_inputs.push(bucket);
+                        metrics.max_reduce_task_records.max(rb.records);
+                    metrics.shuffle_bytes += rb.mem_bytes + rb.spill_bytes;
                 }
                 reduce_inputs
             },
@@ -461,12 +541,17 @@ where
         reduce_inputs
     }
 
-    /// Sort/group + reduce phase (parallel over reduce tasks). Fills the
-    /// reduce counters, `reduce_time` and `reduce_task_times`.
+    /// Sort/group + reduce phase (parallel over reduce tasks). Each task
+    /// first *materializes* its bucket — concatenating resident parts and
+    /// decoding spilled frames in map-task order — under the governor's
+    /// admission control, so at most as many buckets are resident as the
+    /// budget allows (always at least one: a lone task is admitted
+    /// regardless, which keeps the loop deadlock-free). Fills the reduce
+    /// counters, `reduce_time` and `reduce_task_times`.
     #[allow(clippy::type_complexity)]
     pub(crate) fn reduce_phase(
         &self,
-        reduce_inputs: Vec<Vec<(M::OutKey, M::OutValue)>>,
+        reduce_inputs: Vec<ReduceBucket<M::OutKey, M::OutValue>>,
         metrics: &mut JobMetrics,
         chaos: &ChaosCtx,
     ) -> Vec<(R::OutKey, R::OutValue)> {
@@ -480,12 +565,29 @@ where
             || {
                 let parent = obsv::current_span();
                 let hist = &reduce_task_ns;
+                let spill = self.spill.as_ref();
                 reduce_inputs
                     .into_par_iter()
                     .enumerate()
-                    .map(|(task, bucket)| {
+                    .map(|(task, lazy_bucket)| {
                         obsv::with_parent(parent, move || {
                             let attempt = Instant::now();
+                            // Admission: wait until the decoded bytes fit the
+                            // budget (or this is the only active bucket). The
+                            // guard releases the bucket's charge when the task
+                            // completes.
+                            let _admit = spill.map(|s| {
+                                s.governor.admit(
+                                    lazy_bucket.spill_bytes,
+                                    if lazy_bucket.charged {
+                                        lazy_bucket.mem_bytes
+                                    } else {
+                                        0
+                                    },
+                                    &s.job_stall,
+                                )
+                            });
+                            let bucket = lazy_bucket.materialize();
                             let out = obsv::span!("task", format!("reduce-{task}") => {
                                 chaos.run_task(
                                     Phase::Reduce,
@@ -559,21 +661,167 @@ where
                 .counter("speculative_wins")
                 .inc(metrics.speculative_wins);
         }
+        if let Some(s) = &self.spill {
+            metrics.spill_bytes = s.job_spill.load(Ordering::Relaxed);
+            metrics.backpressure_stall_ns = s.job_stall.load(Ordering::Relaxed);
+        }
         if let Some(c) = &self.counters {
             metrics.user = c.snapshot();
         }
     }
 }
 
-/// Output of one map task: one bucket per reduce task, plus the record
-/// counts before and after combining.
+/// Where one map task's partitioned output lives while it waits for the
+/// shuffle: resident `Vec` buckets, or one segment file with one frame
+/// per reduce bucket.
+pub(crate) enum TaskData<K, V> {
+    /// Resident buckets plus their per-bucket `ShuffleSize` byte sums
+    /// (computed here once so the shuffle never re-walks the records).
+    Mem {
+        buckets: Vec<Vec<(K, V)>>,
+        bucket_bytes: Vec<u64>,
+    },
+    /// Buckets spilled to disk; one `(reduce bucket index, frame)` entry
+    /// per *non-empty* bucket — empty buckets get neither a frame on disk
+    /// nor a metadata slot (at `map_tasks x reduce_tasks` scale the empty
+    /// metadata alone would rival the budget).
+    Spilled {
+        seg: Arc<SpillSegment>,
+        frames: Vec<(u32, FrameMeta)>,
+    },
+}
+
+/// Output of one map task: one bucket per reduce task (resident or
+/// spilled), plus the record counts before and after combining.
 pub(crate) struct MapTaskOut<K, V> {
-    buckets: Vec<Vec<(K, V)>>,
+    data: TaskData<K, V>,
     emitted: u64,
     combined: u64,
 }
 
-/// One map task's body: map every record, combine, partition.
+/// One slice of a reduce bucket, from one map task, in map-task order.
+pub(crate) enum BucketPart<K, V> {
+    /// Records held in memory since the map task produced them.
+    Mem(Vec<(K, V)>),
+    /// Records parked in a spill segment, decoded at materialization.
+    Spilled {
+        seg: Arc<SpillSegment>,
+        frame: FrameMeta,
+    },
+}
+
+/// One reduce task's input, kept as a lazy parts list until the reduce
+/// phase materializes it under admission control.
+pub(crate) struct ReduceBucket<K, V> {
+    parts: Vec<BucketPart<K, V>>,
+    records: u64,
+    /// Bytes of the resident parts (charged against the governor when the
+    /// producing map phase ran under one).
+    mem_bytes: u64,
+    /// Bytes parked on disk, to be charged at materialization.
+    spill_bytes: u64,
+    /// Whether `mem_bytes` is currently charged against the governor —
+    /// true for buckets fresh out of a governed shuffle, false for cached
+    /// clones handed back by the partition cache.
+    charged: bool,
+}
+
+impl<K, V> ReduceBucket<K, V> {
+    /// Records across all parts.
+    pub(crate) fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+// Decoding spilled frames needs (K, V): Wire, which MrKey/MrValue carry.
+impl<K: MrKey, V: MrValue> ReduceBucket<K, V> {
+    /// Concatenates the parts in map-task order, decoding spilled frames.
+    /// Record order is exactly what the eager shuffle merge produced.
+    pub(crate) fn materialize(self) -> Vec<(K, V)> {
+        let mut rows = Vec::with_capacity(self.records as usize);
+        for part in self.parts {
+            match part {
+                BucketPart::Mem(mut p) => rows.append(&mut p),
+                BucketPart::Spilled { seg, frame } => rows.extend(
+                    seg.read_frame::<(K, V)>(&frame)
+                        .expect("spill segment read (process-local file)"),
+                ),
+            }
+        }
+        rows
+    }
+
+    /// A clone for the partition cache: resident parts deep-copy, spilled
+    /// parts share their segment (already on disk — no resident cost).
+    /// The clone is never governor-charged; its resident bytes belong to
+    /// the cache, not to a running job.
+    pub(crate) fn cache_clone(&self) -> Self
+    where
+        V: Clone,
+    {
+        ReduceBucket {
+            parts: self
+                .parts
+                .iter()
+                .map(|p| match p {
+                    BucketPart::Mem(rows) => BucketPart::Mem(rows.clone()),
+                    BucketPart::Spilled { seg, frame } => BucketPart::Spilled {
+                        seg: Arc::clone(seg),
+                        frame: frame.clone(),
+                    },
+                })
+                .collect(),
+            records: self.records,
+            mem_bytes: self.mem_bytes,
+            spill_bytes: self.spill_bytes,
+            charged: false,
+        }
+    }
+
+    /// Rewrites the resident parts into a spill segment (used by the
+    /// partition cache when retaining a clone would breach the budget).
+    /// Returns the bytes moved to disk.
+    pub(crate) fn spill_mem_parts(&mut self, governor: &MemoryGovernor, label: &str) -> u64 {
+        if self.mem_bytes == 0 {
+            return 0;
+        }
+        let Ok(mut writer) = governor.segment(label) else {
+            return 0; // spill tier unavailable: keep the resident copy
+        };
+        let mut moved = 0u64;
+        let mut metas = Vec::new();
+        for part in &self.parts {
+            if let BucketPart::Mem(rows) = part {
+                match writer.write_frame(rows) {
+                    Ok(meta) => metas.push(meta),
+                    Err(_) => return 0,
+                }
+            }
+        }
+        let Ok(seg) = writer.finish() else {
+            return 0;
+        };
+        let seg = Arc::new(seg);
+        let mut metas = metas.into_iter();
+        for part in &mut self.parts {
+            if matches!(part, BucketPart::Mem(_)) {
+                let meta = metas.next().expect("one frame per mem part");
+                moved += meta.record_bytes;
+                *part = BucketPart::Spilled {
+                    seg: Arc::clone(&seg),
+                    frame: meta,
+                };
+            }
+        }
+        self.spill_bytes += moved;
+        self.mem_bytes -= moved;
+        governor.note_spill(moved);
+        moved
+    }
+}
+
+/// One map task's body: map every record, combine, partition, and account
+/// per-bucket shuffle bytes.
 fn map_one_task<M: Mapper>(
     mapper: &M,
     combiner: Option<&(dyn Combiner<Key = M::OutKey, Value = M::OutValue> + Send + Sync)>,
@@ -595,15 +843,70 @@ fn map_one_task<M: Mapper>(
 
     let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
         (0..r_tasks).map(|_| Vec::new()).collect();
+    let mut bucket_bytes = vec![0u64; r_tasks];
     for (k, v) in out {
         let b = partitioner.partition(&k, r_tasks);
         debug_assert!(b < r_tasks, "partitioner returned out-of-range bucket");
+        bucket_bytes[b] += k.shuffle_bytes() + v.shuffle_bytes();
         buckets[b].push((k, v));
     }
     MapTaskOut {
-        buckets,
+        data: TaskData::Mem {
+            buckets,
+            bucket_bytes,
+        },
         emitted,
         combined,
+    }
+}
+
+/// Charges a completed map task's resident bytes against the budget and
+/// spills its buckets to a segment (one frame per reduce bucket) when the
+/// governor reports pressure. Falls back to staying resident on any spill
+/// I/O error — correctness never depends on the disk.
+fn spill_task_under_pressure<K: MrKey, V: MrValue>(
+    ctx: &SpillCtx,
+    job: &str,
+    out: MapTaskOut<K, V>,
+) -> MapTaskOut<K, V> {
+    let TaskData::Mem {
+        buckets,
+        bucket_bytes,
+    } = &out.data
+    else {
+        return out;
+    };
+    let total: u64 = bucket_bytes.iter().sum();
+    ctx.governor.charge(total);
+    if total == 0 || !ctx.governor.should_spill() {
+        return out;
+    }
+    let Ok(mut writer) = ctx.governor.segment(job) else {
+        return out;
+    };
+    let mut frames = Vec::new();
+    for (r, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        match writer.write_frame(bucket) {
+            Ok(meta) => frames.push((r as u32, meta)),
+            Err(_) => return out,
+        }
+    }
+    let Ok(seg) = writer.finish() else {
+        return out;
+    };
+    ctx.governor.uncharge(total);
+    ctx.governor.note_spill(total);
+    ctx.job_spill.fetch_add(total, Ordering::Relaxed);
+    MapTaskOut {
+        data: TaskData::Spilled {
+            seg: Arc::new(seg),
+            frames,
+        },
+        emitted: out.emitted,
+        combined: out.combined,
     }
 }
 
@@ -780,13 +1083,10 @@ impl ChaosCtx {
 }
 
 /// Groups a map task's output by key and applies the combiner per group.
-fn run_combiner<K: MrKey, V>(
+fn run_combiner<K: MrKey, V: MrValue>(
     combiner: &(dyn Combiner<Key = K, Value = V> + Send + Sync),
     mut records: Vec<(K, V)>,
-) -> Vec<(K, V)>
-where
-    V: Send + Sync + ShuffleSize,
-{
+) -> Vec<(K, V)> {
     records.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = Vec::with_capacity(records.len());
     let mut it = records.into_iter().peekable();

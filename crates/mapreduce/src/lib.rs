@@ -64,16 +64,18 @@ pub mod fault;
 pub mod job;
 pub mod plan;
 pub mod record;
+pub mod spill;
 pub mod task;
 pub mod wire;
 
 pub use cost::ClusterSpec;
 pub use counters::{Counters, JobMetrics, TaskTimes};
 pub use dfs::Dfs;
-pub use driver::Driver;
+pub use driver::{Driver, MemoryGovernor};
 pub use fault::{AttemptOutcome, ChaosPlan, FaultPlan, Phase, TaskWastage};
 pub use job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
 pub use plan::{plan, IdentityMap, MapChain, Plan, PlanBuilder, ReduceStage, Snapshot, Stage};
 pub use record::{checksum64, ShuffleSize};
+pub use spill::{scan_frames, SegmentWriter, SpillDir, SpillSegment, SpilledRows};
 pub use task::{Combiner, Emitter, FnMapper, FnReducer, Mapper, Reducer};
 pub use wire::{decode, decode_framed, encode, encode_framed, Wire, WireError};

@@ -40,8 +40,10 @@
 
 use crate::counters::{Counters, JobMetrics};
 use crate::dfs::Dfs;
-use crate::job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
+use crate::driver::MemoryGovernor;
+use crate::job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner, ReduceBucket};
 use crate::record::ShuffleSize;
+use crate::spill::SpilledRows;
 use crate::task::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -59,18 +61,39 @@ fn fresh_source_id() -> u64 {
     NEXT_SOURCE.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Where a snapshot's rows actually live: resident in memory, or parked
+/// in disk spill segments and streamed back per map-task chunk.
+enum SnapRows<K, V> {
+    Resident(Arc<Vec<(K, V)>>),
+    Spilled(Arc<SpilledRows<K, V>>),
+}
+
+impl<K, V> Clone for SnapRows<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            SnapRows::Resident(a) => SnapRows::Resident(Arc::clone(a)),
+            SnapRows::Spilled(s) => SnapRows::Spilled(Arc::clone(s)),
+        }
+    }
+}
+
 /// An immutable input materialization shared by every stage and plan of a
 /// pipeline. Cloning a `Snapshot` clones an `Arc`, not the rows; map tasks
 /// clone only the records of their own chunk, in parallel.
+///
+/// A snapshot is usually memory-resident ([`Snapshot::new`]) but can also
+/// wrap a [`SpilledRows`] handle ([`Snapshot::from_spilled`]): the row set
+/// then lives in disk segments and every stage reading it decodes only its
+/// own map-task chunks — the input never needs to be resident at once.
 pub struct Snapshot<K, V> {
-    rows: Arc<Vec<(K, V)>>,
+    rows: SnapRows<K, V>,
     id: u64,
 }
 
 impl<K, V> Clone for Snapshot<K, V> {
     fn clone(&self) -> Self {
         Snapshot {
-            rows: Arc::clone(&self.rows),
+            rows: self.rows.clone(),
             id: self.id,
         }
     }
@@ -80,24 +103,47 @@ impl<K, V> Snapshot<K, V> {
     /// Wraps one materialized row set for sharing.
     pub fn new(rows: Vec<(K, V)>) -> Self {
         Snapshot {
-            rows: Arc::new(rows),
+            rows: SnapRows::Resident(Arc::new(rows)),
             id: fresh_source_id(),
         }
     }
 
-    /// The shared rows.
+    /// Wraps a spilled row set: stages stream their chunks from disk
+    /// instead of reading resident memory.
+    pub fn from_spilled(rows: SpilledRows<K, V>) -> Self {
+        Snapshot {
+            rows: SnapRows::Spilled(Arc::new(rows)),
+            id: fresh_source_id(),
+        }
+    }
+
+    /// The shared rows. Panics for a spilled snapshot — its rows are not
+    /// resident; use [`Snapshot::len`] and plan execution instead.
     pub fn rows(&self) -> &[(K, V)] {
-        &self.rows
+        match &self.rows {
+            SnapRows::Resident(a) => a,
+            SnapRows::Spilled(_) => {
+                panic!("Snapshot::rows on a spilled snapshot: rows are not resident")
+            }
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.rows {
+            SnapRows::Resident(a) => a.len(),
+            SnapRows::Spilled(s) => s.len(),
+        }
     }
 
     /// Whether the snapshot holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether the rows live in the disk spill tier.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.rows, SnapRows::Spilled(_))
     }
 }
 
@@ -421,19 +467,21 @@ type Rows = Box<dyn Any>;
 type FinalizeHook = Box<dyn FnOnce(&mut JobMetrics)>;
 
 /// Retained post-shuffle buckets plus the shuffle volume they represent.
-type TakenBuckets<K, V> = (Vec<Vec<(K, V)>>, u64);
+type TakenBuckets<K, V> = (Vec<ReduceBucket<K, V>>, u64);
 
 /// One type-erased, ready-to-run stage.
 type StageRun = Box<dyn FnOnce(&mut ExecCtx<'_>, Rows, u64) -> (Rows, u64)>;
 
 /// What the scheduler hands each stage: the elision switch, the retained
-/// partition cache, the metrics history to append to, and (when stage
-/// checkpointing is on) where to materialize this stage's output.
+/// partition cache, the metrics history to append to, (when stage
+/// checkpointing is on) where to materialize this stage's output, and
+/// (when a memory budget is set) the governor enforcing it.
 pub(crate) struct ExecCtx<'a> {
     pub(crate) elide: bool,
     pub(crate) cache: &'a mut PartitionCache,
     pub(crate) history: &'a mut Vec<JobMetrics>,
     pub(crate) checkpoint: Option<CheckpointCtx>,
+    pub(crate) governor: Option<Arc<MemoryGovernor>>,
 }
 
 /// Where a stage materializes its output when checkpointing is enabled:
@@ -454,8 +502,12 @@ impl CheckpointCtx {
 /// key/value types only need `Send + Sync + Clone`, not per-type
 /// [`ShuffleSize`] impls. The reported size is a `size_of`-based estimate —
 /// good enough for recovery-overhead accounting.
+///
+/// The rows are `Arc`-shared with the stage's own output: checkpointing a
+/// stage does not double its peak footprint, the DFS record and the rows
+/// flowing to the next stage are one allocation.
 struct CheckpointRows<K, V> {
-    rows: Vec<(K, V)>,
+    rows: Arc<Vec<(K, V)>>,
 }
 
 impl<K, V> ShuffleSize for CheckpointRows<K, V> {
@@ -503,7 +555,7 @@ impl PartitionCache {
         let entry = self.entries.remove(token).expect("entry checked above");
         let buckets = entry
             .buckets
-            .downcast::<Vec<Vec<(K, V)>>>()
+            .downcast::<Vec<ReduceBucket<K, V>>>()
             .expect("bucket type verified by ContractKey");
         Some((*buckets, entry.shuffle_bytes))
     }
@@ -512,7 +564,7 @@ impl PartitionCache {
         &mut self,
         token: String,
         key: ContractKey,
-        buckets: Vec<Vec<(K, V)>>,
+        buckets: Vec<ReduceBucket<K, V>>,
         shuffle_bytes: u64,
     ) {
         self.entries.insert(
@@ -564,9 +616,13 @@ impl PlanInit {
     /// materialization, and co-partitioning contracts recognize it as the
     /// same source across plans.
     pub fn snapshot<K: 'static, V: 'static>(self, snap: &Snapshot<K, V>) -> PlanBuilder<K, V, ()> {
+        let source: Rows = match &snap.rows {
+            SnapRows::Resident(a) => Box::new(MapInput::Shared(Arc::clone(a))),
+            SnapRows::Spilled(s) => Box::new(MapInput::Spilled(Arc::clone(s))),
+        };
         PlanBuilder {
             name: self.name,
-            source: Box::new(MapInput::Shared(Arc::clone(&snap.rows))),
+            source,
             source_id: snap.id,
             stages: Vec::new(),
             pending: (),
@@ -742,8 +798,10 @@ fn push_stage<M, R>(
                 };
                 metrics.user.insert("resumed_from_checkpoint".into(), 1);
                 ctx.history.push(metrics);
-                let out = stored[0].rows.clone();
-                return (Box::new(MapInput::Owned(out)) as Rows, fresh_source_id());
+                // Share the checkpointed rows instead of copying them: the
+                // next stage's map tasks clone only their own chunks.
+                let out = Arc::clone(&stored[0].rows);
+                return (Box::new(MapInput::Shared(out)) as Rows, fresh_source_id());
             }
         }
         let input = *rows
@@ -762,8 +820,15 @@ fn push_stage<M, R>(
         if let Some(f) = finalize {
             f(&mut metrics);
         }
+        // The stage output is Arc-shared between the checkpoint record and
+        // the rows handed to the next stage: checkpointing must not double
+        // the stage's peak footprint. The driver unwraps (or, if a
+        // checkpoint still holds a reference, clones) at plan exit.
+        let out = Arc::new(out);
         if let Some(ck) = ctx.checkpoint.as_ref() {
-            let data = CheckpointRows { rows: out.clone() };
+            let data = CheckpointRows {
+                rows: Arc::clone(&out),
+            };
             let bytes = data.shuffle_bytes();
             let path = ck.path();
             ck.dfs.remove(&path);
@@ -774,7 +839,7 @@ fn push_stage<M, R>(
             obsv::global().counter("checkpoint_bytes").inc(bytes);
         }
         ctx.history.push(metrics);
-        (Box::new(MapInput::Owned(out)) as Rows, fresh_source_id())
+        (Box::new(MapInput::Shared(out)) as Rows, fresh_source_id())
     }));
 }
 
@@ -803,6 +868,12 @@ where
     let name = builder.job_name().to_string();
     let elide = ctx.elide;
     let cache = &mut *ctx.cache;
+    let governor = ctx.governor.clone();
+    let builder = match &governor {
+        Some(g) => builder.with_governor(Arc::clone(g)),
+        None => builder,
+    };
+    let retain_label = format!("retain-{name}");
     // Scope the heap accountant around the whole stage body (map,
     // shuffle, reduce, contract bookkeeping) so the stage's metrics can
     // report its peak resident footprint. Inert (returns 0) unless
@@ -825,6 +896,10 @@ where
                 (Some(token), true) => cache.take::<M::OutKey, M::OutValue>(token, &ckey),
                 _ => None,
             };
+            // Bytes the retained cache copy moved to disk under pressure;
+            // folded into the stage's spill accounting after the fact
+            // (the engine's own counter only sees map-side spills).
+            let mut retained_spill = 0u64;
             let out = match reuse {
                 Some((buckets, saved_bytes)) => {
                     // Map and shuffle elided: their counters stay 0, the
@@ -832,17 +907,35 @@ where
                     // rows are never even read.
                     metrics.shuffle_bytes_saved = saved_bytes;
                     metrics.max_reduce_task_records =
-                        buckets.iter().map(|b| b.len() as u64).max().unwrap_or(0);
+                        buckets.iter().map(|b| b.records()).max().unwrap_or(0);
                     builder.reduce_phase(buckets, &mut metrics, &chaos)
                 }
                 None => {
                     let map_out = builder.map_phase(input, &mut metrics, &chaos);
                     let buckets = builder.shuffle_phase(map_out, &mut metrics);
                     if let (Some(token), true) = (contract, elide) {
+                        // The retained copy shares spilled parts with the
+                        // live buckets and deep-copies only resident ones;
+                        // under budget pressure those resident parts move
+                        // to disk too, so retention never holds a second
+                        // resident copy of the shuffle. Clone-then-spill
+                        // runs bucket by bucket so the transient doubling
+                        // is one bucket deep, not the whole shuffle.
+                        let mut retained: Vec<ReduceBucket<M::OutKey, M::OutValue>> =
+                            Vec::with_capacity(buckets.len());
+                        for b in &buckets {
+                            let mut rb = b.cache_clone();
+                            if let Some(gov) = &governor {
+                                if gov.should_spill() {
+                                    retained_spill += rb.spill_mem_parts(gov, &retain_label);
+                                }
+                            }
+                            retained.push(rb);
+                        }
                         cache.retain::<M::OutKey, M::OutValue>(
                             token.to_string(),
                             ckey,
-                            buckets.clone(),
+                            retained,
                             metrics.shuffle_bytes,
                         );
                     }
@@ -850,6 +943,7 @@ where
                 }
             };
             builder.finish_metrics(&mut metrics, &chaos);
+            metrics.spill_bytes += retained_spill;
             (out, metrics)
         },
     );
@@ -1088,7 +1182,11 @@ mod tests {
     #[test]
     fn snapshot_feeds_stages_without_copying_upfront() {
         let snap = Snapshot::new(input_rows(50));
-        let before = Arc::strong_count(&snap.rows);
+        let resident = |s: &Snapshot<u32, u32>| match &s.rows {
+            SnapRows::Resident(a) => Arc::clone(a),
+            SnapRows::Spilled(_) => unreachable!("built resident"),
+        };
+        let before = Arc::strong_count(&resident(&snap)) - 1;
         let mut driver = Driver::new();
         let p = plan("reader")
             .snapshot(&snap)
@@ -1097,7 +1195,7 @@ mod tests {
             .build();
         let mut got = driver.run_plan(p);
         // The plan held a reference, not a copy, and released it.
-        assert_eq!(Arc::strong_count(&snap.rows), before);
+        assert_eq!(Arc::strong_count(&resident(&snap)) - 1, before);
 
         let (mut want, _) = JobBuilder::new("ref", mod_key_mapper(), sum_reducer())
             .config(JobConfig::uniform(3))
@@ -1196,6 +1294,122 @@ mod tests {
         assert_eq!(resumed[0].map_input_records, 0);
         // Success clears the surviving checkpoints.
         assert!(driver.dfs().list("ckpt/").is_empty());
+    }
+
+    #[test]
+    fn zero_budget_always_spill_is_bit_identical() {
+        let rows = input_rows(300);
+
+        let mut plain = Driver::new();
+        let p_ref = plan("ref")
+            .rows(rows.clone())
+            .stage(Stage::new("s1", mod_key_mapper(), sum_reducer()).config(JobConfig::uniform(4)))
+            .build();
+        let want = plain.run_plan(p_ref);
+
+        // Budget 0: every governed map task spills its buckets and reduce
+        // streams them back. Output must match the resident run exactly —
+        // same records in the same order, not just the same set.
+        let mut budgeted = Driver::new().with_mem_budget(0);
+        let p = plan("budgeted")
+            .rows(rows)
+            .stage(Stage::new("s1", mod_key_mapper(), sum_reducer()).config(JobConfig::uniform(4)))
+            .build();
+        let got = budgeted.run_plan(p);
+        assert_eq!(got, want);
+
+        let h = budgeted.history();
+        assert!(h[0].spill_bytes > 0, "zero budget must force spills");
+        // Shuffle accounting is unchanged by spilling: the logical volume
+        // crossed the boundary either way.
+        assert_eq!(h[0].shuffle_bytes, plain.history()[0].shuffle_bytes);
+        assert_eq!(h[0].shuffle_records, plain.history()[0].shuffle_records);
+        // Spill I/O is metered on the DFS disk tier, split from in-memory
+        // materialization, and everything spilled was read back.
+        assert!(budgeted.dfs().spill_bytes_written() > 0);
+        assert_eq!(
+            budgeted.dfs().spill_bytes_read(),
+            budgeted.dfs().spill_bytes_written()
+        );
+        assert_eq!(budgeted.dfs().bytes_written(), 0);
+        let gov = budgeted.mem_governor().expect("budget configured");
+        assert_eq!(gov.spill_bytes(), h[0].spill_bytes);
+        assert_eq!(gov.resident_bytes(), 0, "all charges released");
+    }
+
+    #[test]
+    fn elision_under_budget_spills_retained_copy_and_stays_identical() {
+        let snap = Snapshot::new(input_rows(200));
+
+        let run = |mut driver: Driver| {
+            let p1 = plan("sum")
+                .snapshot(&snap)
+                .map_stage(mod_key_mapper())
+                .reduce_stage(
+                    ReduceStage::new("sum", sum_reducer())
+                        .config(JobConfig::uniform(4))
+                        .co_partitioned("mod7"),
+                )
+                .build();
+            let sums = driver.run_plan(p1);
+            let p2 = plan("max")
+                .snapshot(&snap)
+                .map_stage(mod_key_mapper())
+                .reduce_stage(
+                    ReduceStage::new("max", max_reducer())
+                        .config(JobConfig::uniform(4))
+                        .co_partitioned("mod7"),
+                )
+                .build();
+            let maxes = driver.run_plan(p2);
+            (sums, maxes, driver)
+        };
+
+        let (want_sums, want_maxes, plain) = run(Driver::new());
+        let (sums, maxes, budgeted) = run(Driver::new().with_mem_budget(0));
+        assert_eq!(sums, want_sums);
+        assert_eq!(maxes, want_maxes);
+
+        let h = budgeted.history();
+        // Elision accounting is untouched by the budget: the second stage
+        // still skips its map+shuffle and reports the saved volume.
+        assert_eq!(h[1].shuffle_bytes_saved, plain.history()[0].shuffle_bytes);
+        assert_eq!(h[1].shuffle_bytes, 0);
+        // The first stage spilled both its live buckets and the retained
+        // cache copy.
+        assert!(h[0].spill_bytes > 0);
+    }
+
+    #[test]
+    fn spilled_snapshot_plan_matches_resident_snapshot() {
+        let rows = input_rows(150);
+        let spilled = SpilledRows::from_batches("snap-test", rows.chunks(40).map(|c| c.to_vec()))
+            .expect("spill tmp dir");
+        let snap_cold = Snapshot::from_spilled(spilled);
+        assert!(snap_cold.is_spilled());
+        assert_eq!(snap_cold.len(), 150);
+        let snap_hot = Snapshot::new(rows);
+
+        let run = |snap: &Snapshot<u32, u32>| {
+            let mut driver = Driver::new();
+            let p = plan("reader")
+                .snapshot(snap)
+                .map_stage(mod_key_mapper())
+                .reduce_stage(ReduceStage::new("sum", sum_reducer()).config(JobConfig::uniform(3)))
+                .build();
+            let out = driver.run_plan(p);
+            let m = driver.history()[0].clone();
+            (out, m)
+        };
+
+        let (want, m_hot) = run(&snap_hot);
+        let (got, m_cold) = run(&snap_cold);
+        assert_eq!(got, want);
+        // Chunk boundaries — and therefore every counter — are identical
+        // whether the input is streamed from disk or read from memory.
+        assert_eq!(m_cold.shuffle_bytes, m_hot.shuffle_bytes);
+        assert_eq!(m_cold.shuffle_records, m_hot.shuffle_records);
+        assert_eq!(m_cold.map_input_records, m_hot.map_input_records);
     }
 
     #[test]

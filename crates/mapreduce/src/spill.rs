@@ -1,0 +1,479 @@
+//! Disk spill tier: length-prefixed segment files of checksummed frames.
+//!
+//! When a [`crate::driver::MemoryGovernor`] decides an intermediate no
+//! longer fits the memory budget, the engine writes it to a *segment
+//! file* and keeps only a small handle resident. A segment is a sequence
+//! of frames, each
+//!
+//! ```text
+//! [u64 LE frame length][ encode_framed(Vec<(K, V)>) ]
+//! ```
+//!
+//! i.e. the same [`crate::wire`] codec the shuffle-integrity layer uses:
+//! a `Vec` payload (4-byte count prefix + fixed-width records) followed
+//! by an 8-byte FNV-1a trailer. Reusing the wire codec gives the spill
+//! tier two properties for free: the on-disk byte count of a frame's
+//! records **equals** their `ShuffleSize` accounting (so spilled and
+//! resident partitions meter identically), and any torn or corrupted
+//! frame is detected by checksum before its records reach a reducer.
+//!
+//! Frames are read back with positioned reads (`pread`), so one open
+//! segment serves concurrent reduce tasks without seek coordination.
+//! [`scan_frames`] additionally supports sequential recovery reads that
+//! tolerate a torn tail — a process killed mid-spill leaves a segment
+//! whose intact prefix is still usable.
+
+use crate::wire::{decode_framed, encode_framed, Wire, WireError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-frame framing overhead: 4-byte `Vec` count prefix + 8-byte
+/// checksum trailer (the leading `u64` length word is accounted
+/// separately by [`FrameMeta::frame_len`]).
+const FRAME_OVERHEAD: u64 = 12;
+
+/// Errors from spill-segment I/O.
+#[derive(Debug)]
+pub enum SpillError {
+    /// Underlying file system error.
+    Io(std::io::Error),
+    /// The frame decoded to garbage (truncation or corruption).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "spill i/o error: {e}"),
+            SpillError::Wire(e) => write!(f, "spill frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+impl From<std::io::Error> for SpillError {
+    fn from(e: std::io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
+impl From<WireError> for SpillError {
+    fn from(e: WireError) -> Self {
+        SpillError::Wire(e)
+    }
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-private temporary directory holding spill segments; removed
+/// recursively on drop (segments already deleted individually are fine).
+pub struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Creates a fresh directory under the system temp dir, namespaced by
+    /// pid so concurrent test processes never collide.
+    pub fn create(label: &str) -> std::io::Result<Self> {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("mr-spill-{}-{label}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(SpillDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Path for a segment named `name` inside this directory.
+    pub fn segment_path(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Location and accounting for one frame inside a segment.
+#[derive(Debug, Clone)]
+pub struct FrameMeta {
+    /// Byte offset of the frame's length word in the segment file.
+    pub offset: u64,
+    /// Length of the framed payload (excluding the 8-byte length word).
+    pub frame_len: u32,
+    /// Records in the frame.
+    pub records: u32,
+    /// Sum of the records' `ShuffleSize` bytes — by the wire length
+    /// contract, exactly `frame_len - 12`.
+    pub record_bytes: u64,
+}
+
+/// Appends frames to a new segment file.
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    offset: u64,
+    written_counter: Option<Arc<AtomicU64>>,
+    read_counter: Option<Arc<AtomicU64>>,
+}
+
+impl SegmentWriter {
+    /// Creates a new segment at `path` (fails if it exists).
+    pub fn create(path: PathBuf) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            offset: 0,
+            written_counter: None,
+            read_counter: None,
+        })
+    }
+
+    /// Attaches byte counters bumped on every frame write / later read
+    /// (the `Dfs` spill accounting split).
+    pub fn with_counters(mut self, written: Arc<AtomicU64>, read: Arc<AtomicU64>) -> Self {
+        self.written_counter = Some(written);
+        self.read_counter = Some(read);
+        self
+    }
+
+    /// Writes one frame holding `batch`; returns its location.
+    pub fn write_frame<T: Wire>(&mut self, batch: &Vec<T>) -> std::io::Result<FrameMeta> {
+        let frame = encode_framed(batch);
+        self.file.write_all(&(frame.len() as u64).to_le_bytes())?;
+        self.file.write_all(&frame)?;
+        let meta = FrameMeta {
+            offset: self.offset,
+            frame_len: frame.len() as u32,
+            records: batch.len() as u32,
+            record_bytes: frame.len() as u64 - FRAME_OVERHEAD,
+        };
+        self.offset += 8 + frame.len() as u64;
+        if let Some(c) = &self.written_counter {
+            c.fetch_add(meta.record_bytes, Ordering::Relaxed);
+        }
+        Ok(meta)
+    }
+
+    /// Total bytes written so far (including framing).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Finishes the segment, returning a read handle. The file is deleted
+    /// when the handle drops.
+    pub fn finish(self) -> std::io::Result<SpillSegment> {
+        self.file.sync_data().ok();
+        Ok(SpillSegment {
+            file: self.file,
+            path: self.path,
+            bytes: self.offset,
+            read_counter: self.read_counter,
+        })
+    }
+}
+
+/// A finished, readable spill segment. Dropping the handle deletes the
+/// file — segments are transient job state, not durable storage.
+pub struct SpillSegment {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    read_counter: Option<Arc<AtomicU64>>,
+}
+
+impl SpillSegment {
+    /// Total file size in bytes (frames plus framing words).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Reads one frame back via a positioned read, verifying length word
+    /// and checksum.
+    pub fn read_frame<T: Wire>(&self, meta: &FrameMeta) -> Result<Vec<T>, SpillError> {
+        let mut buf = vec![0u8; 8 + meta.frame_len as usize];
+        self.file.read_exact_at(&mut buf, meta.offset)?;
+        let len = u64::from_le_bytes(buf[..8].try_into().expect("length word"));
+        if len != meta.frame_len as u64 {
+            return Err(SpillError::Wire(WireError::Corrupt("frame length word")));
+        }
+        let rows = decode_framed::<Vec<T>>(&buf[8..])?;
+        if let Some(c) = &self.read_counter {
+            c.fetch_add(meta.record_bytes, Ordering::Relaxed);
+        }
+        Ok(rows)
+    }
+}
+
+impl Drop for SpillSegment {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Outcome of a sequential recovery scan over a segment file.
+#[derive(Debug)]
+pub struct ScanOutcome<T> {
+    /// Frames decoded intact, in write order.
+    pub frames: Vec<Vec<T>>,
+    /// Whether the file ended in a torn (incomplete or checksum-failing)
+    /// tail frame — expected after a crash mid-spill. The intact prefix
+    /// in `frames` is still valid.
+    pub torn_tail: bool,
+}
+
+/// Sequentially scans a segment file, decoding every intact frame.
+///
+/// A clean segment yields all frames with `torn_tail == false`. A file
+/// truncated or corrupted at the tail (killed writer) yields the intact
+/// prefix with `torn_tail == true`. Corruption *before* the final frame
+/// also stops the scan at the last intact frame: everything after an
+/// undecodable frame is unaddressable since frame boundaries chain.
+pub fn scan_frames<T: Wire>(path: &Path) -> std::io::Result<ScanOutcome<T>> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let mut frames = Vec::new();
+    let mut rest: &[u8] = &bytes;
+    loop {
+        if rest.is_empty() {
+            return Ok(ScanOutcome {
+                frames,
+                torn_tail: false,
+            });
+        }
+        if rest.len() < 8 {
+            return Ok(ScanOutcome {
+                frames,
+                torn_tail: true,
+            });
+        }
+        let (word, tail) = rest.split_at(8);
+        let len = u64::from_le_bytes(word.try_into().expect("length word")) as usize;
+        if tail.len() < len {
+            return Ok(ScanOutcome {
+                frames,
+                torn_tail: true,
+            });
+        }
+        let (frame, tail) = tail.split_at(len);
+        match decode_framed::<Vec<T>>(frame) {
+            Ok(rows) => frames.push(rows),
+            Err(_) => {
+                return Ok(ScanOutcome {
+                    frames,
+                    torn_tail: true,
+                })
+            }
+        }
+        rest = tail;
+    }
+}
+
+/// Rows that live on disk, readable by range, with the element types
+/// erased behind a closure so engine code needs no `Wire` bounds.
+///
+/// This backs spilled [`crate::plan::Snapshot`]s: a dataset several times
+/// larger than the memory budget is written once as a segment and map
+/// tasks decode only their chunk's frames.
+pub struct SpilledRows<K, V> {
+    len: usize,
+    bytes: u64,
+    #[allow(clippy::type_complexity)]
+    reader: Box<dyn Fn(usize, usize) -> Vec<(K, V)> + Send + Sync>,
+}
+
+impl<K, V> SpilledRows<K, V> {
+    /// Number of rows in the segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total `ShuffleSize` bytes of the stored rows.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Decodes rows `[start, end)` from disk. Panics on out-of-bounds
+    /// ranges or unreadable segments (both are engine bugs, not
+    /// recoverable conditions — the segment is process-local state).
+    pub fn read_range(&self, start: usize, end: usize) -> Vec<(K, V)> {
+        assert!(start <= end && end <= self.len, "spill range out of bounds");
+        (self.reader)(start, end)
+    }
+
+    /// Decodes the whole segment.
+    pub fn read_all(&self) -> Vec<(K, V)> {
+        self.read_range(0, self.len)
+    }
+}
+
+impl<K, V> SpilledRows<K, V>
+where
+    K: Wire + Send + Sync + 'static,
+    V: Wire + Send + Sync + 'static,
+{
+    /// Spills `batches` to a fresh private segment, consuming each batch
+    /// as it arrives — the full row set is never resident. Empty batches
+    /// are skipped.
+    pub fn from_batches<I>(label: &str, batches: I) -> std::io::Result<Self>
+    where
+        I: IntoIterator<Item = Vec<(K, V)>>,
+    {
+        let dir = SpillDir::create(label)?;
+        let mut writer = SegmentWriter::create(dir.segment_path("rows.seg"))?;
+        // (first record index, frame) pairs for binary-searched range reads.
+        let mut index: Vec<(usize, FrameMeta)> = Vec::new();
+        let mut len = 0usize;
+        let mut bytes = 0u64;
+        for batch in batches {
+            if batch.is_empty() {
+                continue;
+            }
+            let meta = writer.write_frame(&batch)?;
+            bytes += meta.record_bytes;
+            index.push((len, meta));
+            len += batch.len();
+        }
+        let seg = writer.finish()?;
+        let dir = Arc::new(dir);
+        let index = Arc::new(index);
+        let seg = Arc::new(seg);
+        let reader = Box::new(move |start: usize, end: usize| {
+            let _keep_dir_alive = &dir;
+            let mut out: Vec<(K, V)> = Vec::with_capacity(end - start);
+            if start == end {
+                return out;
+            }
+            // First frame whose range contains `start`.
+            let mut i = match index.binary_search_by(|(first, _)| first.cmp(&start)) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            let mut frame_first = index[i].0;
+            while frame_first < end && i < index.len() {
+                let rows: Vec<(K, V)> = seg
+                    .read_frame(&index[i].1)
+                    .expect("spill segment read (process-local file)");
+                let n = rows.len();
+                let lo = start.saturating_sub(frame_first);
+                let hi = n.min(end - frame_first);
+                out.extend(rows.into_iter().skip(lo).take(hi - lo));
+                frame_first += n;
+                i += 1;
+            }
+            out
+        });
+        Ok(SpilledRows { len, bytes, reader })
+    }
+}
+
+impl<K, V> std::fmt::Debug for SpilledRows<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpilledRows")
+            .field("len", &self.len)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ShuffleSize;
+
+    fn rows(n: usize) -> Vec<(u32, Vec<f64>)> {
+        (0..n).map(|i| (i as u32, vec![i as f64, -1.5])).collect()
+    }
+
+    #[test]
+    fn segment_round_trip_with_accounting() {
+        let dir = SpillDir::create("test").unwrap();
+        let written = Arc::new(AtomicU64::new(0));
+        let read = Arc::new(AtomicU64::new(0));
+        let mut w = SegmentWriter::create(dir.segment_path("seg"))
+            .unwrap()
+            .with_counters(written.clone(), read.clone());
+        let batch = rows(10);
+        let expect_bytes: u64 = batch.iter().map(ShuffleSize::shuffle_bytes).sum();
+        let meta = w.write_frame(&batch).unwrap();
+        assert_eq!(meta.record_bytes, expect_bytes);
+        assert_eq!(written.load(Ordering::Relaxed), expect_bytes);
+        let seg = w.finish().unwrap();
+        let back: Vec<(u32, Vec<f64>)> = seg.read_frame(&meta).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(read.load(Ordering::Relaxed), expect_bytes);
+    }
+
+    #[test]
+    fn segment_file_deleted_on_drop() {
+        let dir = SpillDir::create("test").unwrap();
+        let path = dir.segment_path("seg");
+        let mut w = SegmentWriter::create(path.clone()).unwrap();
+        w.write_frame(&rows(3)).unwrap();
+        let seg = w.finish().unwrap();
+        assert!(path.exists());
+        drop(seg);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn scan_tolerates_torn_tail() {
+        let dir = SpillDir::create("test").unwrap();
+        let path = dir.segment_path("seg");
+        let mut w = SegmentWriter::create(path.clone()).unwrap();
+        for chunk in rows(30).chunks(10) {
+            w.write_frame(&chunk.to_vec()).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        drop(w); // keep the file: drop the writer without finish()
+
+        let clean = scan_frames::<(u32, Vec<f64>)>(&path).unwrap();
+        assert!(!clean.torn_tail);
+        assert_eq!(clean.frames.concat(), rows(30));
+
+        // Truncate mid-final-frame: intact prefix + torn tail.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let torn = scan_frames::<(u32, Vec<f64>)>(&path).unwrap();
+        assert!(torn.torn_tail);
+        assert_eq!(torn.frames.concat(), rows(20));
+    }
+
+    #[test]
+    fn spilled_rows_range_reads() {
+        let data = rows(100);
+        let spilled =
+            SpilledRows::from_batches("test", data.chunks(7).map(|c| c.to_vec())).unwrap();
+        assert_eq!(spilled.len(), 100);
+        let expect_bytes: u64 = data.iter().map(ShuffleSize::shuffle_bytes).sum();
+        assert_eq!(spilled.bytes(), expect_bytes);
+        assert_eq!(spilled.read_all(), data);
+        assert_eq!(spilled.read_range(0, 0), vec![]);
+        assert_eq!(spilled.read_range(3, 11), data[3..11].to_vec());
+        assert_eq!(spilled.read_range(96, 100), data[96..100].to_vec());
+        // Chunk boundaries identical to resident slicing.
+        for (s, e) in [(0, 25), (25, 50), (50, 75), (75, 100)] {
+            assert_eq!(spilled.read_range(s, e), data[s..e].to_vec());
+        }
+    }
+}

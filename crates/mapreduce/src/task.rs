@@ -2,17 +2,22 @@
 //! [`Emitter`] they write intermediate records through.
 
 use crate::record::ShuffleSize;
+use crate::wire::Wire;
 use std::hash::Hash;
 
 /// Marker bounds for intermediate keys: hashable (partitioning), ordered
 /// (deterministic grouping), cloneable (combiner re-emission), sized
-/// (shuffle accounting) and sendable across task threads.
-pub trait MrKey: Hash + Eq + Ord + Clone + Send + Sync + ShuffleSize {}
-impl<T: Hash + Eq + Ord + Clone + Send + Sync + ShuffleSize> MrKey for T {}
+/// (shuffle accounting), wire-encodable (the disk spill tier serializes
+/// intermediates with the [`Wire`] codec) and sendable across task
+/// threads.
+pub trait MrKey: Hash + Eq + Ord + Clone + Send + Sync + ShuffleSize + Wire {}
+impl<T: Hash + Eq + Ord + Clone + Send + Sync + ShuffleSize + Wire> MrKey for T {}
 
-/// Marker bounds for intermediate values.
-pub trait MrValue: Send + Sync + ShuffleSize {}
-impl<T: Send + Sync + ShuffleSize> MrValue for T {}
+/// Marker bounds for intermediate values. Like keys, values must be
+/// wire-encodable so shuffle partitions can spill to disk under memory
+/// pressure.
+pub trait MrValue: Send + Sync + ShuffleSize + Wire {}
+impl<T: Send + Sync + ShuffleSize + Wire> MrValue for T {}
 
 /// Collects records emitted by a map, combine or reduce invocation.
 #[derive(Debug)]

@@ -164,6 +164,35 @@ macro_rules! impl_wire_num {
 
 impl_wire_num!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
 
+// `usize`/`isize` encode at a fixed 8 bytes regardless of platform width,
+// matching their `ShuffleSize` accounting.
+impl Wire for usize {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::read(input)?;
+        usize::try_from(v).map_err(|_| WireError::Corrupt("usize overflow"))
+    }
+}
+
+impl Wire for isize {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as i64).to_le_bytes());
+    }
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = i64::read(input)?;
+        isize::try_from(v).map_err(|_| WireError::Corrupt("isize overflow"))
+    }
+}
+
+impl Wire for () {
+    fn write(&self, _out: &mut Vec<u8>) {}
+    fn read(_input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
 impl Wire for bool {
     fn write(&self, out: &mut Vec<u8>) {
         out.push(u8::from(*self));
@@ -204,6 +233,18 @@ impl<T: Wire> Wire for Vec<T> {
             out.push(T::read(input)?);
         }
         Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Box<[T]> {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for v in self.iter() {
+            v.write(out);
+        }
+    }
+    fn read(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Vec::<T>::read(input)?.into_boxed_slice())
     }
 }
 
@@ -297,6 +338,10 @@ mod tests {
         round_trip(Vec::<f64>::new());
         round_trip(Some(7u64));
         round_trip(Option::<u64>::None);
+        round_trip(42usize);
+        round_trip(-42isize);
+        round_trip(());
+        round_trip(vec![1u32, 2, 3].into_boxed_slice());
         round_trip((1u32, vec![0.5f64, -0.5]));
         round_trip((1u32, 2u32, vec![1.0f64]));
         round_trip((1u8, 2u16, 3u32, 4u64));

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI streaming-execution gate.
+
+Validates the `streaming` scenario out of a BENCH_perf.json produced by
+`bench_summary` (schema >= 8): LSH-DDP over a spilled snapshot at least
+4x larger than the memory budget must finish with a rho/delta digest
+bit-identical to the unbudgeted in-memory run, must actually exercise
+the disk spill tier, and must hold its peak heap growth under the
+configured multiple of the budget (default 1.25x).
+
+Usage: check_streaming.py <BENCH_perf.json> [max_peak_over_budget]
+"""
+
+import json
+import sys
+
+
+def check(path: str, max_ratio: float) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema", 0)
+    if schema < 8:
+        print(f"{path}: schema {schema} < 8 — no streaming scenario; "
+              "re-run bench_summary", file=sys.stderr)
+        return 1
+    s = doc.get("streaming")
+    if not isinstance(s, dict):
+        print(f"{path}: no streaming scenario in summary", file=sys.stderr)
+        return 1
+
+    failures = []
+    budget = s.get("budget_bytes", 0)
+    dataset = s.get("dataset_bytes", 0)
+    if budget <= 0:
+        failures.append("budget_bytes must be positive")
+    if dataset < 4 * budget:
+        failures.append(
+            f"dataset {dataset} B is under 4x the {budget} B budget — "
+            "the drill is not memory-constrained"
+        )
+    if not s.get("digests_match"):
+        failures.append(
+            "budgeted run diverged from the unbudgeted baseline "
+            f"(resident {s.get('digest_resident')} != "
+            f"budgeted {s.get('digest_budgeted')})"
+        )
+    if s.get("spill_bytes", 0) <= 0:
+        failures.append("no bytes went through the spill tier (spill_bytes == 0)")
+    peak = s.get("peak_over_baseline_bytes", 0)
+    if peak <= 0:
+        failures.append("allocator accounting recorded no heap growth")
+    elif budget > 0 and peak > max_ratio * budget:
+        failures.append(
+            f"peak heap growth {peak} B exceeds {max_ratio:.2f}x the "
+            f"{budget} B budget ({peak / budget:.2f}x)"
+        )
+
+    for msg in failures:
+        print(f"{path}: {msg}", file=sys.stderr)
+    if not failures:
+        print(
+            f"{path}: streaming drill ok — {s['points']} pts x {s['dim']} dims "
+            f"({dataset / 1e6:.1f} MB) under a {budget / 1e6:.1f} MB budget: "
+            f"digests match, spilled {s['spill_bytes'] / 1e6:.1f} MB, "
+            f"stalled {s.get('backpressure_stall_ns', 0) / 1e6:.0f} ms, "
+            f"peak +{peak / 1e6:.2f} MB ({peak / budget:.2f}x budget)"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [max_peak_over_budget]",
+              file=sys.stderr)
+        return 2
+    ratio = float(sys.argv[2]) if len(sys.argv) == 3 else 1.25
+    return check(sys.argv[1], ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

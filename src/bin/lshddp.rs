@@ -100,6 +100,11 @@ GLOBAL:
       alive <ms> after the command finishes, for external scrapes
   --slo-ms <f>          serve/stats: latency SLO objective in ms; burn-rate
       monitoring sheds queued work while both windows burn hot
+  --mem-budget <bytes>  bound the cluster pipelines' resident working set;
+      accepts K/M/G suffixes (e.g. 256M). Stage outputs, shuffle
+      partitions, and checkpoints past the budget spill to the simulated
+      DFS and stream back chunk by chunk; results are bit-identical to
+      an unbudgeted run. --stats reports spill volume and backpressure
   --fault-rate <n>      chaos: fail n/1000 of task attempts (cluster
       pipelines; retried transparently, results unchanged)
   --straggler-rate <n>  chaos: slow n/1000 of tasks 4x (speculative
@@ -125,10 +130,16 @@ fn run(args: &[String]) -> Result<(), String> {
     if trace.is_some() || opts.profile.is_some() || opts.metrics_addr.is_some() {
         obsv::install_executor_metrics(obsv::global());
     }
-    // Heap accounting powers the per-stage `peak resident` columns and
-    // the `mem.*` gauges; it is one-way for the process, so turn it on
-    // only when some telemetry consumer will read it.
-    if opts.stats || trace.is_some() || opts.profile.is_some() || opts.metrics_addr.is_some() {
+    // Heap accounting powers the per-stage `peak resident` columns, the
+    // `mem.*` gauges, and the memory governor's process-heap watermark;
+    // it is one-way for the process, so turn it on only when some
+    // consumer (telemetry or `--mem-budget` enforcement) will read it.
+    if opts.stats
+        || opts.mem_budget.is_some()
+        || trace.is_some()
+        || opts.profile.is_some()
+        || opts.metrics_addr.is_some()
+    {
         obsv::alloc::enable_accounting();
     }
 
@@ -248,6 +259,7 @@ struct Opts {
     cache: usize,
     queue: usize,
     clients: usize,
+    mem_budget: Option<u64>,
 }
 
 impl Opts {
@@ -288,6 +300,7 @@ impl Opts {
             cache: 4096,
             queue: 1024,
             clients: 4,
+            mem_budget: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -334,6 +347,7 @@ impl Opts {
                 "--cache" => o.cache = parse_num(value("--cache")?, "--cache")?,
                 "--queue" => o.queue = parse_num(value("--queue")?, "--queue")?,
                 "--clients" => o.clients = parse_num(value("--clients")?, "--clients")?,
+                "--mem-budget" => o.mem_budget = Some(parse_bytes(value("--mem-budget")?)?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -364,10 +378,11 @@ impl Opts {
         Some(plan)
     }
 
-    /// A pipeline config carrying the chaos flags.
+    /// A pipeline config carrying the chaos and memory-budget flags.
     fn pipeline(&self) -> ddp::common::PipelineConfig {
         ddp::common::PipelineConfig {
             chaos: self.chaos(),
+            mem_budget: self.mem_budget,
             ..Default::default()
         }
     }
@@ -381,6 +396,21 @@ impl Opts {
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024), e.g. `--mem-budget 256M`.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = parse_num(digits, "--mem-budget")?;
+    n.checked_shl(shift)
+        .filter(|v| *v >> shift == n)
+        .ok_or_else(|| format!("--mem-budget: {s:?} overflows u64"))
 }
 
 fn generate(o: &Opts) -> Result<(), String> {
@@ -506,8 +536,13 @@ fn cluster(o: &Opts) -> Result<(), String> {
                 } else {
                     String::new()
                 };
+                let spilled = if job.spill_bytes > 0 {
+                    format!("  spill {:>10} B", job.spill_bytes)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "  {:<22} shuffle {:>12} B  records {:>10}  peak {:>7.1} MB{elided}",
+                    "  {:<22} shuffle {:>12} B  records {:>10}  peak {:>7.1} MB{spilled}{elided}",
                     job.name,
                     job.shuffle_bytes,
                     job.shuffle_records,
@@ -522,6 +557,19 @@ fn cluster(o: &Opts) -> Result<(), String> {
                 "  peak resident heap across stages: {:.1} MB",
                 r.peak_resident_bytes() as f64 / 1e6
             );
+            let spilled = r.spill_bytes();
+            if spilled > 0 || o.mem_budget.is_some() {
+                println!(
+                    "  memory governor: budget {}, spilled {:.1} MB, \
+                     backpressure stalls {:.1} ms",
+                    match o.mem_budget {
+                        Some(b) => format!("{:.1} MB", b as f64 / 1e6),
+                        None => "off".into(),
+                    },
+                    spilled as f64 / 1e6,
+                    r.backpressure_stall_ns() as f64 / 1e6,
+                );
+            }
         }
     }
     Ok(())

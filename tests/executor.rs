@@ -50,6 +50,7 @@ fn pinned_pipeline() -> PipelineConfig {
         disable_elision: false,
         checkpoints: false,
         kernel: Default::default(),
+        mem_budget: None,
     }
 }
 

@@ -25,6 +25,7 @@ fn faulty_pipeline(rate_per_mille: u32) -> PipelineConfig {
         disable_elision: false,
         checkpoints: false,
         kernel: Default::default(),
+        mem_budget: None,
     }
 }
 
@@ -78,6 +79,7 @@ fn lsh_ddp_survives_task_failures_bit_exactly() {
         disable_elision: false,
         checkpoints: false,
         kernel: Default::default(),
+        mem_budget: None,
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -105,6 +107,7 @@ fn eddpc_survives_task_failures_bit_exactly() {
         disable_elision: false,
         checkpoints: false,
         kernel: Default::default(),
+        mem_budget: None,
     });
     let faulty = run(faulty_pipeline(250));
     assert_eq!(clean.result, faulty.result);
@@ -213,6 +216,7 @@ fn assert_chaos_is_invisible(ds: &Dataset, dc: f64, chaos: ChaosPlan) -> u64 {
         disable_elision: false,
         checkpoints: false,
         kernel: Default::default(),
+        mem_budget: None,
     };
     let chaos_pipe = PipelineConfig {
         chaos: Some(chaos),
@@ -320,6 +324,7 @@ fn indexed_kernels_under_chaos_match_the_clean_blocked_run_bit_exactly() {
         disable_elision: false,
         checkpoints: false,
         kernel: dp_core::KernelStrategy::Blocked,
+        mem_budget: None,
     };
     let run = |pipeline: PipelineConfig| {
         LshDdp::new(ddp::lsh_ddp::LshDdpConfig {
@@ -481,6 +486,101 @@ fn restarted_driver_resumes_a_killed_plan_from_the_checkpoint() {
         .map(|j| j.name.as_str())
         .collect();
     assert_eq!(markers, ["s1"], "only the checkpointed stage resumes");
+    assert!(
+        dfs.list("ckpt/").is_empty(),
+        "the successful rerun clears the checkpoints"
+    );
+}
+
+/// The kill-during-spill drill: the same two-stage plan under a zero
+/// memory budget, so every shuffle partition and checkpoint goes through
+/// the DFS spill tier. The job dies in stage 2 *after* stage 1 spilled
+/// and checkpointed; a fresh budgeted driver over the same DFS must
+/// resume from the spilled checkpoint and reproduce the clean,
+/// unbudgeted run bit for bit.
+#[test]
+fn restarted_driver_resumes_a_killed_spilling_plan_bit_exactly() {
+    let rows: Vec<(u32, u32)> = (0..120u32)
+        .map(|i| (i, i.wrapping_mul(2654435761)))
+        .collect();
+    let mod_key = || {
+        FnMapper::new(|k: u32, v: u32, out: &mut Emitter<u32, u64>| {
+            out.emit(k % 7, v as u64);
+        })
+    };
+    let halve_key = || {
+        FnMapper::new(|k: u32, v: u64, out: &mut Emitter<u32, u64>| {
+            out.emit(k / 2, v);
+        })
+    };
+    let sum = || {
+        FnReducer::new(|k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>| {
+            out.emit(*k, vs.into_iter().sum());
+        })
+    };
+    let build = |stage2_fault: Option<FaultPlan>| {
+        let mut cfg2 = JobConfig::uniform(2);
+        cfg2.fault = stage2_fault;
+        plan("spill-restart-drill")
+            .rows(rows.clone())
+            .stage(Stage::new("s1", mod_key(), sum()).config(JobConfig::uniform(3)))
+            .stage(Stage::new("s2", halve_key(), sum()).config(cfg2))
+            .build()
+    };
+    let doom = FaultPlan {
+        fail_per_mille: 999,
+        max_attempts: 0,
+        seed: 7,
+    };
+
+    let dfs = Arc::new(Dfs::new());
+    let mut killed_driver = Driver::new()
+        .with_checkpoints(true)
+        .with_mem_budget(0)
+        .with_dfs(Arc::clone(&dfs));
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        killed_driver.run_plan(build(Some(doom)))
+    }));
+    assert!(killed.is_err(), "stage 2 must kill the first run");
+    assert_eq!(
+        dfs.list("ckpt/spill-restart-drill/"),
+        ["ckpt/spill-restart-drill/0"],
+        "the completed stage is checkpointed despite dying mid-spill"
+    );
+    assert!(
+        dfs.spill_bytes_written() > 0,
+        "a zero budget must push stage 1 through the spill tier"
+    );
+    drop(killed_driver);
+
+    // Restart with the same budget: the checkpoint streams back from the
+    // DFS, stage 2 recomputes under spill pressure, and the output
+    // matches a clean unbudgeted in-memory run exactly.
+    let mut restarted = Driver::new()
+        .with_checkpoints(true)
+        .with_mem_budget(0)
+        .with_dfs(Arc::clone(&dfs));
+    let mut resumed = restarted.run_plan(build(None));
+    let mut clean = Driver::new().run_plan(build(None));
+    resumed.sort_unstable();
+    clean.sort_unstable();
+    assert_eq!(resumed, clean, "spill + resume must be invisible");
+    let markers: Vec<&str> = restarted
+        .history()
+        .iter()
+        .filter(|j| j.user.get("resumed_from_checkpoint") == Some(&1))
+        .map(|j| j.name.as_str())
+        .collect();
+    assert_eq!(markers, ["s1"], "only the checkpointed stage resumes");
+    assert!(
+        restarted
+            .history()
+            .iter()
+            .map(|j| j.spill_bytes)
+            .sum::<u64>()
+            > 0,
+        "the restarted run keeps spilling under its budget"
+    );
     assert!(
         dfs.list("ckpt/").is_empty(),
         "the successful rerun clears the checkpoints"

@@ -121,6 +121,7 @@ fn pipelines_are_deterministic_across_runs_and_task_counts() {
                 disable_elision: false,
                 checkpoints: false,
                 kernel: Default::default(),
+                mem_budget: None,
             },
             partition_cap: None,
             rho_aggregation: Default::default(),

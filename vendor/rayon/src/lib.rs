@@ -128,6 +128,28 @@ pub fn set_chunk_tag_provider(f: fn() -> u64) -> bool {
     TAG_PROVIDER.set(f).is_ok()
 }
 
+/// Admission gate called on the executing thread *before* each chunk
+/// runs. Installed by a memory governor to pace chunk execution while the
+/// process is over its memory budget. The gate MUST be bounded-wait: a
+/// gate that blocks indefinitely deadlocks the pool, because the releases
+/// it waits for are produced by other chunks of the same job.
+type ChunkGate = Box<dyn Fn() + Send + Sync>;
+
+static GATE: OnceLock<ChunkGate> = OnceLock::new();
+/// Fast-path flag mirroring [`OBSERVER_SET`]: ungoverned runs never pay a
+/// `OnceLock` read per chunk.
+static GATE_SET: AtomicBool = AtomicBool::new(false);
+
+/// Installs the process-wide chunk admission gate (at most once). Returns
+/// `false` if a gate was already installed.
+pub fn set_chunk_admission_gate(f: Box<dyn Fn() + Send + Sync>) -> bool {
+    let installed = GATE.set(f).is_ok();
+    if installed {
+        GATE_SET.store(true, Ordering::Release);
+    }
+    installed
+}
+
 // ---------------------------------------------------------------------------
 // The persistent pool
 // ---------------------------------------------------------------------------
@@ -235,6 +257,13 @@ impl JobCore {
                 if let Some(c) = counts.get(id) {
                     c.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+        }
+        // Pace under memory pressure before touching the chunk (the gate
+        // is bounded-wait, see `set_chunk_admission_gate`).
+        if GATE_SET.load(Ordering::Acquire) {
+            if let Some(gate) = GATE.get() {
+                gate();
             }
         }
         // Safety: see the struct docs — a successful claim implies the
