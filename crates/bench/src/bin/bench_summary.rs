@@ -181,6 +181,41 @@ struct StreamingBench {
 }
 
 #[derive(Serialize)]
+struct CrashConsistencyBench {
+    description: &'static str,
+    /// I/O ops the counting pass gated — the size of the crash-point space.
+    io_ops: u64,
+    /// Enumerated power cuts that actually fired (clean + torn).
+    crash_points_fired: u64,
+    /// Randomized fault-mix attempts where at least one fault was injected.
+    random_fault_attempts: u64,
+    /// Distinct crash/fault points exercised in total; the
+    /// scripts/check_crash.py gate requires >= 100.
+    total_fault_points: u64,
+    /// Attempts that ran clean (op-order variance or a quiet schedule).
+    vacuous_attempts: u64,
+    /// Invariant violations across every attempt — the gate requires zero.
+    violations: Vec<String>,
+    violation_count: usize,
+    /// Transient faults absorbed by the shim's bounded retry policy.
+    retries_absorbed: u64,
+    faults_injected: u64,
+    give_ups: u64,
+    /// A compaction killed mid-pipeline (under transient storage faults)
+    /// resumed from its checkpoint bit-identically to a from-scratch refit.
+    resume_bit_identical: bool,
+    resume_error: Option<String>,
+    /// Same write workload through direct `std::fs` vs the unarmed shim.
+    shim_direct_s: f64,
+    shim_passthrough_s: f64,
+    /// `(passthrough - direct) / direct`, clamped at zero; the gate
+    /// requires < 5%.
+    shim_overhead_frac: f64,
+    /// The two write paths produced byte-identical files.
+    shim_bit_identical: bool,
+}
+
+#[derive(Serialize)]
 struct Summary {
     schema: u32,
     mode: &'static str,
@@ -194,6 +229,7 @@ struct Summary {
     plan_elision: ElisionBench,
     recovery_overhead: RecoveryBench,
     hot_swap: SwapBench,
+    crash_consistency: CrashConsistencyBench,
     tracing_overhead: OverheadBench,
     telemetry: TelemetryBench,
     streaming: StreamingBench,
@@ -869,6 +905,99 @@ fn streaming_budget(points: usize, dim: usize, budget: u64) -> StreamingBench {
     }
 }
 
+/// One write workload (many small appends, one fsync) through direct
+/// `std::fs` and through an unarmed [`mapreduce::io_shim::FaultFs`]:
+/// the shim must be bit-identical and nearly free when no plan is armed.
+fn shim_passthrough(root: &std::path::Path) -> (f64, f64, bool) {
+    use std::io::Write;
+
+    let buf = vec![0xA5u8; 256];
+    let writes_per_slice = 2_048;
+    let slices = 16;
+    let rounds = 5;
+    let direct_path = root.join("direct.bin");
+    let shim_path = root.join("shim.bin");
+
+    // The honest per-op shim cost is one relaxed load and a branch, so
+    // the measurement has to beat scheduler noise, not the shim. Timing
+    // alternates direct/shim slices of identical work and keeps the min
+    // per path over every slice: a preempted slice inflates one sample,
+    // never the floor.
+    let mut direct_s = f64::INFINITY;
+    let mut shim_s = f64::INFINITY;
+    let mut identical = true;
+    for _ in 0..rounds {
+        std::fs::remove_file(&direct_path).ok();
+        std::fs::remove_file(&shim_path).ok();
+        let mut direct = std::fs::File::create(&direct_path).unwrap();
+        let fs = mapreduce::io_shim::FaultFs::real();
+        let mut shim = fs.create(&shim_path).unwrap();
+        for _ in 0..slices {
+            let start = Instant::now();
+            for _ in 0..writes_per_slice {
+                direct.write_all(&buf).unwrap();
+            }
+            direct_s = direct_s.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            for _ in 0..writes_per_slice {
+                shim.write_all(&buf).unwrap();
+            }
+            shim_s = shim_s.min(start.elapsed().as_secs_f64());
+        }
+        direct.sync_data().unwrap();
+        shim.sync_data().unwrap();
+        identical &= std::fs::read(&direct_path).unwrap() == std::fs::read(&shim_path).unwrap();
+    }
+    std::fs::remove_file(&direct_path).ok();
+    std::fs::remove_file(&shim_path).ok();
+    (direct_s, shim_s, identical)
+}
+
+/// The crash-consistency drill (see `ingest::drill`): enumerate a power
+/// cut at every I/O op of the durable workflow, add randomized fault
+/// mixes and the checkpoint-resume kill, and report invariant violations
+/// (the scripts/check_crash.py gate requires zero) plus the unarmed
+/// shim's passthrough overhead.
+fn crash_consistency(smoke: bool) -> CrashConsistencyBench {
+    use ingest::drill;
+
+    let root = std::env::temp_dir().join(format!("bench-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).unwrap();
+
+    let base = drill::fit_base_model(&drill::drill_dataset(20, 41), 41);
+    let max_runs = if smoke { 240 } else { 400 };
+    let enumerated = drill::enumerate_crash_points(&root, &base, max_runs);
+    let seeds = if smoke { 0..16 } else { 0..32 };
+    let randomized = drill::random_fault_drill(&root, &base, seeds);
+    let resume = drill::checkpoint_resume_drill(&base);
+    let (shim_direct_s, shim_passthrough_s, shim_bit_identical) = shim_passthrough(&root);
+    std::fs::remove_dir_all(&root).ok();
+
+    let mut violations = enumerated.violations;
+    violations.extend(randomized.violations);
+    CrashConsistencyBench {
+        description: "power cut at every io op of save/ingest/compact/save/retire, \
+                      plus randomized EIO/ENOSPC/cut mixes and a checkpointed kill",
+        io_ops: enumerated.io_ops,
+        crash_points_fired: enumerated.crash_attempts,
+        random_fault_attempts: randomized.fault_attempts,
+        total_fault_points: enumerated.crash_attempts + randomized.fault_attempts,
+        vacuous_attempts: enumerated.vacuous + randomized.vacuous,
+        violation_count: violations.len(),
+        violations,
+        retries_absorbed: enumerated.retries + randomized.retries,
+        faults_injected: enumerated.injected + randomized.injected,
+        give_ups: enumerated.give_ups + randomized.give_ups,
+        resume_bit_identical: resume.is_ok(),
+        resume_error: resume.err(),
+        shim_direct_s,
+        shim_passthrough_s,
+        shim_overhead_frac: ((shim_passthrough_s - shim_direct_s) / shim_direct_s).max(0.0),
+        shim_bit_identical,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out: Option<String> = None;
@@ -903,7 +1032,7 @@ fn main() {
 
     eprintln!("bench_summary: threads={threads} smoke={smoke}");
     let summary = Summary {
-        schema: 8,
+        schema: 9,
         mode: if smoke { "smoke" } else { "full" },
         threads,
         // The engine's map phase: one parallel call per job over a
@@ -931,6 +1060,10 @@ fn main() {
         // Serving correctness across model hot-swaps under load; gated
         // by scripts/check_swap.py (>= 3 swaps, 0 dropped, 0 incorrect).
         hot_swap: swap_under_load(42, if smoke { 120 } else { 400 }, 4, 4, swap_queries),
+        // Storage-fault drills: power cut at every I/O op plus random
+        // fault mixes; gated by scripts/check_crash.py (>= 100 fault
+        // points, 0 violations, shim passthrough < 5% overhead).
+        crash_consistency: crash_consistency(smoke),
         // The last three scenarios flip or require process-lifetime
         // switches (chunk observer, heap accounting) and must stay last,
         // in this order: tracing_overhead times its telemetry-off
@@ -999,6 +1132,21 @@ fn main() {
         summary.hot_swap.matched_gen_a,
         summary.hot_swap.matched_gen_b,
         summary.hot_swap.shed_retries
+    );
+    eprintln!(
+        "crash drill: {} io ops, {} cuts + {} random attempts ({} vacuous), \
+         {} violations, {} retries / {} give-ups, resume_identical={}, \
+         shim passthrough {:+.1}% identical={}",
+        summary.crash_consistency.io_ops,
+        summary.crash_consistency.crash_points_fired,
+        summary.crash_consistency.random_fault_attempts,
+        summary.crash_consistency.vacuous_attempts,
+        summary.crash_consistency.violation_count,
+        summary.crash_consistency.retries_absorbed,
+        summary.crash_consistency.give_ups,
+        summary.crash_consistency.resume_bit_identical,
+        summary.crash_consistency.shim_overhead_frac * 100.0,
+        summary.crash_consistency.shim_bit_identical
     );
     eprintln!(
         "tracing: off {:.3}s on {:.3}s ({:+.1}%), full telemetry {:.3}s ({:+.1}%, \

@@ -39,6 +39,7 @@
 //! and `model_compactions` counters into [`obsv::global`].
 
 pub mod batch;
+pub mod drill;
 pub mod wal;
 
 pub use batch::{DeltaBatch, DeltaOp};
@@ -260,8 +261,21 @@ impl IngestSession {
         config: IngestConfig,
         path: impl AsRef<Path>,
     ) -> Result<(Self, usize), IngestError> {
+        Self::with_wal_fs(model, config, path, mapreduce::io_shim::FaultFs::default())
+    }
+
+    /// [`Self::with_wal`] with an explicit storage-fault domain: the
+    /// WAL *and* the session's compaction spill tier route their I/O
+    /// through `fs` — the injection point for crash-consistency drills.
+    pub fn with_wal_fs(
+        model: &ClusterModel,
+        config: IngestConfig,
+        path: impl AsRef<Path>,
+        fs: mapreduce::io_shim::FaultFs,
+    ) -> Result<(Self, usize), IngestError> {
         let mut session = IngestSession::new(model, config);
-        let (wal, recovery) = Wal::open(path)?;
+        session.dfs.set_io_fs(fs.clone());
+        let (wal, recovery) = Wal::open_with(path, fs)?;
         session.wal = Some(wal);
         let replayed = recovery.batches.len();
         for batch in recovery.batches {

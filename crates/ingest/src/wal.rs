@@ -17,15 +17,15 @@
 //! every batch replayable.
 
 use crate::batch::DeltaBatch;
+use mapreduce::io_shim::{FaultFile, FaultFs};
 use mapreduce::wire::{decode_framed, encode_framed};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Append handle over a WAL file (created empty if absent).
 pub struct Wal {
     path: PathBuf,
-    file: File,
+    file: FaultFile,
+    fs: FaultFs,
 }
 
 /// What [`Wal::open`] recovered from an existing log.
@@ -38,18 +38,29 @@ pub struct WalRecovery {
 
 impl Wal {
     /// Opens (or creates) the log at `path`, replaying intact records
-    /// and truncating any torn tail in place.
+    /// and truncating any torn tail in place. I/O flows through the
+    /// process-global [`FaultFs`].
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Wal, WalRecovery)> {
-        let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        Wal::open_with(path, FaultFs::default())
+    }
 
-        let mut bytes = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut bytes)?;
+    /// [`Wal::open`] with an explicit fault domain — the injection
+    /// point for storage-fault drills.
+    pub fn open_with(path: impl AsRef<Path>, fs: FaultFs) -> std::io::Result<(Wal, WalRecovery)> {
+        let path = path.as_ref().to_path_buf();
+        let created = !path.exists();
+        let mut file = fs.open_append(&path)?;
+        if created {
+            // A freshly created log is only durable once its directory
+            // entry is — without this, a power cut can lose the *file*
+            // even though every append was fsynced (same dir-sync the
+            // model artifact save does after its rename).
+            if let Some(dir) = path.parent() {
+                fs.fsync_dir(dir)?;
+            }
+        }
+
+        let bytes = file.read_all()?;
 
         let mut batches = Vec::new();
         let mut good = 0usize;
@@ -69,11 +80,10 @@ impl Wal {
         let torn_bytes = (bytes.len() - good) as u64;
         if torn_bytes > 0 {
             file.set_len(good as u64)?;
-            file.sync_data()?;
+            file.sync_all()?;
         }
-        file.seek(SeekFrom::End(0))?;
         Ok((
-            Wal { path, file },
+            Wal { path, file, fs },
             WalRecovery {
                 batches,
                 torn_bytes,
@@ -95,12 +105,16 @@ impl Wal {
     }
 
     /// Drops every record — called only after compaction's artifact
-    /// durably holds the log's batches. The truncation itself is
-    /// fsynced so retired batches cannot resurface after power loss.
+    /// durably holds the log's batches. The truncation is fsynced with
+    /// `sync_all` (a length change is *metadata*, which `sync_data` is
+    /// allowed to skip) and the parent directory is synced too, so
+    /// retired batches cannot resurface after power loss.
     pub fn clear(&mut self) -> std::io::Result<()> {
         self.file.set_len(0)?;
-        self.file.sync_data()?;
-        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()?;
+        if let Some(dir) = self.path.parent() {
+            self.fs.fsync_dir(dir)?;
+        }
         Ok(())
     }
 
@@ -114,6 +128,7 @@ impl Wal {
 mod tests {
     use super::*;
     use crate::batch::DeltaOp;
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("ingest-wal-tests");

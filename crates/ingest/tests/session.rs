@@ -278,3 +278,77 @@ fn lifecycle_counters_are_metered() {
     assert!(stale.get() > s0);
     assert!(compactions.get() > c0);
 }
+
+mod fault_plans {
+    use super::*;
+    use ingest::Wal;
+    use mapreduce::io_shim::{FaultFs, IoFaultPlan};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// One fitted model shared across proptest cases (a fit per case
+    /// would dominate the runtime without adding coverage).
+    fn shared_model() -> &'static serve::ClusterModel {
+        static MODEL: OnceLock<serve::ClusterModel> = OnceLock::new();
+        MODEL.get_or_init(|| fitted(15, 5))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The WAL acknowledgement contract under arbitrary seeded
+        /// storage-fault plans: whatever mix of transient EIO, power
+        /// cuts, and torn writes the schedule rolls, a clean reopen
+        /// replays *exactly* the acknowledged batches — never a lost
+        /// ack, never a resurfaced reject — and the torn-tail repair is
+        /// durable across a second reopen.
+        #[test]
+        fn wal_replays_exactly_the_acked_batches(
+            seed in any::<u64>(),
+            eio in 0u16..250,
+            crash in 0u16..40,
+            torn in 0u16..40,
+            rounds in 1usize..8,
+        ) {
+            let model = shared_model();
+            let path = wal_path(&format!("prop-{seed}-{eio}-{crash}-{torn}.wal"));
+            let fs = FaultFs::with_plan(IoFaultPlan {
+                seed,
+                eio_per_mille: eio,
+                crash_per_mille: crash,
+                torn_per_mille: torn,
+                ..Default::default()
+            });
+
+            let mut acked = Vec::new();
+            if let Ok((mut session, _)) =
+                IngestSession::with_wal_fs(model, config(), &path, fs)
+            {
+                for r in 0..rounds {
+                    let point = model.point((r % model.len()) as u32).to_vec();
+                    match session.apply(vec![DeltaOp::Insert(point)]) {
+                        Ok(applied) => acked.push(applied.batch),
+                        Err(_) => break, // nothing acknowledged, nothing owed
+                    }
+                }
+            }
+
+            // Recovery on clean storage: exactly the acked batches.
+            let clean = FaultFs::real();
+            let (_, rec) = Wal::open_with(&path, clean.clone()).unwrap();
+            prop_assert_eq!(&rec.batches, &acked);
+            // The truncation repair (if any) was fsynced in place.
+            let (_, again) = Wal::open_with(&path, clean).unwrap();
+            prop_assert_eq!(again.torn_bytes, 0);
+            prop_assert_eq!(&again.batches, &acked);
+
+            // And the session-level restart replays them all.
+            let (restarted, replayed) =
+                IngestSession::with_wal(model, config(), &path).unwrap();
+            prop_assert_eq!(replayed, acked.len());
+            prop_assert_eq!(restarted.len(), model.len() + acked.len());
+
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! materialization, mirroring Hadoop's distinction between HDFS I/O and
 //! local spill I/O.
 
+use crate::io_shim::FaultFs;
 use crate::record::ShuffleSize;
 use crate::spill::{SegmentWriter, SpillDir};
 use parking_lot::{Mutex, RwLock};
@@ -72,6 +73,9 @@ pub struct Dfs {
     /// shared (`Arc`) with the segment handles that do the actual I/O.
     spill_bytes_written: Arc<AtomicU64>,
     spill_bytes_read: Arc<AtomicU64>,
+    /// The fault domain spill-tier I/O flows through (defaults to the
+    /// process-global [`FaultFs`]; drills swap in a seeded one).
+    io: Mutex<FaultFs>,
 }
 
 impl Dfs {
@@ -176,11 +180,22 @@ impl Dfs {
         let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
         let name = format!("{}-{seq}.seg", label.replace('/', "_"));
         Ok(
-            SegmentWriter::create(dir.segment_path(&name))?.with_counters(
+            SegmentWriter::create_with(dir.segment_path(&name), self.io_fs())?.with_counters(
                 Arc::clone(&self.spill_bytes_written),
                 Arc::clone(&self.spill_bytes_read),
             ),
         )
+    }
+
+    /// Routes all further spill-tier I/O through `fs` (storage-fault
+    /// drills).
+    pub fn set_io_fs(&self, fs: FaultFs) {
+        *self.io.lock() = fs;
+    }
+
+    /// The fault domain the spill tier currently writes through.
+    pub fn io_fs(&self) -> FaultFs {
+        self.io.lock().clone()
     }
 
     /// Record bytes written to the disk spill tier (metered separately

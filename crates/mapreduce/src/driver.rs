@@ -28,7 +28,7 @@ use crate::dfs::Dfs;
 use crate::job::MapInput;
 use crate::plan::{CheckpointCtx, ExecCtx, PartitionCache, Plan};
 use crate::spill::SegmentWriter;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
@@ -53,6 +53,13 @@ pub struct MemoryGovernor {
     spilled: AtomicU64,
     /// Total nanoseconds tasks spent stalled at the admission gate.
     stall_ns: AtomicU64,
+    /// Set when a spill write failed with ENOSPC: the spill tier is out
+    /// of disk, so the run degrades to resident execution instead of
+    /// retrying a full disk on every task (counter
+    /// `spill.enospc_fallbacks`, plus a `--stats` warning line).
+    spill_disabled: AtomicBool,
+    /// ENOSPC fallbacks recorded on this governor.
+    enospc_fallbacks: AtomicU64,
     /// Number of currently admitted reduce tasks; the condvar wakes
     /// waiters when one retires or charged bytes are released.
     active: Mutex<usize>,
@@ -68,6 +75,8 @@ impl MemoryGovernor {
             resident: AtomicU64::new(0),
             spilled: AtomicU64::new(0),
             stall_ns: AtomicU64::new(0),
+            spill_disabled: AtomicBool::new(false),
+            enospc_fallbacks: AtomicU64::new(0),
             active: Mutex::new(0),
             cv: Condvar::new(),
         }
@@ -124,6 +133,9 @@ impl MemoryGovernor {
     /// keeps the whole-process peak near the budget instead of at
     /// `budget + working set`.
     pub(crate) fn should_spill(&self) -> bool {
+        if self.spill_disabled.load(Ordering::Relaxed) {
+            return false;
+        }
         if self.budget == 0 {
             return true;
         }
@@ -135,6 +147,35 @@ impl MemoryGovernor {
         // it sees allocations (dataset, index structures) the shuffle
         // accounting can't.
         obsv::alloc::accounting_enabled() && obsv::alloc::current_bytes() > watermark
+    }
+
+    /// Whether the spill tier has been disabled for this run (ENOSPC
+    /// degradation): the run continues resident instead of aborting.
+    pub fn spill_disabled(&self) -> bool {
+        self.spill_disabled.load(Ordering::Relaxed)
+    }
+
+    /// ENOSPC fallbacks recorded so far (0 or 1 per governor: the first
+    /// one disables the tier).
+    pub fn enospc_fallbacks(&self) -> u64 {
+        self.enospc_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Reacts to a failed spill write. The caller has already fallen
+    /// back to keeping the data resident (correctness never depends on
+    /// the disk); this decides whether the *tier* stays usable. ENOSPC
+    /// is persistent — retrying it on every subsequent task would only
+    /// burn syscalls on a full disk — so it disables the tier for the
+    /// rest of the run and counts a `spill.enospc_fallbacks`. Transient
+    /// errors (e.g. an EIO that survived the shim's retries) leave the
+    /// tier enabled: the next spill may well succeed.
+    pub(crate) fn note_spill_error(&self, e: &std::io::Error) {
+        if crate::io_shim::is_enospc(e) && !self.spill_disabled.swap(true, Ordering::Relaxed) {
+            self.enospc_fallbacks.fetch_add(1, Ordering::Relaxed);
+            obsv::metrics::global()
+                .counter("spill.enospc_fallbacks")
+                .inc(1);
+        }
     }
 
     /// Records `bytes` moved to the disk tier.

@@ -133,8 +133,9 @@ fn phase_salt(phase: Phase) -> u64 {
 }
 
 /// The splitmix64-style mixer behind every chaos schedule: a pure
-/// function of `(seed, a, b, c)` with well-spread low bits.
-fn chaos_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+/// function of `(seed, a, b, c)` with well-spread low bits. Shared
+/// with the storage-fault schedules in [`crate::io_shim`].
+pub(crate) fn chaos_hash(seed: u64, a: u64, b: u64, c: u64) -> u64 {
     let mut z = seed
         .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))

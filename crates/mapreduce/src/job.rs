@@ -785,8 +785,14 @@ impl<K: MrKey, V: MrValue> ReduceBucket<K, V> {
         if self.mem_bytes == 0 {
             return 0;
         }
-        let Ok(mut writer) = governor.segment(label) else {
-            return 0; // spill tier unavailable: keep the resident copy
+        let mut writer = match governor.segment(label) {
+            Ok(w) => w,
+            Err(e) => {
+                // Spill tier unavailable: keep the resident copy (and
+                // let the governor disable the tier on ENOSPC).
+                governor.note_spill_error(&e);
+                return 0;
+            }
         };
         let mut moved = 0u64;
         let mut metas = Vec::new();
@@ -794,12 +800,20 @@ impl<K: MrKey, V: MrValue> ReduceBucket<K, V> {
             if let BucketPart::Mem(rows) = part {
                 match writer.write_frame(rows) {
                     Ok(meta) => metas.push(meta),
-                    Err(_) => return 0,
+                    Err(e) => {
+                        governor.note_spill_error(&e);
+                        return 0;
+                    }
                 }
             }
         }
-        let Ok(seg) = writer.finish() else {
-            return 0;
+        let seg = match writer.finish() {
+            Ok(seg) => seg,
+            Err(e) => {
+                // An unflushable segment is not durable — stay resident.
+                governor.note_spill_error(&e);
+                return 0;
+            }
         };
         let seg = Arc::new(seg);
         let mut metas = metas.into_iter();
@@ -881,8 +895,12 @@ fn spill_task_under_pressure<K: MrKey, V: MrValue>(
     if total == 0 || !ctx.governor.should_spill() {
         return out;
     }
-    let Ok(mut writer) = ctx.governor.segment(job) else {
-        return out;
+    let mut writer = match ctx.governor.segment(job) {
+        Ok(w) => w,
+        Err(e) => {
+            ctx.governor.note_spill_error(&e);
+            return out;
+        }
     };
     let mut frames = Vec::new();
     for (r, bucket) in buckets.iter().enumerate() {
@@ -891,11 +909,20 @@ fn spill_task_under_pressure<K: MrKey, V: MrValue>(
         }
         match writer.write_frame(bucket) {
             Ok(meta) => frames.push((r as u32, meta)),
-            Err(_) => return out,
+            Err(e) => {
+                ctx.governor.note_spill_error(&e);
+                return out;
+            }
         }
     }
-    let Ok(seg) = writer.finish() else {
-        return out;
+    let seg = match writer.finish() {
+        Ok(seg) => seg,
+        Err(e) => {
+            // The segment never became durable (sync failed): treat it
+            // like any other spill failure and keep the data resident.
+            ctx.governor.note_spill_error(&e);
+            return out;
+        }
     };
     ctx.governor.uncharge(total);
     ctx.governor.note_spill(total);

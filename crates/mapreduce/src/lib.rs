@@ -61,6 +61,7 @@ pub mod counters;
 pub mod dfs;
 pub mod driver;
 pub mod fault;
+pub mod io_shim;
 pub mod job;
 pub mod plan;
 pub mod record;
@@ -73,6 +74,7 @@ pub use counters::{Counters, JobMetrics, TaskTimes};
 pub use dfs::Dfs;
 pub use driver::{Driver, MemoryGovernor};
 pub use fault::{AttemptOutcome, ChaosPlan, FaultPlan, Phase, TaskWastage};
+pub use io_shim::{FaultFile, FaultFs, IoFaultPlan};
 pub use job::{HashPartitioner, JobBuilder, JobConfig, MapInput, Partitioner};
 pub use plan::{plan, IdentityMap, MapChain, Plan, PlanBuilder, ReduceStage, Snapshot, Stage};
 pub use record::{checksum64, ShuffleSize};

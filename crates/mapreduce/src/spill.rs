@@ -23,10 +23,10 @@
 //! tolerate a torn tail — a process killed mid-spill leaves a segment
 //! whose intact prefix is still usable.
 
+use crate::io_shim::{FaultFile, FaultFs};
 use crate::wire::{decode_framed, encode_framed, Wire, WireError};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::os::unix::fs::FileExt;
+use std::fs::File;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -120,7 +120,7 @@ pub struct FrameMeta {
 
 /// Appends frames to a new segment file.
 pub struct SegmentWriter {
-    file: File,
+    file: FaultFile,
     path: PathBuf,
     offset: u64,
     written_counter: Option<Arc<AtomicU64>>,
@@ -128,13 +128,16 @@ pub struct SegmentWriter {
 }
 
 impl SegmentWriter {
-    /// Creates a new segment at `path` (fails if it exists).
+    /// Creates a new segment at `path` (fails if it exists), with I/O
+    /// routed through the process-global [`FaultFs`].
     pub fn create(path: PathBuf) -> std::io::Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create_new(true)
-            .open(&path)?;
+        Self::create_with(path, FaultFs::default())
+    }
+
+    /// Creates a new segment whose I/O flows through `fs` — the
+    /// injection point for storage-fault drills.
+    pub fn create_with(path: PathBuf, fs: FaultFs) -> std::io::Result<Self> {
+        let file = fs.create_new(&path)?;
         Ok(SegmentWriter {
             file,
             path,
@@ -177,8 +180,12 @@ impl SegmentWriter {
 
     /// Finishes the segment, returning a read handle. The file is deleted
     /// when the handle drops.
-    pub fn finish(self) -> std::io::Result<SpillSegment> {
-        self.file.sync_data().ok();
+    ///
+    /// The final `sync_data` failure is *propagated*, not swallowed: a
+    /// segment whose flush failed must not be treated as durable — the
+    /// governor paths react by keeping the data resident instead.
+    pub fn finish(mut self) -> std::io::Result<SpillSegment> {
+        self.file.sync_data()?;
         Ok(SpillSegment {
             file: self.file,
             path: self.path,
@@ -191,7 +198,7 @@ impl SegmentWriter {
 /// A finished, readable spill segment. Dropping the handle deletes the
 /// file — segments are transient job state, not durable storage.
 pub struct SpillSegment {
-    file: File,
+    file: FaultFile,
     path: PathBuf,
     bytes: u64,
     read_counter: Option<Arc<AtomicU64>>,

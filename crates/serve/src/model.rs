@@ -309,23 +309,32 @@ impl ClusterModel {
     /// artifact intact — compaction overwrites its base artifact in
     /// place and relies on never observing a torn or missing model.
     pub fn save(&self, path: &str) -> Result<(), ModelError> {
-        use std::io::Write;
+        self.save_with(path, &mapreduce::io_shim::FaultFs::default())
+    }
+
+    /// [`Self::save`] through an explicit storage-fault domain — the
+    /// injection point for crash-consistency drills. The write is
+    /// all-or-nothing at the rename: a fault or power cut anywhere
+    /// before it leaves the previous artifact byte-identical.
+    pub fn save_with(
+        &self,
+        path: &str,
+        fs: &mapreduce::io_shim::FaultFs,
+    ) -> Result<(), ModelError> {
         let tmp = format!("{path}.tmp");
-        let mut file = std::fs::File::create(&tmp)?;
+        let mut file = fs.create(std::path::Path::new(&tmp))?;
         file.write_all(&wire::encode(self))?;
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&tmp, path)?;
+        fs.rename(std::path::Path::new(&tmp), std::path::Path::new(path))?;
         if let Some(dir) = std::path::Path::new(path).parent() {
-            let dir = if dir.as_os_str().is_empty() {
-                std::path::Path::new(".")
-            } else {
-                dir
-            };
             // Make the rename itself durable; best-effort on platforms
-            // where directories cannot be opened.
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
+            // where directories cannot be opened — but a simulated
+            // power cut here must still surface (the fs is poisoned, so
+            // swallowing it would only defer the failure one op).
+            match fs.fsync_dir(dir) {
+                Err(e) if mapreduce::io_shim::is_crash(&e) => return Err(e.into()),
+                _ => {}
             }
         }
         Ok(())
@@ -333,7 +342,12 @@ impl ClusterModel {
 
     /// Reads and decodes a model written by [`Self::save`].
     pub fn load(path: &str) -> Result<Self, ModelError> {
-        let bytes = std::fs::read(path)?;
+        Self::load_with(path, &mapreduce::io_shim::FaultFs::default())
+    }
+
+    /// [`Self::load`] through an explicit storage-fault domain.
+    pub fn load_with(path: &str, fs: &mapreduce::io_shim::FaultFs) -> Result<Self, ModelError> {
+        let bytes = fs.read(std::path::Path::new(path))?;
         Ok(wire::decode(&bytes)?)
     }
 

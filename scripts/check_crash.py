@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI crash-consistency gate.
+
+Validates the `crash_consistency` scenario out of a BENCH_perf.json
+produced by `bench_summary` (schema >= 9): the ALICE-style drill must
+fire a power cut at every I/O operation of the durable workflow plus
+randomized fault mixes — at least 100 distinct fault points in total —
+and every single one must recover to the durability invariants (zero
+violations). A compaction killed mid-flight must resume from its
+checkpoint bit-identically, and the unarmed fault shim must be a true
+passthrough: bit-identical bytes at under the given overhead fraction
+(default 5%) versus direct I/O.
+
+Usage: check_crash.py <BENCH_perf.json> [max_shim_overhead]
+"""
+
+import json
+import sys
+
+
+def check(path: str, max_overhead: float) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema", 0)
+    if schema < 9:
+        print(f"{path}: schema {schema} < 9 — no crash_consistency scenario; "
+              "re-run bench_summary", file=sys.stderr)
+        return 1
+    c = doc.get("crash_consistency")
+    if not isinstance(c, dict):
+        print(f"{path}: no crash_consistency scenario in summary",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    if c.get("io_ops", 0) < 30:
+        failures.append(
+            f"only {c.get('io_ops', 0)} I/O ops gated through the shim — "
+            "the workflow is not exercising the durability tier"
+        )
+    total = c.get("total_fault_points", 0)
+    if total < 100:
+        failures.append(
+            f"only {total} fault points fired (need >= 100 between the "
+            "enumerated cuts and the randomized mixes)"
+        )
+    if c.get("violation_count", 0) != 0 or c.get("violations"):
+        for v in (c.get("violations") or [])[:10]:
+            failures.append(f"invariant violation: {v}")
+        failures.append(
+            f"{c.get('violation_count', 0)} crash/fault points violated "
+            "the durability invariants"
+        )
+    if not c.get("resume_bit_identical"):
+        failures.append(
+            "killed checkpointed compaction did not resume bit-identically"
+            + (f": {c['resume_error']}" if c.get("resume_error") else "")
+        )
+    if not c.get("shim_bit_identical"):
+        failures.append("unarmed shim output differs from direct I/O")
+    overhead = c.get("shim_overhead_frac", 1.0)
+    if overhead >= max_overhead:
+        failures.append(
+            f"unarmed shim overhead {overhead * 100:.1f}% exceeds the "
+            f"{max_overhead * 100:.0f}% passthrough budget"
+        )
+
+    for msg in failures:
+        print(f"{path}: {msg}", file=sys.stderr)
+    if not failures:
+        print(
+            f"{path}: crash drill ok — {c['io_ops']} gated I/O ops, "
+            f"{c['crash_points_fired']} enumerated cuts + "
+            f"{c['random_fault_attempts']} randomized attempts "
+            f"({total} fault points, {c.get('vacuous_attempts', 0)} vacuous), "
+            f"0 violations, {c.get('retries_absorbed', 0)} retries absorbed, "
+            f"{c.get('give_ups', 0)} give-ups, resume bit-identical, "
+            f"shim passthrough {overhead * 100:+.1f}%"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <BENCH_perf.json> [max_shim_overhead]",
+              file=sys.stderr)
+        return 2
+    max_overhead = float(sys.argv[2]) if len(sys.argv) == 3 else 0.05
+    return check(sys.argv[1], max_overhead)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

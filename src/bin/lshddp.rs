@@ -143,6 +143,14 @@ fn run(args: &[String]) -> Result<(), String> {
         obsv::alloc::enable_accounting();
     }
 
+    // Hidden crash-drill plumbing: arm the process-global storage-fault
+    // shim so every durability path (WAL, spill tier, checkpoints, model
+    // artifacts) runs under the injected schedule.
+    if let Some(spec) = &opts.io_fault_plan {
+        let plan = mapreduce::io_shim::IoFaultPlan::parse(spec)?;
+        mapreduce::io_shim::install_global_plan(plan);
+    }
+
     // Serve-family commands build their own exposition (they add the
     // serve registry as a second source); every other command exposes
     // the global registry here.
@@ -260,6 +268,10 @@ struct Opts {
     queue: usize,
     clients: usize,
     mem_budget: Option<u64>,
+    /// Hidden: arm the storage-fault shim with a `key=value` spec (see
+    /// `mapreduce::io_shim::IoFaultPlan::parse`) — crash-drill plumbing,
+    /// deliberately absent from the usage text.
+    io_fault_plan: Option<String>,
 }
 
 impl Opts {
@@ -301,6 +313,7 @@ impl Opts {
             queue: 1024,
             clients: 4,
             mem_budget: None,
+            io_fault_plan: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -348,6 +361,7 @@ impl Opts {
                 "--queue" => o.queue = parse_num(value("--queue")?, "--queue")?,
                 "--clients" => o.clients = parse_num(value("--clients")?, "--clients")?,
                 "--mem-budget" => o.mem_budget = Some(parse_bytes(value("--mem-budget")?)?),
+                "--io-fault-plan" => o.io_fault_plan = Some(value("--io-fault-plan")?.clone()),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -568,6 +582,15 @@ fn cluster(o: &Opts) -> Result<(), String> {
                     },
                     spilled as f64 / 1e6,
                     r.backpressure_stall_ns() as f64 / 1e6,
+                );
+            }
+            let enospc = obsv::global().counter("spill.enospc_fallbacks").get();
+            if enospc > 0 {
+                println!(
+                    "  WARNING: spill tier hit ENOSPC and was disabled for the \
+                     run ({enospc} fallback{}); stages ran resident and the \
+                     memory budget was not enforced",
+                    if enospc == 1 { "" } else { "s" },
                 );
             }
         }
